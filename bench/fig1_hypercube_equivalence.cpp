@@ -1,0 +1,98 @@
+/// Reproduces Fig. 1: hypercube view of NPN (in)equivalence on 3-variable
+/// functions. f1 is the 3-majority; f2 is an NPN transform of f1 (the figure
+/// shows one such function); f3 = x3 is not equivalent to either. The binary
+/// renders each induced subgraph (1-minterms and the cube edges between
+/// them), checks equivalence with the exact matcher, and reports the
+/// isomorphism-relevant degree statistics of the induced subgraphs.
+
+#include <array>
+#include <bit>
+#include <iostream>
+
+#include "facet/npn/matcher.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_io.hpp"
+
+namespace {
+
+using facet::TruthTable;
+
+void render_function(const std::string& name, const TruthTable& tt)
+{
+  std::cout << name << " (tt=0x" << facet::to_hex(tt) << "): 1-minterms {";
+  bool first = true;
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    if (tt.get_bit(m)) {
+      std::cout << (first ? "" : ", ") << ((m >> 2) & 1) << ((m >> 1) & 1) << (m & 1);
+      first = false;
+    }
+  }
+  std::cout << "}\n";
+
+  // Induced-subgraph degree sequence: for each 1-minterm, the number of
+  // adjacent 1-minterms (NPN-invariant up to multiset equality).
+  std::array<int, 4> degree_hist{};
+  std::size_t edges = 0;
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    if (!tt.get_bit(m)) {
+      continue;
+    }
+    int degree = 0;
+    for (int v = 0; v < tt.num_vars(); ++v) {
+      if (tt.get_bit(m ^ (1ULL << v))) {
+        ++degree;
+        ++edges;
+      }
+    }
+    ++degree_hist[static_cast<std::size_t>(degree)];
+  }
+  std::cout << "  induced subgraph: " << tt.count_ones() << " vertices, " << edges / 2
+            << " edges, degree histogram (0..3) = [" << degree_hist[0] << "," << degree_hist[1] << ","
+            << degree_hist[2] << "," << degree_hist[3] << "]\n";
+}
+
+void report_pair(const std::string& a_name, const TruthTable& a, const std::string& b_name,
+                 const TruthTable& b)
+{
+  const auto match = facet::npn_match(a, b);
+  if (match.has_value()) {
+    std::cout << a_name << " and " << b_name << " are NPN equivalent; witness: " << match->to_string()
+              << "\n";
+  } else {
+    std::cout << a_name << " and " << b_name << " are NOT NPN equivalent\n";
+  }
+}
+
+}  // namespace
+
+int main()
+{
+  using namespace facet;
+
+  std::cout << "Fig. 1: hypercubes of three 3-variable Boolean functions\n\n";
+
+  const TruthTable f1 = tt_majority(3);
+
+  // The figure's f2: an NPN-transformed majority (negate x1, rotate the
+  // variables, complement the output).
+  NpnTransform t = NpnTransform::identity(3);
+  t.perm = {1, 2, 0};
+  t.input_neg = 0b001;
+  t.output_neg = true;
+  const TruthTable f2 = apply_transform(f1, t);
+
+  const TruthTable f3 = tt_projection(3, 2);
+
+  render_function("f1 (3-majority)", f1);
+  render_function("f2 (NP-transformed majority)", f2);
+  render_function("f3 (x3)", f3);
+  std::cout << "\n";
+
+  report_pair("f1", f1, "f2", f2);
+  report_pair("f2", f2, "f3", f3);
+  report_pair("f1", f1, "f3", f3);
+
+  std::cout << "\nAs in the paper: f1 ~ f2 with isomorphic induced subgraphs (matching degree\n"
+               "histograms), while f3's induced subgraph is non-isomorphic and no transform exists.\n";
+  return 0;
+}

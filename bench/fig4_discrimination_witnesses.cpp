@@ -1,0 +1,102 @@
+/// Reproduces Fig. 4 / §IV-A: point characteristics discriminate
+/// inequivalent functions that face characteristics cannot.
+///
+/// The paper exhibits two pairs of inequivalent 4-input functions:
+///   g1, g2: identical OCV1 and OCV2 but different OIV;
+///   h1, h2: identical OCV1, OCV2 and OIV but different OSV1.
+/// This binary enumerates all 222 NPN class representatives of the full
+/// 4-variable space (signatures are class invariants, so representative
+/// pairs cover every case), groups them by cofactor signatures, and counts
+/// exhaustively how often OIV and OSV separate pairs that cofactors tie.
+
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "facet/npn/exact_canon.hpp"
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/influence.hpp"
+#include "facet/sig/msv.hpp"
+#include "facet/sig/sensitivity.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_io.hpp"
+
+int main()
+{
+  using namespace facet;
+  const int n = 4;
+
+  std::cout << "Fig. 4: discrimination power of point vs face characteristics (4-variable space)\n\n";
+
+  // All NPN class representatives of the full 4-variable space.
+  std::map<TruthTable, bool> canon_seen;
+  std::vector<TruthTable> reps;
+  for (std::uint64_t bits = 0; bits < 65536; ++bits) {
+    const TruthTable canon = exact_npn_canonical(tt_from_index(n, bits));
+    if (canon_seen.emplace(canon, true).second) {
+      reps.push_back(canon);
+    }
+  }
+  std::cout << "exact NPN classes of the full 4-variable space: " << reps.size() << "\n\n";
+
+  // Group representatives by their polarity-canonical cofactor signatures
+  // (OCV1 + OCV2 as the classifier computes them).
+  SignatureConfig cof_config;
+  cof_config.use_ocv1 = true;
+  cof_config.use_ocv2 = true;
+  std::map<std::vector<std::uint32_t>, std::vector<std::size_t>> by_cofactor;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    by_cofactor[build_msv(reps[i], cof_config)].push_back(i);
+  }
+
+  const SignatureConfig oiv_config = SignatureConfig::oiv_only();
+  const SignatureConfig osv_config = SignatureConfig::osv_only();
+
+  std::size_t cof_tied = 0;
+  std::size_t oiv_separates = 0;
+  std::size_t osv_separates_when_oiv_tied = 0;
+  std::size_t neither = 0;
+  bool printed_g = false;
+  bool printed_h = false;
+
+  for (const auto& [key, members] : by_cofactor) {
+    for (std::size_t a = 0; a < members.size(); ++a) {
+      for (std::size_t b = a + 1; b < members.size(); ++b) {
+        const TruthTable& f = reps[members[a]];
+        const TruthTable& g = reps[members[b]];
+        ++cof_tied;
+        if (build_msv(f, oiv_config) != build_msv(g, oiv_config)) {
+          ++oiv_separates;
+          if (!printed_g) {
+            printed_g = true;
+            std::cout << "g1/g2-style witness (same OCV1+OCV2, split by OIV):\n";
+            std::cout << "  g1=0x" << to_hex(f) << "  OIV=" << vector_to_string(oiv(f)) << "\n";
+            std::cout << "  g2=0x" << to_hex(g) << "  OIV=" << vector_to_string(oiv(g)) << "\n\n";
+          }
+        } else if (build_msv(f, osv_config) != build_msv(g, osv_config)) {
+          ++osv_separates_when_oiv_tied;
+          if (!printed_h) {
+            printed_h = true;
+            std::cout << "h1/h2-style witness (same OCV1+OCV2+OIV, split by OSV):\n";
+            std::cout << "  h1=0x" << to_hex(f) << "  OIV=" << vector_to_string(oiv(f))
+                      << "  OSV1=" << vector_to_string(histogram_to_sorted(osv1(f)))
+                      << "  OSV0=" << vector_to_string(histogram_to_sorted(osv0(f))) << "\n";
+            std::cout << "  h2=0x" << to_hex(g) << "  OIV=" << vector_to_string(oiv(g))
+                      << "  OSV1=" << vector_to_string(histogram_to_sorted(osv1(g)))
+                      << "  OSV0=" << vector_to_string(histogram_to_sorted(osv0(g))) << "\n\n";
+          }
+        } else {
+          ++neither;
+        }
+      }
+    }
+  }
+
+  std::cout << "inequivalent class pairs with identical OCV1+OCV2 (exhaustive): " << cof_tied << "\n";
+  std::cout << "  separated by OIV:                  " << oiv_separates << "\n";
+  std::cout << "  separated by OSV when OIV is tied: " << osv_separates_when_oiv_tied << "\n";
+  std::cout << "  separated by neither:              " << neither << "\n\n";
+  std::cout << "As in Fig. 4: influence and sensitivity split nonequivalent functions that 1-/2-ary\n"
+               "cofactor signatures cannot distinguish.\n";
+  return printed_g ? 0 : 1;
+}

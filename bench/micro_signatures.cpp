@@ -1,0 +1,144 @@
+/// Micro-benchmarks (google-benchmark) for the per-function cost of every
+/// signature family and classifier step — the quantities behind the paper's
+/// "only bitwise operations and hashing" runtime argument (§IV-B, §V-C).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "facet/npn/codesign.hpp"
+#include "facet/npn/exact_canon.hpp"
+#include "facet/npn/matcher.hpp"
+#include "facet/npn/semi_canonical.hpp"
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/influence.hpp"
+#include "facet/sig/msv.hpp"
+#include "facet/sig/sensitivity.hpp"
+#include "facet/sig/sensitivity_distance.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace {
+
+facet::TruthTable fixture(int n)
+{
+  std::mt19937_64 rng{0xBEC441ULL + static_cast<std::uint64_t>(n)};
+  return facet::tt_random(n, rng);
+}
+
+void BM_Ocv1(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::ocv1(tt));
+  }
+}
+BENCHMARK(BM_Ocv1)->DenseRange(4, 12, 2);
+
+void BM_Ocv2(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::ocv(tt, 2));
+  }
+}
+BENCHMARK(BM_Ocv2)->DenseRange(4, 12, 2);
+
+void BM_Oiv(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::oiv(tt));
+  }
+}
+BENCHMARK(BM_Oiv)->DenseRange(4, 12, 2);
+
+void BM_SensitivityProfile(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    facet::SensitivityProfile profile{tt};
+    benchmark::DoNotOptimize(profile.histogram());
+  }
+}
+BENCHMARK(BM_SensitivityProfile)->DenseRange(4, 12, 2);
+
+void BM_Osdv(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::osdv(tt));
+  }
+}
+BENCHMARK(BM_Osdv)->DenseRange(4, 10, 2);
+
+void BM_FullMsv(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  const auto config = facet::SignatureConfig::all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::build_msv(tt, config));
+  }
+}
+BENCHMARK(BM_FullMsv)->DenseRange(4, 10, 2);
+
+void BM_SemiCanonical(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::semi_canonical(tt));
+  }
+}
+BENCHMARK(BM_SemiCanonical)->DenseRange(4, 10, 2);
+
+void BM_CodesignCanonical(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::codesign_canonical(tt));
+  }
+}
+BENCHMARK(BM_CodesignCanonical)->DenseRange(4, 10, 2);
+
+void BM_ExactCanonical(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::exact_npn_canonical(tt));
+  }
+}
+BENCHMARK(BM_ExactCanonical)->DenseRange(4, 6, 1);
+
+// --- bit-parallel kernels vs their naive references (the §IV-B claim that
+// --- Hacker's-Delight bitwise techniques carry the classifier) ------------
+
+void BM_SensitivityProfileNaive(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::sensitivity_profile_naive(tt));
+  }
+}
+BENCHMARK(BM_SensitivityProfileNaive)->DenseRange(4, 12, 2);
+
+void BM_OsdvNaiveQuadratic(benchmark::State& state)
+{
+  const auto tt = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::osdv_naive(tt));
+  }
+}
+BENCHMARK(BM_OsdvNaiveQuadratic)->DenseRange(4, 10, 2);
+
+void BM_MatcherEquivalentPair(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const auto f = fixture(n);
+  std::mt19937_64 rng{99};
+  const auto g = facet::apply_transform(f, facet::NpnTransform::random(n, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(facet::npn_match(f, g));
+  }
+}
+BENCHMARK(BM_MatcherEquivalentPair)->DenseRange(4, 10, 2);
+
+}  // namespace

@@ -1,0 +1,68 @@
+/// Reproduces Table II: NPN classification accuracy of each signature-vector
+/// combination against the exact class count, on circuit-derived function
+/// sets (synthetic EPFL-like suite -> cut enumeration -> dedup; see
+/// DESIGN.md §3 for the substitution note).
+///
+/// Flags:
+///   --min-n N       first variable count (default 4)
+///   --max-n N       last variable count (default 8; paper: 10)
+///   --max-funcs K   cap per set (default 20000; paper sets reach 1.15M)
+///   --extended      add the extension columns (OCV3, spectral OWV)
+
+#include <iostream>
+
+#include "facet/data/dataset.hpp"
+#include "facet/npn/exact_classifier.hpp"
+#include "facet/npn/fp_classifier.hpp"
+#include "facet/util/cli.hpp"
+#include "facet/util/table.hpp"
+#include "facet/util/timer.hpp"
+
+int main(int argc, char** argv)
+{
+  using namespace facet;
+  const CliArgs args{argc, argv};
+  const int min_n = static_cast<int>(args.get_int("min-n", 4));
+  const int max_n = static_cast<int>(args.get_int("max-n", 8));
+  const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("max-funcs", 20000));
+
+  std::cout << "Table II: #classes per signature-vector combination (circuit-derived sets)\n\n";
+
+  std::vector<SignatureConfig> configs{
+      SignatureConfig::oiv_only(),     SignatureConfig::ocv1_only(),      SignatureConfig::osv_only(),
+      SignatureConfig::oiv_osv(),      SignatureConfig::ocv1_osv(),       SignatureConfig::ocv1_ocv2_osv(),
+      SignatureConfig::oiv_osv_osdv(), SignatureConfig::all()};
+  if (args.get_bool("extended")) {
+    configs.push_back(SignatureConfig::owv_only());
+    configs.push_back(SignatureConfig::all_extended());
+  }
+
+  AsciiTable table;
+  std::vector<std::string> header{"n", "#Func", "#Exact"};
+  for (const auto& config : configs) {
+    header.push_back(config.name());
+  }
+  table.set_header(header);
+
+  Stopwatch total;
+  for (int n = min_n; n <= max_n; ++n) {
+    CircuitDatasetOptions options;
+    options.max_functions = max_funcs;
+    const auto funcs = make_circuit_dataset(n, options);
+
+    std::vector<std::string> row{std::to_string(n), std::to_string(funcs.size())};
+    const auto exact = classify_exact(funcs);
+    row.push_back(std::to_string(exact.num_classes));
+    for (const auto& config : configs) {
+      row.push_back(std::to_string(classify_fp(funcs, config).num_classes));
+    }
+    table.add_row(row);
+    std::cerr << "  [n=" << n << " done, " << funcs.size() << " functions]\n";
+  }
+
+  table.render(std::cout);
+  std::cout << "\nExpected shape (paper §V-B): OIV < OCV1-alone < OSV < combinations <= exact;\n"
+               "the full combination matches the exact count for small n and tracks it closely above.\n"
+            << "Total time: " << total.seconds() << " s\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+/// Reproduces Table III: runtime and accuracy of the classifier line-up on
+/// the same circuit-derived sets as Table II.
+///
+/// Column mapping to the paper:
+///   Kitty        -> exhaustive exact canonical form (n <= 6 only)
+///   testnpn -6   -> semi-canonical baseline (Huang FPT'13 analog)
+///   testnpn -7   -> hierarchical baseline (Petkovska FPL'16 analog)
+///   testnpn -11  -> co-designed canonical baseline (Zhou TC'20 analog,
+///                   final exhaustive stage removed, as in the paper)
+///   Ours         -> the face+point signature classifier (Algorithm 1)
+///
+/// Absolute times are machine-specific; the paper's claims are the relative
+/// profile (ultra-fast/inaccurate -6, near-exact/slow -11, exact-for-small-n
+/// and stable Ours), which this binary reports.
+///
+/// Flags: --min-n, --max-n (default 4..8), --max-funcs (default 20000).
+
+#include <iostream>
+
+#include "facet/data/dataset.hpp"
+#include "facet/npn/codesign.hpp"
+#include "facet/npn/exact_classifier.hpp"
+#include "facet/npn/fp_classifier.hpp"
+#include "facet/npn/hierarchical.hpp"
+#include "facet/npn/semi_canonical.hpp"
+#include "facet/util/cli.hpp"
+#include "facet/util/table.hpp"
+#include "facet/util/timer.hpp"
+
+namespace {
+
+struct Timed {
+  std::size_t classes;
+  double seconds;
+};
+
+template <typename Fn>
+Timed timed(Fn&& fn)
+{
+  facet::Stopwatch watch;
+  const auto result = fn();
+  return Timed{result.num_classes, watch.seconds()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  using namespace facet;
+  const CliArgs args{argc, argv};
+  const int min_n = static_cast<int>(args.get_int("min-n", 4));
+  const int max_n = static_cast<int>(args.get_int("max-n", 8));
+  const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("max-funcs", 20000));
+
+  std::cout << "Table III: runtime (s) and accuracy of NPN classifiers (circuit-derived sets)\n\n";
+
+  AsciiTable table;
+  table.set_header({"n", "#Func", "#Exact", "Kitty #", "Kitty t", "-6 #", "-6 t", "-7 #", "-7 t", "-11 #",
+                    "-11 t", "Ours #", "Ours t"});
+
+  for (int n = min_n; n <= max_n; ++n) {
+    CircuitDatasetOptions options;
+    options.max_functions = max_funcs;
+    const auto funcs = make_circuit_dataset(n, options);
+
+    const auto exact = classify_exact(funcs);
+    const Timed semi = timed([&] { return classify_semi_canonical(funcs); });
+    const Timed hier = timed([&] { return classify_hierarchical(funcs); });
+    const Timed codesign = timed([&] { return classify_codesign(funcs); });
+    const Timed ours = timed([&] { return classify_fp(funcs, SignatureConfig::all()); });
+
+    std::string kitty_classes = "-";
+    std::string kitty_time = "-";
+    if (n <= 6) {
+      const Timed kitty = timed([&] { return classify_exhaustive(funcs); });
+      kitty_classes = std::to_string(kitty.classes);
+      kitty_time = AsciiTable::to_cell(kitty.seconds);
+    }
+
+    table.add_row({std::to_string(n), std::to_string(funcs.size()), std::to_string(exact.num_classes),
+                   kitty_classes, kitty_time, std::to_string(semi.classes), AsciiTable::to_cell(semi.seconds),
+                   std::to_string(hier.classes), AsciiTable::to_cell(hier.seconds),
+                   std::to_string(codesign.classes), AsciiTable::to_cell(codesign.seconds),
+                   std::to_string(ours.classes), AsciiTable::to_cell(ours.seconds)});
+    std::cerr << "  [n=" << n << " done, " << funcs.size() << " functions]\n";
+  }
+
+  table.render(std::cout);
+  std::cout << "\nExpected shape (paper Table III): -6 is fastest but far above exact; -7 in between;\n"
+               "-11 near exact but slower with n; Ours matches exact for small n, slightly below for\n"
+               "large n (signature collisions), with runtime that scales with set size only.\n";
+  return 0;
+}

@@ -1,0 +1,243 @@
+#include "facet/aig/aiger_io.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace facet {
+
+void write_aiger(const Aig& aig, std::ostream& os)
+{
+  const std::size_t m = aig.num_nodes() - 1;  // maximum variable index
+  const std::size_t i = aig.num_inputs();
+  const std::size_t o = aig.num_outputs();
+  const std::size_t a = aig.num_ands();
+  os << "aag " << m << ' ' << i << " 0 " << o << ' ' << a << '\n';
+  for (std::size_t k = 0; k < i; ++k) {
+    os << Aig::make_literal(aig.input_node(k)) << '\n';
+  }
+  for (const auto lit : aig.outputs()) {
+    os << lit << '\n';
+  }
+  for (Aig::Node node = static_cast<Aig::Node>(i) + 1; node < aig.num_nodes(); ++node) {
+    os << Aig::make_literal(node) << ' ' << aig.fanin0(node) << ' ' << aig.fanin1(node) << '\n';
+  }
+  for (std::size_t k = 0; k < i; ++k) {
+    os << 'i' << k << ' ' << aig.input_name(k) << '\n';
+  }
+  for (std::size_t k = 0; k < o; ++k) {
+    os << 'o' << k << ' ' << aig.output_name(k) << '\n';
+  }
+}
+
+std::string write_aiger_string(const Aig& aig)
+{
+  std::ostringstream oss;
+  write_aiger(aig, oss);
+  return oss.str();
+}
+
+Aig read_aiger(std::istream& is)
+{
+  std::string magic;
+  std::size_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  if (!(is >> magic >> m >> i >> l >> o >> a)) {
+    throw std::runtime_error("read_aiger: malformed header");
+  }
+  if (magic != "aag") {
+    throw std::runtime_error("read_aiger: expected ASCII AIGER ('aag')");
+  }
+  if (l != 0) {
+    throw std::runtime_error("read_aiger: latches are not supported (combinational only)");
+  }
+
+  Aig aig;
+  // Input literal in the file -> literal in the reconstructed AIG. The
+  // reconstruction re-runs structural hashing, so file node ids and rebuilt
+  // node ids can differ; literals are remapped through this table.
+  std::vector<Aig::Literal> remap(2 * (m + 1), Aig::kFalse);
+  remap[0] = Aig::kFalse;
+  remap[1] = Aig::kTrue;
+
+  std::vector<std::size_t> input_literals(i);
+  for (std::size_t k = 0; k < i; ++k) {
+    if (!(is >> input_literals[k])) {
+      throw std::runtime_error("read_aiger: missing input literal");
+    }
+    if (input_literals[k] % 2 != 0 || input_literals[k] > 2 * m) {
+      throw std::runtime_error("read_aiger: invalid input literal");
+    }
+  }
+  std::vector<std::size_t> output_literals(o);
+  for (std::size_t k = 0; k < o; ++k) {
+    if (!(is >> output_literals[k])) {
+      throw std::runtime_error("read_aiger: missing output literal");
+    }
+  }
+
+  for (std::size_t k = 0; k < i; ++k) {
+    const Aig::Literal lit = aig.add_input();
+    remap[input_literals[k]] = lit;
+    remap[input_literals[k] + 1] = Aig::literal_not(lit);
+  }
+
+  for (std::size_t k = 0; k < a; ++k) {
+    std::size_t lhs = 0, rhs0 = 0, rhs1 = 0;
+    if (!(is >> lhs >> rhs0 >> rhs1)) {
+      throw std::runtime_error("read_aiger: missing AND definition");
+    }
+    if (lhs % 2 != 0 || lhs > 2 * m || rhs0 > 2 * m + 1 || rhs1 > 2 * m + 1) {
+      throw std::runtime_error("read_aiger: invalid AND literals");
+    }
+    const Aig::Literal f0 = remap[rhs0];
+    const Aig::Literal f1 = remap[rhs1];
+    const Aig::Literal lit = aig.add_and(f0, f1);
+    remap[lhs] = lit;
+    remap[lhs + 1] = Aig::literal_not(lit);
+  }
+
+  for (std::size_t k = 0; k < o; ++k) {
+    if (output_literals[k] > 2 * m + 1) {
+      throw std::runtime_error("read_aiger: invalid output literal");
+    }
+    aig.add_output(remap[output_literals[k]]);
+  }
+  // Symbol table and comments are ignored on read.
+  return aig;
+}
+
+Aig read_aiger_string(const std::string& text)
+{
+  std::istringstream iss{text};
+  return read_aiger(iss);
+}
+
+namespace {
+
+/// 7-bit varint encoding of the binary AIGER delta stream.
+void write_varint(std::ostream& os, std::uint64_t value)
+{
+  while (value >= 0x80) {
+    os.put(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  os.put(static_cast<char>(value));
+}
+
+[[nodiscard]] std::uint64_t read_varint(std::istream& is)
+{
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw std::runtime_error("read_aiger_binary: truncated delta stream");
+    }
+    value |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) {
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) {
+      throw std::runtime_error("read_aiger_binary: varint overflow");
+    }
+  }
+}
+
+}  // namespace
+
+void write_aiger_binary(const Aig& aig, std::ostream& os)
+{
+  const std::size_t m = aig.num_nodes() - 1;
+  const std::size_t i = aig.num_inputs();
+  const std::size_t o = aig.num_outputs();
+  const std::size_t a = aig.num_ands();
+  // In the binary format node ids must be consecutive with inputs first —
+  // which is exactly this library's construction invariant.
+  os << "aig " << m << ' ' << i << " 0 " << o << ' ' << a << '\n';
+  for (const auto lit : aig.outputs()) {
+    os << lit << '\n';
+  }
+  for (Aig::Node node = static_cast<Aig::Node>(i) + 1; node < aig.num_nodes(); ++node) {
+    const Aig::Literal lhs = Aig::make_literal(node);
+    Aig::Literal rhs0 = aig.fanin0(node);
+    Aig::Literal rhs1 = aig.fanin1(node);
+    if (rhs0 < rhs1) {
+      std::swap(rhs0, rhs1);  // spec: lhs > rhs0 >= rhs1
+    }
+    write_varint(os, lhs - rhs0);
+    write_varint(os, rhs0 - rhs1);
+  }
+}
+
+std::string write_aiger_binary_string(const Aig& aig)
+{
+  std::ostringstream oss;
+  write_aiger_binary(aig, oss);
+  return oss.str();
+}
+
+Aig read_aiger_binary(std::istream& is)
+{
+  std::string magic;
+  std::size_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  if (!(is >> magic >> m >> i >> l >> o >> a)) {
+    throw std::runtime_error("read_aiger_binary: malformed header");
+  }
+  if (magic != "aig") {
+    throw std::runtime_error("read_aiger_binary: expected binary AIGER ('aig')");
+  }
+  if (l != 0) {
+    throw std::runtime_error("read_aiger_binary: latches are not supported (combinational only)");
+  }
+  if (m != i + a) {
+    throw std::runtime_error("read_aiger_binary: header counts are inconsistent");
+  }
+
+  std::vector<std::size_t> output_literals(o);
+  for (std::size_t k = 0; k < o; ++k) {
+    if (!(is >> output_literals[k]) || output_literals[k] > 2 * m + 1) {
+      throw std::runtime_error("read_aiger_binary: invalid output literal");
+    }
+  }
+  // Consume the newline terminating the last ASCII line before the deltas.
+  is.get();
+
+  Aig aig;
+  std::vector<Aig::Literal> remap(2 * (m + 1), Aig::kFalse);
+  remap[0] = Aig::kFalse;
+  remap[1] = Aig::kTrue;
+  for (std::size_t k = 0; k < i; ++k) {
+    const Aig::Literal lit = aig.add_input();
+    remap[2 * (k + 1)] = lit;
+    remap[2 * (k + 1) + 1] = Aig::literal_not(lit);
+  }
+
+  for (std::size_t k = 0; k < a; ++k) {
+    const std::size_t lhs = 2 * (i + 1 + k);
+    const std::uint64_t delta0 = read_varint(is);
+    const std::uint64_t delta1 = read_varint(is);
+    if (delta0 == 0 || delta0 > lhs || delta1 > lhs - delta0) {
+      throw std::runtime_error("read_aiger_binary: invalid fanin deltas");
+    }
+    const std::size_t rhs0 = lhs - delta0;
+    const std::size_t rhs1 = rhs0 - delta1;
+    const Aig::Literal lit = aig.add_and(remap[rhs0], remap[rhs1]);
+    remap[lhs] = lit;
+    remap[lhs + 1] = Aig::literal_not(lit);
+  }
+
+  for (std::size_t k = 0; k < o; ++k) {
+    aig.add_output(remap[output_literals[k]]);
+  }
+  return aig;
+}
+
+Aig read_aiger_binary_string(const std::string& text)
+{
+  std::istringstream iss{text};
+  return read_aiger_binary(iss);
+}
+
+}  // namespace facet

@@ -1,0 +1,37 @@
+/// \file aiger_io.hpp
+/// \brief ASCII AIGER ("aag") reading and writing.
+///
+/// The interchange format of the EPFL benchmark suite and of ABC. Supports
+/// the combinational subset (no latches), which is all the paper's pipeline
+/// needs; symbols and comments are preserved on write where available.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "facet/aig/aig.hpp"
+
+namespace facet {
+
+/// Serializes to the ASCII AIGER format.
+void write_aiger(const Aig& aig, std::ostream& os);
+[[nodiscard]] std::string write_aiger_string(const Aig& aig);
+
+/// Parses an ASCII AIGER file (combinational: L must be 0). AND definitions
+/// may reference only earlier nodes (the standard topological guarantee).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Aig read_aiger(std::istream& is);
+[[nodiscard]] Aig read_aiger_string(const std::string& text);
+
+/// Serializes to the binary AIGER format ("aig" header): inputs implicit,
+/// AND fanins delta-compressed as 7-bit varints. This is the format the
+/// EPFL benchmark suite ships in.
+void write_aiger_binary(const Aig& aig, std::ostream& os);
+[[nodiscard]] std::string write_aiger_binary_string(const Aig& aig);
+
+/// Parses a binary AIGER file (combinational only).
+[[nodiscard]] Aig read_aiger_binary(std::istream& is);
+[[nodiscard]] Aig read_aiger_binary_string(const std::string& text);
+
+}  // namespace facet

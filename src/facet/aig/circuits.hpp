@@ -1,0 +1,60 @@
+/// \file circuits.hpp
+/// \brief Synthetic benchmark circuit generators.
+///
+/// Stand-in for the EPFL combinational benchmark suite [18] (see DESIGN.md
+/// §3): the same kinds of logic — arithmetic (adder, multiplier, shifter,
+/// max) and control (voter, decoder, priority, arbiter-like random logic) —
+/// generated structurally as AIGs, then fed through the identical cut-
+/// enumeration pipeline the paper uses to harvest its function sets.
+
+#pragma once
+
+#include <cstdint>
+
+#include "facet/aig/aig.hpp"
+
+namespace facet {
+
+/// Ripple-carry adder: 2w inputs, w+1 outputs (sum and carry-out).
+[[nodiscard]] Aig make_adder(int width);
+
+/// Array multiplier: 2w inputs, 2w outputs.
+[[nodiscard]] Aig make_multiplier(int width);
+
+/// Logarithmic barrel shifter (left, zero fill): w data + log2(w) shift
+/// inputs, w outputs. `width` must be a power of two.
+[[nodiscard]] Aig make_barrel_shifter(int width);
+
+/// Unsigned comparator + word multiplexer ("max" of the EPFL suite):
+/// 2w inputs, w + 1 outputs (max word and the a>b flag).
+[[nodiscard]] Aig make_max(int width);
+
+/// Majority voter over n inputs (n odd): popcount tree + threshold compare.
+[[nodiscard]] Aig make_voter(int num_inputs);
+
+/// Full decoder: s select inputs, 2^s one-hot outputs.
+[[nodiscard]] Aig make_decoder(int select_width);
+
+/// Priority encoder: w request inputs, ceil(log2(w)) index outputs + valid.
+[[nodiscard]] Aig make_priority(int width);
+
+/// Parity (XOR tree) over w inputs, 1 output.
+[[nodiscard]] Aig make_parity(int width);
+
+/// Multiplexer tree: s select + 2^s data inputs, 1 output.
+[[nodiscard]] Aig make_mux_tree(int select_width);
+
+/// One-bit-slice ALU array: op-select inputs choose among AND/OR/XOR/ADD of
+/// two w-bit words. 2w + 2 inputs, w outputs.
+[[nodiscard]] Aig make_alu(int width);
+
+/// Population count: w inputs, ceil(log2(w+1)) outputs with the binary count
+/// of set inputs (carry-save 3:2 reduction tree).
+[[nodiscard]] Aig make_popcount(int width);
+
+/// Random control logic: a seeded random DAG of AND nodes over `num_inputs`
+/// inputs with `num_gates` gates; every sink becomes an output. Models the
+/// irregular control-dominated members of the suite (arbiter, cavlc, i2c).
+[[nodiscard]] Aig make_random_control(int num_inputs, int num_gates, std::uint64_t seed);
+
+}  // namespace facet

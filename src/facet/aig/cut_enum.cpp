@@ -1,0 +1,204 @@
+#include "facet/aig/cut_enum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "facet/sig/cofactor.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+
+bool Cut::subset_of(const Cut& other) const
+{
+  if (leaves.size() > other.leaves.size()) {
+    return false;
+  }
+  return std::includes(other.leaves.begin(), other.leaves.end(), leaves.begin(), leaves.end());
+}
+
+namespace {
+
+/// Merges two sorted leaf sets; returns false when the union exceeds k.
+[[nodiscard]] bool merge_leaves(const Cut& a, const Cut& b, int k, Cut& out)
+{
+  out.leaves.clear();
+  auto ia = a.leaves.begin();
+  auto ib = b.leaves.begin();
+  while (ia != a.leaves.end() || ib != b.leaves.end()) {
+    Aig::Node next = 0;
+    if (ib == b.leaves.end() || (ia != a.leaves.end() && *ia < *ib)) {
+      next = *ia++;
+    } else if (ia == a.leaves.end() || *ib < *ia) {
+      next = *ib++;
+    } else {
+      next = *ia;
+      ++ia;
+      ++ib;
+    }
+    if (static_cast<int>(out.leaves.size()) == k) {
+      return false;
+    }
+    out.leaves.push_back(next);
+  }
+  return true;
+}
+
+/// Inserts `cut` into `cuts` unless dominated; removes cuts it dominates.
+void add_cut(std::vector<Cut>& cuts, Cut cut)
+{
+  for (const auto& existing : cuts) {
+    if (existing.subset_of(cut)) {
+      return;  // dominated by an existing (smaller or equal) cut
+    }
+  }
+  std::erase_if(cuts, [&cut](const Cut& existing) { return cut.subset_of(existing); });
+  cuts.push_back(std::move(cut));
+}
+
+}  // namespace
+
+std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig, const CutEnumOptions& options)
+{
+  if (options.cut_size < 1 || options.cut_size > kMaxVars) {
+    throw std::invalid_argument("enumerate_cuts: cut size out of range");
+  }
+  std::vector<std::vector<Cut>> cuts(aig.num_nodes());
+
+  // Constant node: single empty cut.
+  cuts[0].push_back(Cut{});
+
+  for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+    const Aig::Node node = aig.input_node(i);
+    cuts[node].push_back(Cut{{node}});
+  }
+
+  const auto priority_less = [&options](const Cut& a, const Cut& b) {
+    if (a.leaves.size() != b.leaves.size()) {
+      return options.prefer_large_cuts ? a.leaves.size() > b.leaves.size() : a.leaves.size() < b.leaves.size();
+    }
+    return a.leaves < b.leaves;
+  };
+
+  Cut merged;
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    const Aig::Node n0 = Aig::literal_node(aig.fanin0(node));
+    const Aig::Node n1 = Aig::literal_node(aig.fanin1(node));
+    auto& node_cuts = cuts[node];
+    for (const auto& c0 : cuts[n0]) {
+      for (const auto& c1 : cuts[n1]) {
+        if (!merge_leaves(c0, c1, options.cut_size, merged)) {
+          continue;
+        }
+        if (options.remove_dominated) {
+          add_cut(node_cuts, merged);
+        } else {
+          node_cuts.push_back(merged);
+        }
+      }
+    }
+    if (!options.remove_dominated) {
+      // Batch dedup of identical unions from different fanin-cut pairs.
+      std::sort(node_cuts.begin(), node_cuts.end(),
+                [](const Cut& a, const Cut& b) { return a.leaves < b.leaves; });
+      node_cuts.erase(std::unique(node_cuts.begin(), node_cuts.end(),
+                                  [](const Cut& a, const Cut& b) { return a.leaves == b.leaves; }),
+                      node_cuts.end());
+    }
+    // Priority pruning with a deterministic tie-break.
+    if (node_cuts.size() > options.max_cuts_per_node) {
+      std::stable_sort(node_cuts.begin(), node_cuts.end(), priority_less);
+      node_cuts.resize(options.max_cuts_per_node);
+    }
+    // The trivial cut is kept last so merges above never see it (a trivial
+    // leaf would subsume every merge).
+    node_cuts.push_back(Cut{{node}});
+  }
+  return cuts;
+}
+
+TruthTable cut_function(const Aig& aig, Aig::Node root, const Cut& cut, int num_vars)
+{
+  if (static_cast<int>(cut.leaves.size()) > num_vars) {
+    throw std::invalid_argument("cut_function: cut has more leaves than variables");
+  }
+  // Evaluate the cone above the leaves; node ids are topological, so a
+  // simple id-ordered sweep over the needed nodes suffices.
+  std::unordered_map<Aig::Node, TruthTable> value;
+  value.reserve(64);
+  value.emplace(0, tt_constant(num_vars, false));
+  for (std::size_t i = 0; i < cut.leaves.size(); ++i) {
+    value.emplace(cut.leaves[i], tt_projection(num_vars, static_cast<int>(i)));
+  }
+
+  // Collect the cone with an explicit DFS.
+  std::vector<Aig::Node> stack{root};
+  std::vector<Aig::Node> cone;
+  std::unordered_set<Aig::Node> visited;
+  while (!stack.empty()) {
+    const Aig::Node n = stack.back();
+    stack.pop_back();
+    if (value.contains(n) || !visited.insert(n).second) {
+      continue;
+    }
+    if (!aig.is_and(n)) {
+      throw std::invalid_argument("cut_function: cut does not cover the cone");
+    }
+    cone.push_back(n);
+    stack.push_back(Aig::literal_node(aig.fanin0(n)));
+    stack.push_back(Aig::literal_node(aig.fanin1(n)));
+  }
+  std::sort(cone.begin(), cone.end());
+
+  const auto lit_value = [&](Aig::Literal lit) {
+    const TruthTable& t = value.at(Aig::literal_node(lit));
+    return Aig::literal_complemented(lit) ? ~t : t;
+  };
+  for (const Aig::Node n : cone) {
+    value.emplace(n, lit_value(aig.fanin0(n)) & lit_value(aig.fanin1(n)));
+  }
+  return value.at(root);
+}
+
+std::vector<TruthTable> harvest_cut_functions(const Aig& aig, const HarvestOptions& options)
+{
+  CutEnumOptions enum_options;
+  enum_options.cut_size = options.num_leaves;
+  enum_options.max_cuts_per_node = options.max_cuts_per_node;
+  // Harvesting wants as many exactly-num_leaves cuts as possible: dominated
+  // cuts still carry distinct local functions, and large cuts take priority.
+  enum_options.remove_dominated = false;
+  enum_options.prefer_large_cuts = true;
+  const auto all_cuts = enumerate_cuts(aig, enum_options);
+
+  std::unordered_set<TruthTable, TruthTableHash> seen;
+  std::vector<TruthTable> result;
+
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    for (const auto& cut : all_cuts[node]) {
+      if (static_cast<int>(cut.leaves.size()) != options.num_leaves) {
+        continue;
+      }
+      TruthTable tt = cut_function(aig, node, cut, options.num_leaves);
+      if (options.full_support_only) {
+        bool full = true;
+        for (int v = 0; v < options.num_leaves && full; ++v) {
+          full = cofactor(tt, v, false) != cofactor(tt, v, true);
+        }
+        if (!full) {
+          continue;
+        }
+      }
+      if (seen.insert(tt).second) {
+        result.push_back(std::move(tt));
+        if (options.max_functions != 0 && result.size() >= options.max_functions) {
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace facet

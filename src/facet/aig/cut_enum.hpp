@@ -1,0 +1,68 @@
+/// \file cut_enum.hpp
+/// \brief k-feasible cut enumeration with local-function extraction.
+///
+/// This is the paper's function-harvesting pipeline (§V-A): "The truth
+/// tables are extracted from these benchmarks using cut enumeration. We
+/// deleted the Boolean functions of the same truth table." Cuts are
+/// enumerated bottom-up by merging fanin cut sets, dominated cuts are
+/// removed, and per-node cut counts are bounded by a priority limit (the
+/// standard ABC/mockturtle recipe). Each cut's local function is computed by
+/// simulating its cone over elementary leaf variables.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "facet/aig/aig.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// A cut: sorted leaf node ids.
+struct Cut {
+  std::vector<Aig::Node> leaves;
+
+  /// True iff this cut's leaves are a subset of `other`'s (then `other` is
+  /// dominated by this cut).
+  [[nodiscard]] bool subset_of(const Cut& other) const;
+};
+
+struct CutEnumOptions {
+  /// Maximum cut size (the paper sweeps n = 4..10).
+  int cut_size = 6;
+  /// Priority limit: cuts kept per node.
+  std::size_t max_cuts_per_node = 25;
+  /// Drop cuts whose leaves are a superset of another cut's (the technology-
+  /// mapping convention). For function harvesting dominated cuts still carry
+  /// distinct local functions, so the harvester disables this.
+  bool remove_dominated = true;
+  /// Priority order: prefer larger cuts (function harvesting wants cuts of
+  /// exactly the target size) instead of smaller ones (mapping default).
+  bool prefer_large_cuts = false;
+};
+
+/// All k-feasible cuts per node (indexed by node id). The trivial cut
+/// {node} is always included and is kept last.
+[[nodiscard]] std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig, const CutEnumOptions& options);
+
+/// Local function of `root` in terms of the cut leaves (leaf i of the sorted
+/// cut becomes variable i of a `num_vars`-variable table; unused positions
+/// beyond the cut size are irrelevant variables).
+[[nodiscard]] TruthTable cut_function(const Aig& aig, Aig::Node root, const Cut& cut, int num_vars);
+
+struct HarvestOptions {
+  /// Number of leaves a harvested cut must have (exactly).
+  int num_leaves = 6;
+  std::size_t max_cuts_per_node = 25;
+  /// Keep only functions that depend on all `num_leaves` variables.
+  bool full_support_only = true;
+  /// Stop after this many distinct functions (0 = unlimited).
+  std::size_t max_functions = 0;
+};
+
+/// Harvests the deduplicated cut-function set of a circuit — the per-n
+/// benchmark sets of Tables II/III.
+[[nodiscard]] std::vector<TruthTable> harvest_cut_functions(const Aig& aig, const HarvestOptions& options);
+
+}  // namespace facet

@@ -1,0 +1,90 @@
+#include "facet/aig/simulate.hpp"
+
+#include <stdexcept>
+
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+
+std::vector<TruthTable> simulate_node_functions(const Aig& aig)
+{
+  const int n = static_cast<int>(aig.num_inputs());
+  if (n > kMaxVars) {
+    throw std::invalid_argument("simulate_node_functions: too many primary inputs for exhaustive simulation");
+  }
+  std::vector<TruthTable> func;
+  func.reserve(aig.num_nodes());
+  func.push_back(tt_constant(n, false));  // node 0
+  for (std::size_t i = 0; i < aig.num_inputs(); ++i) {
+    func.push_back(tt_projection(n, static_cast<int>(i)));
+  }
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    const auto value = [&func](Aig::Literal lit) {
+      const TruthTable& t = func[Aig::literal_node(lit)];
+      return Aig::literal_complemented(lit) ? ~t : t;
+    };
+    func.push_back(value(aig.fanin0(node)) & value(aig.fanin1(node)));
+  }
+  return func;
+}
+
+std::vector<TruthTable> simulate_outputs(const Aig& aig)
+{
+  const auto func = simulate_node_functions(aig);
+  std::vector<TruthTable> outs;
+  outs.reserve(aig.num_outputs());
+  for (const auto lit : aig.outputs()) {
+    const TruthTable& t = func[Aig::literal_node(lit)];
+    outs.push_back(Aig::literal_complemented(lit) ? ~t : t);
+  }
+  return outs;
+}
+
+std::vector<bool> evaluate(const Aig& aig, const std::vector<bool>& inputs)
+{
+  if (inputs.size() != aig.num_inputs()) {
+    throw std::invalid_argument("evaluate: input count mismatch");
+  }
+  std::vector<bool> value(aig.num_nodes(), false);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[aig.input_node(i)] = inputs[i];
+  }
+  const auto lit_value = [&value](Aig::Literal lit) {
+    return value[Aig::literal_node(lit)] != Aig::literal_complemented(lit);
+  };
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    value[node] = lit_value(aig.fanin0(node)) && lit_value(aig.fanin1(node));
+  }
+  std::vector<bool> outs;
+  outs.reserve(aig.num_outputs());
+  for (const auto lit : aig.outputs()) {
+    outs.push_back(lit_value(lit));
+  }
+  return outs;
+}
+
+std::vector<std::uint64_t> simulate_words(const Aig& aig, std::span<const std::uint64_t> input_words)
+{
+  if (input_words.size() != aig.num_inputs()) {
+    throw std::invalid_argument("simulate_words: input count mismatch");
+  }
+  std::vector<std::uint64_t> value(aig.num_nodes(), 0);
+  for (std::size_t i = 0; i < input_words.size(); ++i) {
+    value[aig.input_node(i)] = input_words[i];
+  }
+  const auto lit_value = [&value](Aig::Literal lit) {
+    const std::uint64_t v = value[Aig::literal_node(lit)];
+    return Aig::literal_complemented(lit) ? ~v : v;
+  };
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    value[node] = lit_value(aig.fanin0(node)) & lit_value(aig.fanin1(node));
+  }
+  std::vector<std::uint64_t> outs;
+  outs.reserve(aig.num_outputs());
+  for (const auto lit : aig.outputs()) {
+    outs.push_back(lit_value(lit));
+  }
+  return outs;
+}
+
+}  // namespace facet

@@ -1,0 +1,35 @@
+/// \file simulate.hpp
+/// \brief AIG simulation: exhaustive (truth tables) and 64-way sampled.
+///
+/// Exhaustive simulation assigns elementary truth tables to the primary
+/// inputs and evaluates the network bottom-up, yielding every node's global
+/// function — the reference the cut enumerator's local functions are checked
+/// against. Word simulation evaluates 64 random patterns at once and scales
+/// to networks with many inputs.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "facet/aig/aig.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Truth table of every node over all primary inputs (input count <= 16).
+/// Result is indexed by node id.
+[[nodiscard]] std::vector<TruthTable> simulate_node_functions(const Aig& aig);
+
+/// Truth tables of the primary outputs over all primary inputs.
+[[nodiscard]] std::vector<TruthTable> simulate_outputs(const Aig& aig);
+
+/// Evaluates the network on one input assignment (reference implementation).
+[[nodiscard]] std::vector<bool> evaluate(const Aig& aig, const std::vector<bool>& inputs);
+
+/// 64-way bit-parallel simulation: `input_words[i]` holds 64 packed values
+/// of input i; returns one word per primary output.
+[[nodiscard]] std::vector<std::uint64_t> simulate_words(const Aig& aig,
+                                                        std::span<const std::uint64_t> input_words);
+
+}  // namespace facet

@@ -1,0 +1,114 @@
+#include "facet/data/dataset.hpp"
+
+#include <algorithm>
+#include <random>
+#include <unordered_set>
+
+#include "facet/aig/circuits.hpp"
+#include "facet/aig/cut_enum.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+
+namespace {
+
+/// The synthetic stand-in for the EPFL suite (see DESIGN.md §3): a fixed mix
+/// of arithmetic and control circuits. Sizes are chosen so every member has
+/// enough inputs to yield full-support cuts up to n = 10 while keeping cut
+/// enumeration laptop-fast.
+[[nodiscard]] std::vector<std::pair<std::string, Aig>> make_suite()
+{
+  std::vector<std::pair<std::string, Aig>> suite;
+  suite.emplace_back("adder16", make_adder(16));
+  suite.emplace_back("adder24", make_adder(24));
+  suite.emplace_back("multiplier6", make_multiplier(6));
+  suite.emplace_back("multiplier8", make_multiplier(8));
+  suite.emplace_back("barrel16", make_barrel_shifter(16));
+  suite.emplace_back("barrel32", make_barrel_shifter(32));
+  suite.emplace_back("max8", make_max(8));
+  suite.emplace_back("max12", make_max(12));
+  suite.emplace_back("voter13", make_voter(13));
+  suite.emplace_back("voter15", make_voter(15));
+  suite.emplace_back("popcount14", make_popcount(14));
+  suite.emplace_back("decoder5", make_decoder(5));
+  suite.emplace_back("priority12", make_priority(12));
+  suite.emplace_back("priority16", make_priority(16));
+  suite.emplace_back("parity12", make_parity(12));
+  suite.emplace_back("mux3", make_mux_tree(3));
+  suite.emplace_back("mux4", make_mux_tree(4));
+  suite.emplace_back("alu6", make_alu(6));
+  suite.emplace_back("alu8", make_alu(8));
+  suite.emplace_back("ctrl_a", make_random_control(14, 220, 0xA11CE));
+  suite.emplace_back("ctrl_b", make_random_control(12, 160, 0xB0B1));
+  suite.emplace_back("ctrl_c", make_random_control(16, 420, 0xCAB1E));
+  suite.emplace_back("ctrl_d", make_random_control(18, 600, 0xD00D));
+  return suite;
+}
+
+}  // namespace
+
+std::vector<std::string> circuit_suite_names()
+{
+  std::vector<std::string> names;
+  for (const auto& [name, aig] : make_suite()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<TruthTable> make_circuit_dataset(int num_vars, const CircuitDatasetOptions& options)
+{
+  std::unordered_set<TruthTable, TruthTableHash> seen;
+  std::vector<TruthTable> result;
+
+  HarvestOptions harvest;
+  harvest.num_leaves = num_vars;
+  harvest.max_cuts_per_node = options.max_cuts_per_node;
+  harvest.full_support_only = options.full_support_only;
+  // Per-circuit cap keeps one circuit from crowding out the others.
+  harvest.max_functions = options.max_functions == 0 ? 0 : options.max_functions;
+
+  for (const auto& [name, aig] : make_suite()) {
+    if (static_cast<int>(aig.num_inputs()) < num_vars) {
+      continue;  // cannot host a full-support cut of this size
+    }
+    for (auto& tt : harvest_cut_functions(aig, harvest)) {
+      if (seen.insert(tt).second) {
+        result.push_back(std::move(tt));
+      }
+    }
+    if (options.max_functions != 0 && result.size() >= options.max_functions) {
+      break;
+    }
+  }
+
+  std::mt19937_64 rng{options.seed ^ static_cast<std::uint64_t>(num_vars)};
+  std::shuffle(result.begin(), result.end(), rng);
+  if (options.max_functions != 0 && result.size() > options.max_functions) {
+    result.resize(options.max_functions);
+  }
+  return result;
+}
+
+std::vector<TruthTable> make_consecutive_dataset(int num_vars, std::size_t count, std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed ^ (static_cast<std::uint64_t>(num_vars) << 32)};
+  // Consecutive encodings behave very differently depending on where the
+  // base lands: a small base yields a whole batch of low-weight, heavily
+  // tied functions (hard for canonical-form search), a generic base yields
+  // near-random functions. Vary the base magnitude across batches so the
+  // workload spans both regimes, as the fluctuation in the paper's Fig. 5
+  // implies.
+  const std::uint64_t table_bits = std::min<std::uint64_t>(64, std::uint64_t{1} << num_vars);
+  const std::uint64_t magnitude = 8 + rng() % (table_bits - 7);  // 8 .. table_bits bits
+  const std::uint64_t base =
+      magnitude >= 64 ? rng() : rng() & ((std::uint64_t{1} << magnitude) - 1);
+  return tt_consecutive(num_vars, base, count);
+}
+
+std::vector<TruthTable> make_random_dataset(int num_vars, std::size_t count, std::uint64_t seed)
+{
+  return tt_random_set(num_vars, count, seed);
+}
+
+}  // namespace facet

@@ -1,0 +1,48 @@
+/// \file dataset.hpp
+/// \brief Evaluation workload builders.
+///
+/// Assembles the function sets of the paper's evaluation:
+/// * per-n circuit-derived sets (EPFL-like synthetic suite -> cut
+///   enumeration -> exact-truth-table dedup), used by Tables II and III;
+/// * "consecutive binary encoding" random sets for the Fig. 5 runtime
+///   stability experiment;
+/// * plain uniform random sets for micro-benchmarks and property tests.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+struct CircuitDatasetOptions {
+  /// Cap on the number of functions (0 = everything the suite yields).
+  std::size_t max_functions = 100000;
+  /// Cut-enumeration priority limit per node.
+  std::size_t max_cuts_per_node = 40;
+  /// Keep only functions depending on all n variables.
+  bool full_support_only = true;
+  /// Shuffle seed (the harvest order is topological otherwise).
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Builds the per-n evaluation set from the synthetic circuit suite.
+[[nodiscard]] std::vector<TruthTable> make_circuit_dataset(int num_vars,
+                                                           const CircuitDatasetOptions& options = {});
+
+/// Names of the circuits in the synthetic suite (for reporting).
+[[nodiscard]] std::vector<std::string> circuit_suite_names();
+
+/// The Fig. 5 workload: `count` truth tables in consecutive binary encoding
+/// starting from a seed-derived base.
+[[nodiscard]] std::vector<TruthTable> make_consecutive_dataset(int num_vars, std::size_t count,
+                                                               std::uint64_t seed = 0x5eedULL);
+
+/// Uniform random functions.
+[[nodiscard]] std::vector<TruthTable> make_random_dataset(int num_vars, std::size_t count,
+                                                          std::uint64_t seed = 0x5eedULL);
+
+}  // namespace facet

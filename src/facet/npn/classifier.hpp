@@ -1,0 +1,58 @@
+/// \file classifier.hpp
+/// \brief Shared types for NPN classification runs.
+///
+/// Every classifier in the library — the paper's signature classifier and
+/// all baselines — consumes a list of truth tables and produces a
+/// ClassificationResult: a class id per function plus the class count, which
+/// is the quantity Tables II and III report.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+struct ClassificationResult {
+  std::size_t num_classes = 0;
+  /// class_of[k] is the class id (0-based, dense) of the k-th input function.
+  std::vector<std::uint32_t> class_of;
+
+  /// Histogram of class sizes (class id -> member count).
+  [[nodiscard]] std::vector<std::uint32_t> class_sizes() const
+  {
+    std::vector<std::uint32_t> sizes(num_classes, 0);
+    for (const auto c : class_of) {
+      ++sizes[c];
+    }
+    return sizes;
+  }
+};
+
+/// Groups functions by the image of a canonicalization function: two inputs
+/// share a class iff their canonical tables are bit-identical. Since the
+/// canonical table is always an NPN-transform image of the input, such
+/// classifiers never merge inequivalent functions (they can only split true
+/// classes when the canonicalization is heuristic).
+[[nodiscard]] inline ClassificationResult classify_by_canonical(
+    std::span<const TruthTable> funcs, const std::function<TruthTable(const TruthTable&)>& canonical)
+{
+  ClassificationResult result;
+  result.class_of.reserve(funcs.size());
+  std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> classes;
+  for (const auto& f : funcs) {
+    const TruthTable canon = canonical(f);
+    const auto [it, inserted] = classes.emplace(canon, static_cast<std::uint32_t>(classes.size()));
+    result.class_of.push_back(it->second);
+    (void)inserted;
+  }
+  result.num_classes = classes.size();
+  return result;
+}
+
+}  // namespace facet

@@ -1,0 +1,59 @@
+#include "facet/npn/enumerate.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace facet {
+
+std::vector<int> sjt_adjacent_swaps(int n)
+{
+  if (n < 0) {
+    throw std::invalid_argument("sjt_adjacent_swaps: negative n");
+  }
+  std::vector<int> swaps;
+  if (n < 2) {
+    return swaps;
+  }
+  swaps.reserve(factorial(n) - 1);
+
+  // Classic SJT with directions: value v at position pos[v], direction
+  // dir[v] (-1 left, +1 right). Repeatedly move the largest mobile value.
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> pos(n);
+  std::iota(pos.begin(), pos.end(), 0);
+  std::vector<int> dir(n, -1);
+
+  while (true) {
+    // Find the largest mobile value: a value moving toward a smaller
+    // neighbour inside the array bounds.
+    int mobile = -1;
+    for (int v = n - 1; v >= 0; --v) {
+      const int p = pos[v];
+      const int q = p + dir[v];
+      if (q < 0 || q >= n) {
+        continue;
+      }
+      if (perm[q] < v) {
+        mobile = v;
+        break;
+      }
+    }
+    if (mobile < 0) {
+      break;
+    }
+    const int p = pos[mobile];
+    const int q = p + dir[mobile];
+    swaps.push_back(p < q ? p : q);
+    std::swap(perm[p], perm[q]);
+    pos[mobile] = q;
+    pos[perm[p]] = p;
+    // Reverse direction of all values larger than the moved one.
+    for (int v = mobile + 1; v < n; ++v) {
+      dir[v] = -dir[v];
+    }
+  }
+  return swaps;
+}
+
+}  // namespace facet

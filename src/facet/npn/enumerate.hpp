@@ -1,0 +1,46 @@
+/// \file enumerate.hpp
+/// \brief Incremental walks over the NPN transformation space.
+///
+/// The exhaustive canonical form (the paper's "Kitty" reference point in
+/// Table III) visits all 2^n * n! input transformations with O(2^n/64)-word
+/// incremental steps: permutations via the Steinhaus-Johnson-Trotter (SJT)
+/// sequence of adjacent transpositions, phases via the binary reflected Gray
+/// code. Alternating the SJT walk direction between Gray steps (a palindrome
+/// walk) keeps the visited set equal to the full group: even- and odd-index
+/// Gray phases have even/odd popcount, so the two boundary permutation
+/// states can never alias a visited (permutation, phase) pair.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace facet {
+
+/// SJT sequence for n elements: positions p of the adjacent transpositions
+/// (p, p+1) whose successive application visits all n! permutations.
+/// Result has n! - 1 entries (empty for n < 2).
+[[nodiscard]] std::vector<int> sjt_adjacent_swaps(int n);
+
+/// Variable flipped when advancing from Gray phase k-1 to k (k >= 1).
+[[nodiscard]] constexpr int gray_flip_position(std::uint64_t k) noexcept
+{
+  int p = 0;
+  while ((k & 1ULL) == 0) {
+    k >>= 1;
+    ++p;
+  }
+  return p;
+}
+
+/// n! for small n (n <= 20).
+[[nodiscard]] constexpr std::uint64_t factorial(int n) noexcept
+{
+  std::uint64_t f = 1;
+  for (int i = 2; i <= n; ++i) {
+    f *= static_cast<std::uint64_t>(i);
+  }
+  return f;
+}
+
+}  // namespace facet

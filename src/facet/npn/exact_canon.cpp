@@ -1,0 +1,132 @@
+#include "facet/npn/exact_canon.hpp"
+
+#include <array>
+#include <numeric>
+#include <stdexcept>
+
+#include "facet/npn/enumerate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+namespace {
+
+/// Shared walk over all 2^n * n! input transformations (times both output
+/// polarities at every visit).
+///
+/// Permutations are walked with the SJT adjacent-swap sequence, alternating
+/// direction each pass (a palindrome), so every pass starts from the state
+/// the previous one ended in. Phases are walked with a Gray code — but the
+/// swap passes conjugate the accumulated phase, so applying the Gray flip at
+/// a fixed table position would revisit states (e.g. for n = 2 the second
+/// flip would cancel the first). Instead the walk tracks the current
+/// permutation part sigma and flips table position sigma(p) for Gray
+/// position p: the permutation-invariant phase signature sigma^{-1}(phase)
+/// then follows the Gray code exactly, which makes all 2^n * n! visited
+/// transformations distinct — i.e. full orbit coverage.
+///
+/// When `track` is true, maintains the NpnTransform reaching the current
+/// table so the best one can be reported.
+template <bool track>
+CanonResult walk(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  if (n > 8) {
+    throw std::invalid_argument("exact_npn_canonical: exhaustive walk limited to n <= 8");
+  }
+
+  const auto swaps = sjt_adjacent_swaps(n);
+
+  TruthTable cur = tt;
+  TruthTable curc = ~tt;
+  NpnTransform cur_t = NpnTransform::identity(n);
+
+  // Permutation part of the walk state (and its inverse): sigma[i] is where
+  // table position i currently sits relative to the start.
+  std::array<int, kMaxVars> sigma{};
+  std::array<int, kMaxVars> sigma_inv{};
+  std::iota(sigma.begin(), sigma.begin() + std::max(n, 1), 0);
+  std::iota(sigma_inv.begin(), sigma_inv.begin() + std::max(n, 1), 0);
+
+  CanonResult best{cur, cur_t};
+  if (curc < best.canonical) {
+    best.canonical = curc;
+    best.transform.output_neg = true;
+  }
+
+  const auto visit = [&]() {
+    if (cur < best.canonical) {
+      best.canonical = cur;
+      if constexpr (track) {
+        best.transform = cur_t;
+      }
+    }
+    if (curc < best.canonical) {
+      best.canonical = curc;
+      if constexpr (track) {
+        best.transform = cur_t;
+        best.transform.output_neg = !best.transform.output_neg;
+      }
+    }
+  };
+
+  const auto apply_swap = [&](int p) {
+    swap_adjacent_in_place(cur, p);
+    swap_adjacent_in_place(curc, p);
+    // Left-composing the transposition (p, p+1): exchange which start
+    // positions currently map to p and p + 1.
+    const int j0 = sigma_inv[static_cast<std::size_t>(p)];
+    const int j1 = sigma_inv[static_cast<std::size_t>(p + 1)];
+    sigma[static_cast<std::size_t>(j0)] = p + 1;
+    sigma[static_cast<std::size_t>(j1)] = p;
+    sigma_inv[static_cast<std::size_t>(p)] = j1;
+    sigma_inv[static_cast<std::size_t>(p + 1)] = j0;
+    if constexpr (track) {
+      NpnTransform op = NpnTransform::identity(n);
+      op.perm[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(p + 1);
+      op.perm[static_cast<std::size_t>(p + 1)] = static_cast<std::uint8_t>(p);
+      cur_t = compose(op, cur_t);
+    }
+  };
+
+  const auto apply_flip = [&](int table_pos) {
+    flip_var_in_place(cur, table_pos);
+    flip_var_in_place(curc, table_pos);
+    if constexpr (track) {
+      NpnTransform op = NpnTransform::identity(n);
+      op.input_neg = 1u << table_pos;
+      cur_t = compose(op, cur_t);
+    }
+  };
+
+  const std::uint64_t phases = std::uint64_t{1} << n;
+  for (std::uint64_t k = 0;; ++k) {
+    // Full permutation pass, alternating direction (palindrome walk).
+    if (k % 2 == 0) {
+      for (const int p : swaps) {
+        apply_swap(p);
+        visit();
+      }
+    } else {
+      for (std::size_t i = swaps.size(); i-- > 0;) {
+        apply_swap(swaps[i]);
+        visit();
+      }
+    }
+    if (k + 1 == phases) {
+      break;
+    }
+    const int gray_pos = gray_flip_position(k + 1);
+    apply_flip(sigma[static_cast<std::size_t>(gray_pos)]);
+    visit();
+  }
+  return best;
+}
+
+}  // namespace
+
+TruthTable exact_npn_canonical(const TruthTable& tt) { return walk<false>(tt).canonical; }
+
+CanonResult exact_npn_canonical_with_transform(const TruthTable& tt) { return walk<true>(tt); }
+
+}  // namespace facet

@@ -1,0 +1,32 @@
+/// \file exact_canon.hpp
+/// \brief Exhaustive exact NPN canonical form (the "Kitty" baseline).
+///
+/// The canonical representative of an NPN class is the lexicographically
+/// smallest truth table in the orbit of f under all 2^(n+1) * n! NPN
+/// transformations. This is the algorithm family of
+/// kitty::exact_npn_canonization, which the paper uses as the exact
+/// reference for n <= 6 (Table III); it walks the orbit with O(1)-table-op
+/// incremental steps (see enumerate.hpp) and is exponential in n, which is
+/// why the paper reports it failing beyond 6 variables.
+
+#pragma once
+
+#include "facet/npn/transform.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Lexicographically smallest table in the NPN orbit of `tt`.
+/// Practical for n <= 8 (2^8 * 8! ~ 10^7 incremental steps).
+[[nodiscard]] TruthTable exact_npn_canonical(const TruthTable& tt);
+
+struct CanonResult {
+  TruthTable canonical;
+  /// Transform with apply_transform(input, transform) == canonical.
+  NpnTransform transform;
+};
+
+/// Canonical form plus a witnessing transform.
+[[nodiscard]] CanonResult exact_npn_canonical_with_transform(const TruthTable& tt);
+
+}  // namespace facet

@@ -1,0 +1,69 @@
+#include "facet/npn/exact_classifier.hpp"
+
+#include <unordered_map>
+
+#include "facet/npn/exact_canon.hpp"
+#include "facet/npn/matcher.hpp"
+#include "facet/sig/msv.hpp"
+#include "facet/util/hash.hpp"
+
+namespace facet {
+
+ClassificationResult classify_exact(std::span<const TruthTable> funcs, const SignatureConfig& bucket_config,
+                                    ExactClassifyStats* stats)
+{
+  ClassificationResult result;
+  result.class_of.reserve(funcs.size());
+
+  struct Bucket {
+    // Representative table and its class id, one per distinct class that
+    // shares this MSV.
+    std::vector<std::pair<TruthTable, std::uint32_t>> reps;
+  };
+  std::unordered_map<std::vector<std::uint32_t>, Bucket, U32VectorHash> buckets;
+  // Identical truth tables short-circuit the matcher entirely.
+  std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> seen;
+
+  std::uint32_t next_class = 0;
+
+  for (const auto& f : funcs) {
+    if (const auto it = seen.find(f); it != seen.end()) {
+      result.class_of.push_back(it->second);
+      continue;
+    }
+    auto& bucket = buckets[build_msv(f, bucket_config)];
+    std::uint32_t cls = next_class;
+    bool matched = false;
+    for (const auto& [rep, rep_class] : bucket.reps) {
+      if (stats != nullptr) {
+        ++stats->matcher_calls;
+      }
+      if (npn_equivalent(rep, f)) {
+        cls = rep_class;
+        matched = true;
+        if (stats != nullptr) {
+          ++stats->matcher_hits;
+        }
+        break;
+      }
+    }
+    if (!matched) {
+      bucket.reps.emplace_back(f, cls);
+      ++next_class;
+    }
+    seen.emplace(f, cls);
+    result.class_of.push_back(cls);
+  }
+  result.num_classes = next_class;
+  if (stats != nullptr) {
+    stats->buckets = buckets.size();
+  }
+  return result;
+}
+
+ClassificationResult classify_exhaustive(std::span<const TruthTable> funcs)
+{
+  return classify_by_canonical(funcs, [](const TruthTable& tt) { return exact_npn_canonical(tt); });
+}
+
+}  // namespace facet

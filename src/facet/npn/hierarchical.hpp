@@ -1,0 +1,27 @@
+/// \file hierarchical.hpp
+/// \brief Hierarchical NPN classification (the `testnpn -7` / Petkovska
+///        FPL'16 analog).
+///
+/// Spends effort hierarchically: a cheap semi-canonical pass groups the bulk
+/// of the functions, then only the distinct group representatives — far
+/// fewer than the input functions — are refined with a (budgeted)
+/// co-designed canonical form, merging groups whose refined images coincide.
+/// Both levels produce true transform images, so merges are always sound;
+/// accuracy and runtime land between the -6 and -11 baselines, matching the
+/// Table III profile.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "facet/npn/classifier.hpp"
+
+namespace facet {
+
+/// Hierarchical classification; `refine_budget` bounds the per-representative
+/// canonical search of the refinement level.
+[[nodiscard]] ClassificationResult classify_hierarchical(std::span<const TruthTable> funcs,
+                                                         std::size_t refine_budget = 64);
+
+}  // namespace facet

@@ -1,0 +1,234 @@
+#include "facet/npn/matcher.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/variable_signatures.hpp"
+
+namespace facet {
+
+namespace {
+
+/// Per-variable invariant keys (phase-insensitive cofactor pair, influence,
+/// conditional sensitivity histogram — see variable_signatures.hpp).
+[[nodiscard]] std::vector<VariableSignature> var_keys(const TruthTable& tt)
+{
+  return variable_signatures(tt);
+}
+
+/// Lazy cache of 2-ary cofactor count tables: entry (i, j) holds the four
+/// counts |f_{x_i=a, x_j=b}| indexed by a + 2b.
+class JointCounts {
+ public:
+  explicit JointCounts(const TruthTable& tt) : tt_{&tt}, n_{tt.num_vars()}, cache_(static_cast<std::size_t>(n_ * n_))
+  {
+  }
+
+  [[nodiscard]] const std::array<std::uint32_t, 4>& get(int i, int j)
+  {
+    auto& slot = cache_[static_cast<std::size_t>(i * n_ + j)];
+    if (!slot.valid) {
+      const std::array<int, 2> vars{i, j};
+      const auto counts = cofactor_counts(*tt_, vars);
+      std::copy(counts.begin(), counts.end(), slot.counts.begin());
+      slot.valid = true;
+    }
+    return slot.counts;
+  }
+
+ private:
+  struct Slot {
+    bool valid = false;
+    std::array<std::uint32_t, 4> counts{};
+  };
+  const TruthTable* tt_;
+  int n_;
+  std::vector<Slot> cache_;
+};
+
+/// Backtracking state for matching f' (already output-polarity-fixed)
+/// against g: assigns, for each position j of g, the source variable i of f'
+/// and its phase c, subject to signature consistency.
+class PnSearch {
+ public:
+  PnSearch(const TruthTable& f, const TruthTable& g)
+      : f_{&f},
+        g_{&g},
+        n_{f.num_vars()},
+        f_keys_{var_keys(f)},
+        g_keys_{var_keys(g)},
+        f_pairs_{cofactor_pairs(f)},
+        g_pairs_{cofactor_pairs(g)},
+        f_joint_{f},
+        g_joint_{g}
+  {
+  }
+
+  [[nodiscard]] std::optional<NpnTransform> run(bool output_neg)
+  {
+    assigned_var_.assign(static_cast<std::size_t>(n_), -1);
+    assigned_phase_.assign(static_cast<std::size_t>(n_), 0);
+    var_used_.assign(static_cast<std::size_t>(n_), false);
+    output_neg_ = output_neg;
+
+    // Order positions of g by candidate scarcity: positions whose key
+    // matches few f-variables fail fastest.
+    order_.clear();
+    for (int j = 0; j < n_; ++j) {
+      order_.push_back(j);
+    }
+    std::vector<int> candidate_count(static_cast<std::size_t>(n_), 0);
+    for (int j = 0; j < n_; ++j) {
+      for (int i = 0; i < n_; ++i) {
+        if (f_keys_[static_cast<std::size_t>(i)] == g_keys_[static_cast<std::size_t>(j)]) {
+          ++candidate_count[static_cast<std::size_t>(j)];
+        }
+      }
+      if (candidate_count[static_cast<std::size_t>(j)] == 0) {
+        return std::nullopt;  // some position of g has no compatible source
+      }
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      return candidate_count[static_cast<std::size_t>(a)] < candidate_count[static_cast<std::size_t>(b)];
+    });
+
+    if (search(0)) {
+      NpnTransform t;
+      t.num_vars = n_;
+      t.output_neg = output_neg_;
+      for (int j = 0; j < n_; ++j) {
+        const int i = assigned_var_[static_cast<std::size_t>(j)];
+        t.perm[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(j);
+        t.input_neg |= static_cast<std::uint32_t>(assigned_phase_[static_cast<std::size_t>(j)]) << i;
+      }
+      return t;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  [[nodiscard]] bool search(int depth)
+  {
+    if (depth == n_) {
+      return verify();
+    }
+    const int j = order_[static_cast<std::size_t>(depth)];
+    for (int i = 0; i < n_; ++i) {
+      if (var_used_[static_cast<std::size_t>(i)] ||
+          !(f_keys_[static_cast<std::size_t>(i)] == g_keys_[static_cast<std::size_t>(j)])) {
+        continue;
+      }
+      for (int c = 0; c <= 1; ++c) {
+        if (!phase_consistent(i, j, c) || !pairwise_consistent(i, j, c, depth)) {
+          continue;
+        }
+        var_used_[static_cast<std::size_t>(i)] = true;
+        assigned_var_[static_cast<std::size_t>(j)] = i;
+        assigned_phase_[static_cast<std::size_t>(j)] = c;
+        if (search(depth + 1)) {
+          return true;
+        }
+        var_used_[static_cast<std::size_t>(i)] = false;
+        assigned_var_[static_cast<std::size_t>(j)] = -1;
+      }
+    }
+    return false;
+  }
+
+  /// 1-ary check: |g_{x_j = v}| must equal |f_{x_i = v XOR c}|.
+  [[nodiscard]] bool phase_consistent(int i, int j, int c) const
+  {
+    const auto& fp = f_pairs_[static_cast<std::size_t>(i)];
+    const auto& gp = g_pairs_[static_cast<std::size_t>(j)];
+    const std::uint32_t f0 = c ? fp.count1 : fp.count0;
+    const std::uint32_t f1 = c ? fp.count0 : fp.count1;
+    return gp.count0 == f0 && gp.count1 == f1;
+  }
+
+  /// 2-ary check against every previously assigned position.
+  [[nodiscard]] bool pairwise_consistent(int i, int j, int c, int depth)
+  {
+    for (int d = 0; d < depth; ++d) {
+      const int j2 = order_[static_cast<std::size_t>(d)];
+      const int i2 = assigned_var_[static_cast<std::size_t>(j2)];
+      const int c2 = assigned_phase_[static_cast<std::size_t>(j2)];
+      const auto& gc = g_joint_.get(j, j2);
+      const auto& fc = f_joint_.get(i, i2);
+      for (int a = 0; a <= 1; ++a) {
+        for (int b = 0; b <= 1; ++b) {
+          const std::uint32_t g_count = gc[static_cast<std::size_t>(a + 2 * b)];
+          const std::uint32_t f_count = fc[static_cast<std::size_t>((a ^ c) + 2 * (b ^ c2))];
+          if (g_count != f_count) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Leaf: build the transform and compare full tables.
+  [[nodiscard]] bool verify() const
+  {
+    NpnTransform t;
+    t.num_vars = n_;
+    t.output_neg = output_neg_;
+    for (int j = 0; j < n_; ++j) {
+      const int i = assigned_var_[static_cast<std::size_t>(j)];
+      t.perm[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(j);
+      t.input_neg |= static_cast<std::uint32_t>(assigned_phase_[static_cast<std::size_t>(j)]) << i;
+    }
+    return apply_transform(*f_, t) == *g_;
+  }
+
+  const TruthTable* f_;
+  const TruthTable* g_;
+  int n_;
+  std::vector<VariableSignature> f_keys_;
+  std::vector<VariableSignature> g_keys_;
+  std::vector<CofactorPair> f_pairs_;
+  std::vector<CofactorPair> g_pairs_;
+  JointCounts f_joint_;
+  JointCounts g_joint_;
+  bool output_neg_ = false;
+  std::vector<int> order_;
+  std::vector<int> assigned_var_;
+  std::vector<int> assigned_phase_;
+  std::vector<bool> var_used_;
+};
+
+}  // namespace
+
+std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g)
+{
+  if (f.num_vars() != g.num_vars()) {
+    return std::nullopt;
+  }
+  const std::uint64_t fc = f.count_ones();
+  const std::uint64_t gc = g.count_ones();
+  const std::uint64_t bits = f.num_bits();
+
+  // Try each output polarity whose satisfy count matches.
+  if (fc == gc) {
+    PnSearch search{f, g};
+    if (auto t = search.run(/*output_neg=*/false)) {
+      return t;
+    }
+  }
+  if (bits - fc == gc) {
+    const TruthTable fneg = ~f;
+    PnSearch search{fneg, g};
+    if (auto t = search.run(/*output_neg=*/false)) {
+      // t maps ~f to g; fold the complement into the output bit.
+      t->output_neg = !t->output_neg;
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+bool npn_equivalent(const TruthTable& f, const TruthTable& g) { return npn_match(f, g).has_value(); }
+
+}  // namespace facet

@@ -1,0 +1,32 @@
+/// \file matcher.hpp
+/// \brief Complete pairwise NPN equivalence check (Boolean matching).
+///
+/// Decides whether two functions are NPN equivalent and, if so, produces a
+/// witnessing transform. This is the classic search-with-signature-pruning
+/// Boolean matcher of the paper's related-work taxonomy (§I): backtracking
+/// over variable correspondences, pruning with per-variable cofactor and
+/// influence signatures and with pairwise 2-ary cofactor consistency, and
+/// verifying the full truth table at every leaf (so a reported match is
+/// always sound). The search is complete — it enumerates every
+/// signature-consistent assignment — so a negative answer is also exact.
+///
+/// Combined with MSV bucketing (exact_classifier.hpp) this is the library's
+/// exact reference for n > 6, standing in for the "exact version in ABC"
+/// the paper uses in Tables II and III.
+
+#pragma once
+
+#include <optional>
+
+#include "facet/npn/transform.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Finds a transform t with apply_transform(f, t) == g, if one exists.
+[[nodiscard]] std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g);
+
+/// True iff f and g are NPN equivalent.
+[[nodiscard]] bool npn_equivalent(const TruthTable& f, const TruthTable& g);
+
+}  // namespace facet

@@ -1,0 +1,63 @@
+#include "facet/npn/symmetry.hpp"
+
+#include <numeric>
+
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+bool symmetric_in(const TruthTable& tt, int i, int j) { return swap_vars(tt, i, j) == tt; }
+
+bool ne_symmetric_in(const TruthTable& tt, int i, int j)
+{
+  TruthTable g = flip_var(tt, i);
+  flip_var_in_place(g, j);
+  swap_vars_in_place(g, i, j);
+  return g == tt;
+}
+
+bool flip_invariant(const TruthTable& tt, int var) { return flip_var(tt, var) == tt; }
+
+bool flip_complements(const TruthTable& tt, int var) { return flip_var(tt, var) == ~tt; }
+
+std::vector<int> symmetry_classes(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] = parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (find(i) != find(j) && symmetric_in(tt, i, j)) {
+        parent[static_cast<std::size_t>(find(j))] = find(i);
+      }
+    }
+  }
+  std::vector<int> label(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    label[static_cast<std::size_t>(i)] = find(i);
+  }
+  return label;
+}
+
+bool all_pairwise_symmetric(const TruthTable& tt, const std::vector<int>& vars)
+{
+  // Pairwise symmetry of consecutive members implies full pairwise symmetry
+  // for transpositions generating the symmetric group on the set, but only
+  // when the checks pass transitively; check all pairs to stay conservative.
+  for (std::size_t a = 0; a < vars.size(); ++a) {
+    for (std::size_t b = a + 1; b < vars.size(); ++b) {
+      if (!symmetric_in(tt, vars[a], vars[b])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace facet

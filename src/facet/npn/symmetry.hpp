@@ -1,0 +1,42 @@
+/// \file symmetry.hpp
+/// \brief Variable symmetry detection.
+///
+/// Symmetries are the classic accelerator of canonical-form NPN methods
+/// ([10]-[14] in the paper): provably interchangeable variables collapse the
+/// permutation search space, and phase-degenerate variables collapse the
+/// negation space. The co-designed baseline (codesign.hpp) and the exact
+/// matcher use these predicates; the paper's own classifier deliberately
+/// does not need them — that is its stable-runtime argument (§V-C).
+
+#pragma once
+
+#include <vector>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// True iff f is invariant under exchanging x_i and x_j.
+[[nodiscard]] bool symmetric_in(const TruthTable& tt, int i, int j);
+
+/// Negation-enabled (skew) symmetry: f invariant under exchanging x_i with
+/// NOT x_j (equivalently, swapping the pair and complementing both). The
+/// generalized symmetries of Kravets et al. [12] / Zhou et al. [5] include
+/// this class.
+[[nodiscard]] bool ne_symmetric_in(const TruthTable& tt, int i, int j);
+
+/// True iff f does not depend on x_i (flip-invariant; influence 0).
+[[nodiscard]] bool flip_invariant(const TruthTable& tt, int var);
+
+/// True iff complementing x_i complements f (e.g. any parity variable).
+/// For such variables the input phase is absorbed by output negation.
+[[nodiscard]] bool flip_complements(const TruthTable& tt, int var);
+
+/// Partition of the variables into symmetry classes: label[i] == label[j]
+/// iff i and j are connected by pairwise symmetric_in relations.
+[[nodiscard]] std::vector<int> symmetry_classes(const TruthTable& tt);
+
+/// True iff every pair in `vars` is symmetric in f.
+[[nodiscard]] bool all_pairwise_symmetric(const TruthTable& tt, const std::vector<int>& vars);
+
+}  // namespace facet

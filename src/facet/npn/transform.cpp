@@ -1,0 +1,132 @@
+#include "facet/npn/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+NpnTransform NpnTransform::identity(int num_vars)
+{
+  NpnTransform t;
+  t.num_vars = num_vars;
+  for (int i = 0; i < num_vars; ++i) {
+    t.perm[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  }
+  return t;
+}
+
+NpnTransform NpnTransform::random(int num_vars, std::mt19937_64& rng)
+{
+  NpnTransform t = identity(num_vars);
+  for (int i = num_vars - 1; i > 0; --i) {
+    std::uniform_int_distribution<int> dist(0, i);
+    std::swap(t.perm[static_cast<std::size_t>(i)], t.perm[static_cast<std::size_t>(dist(rng))]);
+  }
+  std::uniform_int_distribution<std::uint32_t> neg_dist(0, (1u << num_vars) - 1);
+  t.input_neg = num_vars == 0 ? 0 : neg_dist(rng);
+  t.output_neg = (rng() & 1ULL) != 0;
+  return t;
+}
+
+bool NpnTransform::operator==(const NpnTransform& other) const
+{
+  if (num_vars != other.num_vars || input_neg != other.input_neg || output_neg != other.output_neg) {
+    return false;
+  }
+  return std::equal(perm.begin(), perm.begin() + num_vars, other.perm.begin());
+}
+
+std::string NpnTransform::to_string() const
+{
+  std::string out = "perm=(";
+  for (int i = 0; i < num_vars; ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(static_cast<int>(perm[static_cast<std::size_t>(i)]));
+  }
+  out += ") neg=0b";
+  for (int i = num_vars - 1; i >= 0; --i) {
+    out += ((input_neg >> i) & 1u) ? '1' : '0';
+  }
+  out += " out=";
+  out += output_neg ? '1' : '0';
+  return out;
+}
+
+TruthTable apply_transform(const TruthTable& tt, const NpnTransform& t)
+{
+  if (t.num_vars != tt.num_vars()) {
+    throw std::invalid_argument("apply_transform: variable count mismatch");
+  }
+  const int n = tt.num_vars();
+  TruthTable result{n};
+  const std::uint64_t bits = tt.num_bits();
+  for (std::uint64_t x = 0; x < bits; ++x) {
+    std::uint64_t y = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t bit = (x >> t.perm[static_cast<std::size_t>(i)]) & 1ULL;
+      y |= (bit ^ ((t.input_neg >> i) & 1ULL)) << i;
+    }
+    if (tt.get_bit(y) != t.output_neg) {
+      result.set_bit(x);
+    }
+  }
+  return result;
+}
+
+TruthTable apply_transform_fast(const TruthTable& tt, const NpnTransform& t)
+{
+  if (t.num_vars != tt.num_vars()) {
+    throw std::invalid_argument("apply_transform_fast: variable count mismatch");
+  }
+  // Negations refer to inputs of the *source*, so flip before permuting.
+  TruthTable result = flip_vars(tt, t.input_neg);
+  std::array<int, kMaxVars> perm{};
+  for (int i = 0; i < t.num_vars; ++i) {
+    perm[static_cast<std::size_t>(i)] = t.perm[static_cast<std::size_t>(i)];
+  }
+  result = permute_vars_fast(result, std::span<const int>{perm.data(), static_cast<std::size_t>(t.num_vars)});
+  if (t.output_neg) {
+    result.complement_in_place();
+  }
+  return result;
+}
+
+NpnTransform compose(const NpnTransform& b, const NpnTransform& a)
+{
+  if (a.num_vars != b.num_vars) {
+    throw std::invalid_argument("compose: variable count mismatch");
+  }
+  NpnTransform c;
+  c.num_vars = a.num_vars;
+  c.output_neg = a.output_neg != b.output_neg;
+  c.input_neg = 0;
+  for (int i = 0; i < a.num_vars; ++i) {
+    const int ai = a.perm[static_cast<std::size_t>(i)];
+    c.perm[static_cast<std::size_t>(i)] = b.perm[static_cast<std::size_t>(ai)];
+    const std::uint32_t neg =
+        ((a.input_neg >> i) & 1u) ^ ((b.input_neg >> ai) & 1u);
+    c.input_neg |= neg << i;
+  }
+  return c;
+}
+
+NpnTransform inverse(const NpnTransform& t)
+{
+  NpnTransform inv;
+  inv.num_vars = t.num_vars;
+  inv.output_neg = t.output_neg;
+  inv.input_neg = 0;
+  for (int i = 0; i < t.num_vars; ++i) {
+    const int pi = t.perm[static_cast<std::size_t>(i)];
+    inv.perm[static_cast<std::size_t>(pi)] = static_cast<std::uint8_t>(i);
+    inv.input_neg |= ((t.input_neg >> i) & 1u) << pi;
+  }
+  return inv;
+}
+
+}  // namespace facet

@@ -1,0 +1,58 @@
+/// \file transform.hpp
+/// \brief NPN transformations: input negation, input permutation, output
+///        negation (§II-A of the paper).
+///
+/// Semantics (documented once, used everywhere): applying transform t to f
+/// yields g with
+///
+///   g(X) = t.output_neg XOR f(Y),   Y_i = X_{t.perm[i]} XOR t.input_neg_i,
+///
+/// i.e. input i of f is driven by variable perm[i] of g, complemented when
+/// bit i of input_neg is set. This is the paper's f(pi((not)x)) = g(x) form.
+/// Transforms form a group; compose() and inverse() implement it.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+struct NpnTransform {
+  int num_vars = 0;
+  /// perm[i] = the variable of the result that feeds input i of the source.
+  std::array<std::uint8_t, kMaxVars> perm{};
+  /// Bit i set: complement input i of the source function.
+  std::uint32_t input_neg = 0;
+  /// Complement the output.
+  bool output_neg = false;
+
+  [[nodiscard]] static NpnTransform identity(int num_vars);
+
+  /// Uniformly random transform (for property tests and workload shuffling).
+  [[nodiscard]] static NpnTransform random(int num_vars, std::mt19937_64& rng);
+
+  [[nodiscard]] bool operator==(const NpnTransform& other) const;
+
+  /// Rendering like "perm=(2,0,1) neg=0b011 out=1".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Applies t to f (gather over minterms; O(n 2^n), convention-safe).
+[[nodiscard]] TruthTable apply_transform(const TruthTable& tt, const NpnTransform& t);
+
+/// Word-parallel application via flip/permute primitives; same semantics.
+[[nodiscard]] TruthTable apply_transform_fast(const TruthTable& tt, const NpnTransform& t);
+
+/// compose(b, a): apply a first, then b —
+///   apply(f, compose(b, a)) == apply(apply(f, a), b).
+[[nodiscard]] NpnTransform compose(const NpnTransform& b, const NpnTransform& a);
+
+/// inverse(t): apply(apply(f, t), inverse(t)) == f.
+[[nodiscard]] NpnTransform inverse(const NpnTransform& t);
+
+}  // namespace facet

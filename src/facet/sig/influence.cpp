@@ -1,0 +1,48 @@
+#include "facet/sig/influence.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+std::uint32_t influence(const TruthTable& tt, int var)
+{
+  const TruthTable diff = tt ^ flip_var(tt, var);
+  // Each sensitive pair (X, X^i) contributes two set bits in the difference
+  // mask; the integer influence counts pairs.
+  return static_cast<std::uint32_t>(diff.count_ones() / 2);
+}
+
+std::vector<std::uint32_t> influence_profile(const TruthTable& tt)
+{
+  std::vector<std::uint32_t> profile;
+  profile.reserve(static_cast<std::size_t>(tt.num_vars()));
+  for (int i = 0; i < tt.num_vars(); ++i) {
+    profile.push_back(influence(tt, i));
+  }
+  return profile;
+}
+
+std::vector<std::uint32_t> oiv(const TruthTable& tt)
+{
+  auto profile = influence_profile(tt);
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+std::uint64_t total_influence(const TruthTable& tt)
+{
+  const auto profile = influence_profile(tt);
+  return std::accumulate(profile.begin(), profile.end(), std::uint64_t{0});
+}
+
+double influence_probability(const TruthTable& tt, int var)
+{
+  // Definition 5 normalizes the sensitive-word count by 2^n; the integer
+  // convention halves it instead, hence the factor 2 here.
+  return 2.0 * static_cast<double>(influence(tt, var)) / static_cast<double>(tt.num_bits());
+}
+
+}  // namespace facet

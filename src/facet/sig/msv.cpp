@@ -1,0 +1,171 @@
+#include "facet/sig/msv.hpp"
+
+#include <algorithm>
+
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/influence.hpp"
+#include "facet/sig/sensitivity.hpp"
+#include "facet/sig/sensitivity_distance.hpp"
+#include "facet/sig/walsh.hpp"
+#include "facet/util/hash.hpp"
+
+namespace facet {
+
+std::string SignatureConfig::name() const
+{
+  std::string out;
+  const auto append = [&out](const char* part) {
+    if (!out.empty()) {
+      out += "+";
+    }
+    out += part;
+  };
+  if (use_ocv1) {
+    append("OCV1");
+  }
+  if (use_ocv2) {
+    append("OCV2");
+  }
+  if (use_ocv3) {
+    append("OCV3");
+  }
+  if (use_oiv) {
+    append("OIV");
+  }
+  if (use_osv) {
+    append("OSV");
+  }
+  if (use_osdv) {
+    append("OSDV");
+  }
+  if (use_owv) {
+    append("OWV");
+  }
+  return out.empty() ? "none" : out;
+}
+
+namespace {
+
+void append_u32(std::vector<std::uint32_t>& msv, const std::vector<std::uint32_t>& v)
+{
+  msv.insert(msv.end(), v.begin(), v.end());
+}
+
+void append_u64(std::vector<std::uint32_t>& msv, const std::vector<std::uint64_t>& v)
+{
+  for (const auto x : v) {
+    // delta counts fit in 32 bits for n <= 16 (at most C(2^16, 2) < 2^32).
+    msv.push_back(static_cast<std::uint32_t>(x));
+  }
+}
+
+/// MSV of one polarity candidate (PN-invariant by Theorems 1-4).
+[[nodiscard]] std::size_t msv_capacity(int n, const SignatureConfig& config)
+{
+  const std::size_t un = static_cast<std::size_t>(n);
+  std::size_t cap = 0;
+  if (config.use_ocv1) {
+    cap += 1 + 2 * un;
+  }
+  if (config.use_ocv2) {
+    cap += un * (un - 1) * 2;
+  }
+  if (config.use_ocv3) {
+    cap += un * (un - 1) * (un - 2) / 6 * 8;
+  }
+  if (config.use_oiv) {
+    cap += un;
+  }
+  if (config.use_osv) {
+    cap += 2 * (un + 1);
+  }
+  if (config.use_osdv) {
+    cap += 2 * (un + 1) * un;
+  }
+  if (config.use_owv) {
+    cap += std::size_t{1} << un;
+  }
+  return cap;
+}
+
+[[nodiscard]] std::vector<std::uint32_t> build_raw_msv(const TruthTable& g, const SignatureConfig& config)
+{
+  std::vector<std::uint32_t> msv;
+  msv.reserve(msv_capacity(g.num_vars(), config));
+
+  if (config.use_ocv1) {
+    msv.push_back(static_cast<std::uint32_t>(satisfy_count(g)));
+    append_u32(msv, ocv1(g));
+  }
+  if (config.use_ocv2) {
+    append_u32(msv, ocv(g, std::min(2, g.num_vars())));
+  }
+  if (config.use_ocv3) {
+    append_u32(msv, ocv(g, std::min(3, g.num_vars())));
+  }
+  if (config.use_oiv) {
+    append_u32(msv, oiv(g));
+  }
+
+  if (config.use_osv || config.use_osdv) {
+    const SensitivityProfile profile{g};
+    if (config.use_osv) {
+      append_u32(msv, profile.histogram_within(~g));  // OSV0
+      append_u32(msv, profile.histogram_within(g));   // OSV1
+    }
+    if (config.use_osdv) {
+      append_u64(msv, osdv_within_from_profile(profile, ~g));  // OSDV0
+      append_u64(msv, osdv_within_from_profile(profile, g));   // OSDV1
+    }
+  }
+  if (config.use_owv) {
+    append_u32(msv, owv(g));
+  }
+  return msv;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> build_msv(const TruthTable& tt, const SignatureConfig& config)
+{
+  const std::uint64_t ones = tt.count_ones();
+  const std::uint64_t half = tt.num_bits() / 2;
+
+  if (ones > half) {
+    return build_raw_msv(~tt, config);
+  }
+  if (ones < half) {
+    return build_raw_msv(tt, config);
+  }
+  // Balanced: output polarity is not decidable from the satisfy count
+  // (Theorems 3-4); take the lexicographically smaller MSV of the two
+  // polarities so equivalent functions agree on the pairing.
+  auto a = build_raw_msv(tt, config);
+  auto b = build_raw_msv(~tt, config);
+  return a <= b ? a : b;
+}
+
+std::uint64_t msv_hash(const TruthTable& tt, const SignatureConfig& config)
+{
+  const auto msv = build_msv(tt, config);
+  return hash_u32_span(msv);
+}
+
+SignatureSummary summarize_signatures(const TruthTable& tt)
+{
+  SignatureSummary s;
+  s.ocv1 = ocv1(tt);
+  s.ocv2 = ocv(tt, std::min(2, tt.num_vars()));
+  s.oiv = oiv(tt);
+
+  const SensitivityProfile profile{tt};
+  s.osv1_sorted = histogram_to_sorted(profile.histogram_within(tt));
+  s.osv0_sorted = histogram_to_sorted(profile.histogram_within(~tt));
+  s.osv_sorted = histogram_to_sorted(profile.histogram());
+  s.osdv1 = osdv_within_from_profile(profile, tt);
+  s.osdv0 = osdv_within_from_profile(profile, ~tt);
+  s.osdv = osdv_from_profile(profile);
+  return s;
+}
+
+}  // namespace facet

@@ -1,0 +1,134 @@
+#include "facet/sig/sensitivity_distance.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+namespace {
+
+/// Core Gray-code pair counter; writes the spectrum of `points` into
+/// `out[0..n-1]` using `flipped` as scratch (no allocation).
+void spectrum_into(const TruthTable& points, TruthTable& flipped, std::uint64_t* out)
+{
+  const int n = points.num_vars();
+  for (int j = 0; j < n; ++j) {
+    out[j] = 0;
+  }
+  if (points.count_ones() < 2) {
+    return;
+  }
+  // Gray-code walk over all non-empty variable subsets T: `flipped` always
+  // equals flip_T(points) for the current subset. popcount(points & flipped)
+  // counts each unordered pair {X, X ^ T} (both in the set) twice.
+  flipped = points;
+  for (std::uint64_t k = 1; k < (std::uint64_t{1} << n); ++k) {
+    const int changed_var = std::countr_zero(k);
+    flip_var_in_place(flipped, changed_var);
+    const std::uint64_t gray = k ^ (k >> 1);
+    const int distance = std::popcount(gray);
+    std::uint64_t both = 0;
+    const auto pw = points.words();
+    const auto fw = flipped.words();
+    for (std::size_t w = 0; w < pw.size(); ++w) {
+      both += static_cast<std::uint64_t>(popcount64(pw[w] & fw[w]));
+    }
+    out[distance - 1] += both;
+  }
+  for (int j = 0; j < n; ++j) {
+    assert(out[j] % 2 == 0);
+    out[j] /= 2;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> pair_distance_spectrum(const TruthTable& points)
+{
+  const int n = points.num_vars();
+  std::vector<std::uint64_t> spectrum(static_cast<std::size_t>(n), 0);
+  TruthTable flipped{n};
+  spectrum_into(points, flipped, spectrum.data());
+  return spectrum;
+}
+
+SensitivityDistanceVector osdv_from_profile(const SensitivityProfile& profile)
+{
+  const int n = profile.num_vars();
+  SensitivityDistanceVector v(static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(n), 0);
+  TruthTable mask{n};
+  TruthTable flipped{n};
+  for (int s = 0; s <= n; ++s) {
+    profile.level_mask_into(mask, s);
+    spectrum_into(mask, flipped, v.data() + static_cast<std::size_t>(s) * static_cast<std::size_t>(n));
+  }
+  return v;
+}
+
+SensitivityDistanceVector osdv_within_from_profile(const SensitivityProfile& profile, const TruthTable& selector)
+{
+  const int n = profile.num_vars();
+  SensitivityDistanceVector v(static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(n), 0);
+  TruthTable mask{n};
+  TruthTable flipped{n};
+  for (int s = 0; s <= n; ++s) {
+    profile.level_mask_into(mask, s);
+    mask &= selector;
+    spectrum_into(mask, flipped, v.data() + static_cast<std::size_t>(s) * static_cast<std::size_t>(n));
+  }
+  return v;
+}
+
+SensitivityDistanceVector osdv(const TruthTable& tt)
+{
+  return osdv_from_profile(SensitivityProfile{tt});
+}
+
+SensitivityDistanceVector osdv1(const TruthTable& tt)
+{
+  return osdv_within_from_profile(SensitivityProfile{tt}, tt);
+}
+
+SensitivityDistanceVector osdv0(const TruthTable& tt)
+{
+  return osdv_within_from_profile(SensitivityProfile{tt}, ~tt);
+}
+
+namespace {
+
+[[nodiscard]] SensitivityDistanceVector osdv_naive_within(const TruthTable& tt, const TruthTable& selector)
+{
+  const int n = tt.num_vars();
+  const auto profile = sensitivity_profile_naive(tt);
+  SensitivityDistanceVector v(static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(n), 0);
+  const std::uint64_t bits = tt.num_bits();
+  for (std::uint64_t x = 0; x < bits; ++x) {
+    if (!selector.get_bit(x)) {
+      continue;
+    }
+    for (std::uint64_t y = x + 1; y < bits; ++y) {
+      if (!selector.get_bit(y) || profile[x] != profile[y]) {
+        continue;
+      }
+      const int j = std::popcount(x ^ y);
+      v[static_cast<std::size_t>(profile[x]) * static_cast<std::size_t>(n) + static_cast<std::size_t>(j - 1)] += 1;
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+SensitivityDistanceVector osdv_naive(const TruthTable& tt)
+{
+  return osdv_naive_within(tt, tt_constant(tt.num_vars(), true));
+}
+
+SensitivityDistanceVector osdv1_naive(const TruthTable& tt) { return osdv_naive_within(tt, tt); }
+
+SensitivityDistanceVector osdv0_naive(const TruthTable& tt) { return osdv_naive_within(tt, ~tt); }
+
+}  // namespace facet

@@ -1,0 +1,37 @@
+#include "facet/sig/variable_signatures.hpp"
+
+#include <algorithm>
+
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/sensitivity.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+
+std::vector<VariableSignature> variable_signatures(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  std::vector<VariableSignature> sigs(static_cast<std::size_t>(n));
+
+  const auto pairs = cofactor_pairs(tt);
+  const SensitivityProfile profile{tt};
+
+  TruthTable sensitive{n};
+  for (int i = 0; i < n; ++i) {
+    auto& sig = sigs[static_cast<std::size_t>(i)];
+    const auto& p = pairs[static_cast<std::size_t>(i)];
+    sig.cofactor_min = std::min(p.count0, p.count1);
+    sig.cofactor_max = std::max(p.count0, p.count1);
+
+    // Sensitive set S_i = f XOR flip_i(f); its popcount is twice the
+    // integer influence.
+    sensitive = tt;
+    flip_var_in_place(sensitive, i);
+    sensitive ^= tt;
+    sig.influence = static_cast<std::uint32_t>(sensitive.count_ones() / 2);
+    sig.sensitive_histogram = profile.histogram_within(sensitive);
+  }
+  return sigs;
+}
+
+}  // namespace facet

@@ -1,0 +1,48 @@
+/// \file variable_signatures.hpp
+/// \brief Per-variable NPN-compatible signature keys.
+///
+/// The vector signatures of the paper (OCV/OIV/OSV/OSDV) characterize a
+/// whole function; Boolean matching additionally needs *per-variable* keys:
+/// quantities attached to each input that any NP transformation must map
+/// input-to-input. This module bundles the classic cofactor pair with the
+/// paper's point characteristics per variable:
+///
+///  * phase-insensitive cofactor pair {|f_{x_i=0}|, |f_{x_i=1}|} (face),
+///  * influence inf(f, i) (point-face),
+///  * the conditional sensitivity histogram: the OSV restricted to the words
+///    where f is sensitive at x_i (point). The sensitive set
+///    S_i = {X : f(X) != f(X^i)} is closed under flipping x_i and maps
+///    pointwise through any NP transformation, so the histogram is a valid
+///    matching key.
+///
+/// The complete matcher (matcher.hpp) uses these keys for its candidate
+/// pruning; they are exposed here for reuse and testing.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+struct VariableSignature {
+  std::uint32_t cofactor_min = 0;  ///< min(|f_{x=0}|, |f_{x=1}|)
+  std::uint32_t cofactor_max = 0;  ///< max(|f_{x=0}|, |f_{x=1}|)
+  std::uint32_t influence = 0;     ///< integer influence (paper convention)
+  /// Histogram over sensitivity levels 0..n of the words sensitive at this
+  /// variable.
+  std::vector<std::uint32_t> sensitive_histogram;
+
+  friend bool operator==(const VariableSignature&, const VariableSignature&) = default;
+};
+
+/// Signature of every variable of f. If g = apply_transform(f, t), then
+/// variable_signatures(g)[t.perm[i]] == variable_signatures(f)[i] up to the
+/// output-polarity cofactor complement — with matching output polarity the
+/// equality is exact (property-tested).
+[[nodiscard]] std::vector<VariableSignature> variable_signatures(const TruthTable& tt);
+
+}  // namespace facet

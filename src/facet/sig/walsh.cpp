@@ -1,0 +1,74 @@
+#include "facet/sig/walsh.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+
+namespace facet {
+
+std::vector<std::int32_t> walsh_spectrum(const TruthTable& tt)
+{
+  const std::uint64_t size = tt.num_bits();
+  std::vector<std::int32_t> spectrum(size);
+  for (std::uint64_t x = 0; x < size; ++x) {
+    spectrum[x] = tt.get_bit(x) ? -1 : 1;  // F(X) = 1 - 2 f(X)
+  }
+  // In-place fast Walsh-Hadamard transform (butterflies per variable).
+  for (std::uint64_t half = 1; half < size; half <<= 1) {
+    for (std::uint64_t block = 0; block < size; block += 2 * half) {
+      for (std::uint64_t k = block; k < block + half; ++k) {
+        const std::int32_t a = spectrum[k];
+        const std::int32_t b = spectrum[k + half];
+        spectrum[k] = a + b;
+        spectrum[k + half] = a - b;
+      }
+    }
+  }
+  return spectrum;
+}
+
+std::int32_t walsh_coefficient(const TruthTable& tt, std::uint32_t mask)
+{
+  std::int32_t sum = 0;
+  for (std::uint64_t x = 0; x < tt.num_bits(); ++x) {
+    const std::int32_t value = tt.get_bit(x) ? -1 : 1;
+    sum += (std::popcount(mask & static_cast<std::uint32_t>(x)) & 1) ? -value : value;
+  }
+  return sum;
+}
+
+std::vector<std::uint32_t> owv(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  const auto spectrum = walsh_spectrum(tt);
+
+  // Bucket |W(S)| by popcount(S), sort each layer, concatenate in weight
+  // order. Layer boundaries are determined by n alone, so the flat vector
+  // compares unambiguously.
+  std::vector<std::vector<std::uint32_t>> layers(static_cast<std::size_t>(n) + 1);
+  for (std::uint64_t mask = 0; mask < tt.num_bits(); ++mask) {
+    layers[static_cast<std::size_t>(std::popcount(mask))].push_back(
+        static_cast<std::uint32_t>(std::abs(spectrum[mask])));
+  }
+  std::vector<std::uint32_t> result;
+  result.reserve(tt.num_bits());
+  for (auto& layer : layers) {
+    std::sort(layer.begin(), layer.end());
+    result.insert(result.end(), layer.begin(), layer.end());
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> owv_layer_sums(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  const auto spectrum = walsh_spectrum(tt);
+  std::vector<std::uint64_t> sums(static_cast<std::size_t>(n) + 1, 0);
+  for (std::uint64_t mask = 0; mask < tt.num_bits(); ++mask) {
+    sums[static_cast<std::size_t>(std::popcount(mask))] +=
+        static_cast<std::uint64_t>(std::abs(spectrum[mask]));
+  }
+  return sums;
+}
+
+}  // namespace facet

@@ -1,0 +1,70 @@
+/// \file bit_ops.hpp
+/// \brief Word-level bit-manipulation primitives for truth tables.
+///
+/// The paper (§IV-B) computes every signature with "bitwise operation
+/// techniques" from Hacker's Delight [17]. This header holds those
+/// primitives: the elementary variable masks, delta-swap, and popcount
+/// helpers that the rest of the truth-table kernel builds on.
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace facet {
+
+/// Maximum number of input variables supported by the kernel.
+/// 16 variables = 2^16 truth-table bits = 1024 words of 64 bits, which keeps
+/// every signature computation comfortably in cache for the paper's range
+/// (n <= 10) while leaving headroom for extensions.
+inline constexpr int kMaxVars = 16;
+
+/// Number of variables that fit inside a single 64-bit word (2^6 = 64 bits).
+inline constexpr int kVarsPerWord = 6;
+
+/// kVarMask[i] has bit b set iff variable i is 1 in minterm b (for the six
+/// in-word variables). These are the classic alternating masks
+/// 0xAAAA..., 0xCCCC..., 0xF0F0..., etc.
+inline constexpr std::array<std::uint64_t, kVarsPerWord> kVarMask = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL,
+};
+
+/// Mask selecting the low 2^n bits of a word, for n <= 6. For n == 6 the
+/// whole word is used.
+[[nodiscard]] constexpr std::uint64_t low_bits_mask(int num_vars) noexcept
+{
+  return num_vars >= kVarsPerWord ? ~0ULL : (1ULL << (1u << num_vars)) - 1;
+}
+
+/// Exchange the bit fields selected by `mask` with the fields `shift`
+/// positions above them (Hacker's Delight delta-swap).
+[[nodiscard]] constexpr std::uint64_t delta_swap(std::uint64_t x, std::uint64_t mask, int shift) noexcept
+{
+  const std::uint64_t t = ((x >> shift) ^ x) & mask;
+  return x ^ t ^ (t << shift);
+}
+
+/// Complement in-word variable `var` (< 6): swaps each pair of bit blocks
+/// that differ only in that variable.
+[[nodiscard]] constexpr std::uint64_t flip_in_word(std::uint64_t w, int var) noexcept
+{
+  const int shift = 1 << var;
+  return ((w & kVarMask[static_cast<std::size_t>(var)]) >> shift) |
+         ((w & ~kVarMask[static_cast<std::size_t>(var)]) << shift);
+}
+
+/// Swap in-word variables `a` < `b` (< 6) inside one word.
+[[nodiscard]] constexpr std::uint64_t swap_in_word(std::uint64_t w, int a, int b) noexcept
+{
+  // Bits with x_b = 0 and x_a = 1 trade places with bits x_b = 1, x_a = 0,
+  // which sit (2^b - 2^a) positions higher.
+  const std::uint64_t mask = ~kVarMask[static_cast<std::size_t>(b)] & kVarMask[static_cast<std::size_t>(a)];
+  const int shift = (1 << b) - (1 << a);
+  return delta_swap(w, mask, shift);
+}
+
+[[nodiscard]] constexpr int popcount64(std::uint64_t w) noexcept { return std::popcount(w); }
+
+}  // namespace facet

@@ -1,0 +1,281 @@
+/// \file static_truth_table.hpp
+/// \brief Compile-time-sized truth tables.
+///
+/// `StaticTruthTable<N>` stores a fixed-width function in a std::array — no
+/// indirection, trivially copyable, fully constexpr-friendly bit algebra.
+/// It mirrors the dynamic TruthTable's semantics (same bit layout, same
+/// excess-bit invariant) and converts losslessly in both directions, so hot
+/// paths with a known variable count can avoid the dynamic kernel entirely
+/// (the pattern EPFL's kitty established with static_truth_table).
+///
+/// The signature algorithms of sig/ operate on the dynamic type; this header
+/// provides the storage/transform layer plus the conversions, and its
+/// equivalence with the dynamic kernel is property-tested per operation.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <stdexcept>
+
+#include "facet/tt/bit_ops.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+template <int NumVars>
+class StaticTruthTable {
+  static_assert(NumVars >= 0 && NumVars <= kMaxVars, "unsupported variable count");
+
+ public:
+  static constexpr int kNumVars = NumVars;
+  static constexpr std::size_t kNumWords =
+      NumVars <= kVarsPerWord ? 1u : (std::size_t{1} << (NumVars - kVarsPerWord));
+  static constexpr std::uint64_t kNumBits = std::uint64_t{1} << NumVars;
+
+  constexpr StaticTruthTable() = default;
+
+  [[nodiscard]] static constexpr StaticTruthTable from_word(std::uint64_t bits) noexcept
+    requires(NumVars <= kVarsPerWord)
+  {
+    StaticTruthTable tt;
+    tt.words_[0] = bits & low_bits_mask(NumVars);
+    return tt;
+  }
+
+  [[nodiscard]] constexpr int num_vars() const noexcept { return NumVars; }
+  [[nodiscard]] constexpr std::uint64_t num_bits() const noexcept { return kNumBits; }
+  [[nodiscard]] constexpr std::size_t num_words() const noexcept { return kNumWords; }
+  [[nodiscard]] constexpr std::uint64_t word(std::size_t i) const noexcept { return words_[i]; }
+  [[nodiscard]] constexpr std::array<std::uint64_t, kNumWords>& words() noexcept { return words_; }
+  [[nodiscard]] constexpr const std::array<std::uint64_t, kNumWords>& words() const noexcept
+  {
+    return words_;
+  }
+
+  [[nodiscard]] constexpr bool get_bit(std::uint64_t index) const noexcept
+  {
+    return (words_[index >> 6] >> (index & 63)) & 1ULL;
+  }
+  constexpr void set_bit(std::uint64_t index) noexcept { words_[index >> 6] |= 1ULL << (index & 63); }
+  constexpr void clear_bit(std::uint64_t index) noexcept
+  {
+    words_[index >> 6] &= ~(1ULL << (index & 63));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count_ones() const noexcept
+  {
+    std::uint64_t total = 0;
+    for (const auto w : words_) {
+      total += static_cast<std::uint64_t>(popcount64(w));
+    }
+    return total;
+  }
+
+  [[nodiscard]] constexpr bool is_balanced() const noexcept { return count_ones() == kNumBits / 2; }
+
+  constexpr StaticTruthTable& operator&=(const StaticTruthTable& other) noexcept
+  {
+    for (std::size_t i = 0; i < kNumWords; ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+  constexpr StaticTruthTable& operator|=(const StaticTruthTable& other) noexcept
+  {
+    for (std::size_t i = 0; i < kNumWords; ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+  constexpr StaticTruthTable& operator^=(const StaticTruthTable& other) noexcept
+  {
+    for (std::size_t i = 0; i < kNumWords; ++i) {
+      words_[i] ^= other.words_[i];
+    }
+    return *this;
+  }
+
+  [[nodiscard]] friend constexpr StaticTruthTable operator&(StaticTruthTable a,
+                                                            const StaticTruthTable& b) noexcept
+  {
+    return a &= b;
+  }
+  [[nodiscard]] friend constexpr StaticTruthTable operator|(StaticTruthTable a,
+                                                            const StaticTruthTable& b) noexcept
+  {
+    return a |= b;
+  }
+  [[nodiscard]] friend constexpr StaticTruthTable operator^(StaticTruthTable a,
+                                                            const StaticTruthTable& b) noexcept
+  {
+    return a ^= b;
+  }
+
+  [[nodiscard]] constexpr StaticTruthTable operator~() const noexcept
+  {
+    StaticTruthTable result{*this};
+    for (auto& w : result.words_) {
+      w = ~w;
+    }
+    result.mask_excess();
+    return result;
+  }
+
+  [[nodiscard]] constexpr std::strong_ordering operator<=>(const StaticTruthTable& other) const noexcept
+  {
+    for (std::size_t i = kNumWords; i-- > 0;) {
+      if (words_[i] != other.words_[i]) {
+        return words_[i] < other.words_[i] ? std::strong_ordering::less : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+  [[nodiscard]] constexpr bool operator==(const StaticTruthTable& other) const noexcept = default;
+
+  constexpr void mask_excess() noexcept
+  {
+    if constexpr (NumVars < kVarsPerWord) {
+      words_[0] &= low_bits_mask(NumVars);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, kNumWords> words_{};
+};
+
+/// g(X) = f(X ^ e_var).
+template <int N>
+[[nodiscard]] constexpr StaticTruthTable<N> flip_var(const StaticTruthTable<N>& tt, int var) noexcept
+{
+  StaticTruthTable<N> result{tt};
+  auto& words = result.words();
+  if (var < kVarsPerWord) {
+    for (auto& w : words) {
+      w = flip_in_word(w, var);
+    }
+    result.mask_excess();
+  } else {
+    const std::size_t stride = std::size_t{1} << (var - kVarsPerWord);
+    for (std::size_t base = 0; base < words.size(); base += 2 * stride) {
+      for (std::size_t k = 0; k < stride; ++k) {
+        const std::uint64_t tmp = words[base + k];
+        words[base + k] = words[base + stride + k];
+        words[base + stride + k] = tmp;
+      }
+    }
+  }
+  return result;
+}
+
+/// g(X) = f(X with bits a and b exchanged).
+template <int N>
+[[nodiscard]] constexpr StaticTruthTable<N> swap_vars(const StaticTruthTable<N>& tt, int a, int b) noexcept
+{
+  if (a == b) {
+    return tt;
+  }
+  if (a > b) {
+    const int t = a;
+    a = b;
+    b = t;
+  }
+  StaticTruthTable<N> result{tt};
+  auto& words = result.words();
+
+  if (b < kVarsPerWord) {
+    for (auto& w : words) {
+      w = swap_in_word(w, a, b);
+    }
+    result.mask_excess();
+    return result;
+  }
+
+  const std::size_t stride_b = std::size_t{1} << (b - kVarsPerWord);
+  if (a >= kVarsPerWord) {
+    const std::size_t stride_a = std::size_t{1} << (a - kVarsPerWord);
+    const std::size_t delta = stride_b - stride_a;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if ((w & stride_a) != 0 && (w & stride_b) == 0) {
+        const std::uint64_t tmp = words[w];
+        words[w] = words[w + delta];
+        words[w + delta] = tmp;
+      }
+    }
+    return result;
+  }
+
+  const std::uint64_t mask_a = kVarMask[static_cast<std::size_t>(a)];
+  const int shift = 1 << a;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if ((w & stride_b) != 0) {
+      continue;
+    }
+    const std::uint64_t lo = words[w];
+    const std::uint64_t hi = words[w + stride_b];
+    words[w] = (lo & ~mask_a) | ((hi & ~mask_a) << shift);
+    words[w + stride_b] = (hi & mask_a) | ((lo & mask_a) >> shift);
+  }
+  return result;
+}
+
+/// Satisfy count of the 1-ary cofactor f_{x_var = value}.
+template <int N>
+[[nodiscard]] constexpr std::uint32_t cofactor_count(const StaticTruthTable<N>& tt, int var,
+                                                     bool value) noexcept
+{
+  std::uint32_t total = 0;
+  if (var < kVarsPerWord) {
+    const std::uint64_t mask =
+        value ? kVarMask[static_cast<std::size_t>(var)] : ~kVarMask[static_cast<std::size_t>(var)];
+    const std::uint64_t low = low_bits_mask(N);
+    for (const auto w : tt.words()) {
+      total += static_cast<std::uint32_t>(popcount64(w & mask & low));
+    }
+  } else {
+    const std::size_t stride = std::size_t{1} << (var - kVarsPerWord);
+    for (std::size_t i = 0; i < tt.num_words(); ++i) {
+      if (((i & stride) != 0) == value) {
+        total += static_cast<std::uint32_t>(popcount64(tt.word(i)));
+      }
+    }
+  }
+  return total;
+}
+
+/// Integer influence of `var` (paper convention, half the sensitive words).
+template <int N>
+[[nodiscard]] constexpr std::uint32_t influence(const StaticTruthTable<N>& tt, int var) noexcept
+{
+  const StaticTruthTable<N> diff = tt ^ flip_var(tt, var);
+  return static_cast<std::uint32_t>(diff.count_ones() / 2);
+}
+
+/// Lossless conversions to/from the dynamic kernel.
+template <int N>
+[[nodiscard]] StaticTruthTable<N> to_static(const TruthTable& tt)
+{
+  if (tt.num_vars() != N) {
+    throw std::invalid_argument("to_static: variable count mismatch");
+  }
+  StaticTruthTable<N> result;
+  const auto src = tt.words();
+  for (std::size_t i = 0; i < result.num_words(); ++i) {
+    result.words()[i] = src[i];
+  }
+  return result;
+}
+
+template <int N>
+[[nodiscard]] TruthTable to_dynamic(const StaticTruthTable<N>& tt)
+{
+  TruthTable result{N};
+  auto dst = result.words();
+  for (std::size_t i = 0; i < tt.num_words(); ++i) {
+    dst[i] = tt.word(i);
+  }
+  return result;
+}
+
+}  // namespace facet

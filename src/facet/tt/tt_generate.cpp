@@ -1,0 +1,162 @@
+#include "facet/tt/tt_generate.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace facet {
+
+TruthTable tt_constant(int num_vars, bool value)
+{
+  TruthTable tt{num_vars};
+  if (value) {
+    tt.complement_in_place();
+  }
+  return tt;
+}
+
+TruthTable tt_projection(int num_vars, int var)
+{
+  if (var < 0 || var >= num_vars) {
+    throw std::invalid_argument("tt_projection: variable index out of range");
+  }
+  TruthTable tt{num_vars};
+  auto words = tt.words();
+  if (var < kVarsPerWord) {
+    for (auto& w : words) {
+      w = kVarMask[static_cast<std::size_t>(var)];
+    }
+  } else {
+    const std::size_t stride = std::size_t{1} << (var - kVarsPerWord);
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      words[w] = (w & stride) ? ~0ULL : 0ULL;
+    }
+  }
+  tt.mask_excess();
+  return tt;
+}
+
+TruthTable tt_threshold(int num_vars, int threshold)
+{
+  TruthTable tt{num_vars};
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    if (std::popcount(m) >= threshold) {
+      tt.set_bit(m);
+    }
+  }
+  return tt;
+}
+
+TruthTable tt_majority(int num_vars)
+{
+  if (num_vars % 2 == 0) {
+    throw std::invalid_argument("tt_majority: requires an odd number of variables");
+  }
+  return tt_threshold(num_vars, num_vars / 2 + 1);
+}
+
+TruthTable tt_parity(int num_vars)
+{
+  TruthTable tt{num_vars};
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    if (std::popcount(m) & 1) {
+      tt.set_bit(m);
+    }
+  }
+  return tt;
+}
+
+TruthTable tt_conjunction(int num_vars)
+{
+  TruthTable tt{num_vars};
+  tt.set_bit(tt.num_bits() - 1);
+  return tt;
+}
+
+TruthTable tt_inner_product(int num_vars)
+{
+  if (num_vars % 2 != 0) {
+    throw std::invalid_argument("tt_inner_product: requires an even number of variables");
+  }
+  TruthTable tt{num_vars};
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    int acc = 0;
+    for (int i = 0; i < num_vars; i += 2) {
+      acc ^= static_cast<int>((m >> i) & (m >> (i + 1)) & 1ULL);
+    }
+    if (acc) {
+      tt.set_bit(m);
+    }
+  }
+  return tt;
+}
+
+TruthTable tt_random(int num_vars, std::mt19937_64& rng)
+{
+  TruthTable tt{num_vars};
+  for (auto& w : tt.words()) {
+    w = rng();
+  }
+  tt.mask_excess();
+  return tt;
+}
+
+TruthTable tt_random_with_ones(int num_vars, std::uint64_t ones, std::mt19937_64& rng)
+{
+  TruthTable tt{num_vars};
+  const std::uint64_t bits = tt.num_bits();
+  if (ones > bits) {
+    throw std::invalid_argument("tt_random_with_ones: too many ones requested");
+  }
+  // Partial Fisher-Yates over minterm indices: choose `ones` distinct slots.
+  std::vector<std::uint64_t> idx(bits);
+  std::iota(idx.begin(), idx.end(), 0ULL);
+  for (std::uint64_t i = 0; i < ones; ++i) {
+    std::uniform_int_distribution<std::uint64_t> dist(i, bits - 1);
+    std::swap(idx[i], idx[dist(rng)]);
+    tt.set_bit(idx[i]);
+  }
+  return tt;
+}
+
+TruthTable tt_from_index(int num_vars, std::uint64_t index)
+{
+  TruthTable tt{num_vars};
+  tt.words()[0] = index;
+  tt.mask_excess();
+  return tt;
+}
+
+std::vector<TruthTable> tt_consecutive(int num_vars, std::uint64_t start, std::size_t count)
+{
+  std::vector<TruthTable> set;
+  set.reserve(count);
+  TruthTable tt = tt_from_index(num_vars, start);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(tt);
+    // Increment the low word with carry into later words: consecutive
+    // 2^n-bit integers, as in Fig. 5's workload description.
+    auto words = tt.words();
+    for (auto& w : words) {
+      if (++w != 0) {
+        break;
+      }
+    }
+    tt.mask_excess();
+  }
+  return set;
+}
+
+std::vector<TruthTable> tt_random_set(int num_vars, std::size_t count, std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> set;
+  set.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    set.push_back(tt_random(num_vars, rng));
+  }
+  return set;
+}
+
+}  // namespace facet

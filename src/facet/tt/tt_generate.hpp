@@ -1,0 +1,62 @@
+/// \file tt_generate.hpp
+/// \brief Constructors for common Boolean functions and random workloads.
+///
+/// Covers the functions the paper's figures use (majority, single variable)
+/// and the workload generators of the evaluation: uniform random functions
+/// and the "truth tables in consecutive binary encoding" sets of Fig. 5.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Constant function (0 or 1) of `num_vars` variables.
+[[nodiscard]] TruthTable tt_constant(int num_vars, bool value);
+
+/// Projection f = x_var.
+[[nodiscard]] TruthTable tt_projection(int num_vars, int var);
+
+/// Majority of all n inputs (n odd): f(X) = 1 iff more than n/2 inputs are 1.
+/// Fig. 1a's f1 is tt_majority(3) = 0xE8.
+[[nodiscard]] TruthTable tt_majority(int num_vars);
+
+/// Parity (XOR) of all inputs — the worst case for symmetry-based canonical
+/// forms, used in the stability experiments.
+[[nodiscard]] TruthTable tt_parity(int num_vars);
+
+/// f = AND of all inputs.
+[[nodiscard]] TruthTable tt_conjunction(int num_vars);
+
+/// Threshold function: f(X) = 1 iff at least `threshold` inputs are 1.
+[[nodiscard]] TruthTable tt_threshold(int num_vars, int threshold);
+
+/// Inner-product function on 2k variables: x1x2 XOR x3x4 XOR ... — a bent
+/// function whose variables are pairwise signature-identical; stress case
+/// for canonical-form baselines.
+[[nodiscard]] TruthTable tt_inner_product(int num_vars);
+
+/// Uniform random function (each minterm i.i.d. fair coin).
+[[nodiscard]] TruthTable tt_random(int num_vars, std::mt19937_64& rng);
+
+/// Random function with exactly `ones` 1-minterms (used to generate balanced
+/// functions for the Theorem 3/4 tests).
+[[nodiscard]] TruthTable tt_random_with_ones(int num_vars, std::uint64_t ones, std::mt19937_64& rng);
+
+/// The truth table whose 2^n-bit value equals `index` (low word first). For
+/// n <= 6 this is simply the word `index`. Successive indices give the
+/// "consecutive binary encoding" workload of Fig. 5.
+[[nodiscard]] TruthTable tt_from_index(int num_vars, std::uint64_t index);
+
+/// `count` consecutive truth tables starting at `start` (wraps modulo 2^2^n
+/// in the low word only; sufficient for workload generation).
+[[nodiscard]] std::vector<TruthTable> tt_consecutive(int num_vars, std::uint64_t start, std::size_t count);
+
+/// `count` uniform random functions.
+[[nodiscard]] std::vector<TruthTable> tt_random_set(int num_vars, std::size_t count, std::uint64_t seed);
+
+}  // namespace facet

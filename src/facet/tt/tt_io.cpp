@@ -1,0 +1,93 @@
+#include "facet/tt/tt_io.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace facet {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+[[nodiscard]] int hex_value(char c)
+{
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  throw std::invalid_argument("from_hex: invalid hex digit");
+}
+
+}  // namespace
+
+std::string to_hex(const TruthTable& tt)
+{
+  const std::uint64_t bits = tt.num_bits();
+  const std::uint64_t nibbles = bits >= 4 ? bits / 4 : 1;
+  std::string out;
+  out.reserve(nibbles);
+  for (std::uint64_t i = nibbles; i-- > 0;) {
+    const std::uint64_t word = tt.word((i * 4) >> 6);
+    const unsigned nib = (word >> ((i * 4) & 63)) & 0xF;
+    out.push_back(kHexDigits[nib]);
+  }
+  return out;
+}
+
+std::string to_binary(const TruthTable& tt)
+{
+  const std::uint64_t bits = tt.num_bits();
+  std::string out;
+  out.reserve(bits);
+  for (std::uint64_t i = bits; i-- > 0;) {
+    out.push_back(tt.get_bit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+TruthTable from_hex(int num_vars, const std::string& hex)
+{
+  std::string digits = hex;
+  if (digits.rfind("0x", 0) == 0 || digits.rfind("0X", 0) == 0) {
+    digits = digits.substr(2);
+  }
+  TruthTable tt{num_vars};
+  const std::uint64_t bits = tt.num_bits();
+  const std::uint64_t nibbles = bits >= 4 ? bits / 4 : 1;
+  if (digits.size() != nibbles) {
+    throw std::invalid_argument("from_hex: digit count does not match num_vars");
+  }
+  auto words = tt.words();
+  for (std::uint64_t i = 0; i < nibbles; ++i) {
+    const int v = hex_value(digits[nibbles - 1 - i]);
+    words[(i * 4) >> 6] |= static_cast<std::uint64_t>(v) << ((i * 4) & 63);
+  }
+  tt.mask_excess();
+  return tt;
+}
+
+TruthTable from_binary(int num_vars, const std::string& bits)
+{
+  TruthTable tt{num_vars};
+  if (bits.size() != tt.num_bits()) {
+    throw std::invalid_argument("from_binary: bit count does not match num_vars");
+  }
+  for (std::uint64_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1 - i];
+    if (c == '1') {
+      tt.set_bit(i);
+    } else if (c != '0') {
+      throw std::invalid_argument("from_binary: invalid character");
+    }
+  }
+  return tt;
+}
+
+std::ostream& operator<<(std::ostream& os, const TruthTable& tt) { return os << to_hex(tt); }
+
+}  // namespace facet

@@ -1,0 +1,33 @@
+/// \file tt_io.hpp
+/// \brief Text serialization of truth tables (hex and binary strings).
+///
+/// The hex form is MSB-first, matching the convention of logic-synthesis
+/// tools (kitty, ABC): the 3-majority function of Fig. 1a prints as "e8".
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Hex string of the 2^n-bit table, most-significant nibble first, without a
+/// "0x" prefix. Functions with n < 2 are padded to one nibble.
+[[nodiscard]] std::string to_hex(const TruthTable& tt);
+
+/// Binary string of length 2^n, most-significant bit (minterm 2^n - 1) first.
+[[nodiscard]] std::string to_binary(const TruthTable& tt);
+
+/// Parse an n-variable table from a hex string (optionally "0x"-prefixed).
+/// The string must have exactly max(1, 2^n / 4) digits.
+[[nodiscard]] TruthTable from_hex(int num_vars, const std::string& hex);
+
+/// Parse from a binary string of exactly 2^n characters ('0'/'1'), MSB first.
+[[nodiscard]] TruthTable from_binary(int num_vars, const std::string& bits);
+
+/// Streams the hex form.
+std::ostream& operator<<(std::ostream& os, const TruthTable& tt);
+
+}  // namespace facet

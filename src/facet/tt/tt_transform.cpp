@@ -1,0 +1,183 @@
+#include "facet/tt/tt_transform.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace facet {
+
+namespace {
+
+void check_var(const TruthTable& tt, int var)
+{
+  if (var < 0 || var >= tt.num_vars()) {
+    throw std::invalid_argument("truth-table transform: variable index out of range");
+  }
+}
+
+}  // namespace
+
+void flip_var_in_place(TruthTable& tt, int var)
+{
+  check_var(tt, var);
+  auto words = tt.words();
+  if (var < kVarsPerWord) {
+    for (auto& w : words) {
+      w = flip_in_word(w, var);
+    }
+    tt.mask_excess();
+    return;
+  }
+  // Cross-word: exchange blocks of `stride` words whose minterms differ only
+  // in this variable.
+  const std::size_t stride = std::size_t{1} << (var - kVarsPerWord);
+  for (std::size_t base = 0; base < words.size(); base += 2 * stride) {
+    for (std::size_t k = 0; k < stride; ++k) {
+      std::swap(words[base + k], words[base + stride + k]);
+    }
+  }
+}
+
+TruthTable flip_var(const TruthTable& tt, int var)
+{
+  TruthTable result{tt};
+  flip_var_in_place(result, var);
+  return result;
+}
+
+void swap_vars_in_place(TruthTable& tt, int a, int b)
+{
+  check_var(tt, a);
+  check_var(tt, b);
+  if (a == b) {
+    return;
+  }
+  if (a > b) {
+    std::swap(a, b);
+  }
+  auto words = tt.words();
+
+  if (b < kVarsPerWord) {
+    for (auto& w : words) {
+      w = swap_in_word(w, a, b);
+    }
+    tt.mask_excess();
+    return;
+  }
+
+  const std::size_t stride_b = std::size_t{1} << (b - kVarsPerWord);
+  if (a >= kVarsPerWord) {
+    // Both cross-word: exchange word w (x_a=1, x_b=0) with w + stride_b - stride_a.
+    const std::size_t stride_a = std::size_t{1} << (a - kVarsPerWord);
+    const std::size_t delta = stride_b - stride_a;
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      const bool bit_a = (w & stride_a) != 0;
+      const bool bit_b = (w & stride_b) != 0;
+      if (bit_a && !bit_b) {
+        std::swap(words[w], words[w + delta]);
+      }
+    }
+    return;
+  }
+
+  // a in-word, b cross-word: within each (lo, hi) word pair differing in b,
+  // bits of lo with x_a=1 trade with bits of hi with x_a=0.
+  const std::uint64_t mask_a = kVarMask[static_cast<std::size_t>(a)];
+  const int shift = 1 << a;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if ((w & stride_b) != 0) {
+      continue;  // visit each pair once, from its low word
+    }
+    std::uint64_t& lo = words[w];
+    std::uint64_t& hi = words[w + stride_b];
+    const std::uint64_t new_lo = (lo & ~mask_a) | ((hi & ~mask_a) << shift);
+    const std::uint64_t new_hi = (hi & mask_a) | ((lo & mask_a) >> shift);
+    lo = new_lo;
+    hi = new_hi;
+  }
+}
+
+TruthTable swap_vars(const TruthTable& tt, int a, int b)
+{
+  TruthTable result{tt};
+  swap_vars_in_place(result, a, b);
+  return result;
+}
+
+TruthTable permute_vars(const TruthTable& tt, std::span<const int> perm)
+{
+  const int n = tt.num_vars();
+  if (static_cast<int>(perm.size()) != n) {
+    throw std::invalid_argument("permute_vars: permutation size mismatch");
+  }
+  TruthTable result{n};
+  const std::uint64_t bits = tt.num_bits();
+  for (std::uint64_t m = 0; m < bits; ++m) {
+    // Y_i = X_{perm[i]} with X = m.
+    std::uint64_t y = 0;
+    for (int i = 0; i < n; ++i) {
+      y |= ((m >> perm[i]) & 1ULL) << i;
+    }
+    if (tt.get_bit(y)) {
+      result.set_bit(m);
+    }
+  }
+  return result;
+}
+
+TruthTable permute_vars_fast(const TruthTable& tt, std::span<const int> perm)
+{
+  const int n = tt.num_vars();
+  if (static_cast<int>(perm.size()) != n) {
+    throw std::invalid_argument("permute_vars_fast: permutation size mismatch");
+  }
+  // Applying swap_vars steps s1, ..., sk composes to the variable mapping
+  // i -> sk(...(s1(i))...), so selection-sorting an array realizes the
+  // *inverse* of that array as the table mapping. Decompose perm^{-1} to get
+  // the forward semantics g(X) = f(Y), Y_i = X_{perm[i]}.
+  std::array<int, kMaxVars> p{};
+  for (int i = 0; i < n; ++i) {
+    p[perm[i]] = i;
+  }
+
+  TruthTable result{tt};
+  for (int i = 0; i < n; ++i) {
+    if (p[i] == i) {
+      continue;
+    }
+    // Find the position j > i whose entry is i, then transpose i and p[i]...
+    // Swapping variables (i, p[i]) in `result` exchanges which input reads
+    // which variable; update the bookkeeping permutation accordingly.
+    int j = -1;
+    for (int k = i + 1; k < n; ++k) {
+      if (p[k] == i) {
+        j = k;
+        break;
+      }
+    }
+    assert(j >= 0);
+    swap_vars_in_place(result, i, p[i]);
+    // result now has inputs i and p[i] exchanged relative to before; inputs
+    // reading variable p[i] now read variable i and vice versa.
+    std::swap(p[i], p[j]);
+    // p[i] must now be i.
+    assert(p[i] == i);
+  }
+  return result;
+}
+
+TruthTable flip_vars(const TruthTable& tt, std::uint32_t neg_mask)
+{
+  TruthTable result{tt};
+  for (int i = 0; i < tt.num_vars(); ++i) {
+    if ((neg_mask >> i) & 1u) {
+      flip_var_in_place(result, i);
+    }
+  }
+  return result;
+}
+
+}  // namespace facet

@@ -1,0 +1,50 @@
+/// \file tt_transform.hpp
+/// \brief Variable-level transformations of truth tables.
+///
+/// These are the building blocks of the NP transformations of §II-A: input
+/// negation (flip), input permutation (swap / permute), and their word-level
+/// implementations. Single flips and adjacent swaps are O(2^n / 64) and are
+/// used as the incremental steps of the exhaustive canonical walk (Gray code
+/// over phases, Steinhaus–Johnson–Trotter over permutations).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// g(X) = f(X ^ e_var): complement input `var`.
+[[nodiscard]] TruthTable flip_var(const TruthTable& tt, int var);
+
+/// In-place version of flip_var.
+void flip_var_in_place(TruthTable& tt, int var);
+
+/// g(X) = f(X with bits a and b exchanged): transpose two inputs.
+[[nodiscard]] TruthTable swap_vars(const TruthTable& tt, int a, int b);
+
+/// In-place version of swap_vars.
+void swap_vars_in_place(TruthTable& tt, int a, int b);
+
+/// Swap variable `var` with `var + 1` (the SJT step).
+inline void swap_adjacent_in_place(TruthTable& tt, int var) { swap_vars_in_place(tt, var, var + 1); }
+
+/// General input permutation: returns g with
+///   g(X) = f(Y)  where  Y_i = X_{perm[i]}.
+/// I.e. input i of f is driven by variable perm[i] of g. `perm` must be a
+/// permutation of {0, ..., n-1}.
+///
+/// Implemented by gather over minterms (O(n * 2^n)); correct for any
+/// permutation and used as the reference for the word-parallel paths.
+[[nodiscard]] TruthTable permute_vars(const TruthTable& tt, std::span<const int> perm);
+
+/// Word-parallel permutation via transposition decomposition; semantics
+/// identical to permute_vars.
+[[nodiscard]] TruthTable permute_vars_fast(const TruthTable& tt, std::span<const int> perm);
+
+/// g(X) = f(X ^ neg_mask): complement every input whose bit is set.
+[[nodiscard]] TruthTable flip_vars(const TruthTable& tt, std::uint32_t neg_mask);
+
+}  // namespace facet

@@ -1,0 +1,83 @@
+/// \file cli.hpp
+/// \brief Tiny command-line flag parser shared by benches and examples.
+///
+/// Supports `--name value`, `--name=value` and boolean `--name` flags. Every
+/// reproduction binary must run with no arguments (laptop-scale defaults);
+/// flags scale the experiments up to paper-sized runs.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace facet {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv)
+  {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";  // boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const { return values_.contains(name); }
+
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const
+  {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const
+  {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return std::stoll(it->second);
+  }
+
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const
+  {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return std::stod(it->second);
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback = false) const
+  {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return it->second != "0" && it->second != "false";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace facet

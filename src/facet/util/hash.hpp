@@ -1,0 +1,73 @@
+/// \file hash.hpp
+/// \brief Hashing utilities shared across the library.
+///
+/// The classifier (Algorithm 1 of the paper) finishes with a hash of the
+/// mixed signature vector; class maps also key on raw truth-table words.
+/// Everything here is deterministic across runs so that class ids are
+/// reproducible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace facet {
+
+/// 64-bit finalizer from splitmix64; good avalanche for word mixing.
+[[nodiscard]] constexpr std::uint64_t hash_mix64(std::uint64_t x) noexcept
+{
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a new word into a running 64-bit hash state.
+[[nodiscard]] constexpr std::uint64_t hash_combine64(std::uint64_t seed, std::uint64_t value) noexcept
+{
+  return hash_mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash a span of words (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_words(std::span<const std::uint64_t> words,
+                                                 std::uint64_t seed = 0x8f1bbcdcbfa53e0bULL) noexcept
+{
+  std::uint64_t h = seed ^ (words.size() * 0xff51afd7ed558ccdULL);
+  for (const auto w : words) {
+    h = hash_combine64(h, w);
+  }
+  return h;
+}
+
+/// Hash a span of 32-bit values (used for signature vectors).
+[[nodiscard]] constexpr std::uint64_t hash_u32_span(std::span<const std::uint32_t> values,
+                                                    std::uint64_t seed = 0xa0761d6478bd642fULL) noexcept
+{
+  std::uint64_t h = seed ^ (values.size() * 0xe7037ed1a0b428dbULL);
+  for (const auto v : values) {
+    h = hash_combine64(h, v);
+  }
+  return h;
+}
+
+/// Functor for unordered containers keyed by vectors of 32-bit signature
+/// entries. Equality of the full vector (not just the hash) decides class
+/// membership, so hash collisions cannot merge classes.
+struct U32VectorHash {
+  [[nodiscard]] std::size_t operator()(const std::vector<std::uint32_t>& v) const noexcept
+  {
+    return static_cast<std::size_t>(hash_u32_span(v));
+  }
+};
+
+/// Functor for unordered containers keyed by raw truth-table words.
+struct WordVectorHash {
+  [[nodiscard]] std::size_t operator()(const std::vector<std::uint64_t>& v) const noexcept
+  {
+    return static_cast<std::size_t>(hash_words(v));
+  }
+};
+
+}  // namespace facet

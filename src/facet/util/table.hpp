@@ -1,0 +1,96 @@
+/// \file table.hpp
+/// \brief Minimal aligned ASCII table renderer for the benchmark binaries.
+///
+/// Each reproduction binary prints rows in the same layout as the paper's
+/// tables; this helper keeps the columns readable without dragging in a
+/// formatting dependency.
+
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace facet {
+
+/// Collects rows of string cells and renders them with per-column alignment.
+class AsciiTable {
+ public:
+  /// Set the header row. Column count is inferred from it.
+  void set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Append a data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: convert any streamable arguments into a row.
+  template <typename... Ts>
+  void add_row_of(const Ts&... cells)
+  {
+    std::vector<std::string> row;
+    (row.push_back(to_cell(cells)), ...);
+    add_row(std::move(row));
+  }
+
+  void render(std::ostream& os) const
+  {
+    std::size_t cols = header_.size();
+    for (const auto& r : rows_) {
+      cols = std::max(cols, r.size());
+    }
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    };
+    measure(header_);
+    for (const auto& r : rows_) {
+      measure(r);
+    }
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::string cell = c < row.size() ? row[c] : std::string{};
+        os << ' ' << std::setw(static_cast<int>(width[c])) << cell << " |";
+      }
+      os << '\n';
+    };
+
+    if (!header_.empty()) {
+      print_row(header_);
+      os << "|";
+      for (std::size_t c = 0; c < cols; ++c) {
+        os << std::string(width[c] + 2, '-') << "|";
+      }
+      os << '\n';
+    }
+    for (const auto& r : rows_) {
+      print_row(r);
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] static std::string to_cell(const T& value)
+  {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return value;
+    } else {
+      std::ostringstream oss;
+      if constexpr (std::is_floating_point_v<T>) {
+        oss << std::fixed << std::setprecision(4);
+      }
+      oss << value;
+      return oss.str();
+    }
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace facet

@@ -1,0 +1,30 @@
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch used by the benchmark harness.
+
+#pragma once
+
+#include <chrono>
+
+namespace facet {
+
+/// Simple monotonic stopwatch. Started on construction; `seconds()` and
+/// `milliseconds()` report elapsed time since construction or last `reset()`.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_{clock::now()} {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept
+  {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace facet

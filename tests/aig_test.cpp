@@ -1,0 +1,140 @@
+#include "facet/aig/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "facet/aig/simulate.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+TEST(Aig, LiteralEncoding)
+{
+  EXPECT_EQ(Aig::make_literal(3, false), 6u);
+  EXPECT_EQ(Aig::make_literal(3, true), 7u);
+  EXPECT_EQ(Aig::literal_node(7), 3u);
+  EXPECT_TRUE(Aig::literal_complemented(7));
+  EXPECT_FALSE(Aig::literal_complemented(6));
+  EXPECT_EQ(Aig::literal_not(6), 7u);
+  EXPECT_EQ(Aig::kFalse, 0u);
+  EXPECT_EQ(Aig::kTrue, 1u);
+}
+
+TEST(Aig, ConstantFoldingRules)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  EXPECT_EQ(aig.add_and(a, Aig::kFalse), Aig::kFalse);
+  EXPECT_EQ(aig.add_and(Aig::kTrue, a), a);
+  EXPECT_EQ(aig.add_and(a, a), a);
+  EXPECT_EQ(aig.add_and(a, Aig::literal_not(a)), Aig::kFalse);
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingDeduplicates)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto g1 = aig.add_and(a, b);
+  const auto g2 = aig.add_and(b, a);  // commuted operands
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(aig.num_ands(), 1u);
+  const auto g3 = aig.add_and(a, Aig::literal_not(b));
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(aig.num_ands(), 2u);
+}
+
+TEST(Aig, InputsMustPrecedeGates)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  (void)aig.add_and(a, b);
+  EXPECT_THROW(aig.add_input(), std::logic_error);
+}
+
+TEST(Aig, NodeKindPredicates)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto g = aig.add_and(a, b);
+  EXPECT_TRUE(aig.is_constant(0));
+  EXPECT_TRUE(aig.is_input(Aig::literal_node(a)));
+  EXPECT_TRUE(aig.is_and(Aig::literal_node(g)));
+  EXPECT_FALSE(aig.is_and(Aig::literal_node(a)));
+  EXPECT_EQ(aig.input_index(Aig::literal_node(b)), 1u);
+}
+
+TEST(Aig, DerivedGatesComputeCorrectFunctions)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto s = aig.add_input();
+  aig.add_output(aig.add_xor(a, b), "xor");
+  aig.add_output(aig.add_or(a, b), "or");
+  aig.add_output(aig.add_mux(s, a, b), "mux");
+
+  const auto outs = simulate_outputs(aig);
+  const TruthTable x0 = tt_projection(3, 0);
+  const TruthTable x1 = tt_projection(3, 1);
+  const TruthTable x2 = tt_projection(3, 2);
+  EXPECT_EQ(outs[0], x0 ^ x1);
+  EXPECT_EQ(outs[1], x0 | x1);
+  EXPECT_EQ(outs[2], (x2 & x0) | (~x2 & x1));
+}
+
+TEST(Aig, EvaluateMatchesSimulation)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto c = aig.add_input();
+  aig.add_output(aig.add_and(aig.add_xor(a, b), Aig::literal_not(c)));
+
+  const auto tts = simulate_outputs(aig);
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const std::vector<bool> inputs{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const auto values = evaluate(aig, inputs);
+    ASSERT_EQ(values.size(), 1u);
+    EXPECT_EQ(values[0], tts[0].get_bit(m)) << "minterm " << m;
+  }
+}
+
+TEST(Aig, WordSimulationMatchesTruthTables)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto c = aig.add_input();
+  aig.add_output(aig.add_or(aig.add_and(a, b), c));
+
+  // Drive each input with its elementary truth-table word; the output word
+  // must equal the output truth table's word.
+  const std::vector<std::uint64_t> words{kVarMask[0], kVarMask[1], kVarMask[2]};
+  const auto out_words = simulate_words(aig, words);
+  const auto tts = simulate_outputs(aig);
+  EXPECT_EQ(out_words[0] & 0xFF, tts[0].word(0));
+}
+
+TEST(Aig, RejectsInvalidLiterals)
+{
+  Aig aig;
+  const auto a = aig.add_input();
+  EXPECT_THROW(aig.add_and(a, 999), std::invalid_argument);
+  EXPECT_THROW(aig.add_output(999), std::invalid_argument);
+}
+
+TEST(Aig, ConstantOutput)
+{
+  Aig aig;
+  (void)aig.add_input();
+  aig.add_output(Aig::kTrue);
+  const auto outs = simulate_outputs(aig);
+  EXPECT_TRUE(outs[0].is_const1());
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,89 @@
+#include "facet/tt/bit_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace facet {
+namespace {
+
+TEST(BitOps, VarMaskSelectsMintermsWhereVariableIsOne)
+{
+  for (int var = 0; var < kVarsPerWord; ++var) {
+    for (int minterm = 0; minterm < 64; ++minterm) {
+      const bool expected = ((minterm >> var) & 1) != 0;
+      const bool actual = ((kVarMask[static_cast<std::size_t>(var)] >> minterm) & 1ULL) != 0;
+      EXPECT_EQ(actual, expected) << "var " << var << " minterm " << minterm;
+    }
+  }
+}
+
+TEST(BitOps, LowBitsMask)
+{
+  EXPECT_EQ(low_bits_mask(0), 0x1ULL);
+  EXPECT_EQ(low_bits_mask(1), 0x3ULL);
+  EXPECT_EQ(low_bits_mask(2), 0xFULL);
+  EXPECT_EQ(low_bits_mask(3), 0xFFULL);
+  EXPECT_EQ(low_bits_mask(4), 0xFFFFULL);
+  EXPECT_EQ(low_bits_mask(5), 0xFFFFFFFFULL);
+  EXPECT_EQ(low_bits_mask(6), ~0ULL);
+  EXPECT_EQ(low_bits_mask(10), ~0ULL);
+}
+
+TEST(BitOps, DeltaSwapExchangesSelectedFields)
+{
+  // Swap nibbles selected by mask 0x0F with the fields 4 above them.
+  EXPECT_EQ(delta_swap(0xABULL, 0x0FULL, 4), 0xBAULL);
+  // Identity when the fields are equal.
+  EXPECT_EQ(delta_swap(0x55ULL, 0x05ULL, 4), 0x55ULL);
+}
+
+TEST(BitOps, FlipInWordMatchesIndexRemap)
+{
+  const std::uint64_t w = 0x123456789ABCDEF0ULL;
+  for (int var = 0; var < kVarsPerWord; ++var) {
+    const std::uint64_t flipped = flip_in_word(w, var);
+    for (int m = 0; m < 64; ++m) {
+      const int src = m ^ (1 << var);
+      EXPECT_EQ((flipped >> m) & 1ULL, (w >> src) & 1ULL) << "var " << var << " minterm " << m;
+    }
+  }
+}
+
+TEST(BitOps, SwapInWordMatchesIndexRemap)
+{
+  const std::uint64_t w = 0xFEDCBA9876543210ULL;
+  for (int a = 0; a < kVarsPerWord; ++a) {
+    for (int b = a + 1; b < kVarsPerWord; ++b) {
+      const std::uint64_t swapped = swap_in_word(w, a, b);
+      for (int m = 0; m < 64; ++m) {
+        // Exchange bits a and b of the minterm index.
+        const int bit_a = (m >> a) & 1;
+        const int bit_b = (m >> b) & 1;
+        int src = m & ~((1 << a) | (1 << b));
+        src |= bit_b << a;
+        src |= bit_a << b;
+        EXPECT_EQ((swapped >> m) & 1ULL, (w >> src) & 1ULL) << "a=" << a << " b=" << b << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(BitOps, FlipIsInvolution)
+{
+  const std::uint64_t w = 0xDEADBEEFCAFEF00DULL;
+  for (int var = 0; var < kVarsPerWord; ++var) {
+    EXPECT_EQ(flip_in_word(flip_in_word(w, var), var), w);
+  }
+}
+
+TEST(BitOps, SwapIsInvolution)
+{
+  const std::uint64_t w = 0x0F1E2D3C4B5A6978ULL;
+  for (int a = 0; a < kVarsPerWord; ++a) {
+    for (int b = a + 1; b < kVarsPerWord; ++b) {
+      EXPECT_EQ(swap_in_word(swap_in_word(w, a, b), a, b), w);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace facet

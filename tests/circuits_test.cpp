@@ -1,0 +1,222 @@
+#include "facet/aig/circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "facet/aig/simulate.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+/// Packs an integer into a bool vector (LSB first).
+std::vector<bool> to_bits(std::uint64_t value, int width)
+{
+  std::vector<bool> bits(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bits[static_cast<std::size_t>(i)] = ((value >> i) & 1ULL) != 0;
+  }
+  return bits;
+}
+
+std::uint64_t from_bits(const std::vector<bool>& bits)
+{
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    value |= static_cast<std::uint64_t>(bits[i]) << i;
+  }
+  return value;
+}
+
+TEST(Circuits, AdderComputesIntegerSum)
+{
+  const int w = 6;
+  const Aig aig = make_adder(w);
+  ASSERT_EQ(aig.num_inputs(), static_cast<std::size_t>(2 * w));
+  ASSERT_EQ(aig.num_outputs(), static_cast<std::size_t>(w + 1));
+  std::mt19937_64 rng{1};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = rng() & ((1ULL << w) - 1);
+    const std::uint64_t b = rng() & ((1ULL << w) - 1);
+    std::vector<bool> inputs = to_bits(a, w);
+    const auto b_bits = to_bits(b, w);
+    inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+    EXPECT_EQ(from_bits(evaluate(aig, inputs)), a + b);
+  }
+}
+
+TEST(Circuits, MultiplierComputesIntegerProduct)
+{
+  const int w = 4;
+  const Aig aig = make_multiplier(w);
+  ASSERT_EQ(aig.num_outputs(), static_cast<std::size_t>(2 * w));
+  for (std::uint64_t a = 0; a < (1ULL << w); ++a) {
+    for (std::uint64_t b = 0; b < (1ULL << w); ++b) {
+      std::vector<bool> inputs = to_bits(a, w);
+      const auto b_bits = to_bits(b, w);
+      inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+      EXPECT_EQ(from_bits(evaluate(aig, inputs)), a * b) << a << " * " << b;
+    }
+  }
+}
+
+TEST(Circuits, BarrelShifterShiftsLeft)
+{
+  const int w = 8;
+  const Aig aig = make_barrel_shifter(w);
+  ASSERT_EQ(aig.num_inputs(), static_cast<std::size_t>(w + 3));
+  std::mt19937_64 rng{2};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t data = rng() & 0xFF;
+    const std::uint64_t shift = rng() & 0x7;
+    std::vector<bool> inputs = to_bits(data, w);
+    const auto s_bits = to_bits(shift, 3);
+    inputs.insert(inputs.end(), s_bits.begin(), s_bits.end());
+    EXPECT_EQ(from_bits(evaluate(aig, inputs)), (data << shift) & 0xFF);
+  }
+  EXPECT_THROW(make_barrel_shifter(6), std::invalid_argument);
+}
+
+TEST(Circuits, MaxSelectsLargerWord)
+{
+  const int w = 5;
+  const Aig aig = make_max(w);
+  std::mt19937_64 rng{3};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = rng() & 0x1F;
+    const std::uint64_t b = rng() & 0x1F;
+    std::vector<bool> inputs = to_bits(a, w);
+    const auto b_bits = to_bits(b, w);
+    inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+    const auto outs = evaluate(aig, inputs);
+    std::uint64_t max_word = 0;
+    for (int i = 0; i < w; ++i) {
+      max_word |= static_cast<std::uint64_t>(outs[static_cast<std::size_t>(i)]) << i;
+    }
+    EXPECT_EQ(max_word, std::max(a, b));
+    EXPECT_EQ(outs[static_cast<std::size_t>(w)], a > b);
+  }
+}
+
+TEST(Circuits, VoterIsMajority)
+{
+  for (const int n : {3, 5, 7}) {
+    const Aig aig = make_voter(n);
+    const auto outs = simulate_outputs(aig);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0], tt_majority(n)) << "n=" << n;
+  }
+  EXPECT_THROW(make_voter(4), std::invalid_argument);
+}
+
+TEST(Circuits, DecoderIsOneHot)
+{
+  const Aig aig = make_decoder(3);
+  ASSERT_EQ(aig.num_outputs(), 8u);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    const auto outs = evaluate(aig, to_bits(v, 3));
+    for (std::uint64_t line = 0; line < 8; ++line) {
+      EXPECT_EQ(outs[line], line == v);
+    }
+  }
+}
+
+TEST(Circuits, PriorityEncoderReportsLowestRequest)
+{
+  const int w = 6;
+  const Aig aig = make_priority(w);
+  std::mt19937_64 rng{4};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t req = rng() & 0x3F;
+    const auto outs = evaluate(aig, to_bits(req, w));
+    const bool valid = req != 0;
+    const int index_bits = 3;
+    EXPECT_EQ(outs[static_cast<std::size_t>(index_bits)], valid);
+    if (valid) {
+      const int expected = std::countr_zero(req);
+      std::uint64_t index = 0;
+      for (int b = 0; b < index_bits; ++b) {
+        index |= static_cast<std::uint64_t>(outs[static_cast<std::size_t>(b)]) << b;
+      }
+      EXPECT_EQ(index, static_cast<std::uint64_t>(expected)) << "req=" << req;
+    }
+  }
+}
+
+TEST(Circuits, ParityTreeMatchesXor)
+{
+  const Aig aig = make_parity(9);
+  const auto outs = simulate_outputs(aig);
+  EXPECT_EQ(outs[0], tt_parity(9));
+}
+
+TEST(Circuits, MuxTreeSelectsIndexedData)
+{
+  const int s = 3;
+  const Aig aig = make_mux_tree(s);
+  ASSERT_EQ(aig.num_inputs(), static_cast<std::size_t>(s + 8));
+  std::mt19937_64 rng{5};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t sel = rng() & 0x7;
+    const std::uint64_t data = rng() & 0xFF;
+    std::vector<bool> inputs = to_bits(sel, s);
+    const auto d_bits = to_bits(data, 8);
+    inputs.insert(inputs.end(), d_bits.begin(), d_bits.end());
+    const auto outs = evaluate(aig, inputs);
+    EXPECT_EQ(outs[0], ((data >> sel) & 1ULL) != 0);
+  }
+}
+
+TEST(Circuits, AluImplementsAllOps)
+{
+  const int w = 4;
+  const Aig aig = make_alu(w);
+  std::mt19937_64 rng{6};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::uint64_t a = rng() & 0xF;
+    const std::uint64_t b = rng() & 0xF;
+    const int op = static_cast<int>(rng() & 3);
+    std::vector<bool> inputs = to_bits(a, w);
+    const auto b_bits = to_bits(b, w);
+    inputs.insert(inputs.end(), b_bits.begin(), b_bits.end());
+    inputs.push_back((op & 1) != 0);
+    inputs.push_back((op & 2) != 0);
+    const std::uint64_t result = from_bits(evaluate(aig, inputs)) & 0xF;
+    const std::uint64_t expected = op == 0 ? (a & b) : op == 1 ? (a | b) : op == 2 ? (a ^ b) : ((a + b) & 0xF);
+    EXPECT_EQ(result, expected) << "op=" << op << " a=" << a << " b=" << b;
+  }
+}
+
+TEST(Circuits, PopcountMatchesBitCount)
+{
+  const int w = 7;
+  const Aig aig = make_popcount(w);
+  ASSERT_EQ(aig.num_outputs(), 3u);
+  for (std::uint64_t v = 0; v < (1ULL << w); ++v) {
+    const std::uint64_t count = from_bits(evaluate(aig, to_bits(v, w)));
+    EXPECT_EQ(count, static_cast<std::uint64_t>(std::popcount(v))) << "v=" << v;
+  }
+}
+
+TEST(Circuits, RandomControlIsDeterministicPerSeed)
+{
+  const Aig a = make_random_control(10, 100, 42);
+  const Aig b = make_random_control(10, 100, 42);
+  EXPECT_EQ(a.num_outputs(), b.num_outputs());
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(Circuits, GeneratorsRejectBadParameters)
+{
+  EXPECT_THROW(make_adder(0), std::invalid_argument);
+  EXPECT_THROW(make_multiplier(0), std::invalid_argument);
+  EXPECT_THROW(make_decoder(0), std::invalid_argument);
+  EXPECT_THROW(make_priority(1), std::invalid_argument);
+  EXPECT_THROW(make_random_control(1, 5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,171 @@
+#include "facet/aig/cut_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "facet/aig/circuits.hpp"
+#include "facet/aig/simulate.hpp"
+#include "facet/sig/cofactor.hpp"
+
+namespace facet {
+namespace {
+
+TEST(Cut, SubsetRelation)
+{
+  const Cut a{{1, 3}};
+  const Cut b{{1, 2, 3}};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_TRUE(a.subset_of(a));
+  EXPECT_FALSE(Cut{{4}}.subset_of(b));
+}
+
+TEST(CutEnum, EveryNodeHasItsTrivialCut)
+{
+  const Aig aig = make_adder(4);
+  const auto cuts = enumerate_cuts(aig, CutEnumOptions{4, 10});
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    bool found = false;
+    for (const auto& cut : cuts[node]) {
+      found |= cut.leaves == std::vector<Aig::Node>{node};
+    }
+    EXPECT_TRUE(found) << "node " << node;
+  }
+}
+
+TEST(CutEnum, CutSizesRespectLimit)
+{
+  const Aig aig = make_multiplier(4);
+  const CutEnumOptions options{5, 20};
+  const auto cuts = enumerate_cuts(aig, options);
+  for (const auto& node_cuts : cuts) {
+    for (const auto& cut : node_cuts) {
+      EXPECT_LE(cut.leaves.size(), 5u);
+    }
+  }
+}
+
+TEST(CutEnum, NoDominatedCutsAmongMergedCuts)
+{
+  const Aig aig = make_adder(5);
+  const auto cuts = enumerate_cuts(aig, CutEnumOptions{4, 50});
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    const auto& list = cuts[node];
+    // The trivial cut (last entry) legitimately dominates everything; check
+    // the merged cuts before it.
+    for (std::size_t i = 0; i + 1 < list.size(); ++i) {
+      for (std::size_t j = 0; j + 1 < list.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(list[i].subset_of(list[j]) && list[i].leaves != list[j].leaves)
+              << "node " << node << ": cut " << i << " dominates " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(CutEnum, CutFunctionsComposeToGlobalFunctions)
+{
+  // The defining property of a cut function: substituting the leaves' global
+  // functions into the local function reproduces the node's global function.
+  const Aig aig = make_adder(3);
+  const auto global = simulate_node_functions(aig);
+  const auto cuts = enumerate_cuts(aig, CutEnumOptions{4, 15});
+  const int n = static_cast<int>(aig.num_inputs());
+
+  for (Aig::Node node = static_cast<Aig::Node>(aig.num_inputs()) + 1; node < aig.num_nodes(); ++node) {
+    for (const auto& cut : cuts[node]) {
+      const TruthTable local = cut_function(aig, node, cut, static_cast<int>(cut.leaves.size()));
+      for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+        std::uint64_t leaf_values = 0;
+        for (std::size_t l = 0; l < cut.leaves.size(); ++l) {
+          leaf_values |= static_cast<std::uint64_t>(global[cut.leaves[l]].get_bit(m)) << l;
+        }
+        ASSERT_EQ(local.get_bit(leaf_values), global[node].get_bit(m))
+            << "node " << node << " minterm " << m;
+      }
+    }
+  }
+}
+
+TEST(CutEnum, HarvestDeduplicates)
+{
+  const Aig aig = make_adder(8);
+  HarvestOptions options;
+  options.num_leaves = 4;
+  options.full_support_only = false;
+  const auto funcs = harvest_cut_functions(aig, options);
+  std::unordered_set<TruthTable, TruthTableHash> seen(funcs.begin(), funcs.end());
+  EXPECT_EQ(seen.size(), funcs.size());
+  EXPECT_FALSE(funcs.empty());
+}
+
+TEST(CutEnum, FullSupportFilterWorks)
+{
+  const Aig aig = make_adder(8);
+  HarvestOptions options;
+  options.num_leaves = 5;
+  options.full_support_only = true;
+  const auto funcs = harvest_cut_functions(aig, options);
+  for (const auto& tt : funcs) {
+    for (int v = 0; v < 5; ++v) {
+      EXPECT_NE(cofactor(tt, v, false), cofactor(tt, v, true)) << "irrelevant variable escaped the filter";
+    }
+  }
+}
+
+TEST(CutEnum, MaxFunctionsCapIsHonored)
+{
+  const Aig aig = make_multiplier(5);
+  HarvestOptions options;
+  options.num_leaves = 5;
+  options.max_functions = 17;
+  const auto funcs = harvest_cut_functions(aig, options);
+  EXPECT_EQ(funcs.size(), 17u);
+}
+
+TEST(CutEnum, HarvestModeYieldsMoreLargeCuts)
+{
+  // The harvesting configuration (keep dominated cuts, prefer large) must
+  // produce at least as many exactly-k cut functions as the mapping-style
+  // configuration it replaced.
+  const Aig aig = make_multiplier(5);
+  HarvestOptions options;
+  options.num_leaves = 6;
+  options.full_support_only = true;
+  const auto harvested = harvest_cut_functions(aig, options);
+  EXPECT_GT(harvested.size(), 100u);
+}
+
+TEST(CutEnum, DominatedCutsKeptWhenDisabled)
+{
+  const Aig aig = make_adder(4);
+  CutEnumOptions keep;
+  keep.cut_size = 4;
+  keep.max_cuts_per_node = 100;
+  keep.remove_dominated = false;
+  CutEnumOptions drop = keep;
+  drop.remove_dominated = true;
+  const auto kept = enumerate_cuts(aig, keep);
+  const auto dropped = enumerate_cuts(aig, drop);
+  std::size_t kept_total = 0;
+  std::size_t dropped_total = 0;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    kept_total += kept[i].size();
+    dropped_total += dropped[i].size();
+  }
+  EXPECT_GE(kept_total, dropped_total);
+}
+
+TEST(CutEnum, RejectsBadParameters)
+{
+  const Aig aig = make_adder(2);
+  EXPECT_THROW(enumerate_cuts(aig, CutEnumOptions{0, 5}), std::invalid_argument);
+  EXPECT_THROW(enumerate_cuts(aig, CutEnumOptions{17, 5}), std::invalid_argument);
+  const Cut big{{1, 2, 3}};
+  EXPECT_THROW(cut_function(aig, 5, big, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace facet

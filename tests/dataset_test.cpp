@@ -1,0 +1,71 @@
+#include "facet/data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "facet/sig/cofactor.hpp"
+
+namespace facet {
+namespace {
+
+class DatasetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetSweep, CircuitDatasetIsNonEmptyDedupedFullSupport)
+{
+  const int n = GetParam();
+  CircuitDatasetOptions options;
+  options.max_functions = 500;
+  const auto funcs = make_circuit_dataset(n, options);
+  ASSERT_FALSE(funcs.empty()) << "n=" << n;
+  std::unordered_set<TruthTable, TruthTableHash> seen;
+  for (const auto& tt : funcs) {
+    EXPECT_EQ(tt.num_vars(), n);
+    EXPECT_TRUE(seen.insert(tt).second) << "duplicate function in dataset";
+    for (int v = 0; v < n; ++v) {
+      EXPECT_NE(cofactor(tt, v, false), cofactor(tt, v, true)) << "non-full-support function";
+    }
+  }
+}
+
+TEST_P(DatasetSweep, CircuitDatasetIsDeterministic)
+{
+  const int n = GetParam();
+  CircuitDatasetOptions options;
+  options.max_functions = 200;
+  EXPECT_EQ(make_circuit_dataset(n, options), make_circuit_dataset(n, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, DatasetSweep, ::testing::Range(4, 8));
+
+TEST(Dataset, CapIsHonored)
+{
+  CircuitDatasetOptions options;
+  options.max_functions = 100;
+  const auto funcs = make_circuit_dataset(5, options);
+  EXPECT_LE(funcs.size(), 100u);
+}
+
+TEST(Dataset, ConsecutiveSetsAreDistinctAndSized)
+{
+  const auto set = make_consecutive_dataset(5, 1000, 7);
+  EXPECT_EQ(set.size(), 1000u);
+  std::unordered_set<TruthTable, TruthTableHash> seen(set.begin(), set.end());
+  EXPECT_EQ(seen.size(), set.size());  // consecutive encodings never repeat within 2^32
+}
+
+TEST(Dataset, RandomDatasetRespectsSeed)
+{
+  EXPECT_EQ(make_random_dataset(6, 64, 9), make_random_dataset(6, 64, 9));
+  EXPECT_NE(make_random_dataset(6, 64, 9), make_random_dataset(6, 64, 10));
+}
+
+TEST(Dataset, SuiteNamesAreStable)
+{
+  const auto names = circuit_suite_names();
+  EXPECT_GE(names.size(), 10u);
+  EXPECT_EQ(names[0], "adder16");
+}
+
+}  // namespace
+}  // namespace facet

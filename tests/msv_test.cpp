@@ -1,0 +1,127 @@
+#include "facet/sig/msv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "facet/npn/transform.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+std::vector<SignatureConfig> all_configs()
+{
+  return {SignatureConfig::oiv_only(),     SignatureConfig::ocv1_only(),
+          SignatureConfig::osv_only(),     SignatureConfig::oiv_osv(),
+          SignatureConfig::ocv1_osv(),     SignatureConfig::ocv1_ocv2_osv(),
+          SignatureConfig::oiv_osv_osdv(), SignatureConfig::all()};
+}
+
+/// The central soundness property behind Algorithm 1 (Theorems 1-4): the MSV
+/// is invariant under every NPN transformation, for every configuration.
+class MsvInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsvInvariance, RandomFunctionsUnderRandomTransforms)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1234ABCDu + static_cast<unsigned>(n)};
+  const auto configs = all_configs();
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform t = NpnTransform::random(n, rng);
+    const TruthTable g = apply_transform(f, t);
+    for (const auto& config : configs) {
+      EXPECT_EQ(build_msv(f, config), build_msv(g, config))
+          << "config " << config.name() << " n=" << n << " transform " << t.to_string();
+    }
+  }
+}
+
+TEST_P(MsvInvariance, BalancedFunctionsUnderRandomTransforms)
+{
+  // Balanced functions exercise the Theorem 3/4 polarity pairing, which is
+  // where a naive per-vector swap rule would break.
+  const int n = GetParam();
+  std::mt19937_64 rng{0xBA1A4CEDu + static_cast<unsigned>(n)};
+  const auto configs = all_configs();
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random_with_ones(n, TruthTable{n}.num_bits() / 2, rng);
+    ASSERT_TRUE(f.is_balanced());
+    const NpnTransform t = NpnTransform::random(n, rng);
+    const TruthTable g = apply_transform(f, t);
+    for (const auto& config : configs) {
+      EXPECT_EQ(build_msv(f, config), build_msv(g, config))
+          << "config " << config.name() << " n=" << n << " transform " << t.to_string();
+    }
+  }
+}
+
+TEST_P(MsvInvariance, OutputNegationAlone)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xFEED5EEDu + static_cast<unsigned>(n)};
+  const auto configs = all_configs();
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    for (const auto& config : configs) {
+      EXPECT_EQ(build_msv(f, config), build_msv(~f, config)) << "config " << config.name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, MsvInvariance, ::testing::Range(1, 9));
+
+TEST(Msv, StructuredFunctionsUnderTransforms)
+{
+  // Highly symmetric functions stress the balanced pairing and degenerate
+  // phase cases.
+  std::mt19937_64 rng{77};
+  const auto configs = all_configs();
+  for (const TruthTable& f :
+       {tt_majority(5), tt_parity(6), tt_inner_product(6), tt_threshold(6, 2), tt_conjunction(5)}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const NpnTransform t = NpnTransform::random(f.num_vars(), rng);
+      const TruthTable g = apply_transform(f, t);
+      for (const auto& config : configs) {
+        EXPECT_EQ(build_msv(f, config), build_msv(g, config)) << "config " << config.name();
+      }
+    }
+  }
+}
+
+TEST(Msv, DistinguishesObviouslyDifferentFunctions)
+{
+  const SignatureConfig config = SignatureConfig::all();
+  EXPECT_NE(build_msv(tt_majority(3), config), build_msv(tt_parity(3), config));
+  EXPECT_NE(build_msv(tt_projection(3, 0), config), build_msv(tt_majority(3), config));
+  EXPECT_NE(build_msv(tt_conjunction(4), config), build_msv(tt_parity(4), config));
+}
+
+TEST(Msv, HashAgreesWithVectorEquality)
+{
+  std::mt19937_64 rng{11};
+  const SignatureConfig config = SignatureConfig::all();
+  const TruthTable f = tt_random(6, rng);
+  const NpnTransform t = NpnTransform::random(6, rng);
+  EXPECT_EQ(msv_hash(f, config), msv_hash(apply_transform(f, t), config));
+}
+
+TEST(Msv, ConfigNames)
+{
+  EXPECT_EQ(SignatureConfig::oiv_only().name(), "OIV");
+  EXPECT_EQ(SignatureConfig::ocv1_ocv2_osv().name(), "OCV1+OCV2+OSV");
+  EXPECT_EQ(SignatureConfig::all().name(), "OCV1+OCV2+OIV+OSV+OSDV");
+  EXPECT_EQ(SignatureConfig{}.name(), "none");
+}
+
+TEST(Msv, ComponentsChangeVectorLength)
+{
+  const TruthTable f = tt_majority(5);
+  EXPECT_LT(build_msv(f, SignatureConfig::oiv_only()).size(),
+            build_msv(f, SignatureConfig::oiv_osv()).size());
+  EXPECT_LT(build_msv(f, SignatureConfig::oiv_osv()).size(), build_msv(f, SignatureConfig::all()).size());
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,127 @@
+#include "facet/npn/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+class TransformAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformAlgebra, IdentityIsNeutral)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1Du + static_cast<unsigned>(n)};
+  const TruthTable f = tt_random(n, rng);
+  EXPECT_EQ(apply_transform(f, NpnTransform::identity(n)), f);
+}
+
+TEST_P(TransformAlgebra, FastApplicationMatchesGather)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xFA57u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform t = NpnTransform::random(n, rng);
+    EXPECT_EQ(apply_transform_fast(f, t), apply_transform(f, t)) << t.to_string();
+  }
+}
+
+TEST_P(TransformAlgebra, ComposeLaw)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xC0Bu + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform a = NpnTransform::random(n, rng);
+    const NpnTransform b = NpnTransform::random(n, rng);
+    EXPECT_EQ(apply_transform(apply_transform(f, a), b), apply_transform(f, compose(b, a)));
+  }
+}
+
+TEST_P(TransformAlgebra, InverseLaw)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1E4u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform t = NpnTransform::random(n, rng);
+    EXPECT_EQ(apply_transform(apply_transform(f, t), inverse(t)), f);
+    // Compose form: inverse(t) after t is the identity transform.
+    EXPECT_EQ(compose(inverse(t), t), NpnTransform::identity(n));
+  }
+}
+
+TEST_P(TransformAlgebra, InverseIsInvolutionUnderCompose)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x99Au + static_cast<unsigned>(n)};
+  const NpnTransform t = NpnTransform::random(n, rng);
+  EXPECT_EQ(inverse(inverse(t)), t);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, TransformAlgebra, ::testing::Range(1, 11));
+
+TEST(TransformSemantics, MatchesPointwiseDefinition)
+{
+  // g(X) = out XOR f(Y), Y_i = X_{perm[i]} XOR neg_i.
+  std::mt19937_64 rng{505};
+  const int n = 5;
+  const TruthTable f = tt_random(n, rng);
+  const NpnTransform t = NpnTransform::random(n, rng);
+  const TruthTable g = apply_transform(f, t);
+  for (std::uint64_t x = 0; x < f.num_bits(); ++x) {
+    std::uint64_t y = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t bit = (x >> t.perm[static_cast<std::size_t>(i)]) & 1ULL;
+      y |= (bit ^ ((t.input_neg >> i) & 1ULL)) << i;
+    }
+    EXPECT_EQ(g.get_bit(x), f.get_bit(y) != t.output_neg);
+  }
+}
+
+TEST(TransformSemantics, PureOutputNegationComplements)
+{
+  const TruthTable f = tt_majority(3);
+  NpnTransform t = NpnTransform::identity(3);
+  t.output_neg = true;
+  EXPECT_EQ(apply_transform(f, t), ~f);
+}
+
+TEST(TransformSemantics, ToStringIsReadable)
+{
+  NpnTransform t = NpnTransform::identity(3);
+  t.input_neg = 0b011;
+  t.output_neg = true;
+  EXPECT_EQ(t.to_string(), "perm=(0,1,2) neg=0b011 out=1");
+}
+
+TEST(TransformSemantics, MismatchedWidthThrows)
+{
+  const TruthTable f = tt_majority(3);
+  EXPECT_THROW(apply_transform(f, NpnTransform::identity(4)), std::invalid_argument);
+  EXPECT_THROW((void)compose(NpnTransform::identity(3), NpnTransform::identity(4)), std::invalid_argument);
+}
+
+TEST(TransformSemantics, RandomTransformsCoverNegationsAndPermutations)
+{
+  std::mt19937_64 rng{2024};
+  bool saw_output_neg = false;
+  bool saw_input_neg = false;
+  bool saw_nonidentity_perm = false;
+  for (int trial = 0; trial < 100; ++trial) {
+    const NpnTransform t = NpnTransform::random(4, rng);
+    saw_output_neg |= t.output_neg;
+    saw_input_neg |= t.input_neg != 0;
+    saw_nonidentity_perm |= !(t == NpnTransform::identity(4)) && t.input_neg == 0 && !t.output_neg;
+  }
+  EXPECT_TRUE(saw_output_neg);
+  EXPECT_TRUE(saw_input_neg);
+  EXPECT_TRUE(saw_nonidentity_perm);
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,149 @@
+#include "facet/sig/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+class SensitivitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitivitySweep, BitSlicedProfileMatchesNaive)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x5E45u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    const SensitivityProfile profile{tt};
+    const auto naive = sensitivity_profile_naive(tt);
+    for (std::uint64_t x = 0; x < tt.num_bits(); ++x) {
+      ASSERT_EQ(profile.local(x), naive[x]) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST_P(SensitivitySweep, LevelMasksPartitionTheCube)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xAA1u + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  const SensitivityProfile profile{tt};
+  TruthTable acc{n};
+  std::uint64_t total = 0;
+  for (int s = 0; s <= n; ++s) {
+    const TruthTable mask = profile.level_mask(s);
+    EXPECT_TRUE((acc & mask).is_const0()) << "levels overlap at s=" << s;
+    acc |= mask;
+    total += mask.count_ones();
+  }
+  EXPECT_TRUE(acc.is_const1());
+  EXPECT_EQ(total, tt.num_bits());
+}
+
+TEST_P(SensitivitySweep, HistogramSumsToCubeSize)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xBB2u + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  const auto hist = osv(tt);
+  const std::uint64_t total = std::accumulate(hist.begin(), hist.end(), std::uint64_t{0});
+  EXPECT_EQ(total, tt.num_bits());
+}
+
+TEST_P(SensitivitySweep, SplitHistogramsSumToFull)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xCC3u + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  const auto full = osv(tt);
+  const auto ones = osv1(tt);
+  const auto zeros = osv0(tt);
+  ASSERT_EQ(full.size(), ones.size());
+  for (std::size_t s = 0; s < full.size(); ++s) {
+    EXPECT_EQ(full[s], ones[s] + zeros[s]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SensitivitySweep, ::testing::Range(1, 11));
+
+TEST(Sensitivity, ParityIsEverywhereMaximal)
+{
+  const int n = 6;
+  const TruthTable tt = tt_parity(n);
+  EXPECT_EQ(sensitivity(tt), n);
+  const auto hist = osv(tt);
+  EXPECT_EQ(hist[static_cast<std::size_t>(n)], tt.num_bits());
+}
+
+TEST(Sensitivity, ConstantIsEverywhereZero)
+{
+  const TruthTable tt = tt_constant(5, true);
+  EXPECT_EQ(sensitivity(tt), 0);
+  EXPECT_EQ(osv(tt)[0], 32u);
+  // sen1 covers all words, sen0 covers none (histogram empty).
+  EXPECT_EQ(sensitivity1(tt), 0);
+  EXPECT_EQ(sensitivity0(tt), 0);
+}
+
+TEST(Sensitivity, MajorityThreeProfile)
+{
+  // Fig. 1a: sen(f1, 111) = 0, sen(f1, 011) = 2 (see §II-C).
+  const TruthTable f1 = tt_majority(3);
+  const SensitivityProfile profile{f1};
+  EXPECT_EQ(profile.local(0b111), 0);
+  EXPECT_EQ(profile.local(0b011), 2);
+  EXPECT_EQ(profile.local(0b000), 0);
+  EXPECT_EQ(profile.local(0b100), 2);
+  EXPECT_EQ(sensitivity(f1), 2);
+}
+
+TEST(Sensitivity, SingleVariableFunction)
+{
+  // f3 = x3: every word is sensitive at exactly one input.
+  const TruthTable f3 = tt_projection(3, 2);
+  const auto hist = osv(f3);
+  EXPECT_EQ(hist[1], 8u);
+  EXPECT_EQ(sensitivity(f3), 1);
+  EXPECT_EQ(sensitivity0(f3), 1);
+  EXPECT_EQ(sensitivity1(f3), 1);
+}
+
+TEST(Sensitivity, LevelMaskIntoMatchesLevelMask)
+{
+  std::mt19937_64 rng{0x1EE7u};
+  for (const int n : {3, 5, 6, 8}) {
+    const TruthTable tt = tt_random(n, rng);
+    const SensitivityProfile profile{tt};
+    TruthTable out{n};
+    for (int s = 0; s <= n; ++s) {
+      profile.level_mask_into(out, s);
+      EXPECT_EQ(out, profile.level_mask(s)) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(Sensitivity, HistogramToSortedLayout)
+{
+  SensitivityHistogram hist{1, 0, 3};  // one word at level 0, three at level 2
+  const std::vector<std::uint32_t> expected{0, 2, 2, 2};
+  EXPECT_EQ(histogram_to_sorted(hist), expected);
+}
+
+TEST(Sensitivity, AndFunctionProfile)
+{
+  // f = x0 AND x1 (n = 2): word 11 flips with either input (sen 2); words
+  // 01 and 10 flip with one input; word 00 with none.
+  const TruthTable tt = tt_conjunction(2);
+  const SensitivityProfile profile{tt};
+  EXPECT_EQ(profile.local(0b00), 0);
+  EXPECT_EQ(profile.local(0b01), 1);
+  EXPECT_EQ(profile.local(0b10), 1);
+  EXPECT_EQ(profile.local(0b11), 2);
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,126 @@
+#include "facet/tt/static_truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/influence.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+namespace {
+
+/// Per-width property: every static operation agrees with the dynamic
+/// kernel after conversion. Using a typed fixture to sweep widths at
+/// compile time.
+template <int N>
+void check_static_dynamic_agreement(std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable dyn = tt_random(N, rng);
+    const StaticTruthTable<N> sta = to_static<N>(dyn);
+
+    // Round trip.
+    ASSERT_EQ(to_dynamic(sta), dyn);
+
+    // Scalar queries.
+    EXPECT_EQ(sta.count_ones(), dyn.count_ones());
+    EXPECT_EQ(sta.is_balanced(), dyn.is_balanced());
+    for (std::uint64_t m = 0; m < dyn.num_bits(); m += 5) {
+      EXPECT_EQ(sta.get_bit(m), dyn.get_bit(m));
+    }
+
+    // Complement.
+    EXPECT_EQ(to_dynamic(~sta), ~dyn);
+
+    // Transforms.
+    for (int v = 0; v < N; ++v) {
+      EXPECT_EQ(to_dynamic(flip_var(sta, v)), flip_var(dyn, v));
+      EXPECT_EQ(cofactor_count(sta, v, false), cofactor_count(dyn, v, false));
+      EXPECT_EQ(cofactor_count(sta, v, true), cofactor_count(dyn, v, true));
+      EXPECT_EQ(influence(sta, v), influence(dyn, v));
+    }
+    for (int a = 0; a < N; ++a) {
+      for (int b = a + 1; b < N; ++b) {
+        EXPECT_EQ(to_dynamic(swap_vars(sta, a, b)), swap_vars(dyn, a, b));
+      }
+    }
+  }
+}
+
+TEST(StaticTruthTable, AgreesWithDynamicKernelAcrossWidths)
+{
+  check_static_dynamic_agreement<1>(0xA1);
+  check_static_dynamic_agreement<2>(0xA2);
+  check_static_dynamic_agreement<3>(0xA3);
+  check_static_dynamic_agreement<4>(0xA4);
+  check_static_dynamic_agreement<5>(0xA5);
+  check_static_dynamic_agreement<6>(0xA6);
+  check_static_dynamic_agreement<7>(0xA7);
+  check_static_dynamic_agreement<8>(0xA8);
+  check_static_dynamic_agreement<10>(0xAA);
+}
+
+TEST(StaticTruthTable, IsConstexprFriendly)
+{
+  // The 2-input AND evaluated entirely at compile time.
+  constexpr auto and2 = StaticTruthTable<2>::from_word(0x8);
+  static_assert(and2.count_ones() == 1);
+  static_assert(and2.get_bit(3));
+  static_assert(!and2.get_bit(0));
+  static_assert(!and2.is_balanced());
+
+  constexpr auto or2 = ~(~and2 & ~StaticTruthTable<2>::from_word(0x6));
+  static_assert(or2.count_ones() == 3);
+
+  constexpr auto flipped = flip_var(and2, 0);
+  static_assert(flipped.get_bit(2));
+  static_assert(cofactor_count(and2, 0, true) == 1);
+  static_assert(influence(and2, 1) == 1);
+  SUCCEED();
+}
+
+TEST(StaticTruthTable, OrderingMatchesDynamic)
+{
+  std::mt19937_64 rng{0x0DDE};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable a = tt_random(7, rng);
+    const TruthTable b = tt_random(7, rng);
+    const auto sa = to_static<7>(a);
+    const auto sb = to_static<7>(b);
+    EXPECT_EQ(sa < sb, a < b);
+    EXPECT_EQ(sa == sb, a == b);
+  }
+}
+
+TEST(StaticTruthTable, BitwiseAlgebraMatchesDynamic)
+{
+  std::mt19937_64 rng{0xB17};
+  const TruthTable a = tt_random(8, rng);
+  const TruthTable b = tt_random(8, rng);
+  const auto sa = to_static<8>(a);
+  const auto sb = to_static<8>(b);
+  EXPECT_EQ(to_dynamic(sa & sb), a & b);
+  EXPECT_EQ(to_dynamic(sa | sb), a | b);
+  EXPECT_EQ(to_dynamic(sa ^ sb), a ^ b);
+}
+
+TEST(StaticTruthTable, ConversionRejectsWidthMismatch)
+{
+  const TruthTable dyn{5};
+  EXPECT_THROW(to_static<4>(dyn), std::invalid_argument);
+}
+
+TEST(StaticTruthTable, ExcessBitsStayMasked)
+{
+  auto tt = StaticTruthTable<3>::from_word(~0ULL);
+  EXPECT_EQ(tt.word(0), 0xFFULL);
+  EXPECT_EQ((~tt).word(0), 0x00ULL);
+  EXPECT_EQ(flip_var(tt, 1).word(0), 0xFFULL);
+}
+
+}  // namespace
+}  // namespace facet

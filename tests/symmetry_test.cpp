@@ -1,0 +1,131 @@
+#include "facet/npn/symmetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "facet/sig/influence.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+namespace {
+
+TEST(Symmetry, TotallySymmetricFunctions)
+{
+  for (const TruthTable& tt : {tt_majority(5), tt_parity(5), tt_threshold(5, 2), tt_conjunction(5)}) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        EXPECT_TRUE(symmetric_in(tt, i, j));
+      }
+    }
+    const auto labels = symmetry_classes(tt);
+    for (const int l : labels) {
+      EXPECT_EQ(l, labels[0]);
+    }
+    EXPECT_TRUE(all_pairwise_symmetric(tt, {0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(Symmetry, ProjectionBreaksSymmetry)
+{
+  const TruthTable tt = tt_projection(3, 0);
+  EXPECT_FALSE(symmetric_in(tt, 0, 1));
+  EXPECT_TRUE(symmetric_in(tt, 1, 2));  // both irrelevant
+  const auto labels = symmetry_classes(tt);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+}
+
+TEST(Symmetry, FlipInvariantMeansIrrelevant)
+{
+  // f = x0 AND x1 over 3 variables: x2 is irrelevant.
+  TruthTable tt = tt_projection(3, 0) & tt_projection(3, 1);
+  EXPECT_TRUE(flip_invariant(tt, 2));
+  EXPECT_FALSE(flip_invariant(tt, 0));
+  EXPECT_EQ(influence(tt, 2), 0u);
+}
+
+TEST(Symmetry, FlipComplementsForParityVariables)
+{
+  const TruthTable p = tt_parity(4);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_TRUE(flip_complements(p, v));
+  }
+  EXPECT_FALSE(flip_complements(tt_majority(3), 0));
+}
+
+TEST(Symmetry, RandomFunctionsAreRarelySymmetric)
+{
+  std::mt19937_64 rng{17};
+  int symmetric_pairs = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable tt = tt_random(6, rng);
+    for (int i = 0; i < 6; ++i) {
+      for (int j = i + 1; j < 6; ++j) {
+        symmetric_pairs += symmetric_in(tt, i, j) ? 1 : 0;
+      }
+    }
+  }
+  // 64-bit random tables are essentially never variable-symmetric.
+  EXPECT_EQ(symmetric_pairs, 0);
+}
+
+TEST(Symmetry, SymmetryIsPreservedUnderSwap)
+{
+  // If f is symmetric in (i, j), swapping them is the identity; composing
+  // with another swap keeps the relation on relabeled indices.
+  const TruthTable maj = tt_majority(3);
+  const TruthTable g = swap_vars(maj, 0, 2);
+  EXPECT_EQ(g, maj);
+}
+
+TEST(Symmetry, NeSymmetryDetectsSkewPairs)
+{
+  // f = x0 XOR x1 is NE-symmetric in (0, 1): swapping and complementing both
+  // inputs preserves the XOR. It is also plainly symmetric.
+  const TruthTable x = tt_parity(2);
+  EXPECT_TRUE(ne_symmetric_in(x, 0, 1));
+  EXPECT_TRUE(symmetric_in(x, 0, 1));
+
+  // f = x0 AND NOT x1 is NE-symmetric but NOT plainly symmetric.
+  const TruthTable f = tt_projection(2, 0) & ~tt_projection(2, 1);
+  EXPECT_TRUE(ne_symmetric_in(f, 0, 1));
+  EXPECT_FALSE(symmetric_in(f, 0, 1));
+
+  // f = x0 AND x1 is plainly symmetric but NOT NE-symmetric.
+  const TruthTable g = tt_conjunction(2);
+  EXPECT_FALSE(ne_symmetric_in(g, 0, 1));
+  EXPECT_TRUE(symmetric_in(g, 0, 1));
+}
+
+TEST(Symmetry, NeSymmetryIsInvolutionConsistent)
+{
+  // The NE-swap is an involution, so the relation is symmetric in (i, j).
+  std::mt19937_64 rng{0x5EEDu};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable tt = tt_random(5, rng);
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        EXPECT_EQ(ne_symmetric_in(tt, i, j), ne_symmetric_in(tt, j, i));
+      }
+    }
+  }
+}
+
+TEST(Symmetry, PartialSymmetryGroups)
+{
+  // f = (x0 AND x1) OR x2: x0 and x1 are symmetric, x2 is not.
+  const TruthTable tt = (tt_projection(3, 0) & tt_projection(3, 1)) | tt_projection(3, 2);
+  EXPECT_TRUE(symmetric_in(tt, 0, 1));
+  EXPECT_FALSE(symmetric_in(tt, 0, 2));
+  EXPECT_FALSE(symmetric_in(tt, 1, 2));
+  EXPECT_TRUE(all_pairwise_symmetric(tt, {0, 1}));
+  EXPECT_FALSE(all_pairwise_symmetric(tt, {0, 1, 2}));
+  const auto labels = symmetry_classes(tt);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_NE(labels[0], labels[2]);
+}
+
+}  // namespace
+}  // namespace facet

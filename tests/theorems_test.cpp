@@ -1,0 +1,192 @@
+/// Direct property tests for every lemma and theorem in §III of the paper,
+/// stated as literally as the API allows. PN-equivalence is generated as
+/// f(pi((not)x)) = g(x) — i.e. g = apply_transform(f, t) with
+/// t.output_neg = false.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "facet/npn/transform.hpp"
+#include "facet/sig/influence.hpp"
+#include "facet/sig/sensitivity.hpp"
+#include "facet/sig/sensitivity_distance.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+/// Pure PN transform (no output negation).
+NpnTransform random_pn(int n, std::mt19937_64& rng)
+{
+  NpnTransform t = NpnTransform::random(n, rng);
+  t.output_neg = false;
+  return t;
+}
+
+class TheoremSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheoremSweep, Lemma1InfluencePerVariableMapsThroughTransform)
+{
+  // Lemma 1: inf(f, pi((not)i)) = inf(g, i). With our transform semantics
+  // (input i of f driven by variable perm[i] of g), variable perm[i] of g
+  // has f's input-i influence.
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1E11A1u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform t = random_pn(n, rng);
+    const TruthTable g = apply_transform(f, t);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(influence(g, t.perm[static_cast<std::size_t>(i)]), influence(f, i));
+    }
+  }
+}
+
+TEST_P(TheoremSweep, Theorem1PnEquivalentFunctionsShareOiv)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x7E0137u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const TruthTable g = apply_transform(f, random_pn(n, rng));
+    EXPECT_EQ(oiv(f), oiv(g));
+  }
+}
+
+TEST_P(TheoremSweep, Lemma2LocalSensitivityMapsThroughTransform)
+{
+  // Lemma 2: sen(f, pi((not)X)) = sen(g, X) for every word X. For our
+  // semantics the pre-image of X under the input mapping is Y with
+  // Y_i = X_{perm[i]} xor neg_i.
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1E11A2u + static_cast<unsigned>(n)};
+  const TruthTable f = tt_random(n, rng);
+  const NpnTransform t = random_pn(n, rng);
+  const TruthTable g = apply_transform(f, t);
+  const SensitivityProfile pf{f};
+  const SensitivityProfile pg{g};
+  for (std::uint64_t x = 0; x < f.num_bits(); ++x) {
+    std::uint64_t y = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t bit = (x >> t.perm[static_cast<std::size_t>(i)]) & 1ULL;
+      y |= (bit ^ ((t.input_neg >> i) & 1ULL)) << i;
+    }
+    EXPECT_EQ(pg.local(x), pf.local(y));
+  }
+}
+
+TEST_P(TheoremSweep, Theorem2PnEquivalentUnbalancedShareAllOsv)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x7E0232u + static_cast<unsigned>(n)};
+  int tested = 0;
+  while (tested < 10) {
+    const TruthTable f = tt_random(n, rng);
+    if (f.is_balanced()) {
+      continue;
+    }
+    ++tested;
+    const TruthTable g = apply_transform(f, random_pn(n, rng));
+    EXPECT_EQ(osv(f), osv(g));
+    EXPECT_EQ(osv0(f), osv0(g));
+    EXPECT_EQ(osv1(f), osv1(g));
+  }
+}
+
+TEST_P(TheoremSweep, Theorem3BalancedNpnEquivalentHaveMatchedOrSwappedOsv)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x7E0333u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random_with_ones(n, TruthTable{n}.num_bits() / 2, rng);
+    const TruthTable g = apply_transform(f, NpnTransform::random(n, rng));  // full NPN
+    const bool matched = osv1(f) == osv1(g) && osv0(f) == osv0(g);
+    const bool swapped = osv1(f) == osv0(g) && osv0(f) == osv1(g);
+    EXPECT_TRUE(matched || swapped);
+  }
+}
+
+TEST_P(TheoremSweep, Lemma3SensitivityDistanceTriplesArePreserved)
+{
+  // Lemma 3: Hamming distance and both local sensitivities of a word pair
+  // survive the transform.
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1E11A3u + static_cast<unsigned>(n)};
+  const TruthTable f = tt_random(n, rng);
+  const NpnTransform t = random_pn(n, rng);
+  const TruthTable g = apply_transform(f, t);
+  const SensitivityProfile pf{f};
+  const SensitivityProfile pg{g};
+  std::uniform_int_distribution<std::uint64_t> pick(0, f.num_bits() - 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t x1 = pick(rng);
+    const std::uint64_t x2 = pick(rng);
+    const auto pre_image = [&](std::uint64_t x) {
+      std::uint64_t y = 0;
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t bit = (x >> t.perm[static_cast<std::size_t>(i)]) & 1ULL;
+        y |= (bit ^ ((t.input_neg >> i) & 1ULL)) << i;
+      }
+      return y;
+    };
+    const std::uint64_t y1 = pre_image(x1);
+    const std::uint64_t y2 = pre_image(x2);
+    EXPECT_EQ(std::popcount(x1 ^ x2), std::popcount(y1 ^ y2));
+    EXPECT_EQ(pg.local(x1), pf.local(y1));
+    EXPECT_EQ(pg.local(x2), pf.local(y2));
+  }
+}
+
+TEST_P(TheoremSweep, Theorem4PnEquivalentUnbalancedShareAllOsdv)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x7E0434u + static_cast<unsigned>(n)};
+  int tested = 0;
+  while (tested < 5) {
+    const TruthTable f = tt_random(n, rng);
+    if (f.is_balanced()) {
+      continue;
+    }
+    ++tested;
+    const TruthTable g = apply_transform(f, random_pn(n, rng));
+    EXPECT_EQ(osdv(f), osdv(g));
+    EXPECT_EQ(osdv0(f), osdv0(g));
+    EXPECT_EQ(osdv1(f), osdv1(g));
+  }
+}
+
+TEST_P(TheoremSweep, Theorem4BalancedNpnEquivalentHaveMatchedOrSwappedOsdv)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x7E0435u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 5; ++trial) {
+    const TruthTable f = tt_random_with_ones(n, TruthTable{n}.num_bits() / 2, rng);
+    const TruthTable g = apply_transform(f, NpnTransform::random(n, rng));
+    const bool matched = osdv1(f) == osdv1(g) && osdv0(f) == osdv0(g);
+    const bool swapped = osdv1(f) == osdv0(g) && osdv0(f) == osdv1(g);
+    EXPECT_TRUE(matched || swapped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, TheoremSweep, ::testing::Range(2, 9));
+
+TEST(Theorems, SectionThreeBOutputNegationSwapsZeroOneSplits)
+{
+  // The observation motivating Theorem 3 (Fig. 3): complementing the output
+  // exchanges OSV1/OSV0 and OSDV1/OSDV0 while OSV/OSDV stay put.
+  std::mt19937_64 rng{0xF16u};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random(6, rng);
+    EXPECT_EQ(osv1(~f), osv0(f));
+    EXPECT_EQ(osv0(~f), osv1(f));
+    EXPECT_EQ(osv(~f), osv(f));
+    EXPECT_EQ(osdv1(~f), osdv0(f));
+    EXPECT_EQ(osdv0(~f), osdv1(f));
+    EXPECT_EQ(osdv(~f), osdv(f));
+  }
+}
+
+}  // namespace
+}  // namespace facet

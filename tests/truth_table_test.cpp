@@ -1,0 +1,124 @@
+#include "facet/tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace facet {
+namespace {
+
+TEST(TruthTable, ConstructsAllZero)
+{
+  for (int n = 0; n <= 10; ++n) {
+    const TruthTable tt{n};
+    EXPECT_EQ(tt.num_vars(), n);
+    EXPECT_EQ(tt.num_bits(), 1ULL << n);
+    EXPECT_EQ(tt.num_words(), words_for_vars(n));
+    EXPECT_TRUE(tt.is_const0());
+    EXPECT_EQ(tt.count_ones(), 0u);
+  }
+}
+
+TEST(TruthTable, WordsForVars)
+{
+  EXPECT_EQ(words_for_vars(0), 1u);
+  EXPECT_EQ(words_for_vars(6), 1u);
+  EXPECT_EQ(words_for_vars(7), 2u);
+  EXPECT_EQ(words_for_vars(10), 16u);
+  EXPECT_EQ(words_for_vars(16), 1024u);
+}
+
+TEST(TruthTable, RejectsOutOfRangeVars)
+{
+  EXPECT_THROW(TruthTable{-1}, std::invalid_argument);
+  EXPECT_THROW(TruthTable{17}, std::invalid_argument);
+  EXPECT_THROW(TruthTable(4, std::vector<std::uint64_t>(2, 0)), std::invalid_argument);
+  EXPECT_THROW(TruthTable::from_word(7, 0), std::invalid_argument);
+}
+
+TEST(TruthTable, BitAccess)
+{
+  TruthTable tt{8};
+  tt.set_bit(0);
+  tt.set_bit(100);
+  tt.set_bit(255);
+  EXPECT_TRUE(tt.get_bit(0));
+  EXPECT_TRUE(tt.get_bit(100));
+  EXPECT_TRUE(tt.get_bit(255));
+  EXPECT_FALSE(tt.get_bit(1));
+  EXPECT_EQ(tt.count_ones(), 3u);
+  tt.clear_bit(100);
+  EXPECT_FALSE(tt.get_bit(100));
+  tt.write_bit(100, true);
+  EXPECT_TRUE(tt.get_bit(100));
+  tt.write_bit(100, false);
+  EXPECT_FALSE(tt.get_bit(100));
+}
+
+TEST(TruthTable, ExcessBitsAreMaskedOnConstruction)
+{
+  const TruthTable tt{3, std::vector<std::uint64_t>{~0ULL}};
+  EXPECT_EQ(tt.word(0), 0xFFULL);
+  EXPECT_EQ(tt.count_ones(), 8u);
+  EXPECT_TRUE(tt.is_const1());
+}
+
+TEST(TruthTable, ComplementRespectsExcessMask)
+{
+  const TruthTable zero{3};
+  const TruthTable one = ~zero;
+  EXPECT_EQ(one.word(0), 0xFFULL);
+  EXPECT_TRUE(one.is_const1());
+  EXPECT_EQ((~one).word(0), 0ULL);
+}
+
+TEST(TruthTable, BitwiseAlgebra)
+{
+  const TruthTable a = TruthTable::from_word(3, 0xAAULL);
+  const TruthTable b = TruthTable::from_word(3, 0xCCULL);
+  EXPECT_EQ((a & b).word(0), 0x88ULL);
+  EXPECT_EQ((a | b).word(0), 0xEEULL);
+  EXPECT_EQ((a ^ b).word(0), 0x66ULL);
+}
+
+TEST(TruthTable, BalancedDetection)
+{
+  EXPECT_TRUE(TruthTable::from_word(3, 0xAAULL).is_balanced());
+  EXPECT_TRUE(TruthTable::from_word(3, 0xE8ULL).is_balanced());
+  EXPECT_FALSE(TruthTable::from_word(3, 0x80ULL).is_balanced());
+}
+
+TEST(TruthTable, OrderingIsLexicographicOnBitString)
+{
+  const TruthTable a = TruthTable::from_word(3, 0x01ULL);
+  const TruthTable b = TruthTable::from_word(3, 0x80ULL);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+
+  // Multi-word: most-significant word decides.
+  TruthTable lo{7};
+  lo.set_bit(0);
+  TruthTable hi{7};
+  hi.set_bit(64);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(TruthTable, HashDistinguishesAndIsStable)
+{
+  const TruthTable a = TruthTable::from_word(4, 0x1234ULL);
+  const TruthTable b = TruthTable::from_word(4, 0x1235ULL);
+  EXPECT_EQ(a.hash(), TruthTable::from_word(4, 0x1234ULL).hash());
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(TruthTable, MultiWordCountOnes)
+{
+  TruthTable tt{8};
+  for (std::uint64_t i = 0; i < 256; i += 3) {
+    tt.set_bit(i);
+  }
+  EXPECT_EQ(tt.count_ones(), 86u);
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,115 @@
+#include "facet/tt/tt_generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <unordered_set>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+namespace {
+
+TEST(Generate, ProjectionSelectsVariable)
+{
+  for (int n = 1; n <= 10; ++n) {
+    for (int v = 0; v < n; ++v) {
+      const TruthTable tt = tt_projection(n, v);
+      EXPECT_EQ(tt.count_ones(), tt.num_bits() / 2);
+      for (std::uint64_t m = 0; m < tt.num_bits(); m += 7) {
+        EXPECT_EQ(tt.get_bit(m), ((m >> v) & 1ULL) != 0);
+      }
+    }
+  }
+}
+
+TEST(Generate, MajorityMatchesDefinition)
+{
+  const TruthTable maj = tt_majority(5);
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    EXPECT_EQ(maj.get_bit(m), std::popcount(m) >= 3);
+  }
+  EXPECT_TRUE(maj.is_balanced());
+  EXPECT_THROW(tt_majority(4), std::invalid_argument);
+}
+
+TEST(Generate, ParityMatchesDefinition)
+{
+  const TruthTable p = tt_parity(6);
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    EXPECT_EQ(p.get_bit(m), (std::popcount(m) & 1) != 0);
+  }
+  EXPECT_TRUE(p.is_balanced());
+}
+
+TEST(Generate, ThresholdCounts)
+{
+  const TruthTable t = tt_threshold(4, 2);
+  // Minterms with >= 2 ones: C(4,2) + C(4,3) + C(4,4) = 6 + 4 + 1.
+  EXPECT_EQ(t.count_ones(), 11u);
+}
+
+TEST(Generate, ConjunctionHasSingleMinterm)
+{
+  const TruthTable t = tt_conjunction(5);
+  EXPECT_EQ(t.count_ones(), 1u);
+  EXPECT_TRUE(t.get_bit(31));
+}
+
+TEST(Generate, InnerProductIsBentLike)
+{
+  const TruthTable ip = tt_inner_product(4);
+  // x0x1 ^ x2x3 has 6 ones over 16 minterms (bent function weight 2^{n-1} +- 2^{n/2-1}).
+  EXPECT_EQ(ip.count_ones(), 6u);
+  EXPECT_THROW(tt_inner_product(3), std::invalid_argument);
+}
+
+TEST(Generate, RandomWithOnesIsExact)
+{
+  std::mt19937_64 rng{7};
+  for (const std::uint64_t ones : {0ULL, 1ULL, 17ULL, 128ULL, 256ULL}) {
+    const TruthTable tt = tt_random_with_ones(8, ones, rng);
+    EXPECT_EQ(tt.count_ones(), ones);
+  }
+  EXPECT_THROW(tt_random_with_ones(3, 9, rng), std::invalid_argument);
+}
+
+TEST(Generate, ConsecutiveEncodingIncrements)
+{
+  const auto set = tt_consecutive(5, 100, 4);
+  ASSERT_EQ(set.size(), 4u);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set[i].word(0), (100 + i) & 0xFFFFFFFFULL);
+  }
+}
+
+TEST(Generate, ConsecutiveEncodingCarriesAcrossWords)
+{
+  // Start at the top of word 0 for a 7-var table; the increment must carry.
+  TruthTable start{7};
+  const auto set = tt_consecutive(7, ~0ULL & 0xFFFFFFFFFFFFFFFFULL, 2);
+  EXPECT_EQ(set[0].word(0), ~0ULL);
+  EXPECT_EQ(set[0].word(1), 0ULL);
+  EXPECT_EQ(set[1].word(0), 0ULL);
+  EXPECT_EQ(set[1].word(1), 1ULL);
+  (void)start;
+}
+
+TEST(Generate, RandomSetIsDeterministicPerSeed)
+{
+  const auto a = tt_random_set(6, 50, 42);
+  const auto b = tt_random_set(6, 50, 42);
+  const auto c = tt_random_set(6, 50, 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generate, RandomSetHasSpread)
+{
+  const auto set = tt_random_set(8, 100, 1);
+  std::unordered_set<TruthTable, TruthTableHash> distinct(set.begin(), set.end());
+  EXPECT_EQ(distinct.size(), set.size());  // collisions are astronomically unlikely
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,82 @@
+#include "facet/tt/tt_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+TEST(TtIo, KnownHexValues)
+{
+  EXPECT_EQ(to_hex(tt_majority(3)), "e8");
+  EXPECT_EQ(to_hex(tt_projection(3, 2)), "f0");
+  EXPECT_EQ(to_hex(tt_constant(3, true)), "ff");
+  EXPECT_EQ(to_hex(tt_constant(3, false)), "00");
+  EXPECT_EQ(to_hex(tt_parity(2)), "6");
+}
+
+TEST(TtIo, SmallWidthsPadToOneNibble)
+{
+  EXPECT_EQ(to_hex(tt_constant(0, true)), "1");
+  EXPECT_EQ(to_hex(tt_constant(1, true)), "3");
+  EXPECT_EQ(to_hex(tt_projection(1, 0)), "2");
+}
+
+TEST(TtIo, BinaryRendering)
+{
+  EXPECT_EQ(to_binary(tt_majority(3)), "11101000");
+  EXPECT_EQ(to_binary(tt_projection(2, 0)), "1010");
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IoRoundTrip, HexRoundTrips)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x10u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    EXPECT_EQ(from_hex(n, to_hex(tt)), tt);
+  }
+}
+
+TEST_P(IoRoundTrip, BinaryRoundTrips)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x20u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    EXPECT_EQ(from_binary(n, to_binary(tt)), tt);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IoRoundTrip, ::testing::Range(0, 11));
+
+TEST(TtIo, AcceptsPrefixAndUppercase)
+{
+  EXPECT_EQ(from_hex(3, "0xE8"), tt_majority(3));
+  EXPECT_EQ(from_hex(3, "E8"), tt_majority(3));
+}
+
+TEST(TtIo, RejectsMalformedInput)
+{
+  EXPECT_THROW(from_hex(3, "e"), std::invalid_argument);     // too short
+  EXPECT_THROW(from_hex(3, "e80"), std::invalid_argument);   // too long
+  EXPECT_THROW(from_hex(3, "zz"), std::invalid_argument);    // bad digit
+  EXPECT_THROW(from_binary(3, "0101"), std::invalid_argument);
+  EXPECT_THROW(from_binary(2, "01x1"), std::invalid_argument);
+}
+
+TEST(TtIo, StreamOperatorPrintsHex)
+{
+  std::ostringstream oss;
+  oss << tt_majority(3);
+  EXPECT_EQ(oss.str(), "e8");
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,156 @@
+#include "facet/tt/tt_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+/// Reference: remap every minterm index bit-by-bit.
+TruthTable flip_var_naive(const TruthTable& tt, int var)
+{
+  TruthTable out{tt.num_vars()};
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    if (tt.get_bit(m ^ (1ULL << var))) {
+      out.set_bit(m);
+    }
+  }
+  return out;
+}
+
+TruthTable swap_vars_naive(const TruthTable& tt, int a, int b)
+{
+  TruthTable out{tt.num_vars()};
+  for (std::uint64_t m = 0; m < tt.num_bits(); ++m) {
+    const std::uint64_t bit_a = (m >> a) & 1ULL;
+    const std::uint64_t bit_b = (m >> b) & 1ULL;
+    std::uint64_t src = m & ~((1ULL << a) | (1ULL << b));
+    src |= bit_b << a;
+    src |= bit_a << b;
+    if (tt.get_bit(src)) {
+      out.set_bit(m);
+    }
+  }
+  return out;
+}
+
+class TransformSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformSweep, FlipMatchesNaiveRemap)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xF11Bu + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    for (int var = 0; var < n; ++var) {
+      EXPECT_EQ(flip_var(tt, var), flip_var_naive(tt, var)) << "n=" << n << " var=" << var;
+    }
+  }
+}
+
+TEST_P(TransformSweep, FlipIsInvolution)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x1234u + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  for (int var = 0; var < n; ++var) {
+    EXPECT_EQ(flip_var(flip_var(tt, var), var), tt);
+  }
+}
+
+TEST_P(TransformSweep, SwapMatchesNaiveRemap)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x5AAB5u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 5; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        EXPECT_EQ(swap_vars(tt, a, b), swap_vars_naive(tt, a, b)) << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_P(TransformSweep, SwapIsInvolutionAndSymmetric)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xABCDu + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      EXPECT_EQ(swap_vars(swap_vars(tt, a, b), a, b), tt);
+      EXPECT_EQ(swap_vars(tt, a, b), swap_vars(tt, b, a));
+    }
+  }
+}
+
+TEST_P(TransformSweep, PermuteFastMatchesReference)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0xFEEDu + static_cast<unsigned>(n)};
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable tt = tt_random(n, rng);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    EXPECT_EQ(permute_vars_fast(tt, perm), permute_vars(tt, perm)) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST_P(TransformSweep, PermuteBySemanticDefinition)
+{
+  // g(X) = f(Y) with Y_i = X_{perm[i]} — checked point-wise.
+  const int n = GetParam();
+  std::mt19937_64 rng{0xBEEFu + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  const TruthTable g = permute_vars(tt, perm);
+  for (std::uint64_t x = 0; x < tt.num_bits(); ++x) {
+    std::uint64_t y = 0;
+    for (int i = 0; i < n; ++i) {
+      y |= ((x >> perm[static_cast<std::size_t>(i)]) & 1ULL) << i;
+    }
+    EXPECT_EQ(g.get_bit(x), tt.get_bit(y));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, TransformSweep, ::testing::Range(1, 11));
+
+TEST(Transform, FlipVarsAppliesMask)
+{
+  std::mt19937_64 rng{99};
+  const TruthTable tt = tt_random(5, rng);
+  const TruthTable expected = flip_var(flip_var(tt, 0), 3);
+  EXPECT_EQ(flip_vars(tt, 0b01001u), expected);
+  EXPECT_EQ(flip_vars(tt, 0), tt);
+}
+
+TEST(Transform, CrossWordFlipMovesWholeBlocks)
+{
+  TruthTable tt{7};
+  tt.set_bit(0);  // minterm with x6 = 0
+  const TruthTable flipped = flip_var(tt, 6);
+  EXPECT_FALSE(flipped.get_bit(0));
+  EXPECT_TRUE(flipped.get_bit(64));
+}
+
+TEST(Transform, RejectsBadVariableIndices)
+{
+  const TruthTable tt{4};
+  EXPECT_THROW(flip_var(tt, -1), std::invalid_argument);
+  EXPECT_THROW(flip_var(tt, 4), std::invalid_argument);
+  EXPECT_THROW(swap_vars(tt, 0, 4), std::invalid_argument);
+  const std::vector<int> bad_perm{0, 1, 2};
+  EXPECT_THROW(permute_vars(tt, bad_perm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace facet

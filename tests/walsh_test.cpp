@@ -1,0 +1,122 @@
+#include "facet/sig/walsh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "facet/npn/transform.hpp"
+#include "facet/sig/msv.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+class WalshSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalshSweep, FastTransformMatchesDirectCoefficients)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x3A15Bu + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  const auto spectrum = walsh_spectrum(tt);
+  for (std::uint64_t mask = 0; mask < tt.num_bits(); ++mask) {
+    ASSERT_EQ(spectrum[mask], walsh_coefficient(tt, static_cast<std::uint32_t>(mask))) << "mask " << mask;
+  }
+}
+
+TEST_P(WalshSweep, ParsevalIdentityHolds)
+{
+  // sum_S W(S)^2 = 2^{2n} for +/-1-valued functions.
+  const int n = GetParam();
+  std::mt19937_64 rng{0x9A55u + static_cast<unsigned>(n)};
+  const TruthTable tt = tt_random(n, rng);
+  const auto spectrum = walsh_spectrum(tt);
+  std::uint64_t energy = 0;
+  for (const auto w : spectrum) {
+    energy += static_cast<std::uint64_t>(static_cast<std::int64_t>(w) * w);
+  }
+  EXPECT_EQ(energy, (std::uint64_t{1} << n) * (std::uint64_t{1} << n));
+}
+
+TEST_P(WalshSweep, OwvIsNpnInvariant)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x0117u + static_cast<unsigned>(n)};
+  for (int trial = 0; trial < 20; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const NpnTransform t = NpnTransform::random(n, rng);
+    const TruthTable g = apply_transform(f, t);
+    EXPECT_EQ(owv(f), owv(g)) << t.to_string();
+    EXPECT_EQ(owv_layer_sums(f), owv_layer_sums(g));
+  }
+}
+
+TEST_P(WalshSweep, MsvWithOwvIsNpnInvariant)
+{
+  const int n = GetParam();
+  std::mt19937_64 rng{0x0A17u + static_cast<unsigned>(n)};
+  const SignatureConfig config = SignatureConfig::all_extended();
+  for (int trial = 0; trial < 10; ++trial) {
+    const TruthTable f = tt_random(n, rng);
+    const TruthTable g = apply_transform(f, NpnTransform::random(n, rng));
+    EXPECT_EQ(build_msv(f, config), build_msv(g, config));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, WalshSweep, ::testing::Range(1, 9));
+
+TEST(Walsh, KnownSpectra)
+{
+  // Constant 0 (F = +1 everywhere): W(0) = 2^n, the rest 0.
+  const auto c0 = walsh_spectrum(tt_constant(3, false));
+  EXPECT_EQ(c0[0], 8);
+  for (std::size_t s = 1; s < c0.size(); ++s) {
+    EXPECT_EQ(c0[s], 0);
+  }
+  // Parity of n vars: a single coefficient at the all-ones mask. With
+  // F = 1 - 2f, F(X) = (-1)^{popcount X} equals the character itself, so the
+  // coefficient is +2^n.
+  const auto p = walsh_spectrum(tt_parity(3));
+  for (std::size_t s = 0; s < p.size(); ++s) {
+    EXPECT_EQ(p[s], s == 7 ? 8 : 0);
+  }
+  // x0: coefficient at mask 1 only, likewise +2^n.
+  const auto x0 = walsh_spectrum(tt_projection(3, 0));
+  for (std::size_t s = 0; s < x0.size(); ++s) {
+    EXPECT_EQ(x0[s], s == 1 ? 8 : 0);
+  }
+}
+
+TEST(Walsh, BentFunctionHasFlatSpectrum)
+{
+  // The inner-product function is bent: |W(S)| = 2^{n/2} for every S.
+  const TruthTable ip = tt_inner_product(6);
+  const auto spectrum = walsh_spectrum(ip);
+  for (const auto w : spectrum) {
+    EXPECT_EQ(std::abs(w), 8);
+  }
+}
+
+TEST(Walsh, OwvLayerLayout)
+{
+  // owv length is 2^n; the layer sums must match the finer vector's totals.
+  const TruthTable f = tt_majority(3);
+  const auto v = owv(f);
+  EXPECT_EQ(v.size(), 8u);
+  const auto sums = owv_layer_sums(f);
+  // Layers: 1 + 3 + 3 + 1 entries.
+  EXPECT_EQ(sums[0], v[0]);
+  EXPECT_EQ(sums[1], static_cast<std::uint64_t>(v[1]) + v[2] + v[3]);
+  EXPECT_EQ(sums[3], v[7]);
+}
+
+TEST(Walsh, OwvSeparatesFunctionsCofactorsCannot)
+{
+  // Bent vs linear: same variable count, both balanced-ish structures that
+  // spectral signatures split immediately.
+  EXPECT_NE(owv(tt_inner_product(4)), owv(tt_parity(4)));
+}
+
+}  // namespace
+}  // namespace facet

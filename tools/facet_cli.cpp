@@ -1,0 +1,248 @@
+/// facet_cli: command-line driver for the facet library.
+///
+/// Subcommands:
+///   classify    NPN-classify a list of truth tables (hex, one per line)
+///   signatures  print all signature vectors of given functions
+///   canon       exact NPN canonical form + witnessing transform (n <= 8)
+///   match       decide NPN equivalence of two functions, with witness
+///   dataset     emit a circuit-derived benchmark set as hex lines
+///   convert     AIGER ascii <-> binary conversion
+///
+/// Examples:
+///   facet_cli classify --n 6 --method fp < functions.txt
+///   facet_cli signatures --n 3 e8 f0
+///   facet_cli canon --n 4 688d
+///   facet_cli match --n 3 e8 d4
+///   facet_cli dataset --n 5 --max-funcs 1000 > set5.txt
+///   facet_cli convert --to-binary circuit.aag circuit.aig
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "facet/facet.hpp"
+
+namespace {
+
+using namespace facet;
+
+std::vector<TruthTable> read_functions(int n, std::istream& is)
+{
+  std::vector<TruthTable> funcs;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Trim whitespace and skip blanks/comments.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    const auto end = line.find_last_not_of(" \t\r");
+    funcs.push_back(from_hex(n, line.substr(begin, end - begin + 1)));
+  }
+  return funcs;
+}
+
+int cmd_classify(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 6));
+  const std::string method = args.get_string("method", "fp");
+
+  std::vector<TruthTable> funcs;
+  const std::string input = args.get_string("input", "-");
+  if (input == "-") {
+    funcs = read_functions(n, std::cin);
+  } else {
+    std::ifstream file{input};
+    if (!file) {
+      std::cerr << "error: cannot open " << input << "\n";
+      return 1;
+    }
+    funcs = read_functions(n, file);
+  }
+  if (funcs.empty()) {
+    std::cerr << "error: no functions read (expected one hex truth table per line)\n";
+    return 1;
+  }
+
+  Stopwatch watch;
+  ClassificationResult result;
+  if (method == "fp") {
+    result = classify_fp(funcs, SignatureConfig::all());
+  } else if (method == "fp-extended") {
+    result = classify_fp(funcs, SignatureConfig::all_extended());
+  } else if (method == "exact") {
+    result = classify_exact(funcs);
+  } else if (method == "kitty") {
+    result = classify_exhaustive(funcs);
+  } else if (method == "semi") {
+    result = classify_semi_canonical(funcs);
+  } else if (method == "hier") {
+    result = classify_hierarchical(funcs);
+  } else if (method == "codesign") {
+    result = classify_codesign(funcs);
+  } else {
+    std::cerr << "error: unknown method '" << method
+              << "' (fp|fp-extended|exact|kitty|semi|hier|codesign)\n";
+    return 1;
+  }
+  const double seconds = watch.seconds();
+
+  std::cout << "functions: " << funcs.size() << "\nclasses:   " << result.num_classes
+            << "\ntime:      " << seconds << " s\n";
+  if (args.get_bool("print-classes")) {
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      std::cout << to_hex(funcs[i]) << " " << result.class_of[i] << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_signatures(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 3));
+  if (args.positional().size() < 2) {
+    std::cerr << "usage: facet_cli signatures --n N <hex>...\n";
+    return 1;
+  }
+  for (std::size_t k = 1; k < args.positional().size(); ++k) {
+    const TruthTable tt = from_hex(n, args.positional()[k]);
+    const SignatureSummary s = summarize_signatures(tt);
+    std::cout << "0x" << to_hex(tt) << ":\n";
+    std::cout << "  |f|   = " << tt.count_ones() << (tt.is_balanced() ? " (balanced)" : "") << "\n";
+    std::cout << "  OCV1  = " << vector_to_string(s.ocv1) << "\n";
+    std::cout << "  OCV2  = " << vector_to_string(s.ocv2) << "\n";
+    std::cout << "  OIV   = " << vector_to_string(s.oiv) << "\n";
+    std::cout << "  OSV   = " << vector_to_string(s.osv_sorted) << "\n";
+    std::cout << "  OSV0  = " << vector_to_string(s.osv0_sorted) << "\n";
+    std::cout << "  OSV1  = " << vector_to_string(s.osv1_sorted) << "\n";
+    std::cout << "  OSDV  = " << vector_to_string(s.osdv) << "\n";
+    std::cout << "  OSDV0 = " << vector_to_string(s.osdv0) << "\n";
+    std::cout << "  OSDV1 = " << vector_to_string(s.osdv1) << "\n";
+    std::cout << "  OWV   = " << vector_to_string(owv(tt)) << "\n";
+  }
+  return 0;
+}
+
+int cmd_canon(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 4));
+  if (args.positional().size() != 2) {
+    std::cerr << "usage: facet_cli canon --n N <hex>\n";
+    return 1;
+  }
+  const TruthTable tt = from_hex(n, args.positional()[1]);
+  const CanonResult result = exact_npn_canonical_with_transform(tt);
+  std::cout << "input:     0x" << to_hex(tt) << "\n";
+  std::cout << "canonical: 0x" << to_hex(result.canonical) << "\n";
+  std::cout << "transform: " << result.transform.to_string() << "\n";
+  return 0;
+}
+
+int cmd_match(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 4));
+  if (args.positional().size() != 3) {
+    std::cerr << "usage: facet_cli match --n N <hexA> <hexB>\n";
+    return 1;
+  }
+  const TruthTable a = from_hex(n, args.positional()[1]);
+  const TruthTable b = from_hex(n, args.positional()[2]);
+  const auto witness = npn_match(a, b);
+  if (witness.has_value()) {
+    std::cout << "EQUIVALENT via " << witness->to_string() << "\n";
+    return 0;
+  }
+  std::cout << "NOT equivalent\n";
+  return 2;
+}
+
+int cmd_dataset(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 6));
+  CircuitDatasetOptions options;
+  options.max_functions = static_cast<std::size_t>(args.get_int("max-funcs", 10000));
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5eed));
+  for (const auto& tt : make_circuit_dataset(n, options)) {
+    std::cout << to_hex(tt) << "\n";
+  }
+  return 0;
+}
+
+int cmd_convert(const CliArgs& args)
+{
+  if (args.positional().size() != 3) {
+    std::cerr << "usage: facet_cli convert (--to-binary|--to-ascii) <in> <out>\n";
+    return 1;
+  }
+  const std::string& in_path = args.positional()[1];
+  const std::string& out_path = args.positional()[2];
+  std::ifstream in{in_path, std::ios::binary};
+  if (!in) {
+    std::cerr << "error: cannot open " << in_path << "\n";
+    return 1;
+  }
+  std::ofstream out{out_path, std::ios::binary};
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << "\n";
+    return 1;
+  }
+  if (args.get_bool("to-binary")) {
+    write_aiger_binary(read_aiger(in), out);
+  } else {
+    write_aiger(read_aiger_binary(in), out);
+  }
+  return 0;
+}
+
+void print_usage()
+{
+  std::cout << "facet_cli — NPN classification from face and point characteristics\n\n"
+               "subcommands:\n"
+               "  classify   --n N [--method fp|fp-extended|exact|kitty|semi|hier|codesign]\n"
+               "             [--input FILE] [--print-classes]   (hex tables on stdin by default)\n"
+               "  signatures --n N <hex>...\n"
+               "  canon      --n N <hex>            (n <= 8)\n"
+               "  match      --n N <hexA> <hexB>\n"
+               "  dataset    --n N [--max-funcs K] [--seed S]\n"
+               "  convert    (--to-binary|--to-ascii) <in> <out>\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  const CliArgs args{argc, argv};
+  if (args.positional().empty()) {
+    print_usage();
+    return 1;
+  }
+  const std::string& command = args.positional()[0];
+  try {
+    if (command == "classify") {
+      return cmd_classify(args);
+    }
+    if (command == "signatures") {
+      return cmd_signatures(args);
+    }
+    if (command == "canon") {
+      return cmd_canon(args);
+    }
+    if (command == "match") {
+      return cmd_match(args);
+    }
+    if (command == "dataset") {
+      return cmd_dataset(args);
+    }
+    if (command == "convert") {
+      return cmd_convert(args);
+    }
+    std::cerr << "error: unknown subcommand '" << command << "'\n\n";
+    print_usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
