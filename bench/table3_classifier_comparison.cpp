@@ -13,11 +13,21 @@
 /// profile (ultra-fast/inaccurate -6, near-exact/slow -11, exact-for-small-n
 /// and stable Ours), which this binary reports.
 ///
-/// Flags: --min-n, --max-n (default 4..8), --max-funcs (default 20000).
+/// A second table reruns the heavier classifiers on the parallel batch
+/// engine (--jobs threads, default and 0 = all cores, as in facet_cli) and
+/// reports the speedup over the sequential runs; class counts are asserted
+/// to match the sequential results exactly. --sequential-only skips it.
+///
+/// Flags: --min-n, --max-n (default 4..8), --max-funcs (default 20000),
+///        --jobs (batch-engine threads), --sequential-only.
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "facet/data/dataset.hpp"
+#include "facet/engine/batch_engine.hpp"
 #include "facet/npn/codesign.hpp"
 #include "facet/npn/exact_classifier.hpp"
 #include "facet/npn/fp_classifier.hpp"
@@ -51,12 +61,23 @@ int main(int argc, char** argv)
   const int min_n = static_cast<int>(args.get_int("min-n", 4));
   const int max_n = static_cast<int>(args.get_int("max-n", 8));
   const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("max-funcs", 20000));
+  // --jobs 0 = hardware concurrency, matching facet_cli; hardware_concurrency
+  // itself may legally report 0, so clamp to one worker.
+  std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  if (jobs == 0) {
+    jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const bool run_engine = !args.get_bool("sequential-only");
 
   std::cout << "Table III: runtime (s) and accuracy of NPN classifiers (circuit-derived sets)\n\n";
 
   AsciiTable table;
   table.set_header({"n", "#Func", "#Exact", "Kitty #", "Kitty t", "-6 #", "-6 t", "-7 #", "-7 t", "-11 #",
                     "-11 t", "Ours #", "Ours t"});
+
+  AsciiTable parallel_table;
+  parallel_table.set_header(
+      {"n", "#Func", "-6 tP", "-6 x", "-7 tP", "-7 x", "-11 tP", "-11 x", "Ours tP", "Ours x"});
 
   for (int n = min_n; n <= max_n; ++n) {
     CircuitDatasetOptions options;
@@ -82,6 +103,35 @@ int main(int argc, char** argv)
                    std::to_string(hier.classes), AsciiTable::to_cell(hier.seconds),
                    std::to_string(codesign.classes), AsciiTable::to_cell(codesign.seconds),
                    std::to_string(ours.classes), AsciiTable::to_cell(ours.seconds)});
+
+    if (run_engine) {
+      // Rerun the four set-scale classifiers on the batch engine and assert
+      // the class counts match the sequential runs exactly — the engine's
+      // bit-identity contract, checked here at benchmark scale.
+      BatchEngineOptions engine_options;
+      engine_options.num_threads = jobs;
+      const auto engine_run = [&](ClassifierKind kind, const Timed& sequential) {
+        const Timed t = timed([&] { return classify_batch(funcs, kind, engine_options); });
+        if (t.classes != sequential.classes) {
+          std::cerr << "FATAL: batch engine diverged from sequential " << classifier_kind_name(kind)
+                    << " at n=" << n << " (" << t.classes << " vs " << sequential.classes << ")\n";
+          std::exit(1);
+        }
+        return t;
+      };
+      const Timed semi_p = engine_run(ClassifierKind::kSemiCanonical, semi);
+      const Timed hier_p = engine_run(ClassifierKind::kHierarchical, hier);
+      const Timed codesign_p = engine_run(ClassifierKind::kCodesign, codesign);
+      const Timed ours_p = engine_run(ClassifierKind::kFp, ours);
+      const auto speedup = [](const Timed& seq, const Timed& par) {
+        return par.seconds > 0 ? AsciiTable::to_cell(seq.seconds / par.seconds) : "-";
+      };
+      parallel_table.add_row({std::to_string(n), std::to_string(funcs.size()),
+                              AsciiTable::to_cell(semi_p.seconds), speedup(semi, semi_p),
+                              AsciiTable::to_cell(hier_p.seconds), speedup(hier, hier_p),
+                              AsciiTable::to_cell(codesign_p.seconds), speedup(codesign, codesign_p),
+                              AsciiTable::to_cell(ours_p.seconds), speedup(ours, ours_p)});
+    }
     std::cerr << "  [n=" << n << " done, " << funcs.size() << " functions]\n";
   }
 
@@ -89,5 +139,10 @@ int main(int argc, char** argv)
   std::cout << "\nExpected shape (paper Table III): -6 is fastest but far above exact; -7 in between;\n"
                "-11 near exact but slower with n; Ours matches exact for small n, slightly below for\n"
                "large n (signature collisions), with runtime that scales with set size only.\n";
+  if (run_engine) {
+    std::cout << "\nBatch engine (" << jobs << " thread(s), tP = parallel time, x = speedup; class\n"
+                 "counts verified identical to the sequential runs):\n\n";
+    parallel_table.render(std::cout);
+  }
   return 0;
 }

@@ -1,0 +1,61 @@
+#include "facet/engine/shard.hpp"
+
+#include <algorithm>
+
+#include "facet/util/hash.hpp"
+
+namespace facet {
+
+std::uint64_t shard_key(const TruthTable& tt, ShardKeyKind kind, const SignatureConfig& config)
+{
+  std::uint64_t sig = 0;
+  switch (kind) {
+    case ShardKeyKind::kInvariantPrefix:
+      sig = msv_hash(tt, SignatureConfig{.use_ocv1 = true, .use_oiv = true});
+      break;
+    case ShardKeyKind::kFullMsv:
+      sig = msv_hash(tt, config);
+      break;
+  }
+  return hash_combine64(static_cast<std::uint64_t>(tt.num_vars()), sig);
+}
+
+ShardPlan make_shard_plan(std::span<const TruthTable> funcs, std::size_t num_shards, ShardKeyKind kind,
+                          const SignatureConfig& config, WorkerPool& pool)
+{
+  ShardPlan plan;
+  plan.num_shards = std::max<std::size_t>(1, num_shards);
+  plan.shard_of.resize(funcs.size());
+  plan.members.resize(plan.num_shards);
+  if (funcs.empty()) {
+    return plan;
+  }
+
+  // Key computation is the per-function hot loop; chunk it over the pool.
+  const std::size_t chunk = std::max<std::size_t>(64, funcs.size() / (pool.num_threads() * 8));
+  const std::size_t num_chunks = (funcs.size() + chunk - 1) / chunk;
+  pool.run_indexed(num_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(begin + chunk, funcs.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      plan.shard_of[i] =
+          static_cast<std::uint32_t>(shard_key(funcs[i], kind, config) % plan.num_shards);
+    }
+  });
+
+  // Bucketing stays sequential so member lists are ascending (the merge
+  // step depends on input order within each shard).
+  std::vector<std::size_t> sizes(plan.num_shards, 0);
+  for (const auto s : plan.shard_of) {
+    ++sizes[s];
+  }
+  for (std::size_t s = 0; s < plan.num_shards; ++s) {
+    plan.members[s].reserve(sizes[s]);
+  }
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    plan.members[plan.shard_of[i]].push_back(static_cast<std::uint32_t>(i));
+  }
+  return plan;
+}
+
+}  // namespace facet

@@ -5,7 +5,8 @@
 /// Characteristics of Boolean Functions" (DATE 2023). Include this header to
 /// get the truth-table kernel, the signature families (cofactor, influence,
 /// sensitivity, sensitivity distance), the signature-only NPN classifier of
-/// the paper, every baseline classifier of its evaluation, and the
+/// the paper, every baseline classifier of its evaluation, the parallel
+/// batch-classification engine that wraps them all, and the
 /// AIG/cut-enumeration pipeline used to build benchmark function sets.
 
 #pragma once
@@ -16,6 +17,9 @@
 #include "facet/aig/cut_enum.hpp"
 #include "facet/aig/simulate.hpp"
 #include "facet/data/dataset.hpp"
+#include "facet/engine/batch_engine.hpp"
+#include "facet/engine/shard.hpp"
+#include "facet/engine/work_queue.hpp"
 #include "facet/npn/classifier.hpp"
 #include "facet/npn/codesign.hpp"
 #include "facet/npn/enumerate.hpp"

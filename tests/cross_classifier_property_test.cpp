@@ -1,0 +1,146 @@
+/// Randomized cross-classifier properties, checked classifier-against-
+/// classifier rather than against fixed expected values:
+///
+/// * classify_exact groups a function with every NPN-transform image of it
+///   (soundness + completeness of the ground truth);
+/// * the image-based heuristics (semi-canonical, hierarchical, co-designed)
+///   never merge functions that classify_exact separates — their class keys
+///   are true transform images, so merges imply equivalence;
+/// * the signature classifier never splits functions that classify_exact
+///   merges — its keys are NPN invariants (Theorems 1-4);
+/// * the batch engine inherits all of the above, since its output is
+///   bit-identical to the sequential classifiers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "facet/engine/batch_engine.hpp"
+#include "facet/npn/codesign.hpp"
+#include "facet/npn/exact_classifier.hpp"
+#include "facet/npn/fp_classifier.hpp"
+#include "facet/npn/hierarchical.hpp"
+#include "facet/npn/semi_canonical.hpp"
+#include "facet/npn/transform.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+/// A workload seeded with random functions plus several random NPN images
+/// of each, shuffled — so true classes have known multi-member structure.
+std::vector<TruthTable> transform_closure_set(int n, std::size_t num_seeds, std::size_t images_per_seed,
+                                              std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  funcs.reserve(num_seeds * (1 + images_per_seed));
+  for (std::size_t k = 0; k < num_seeds; ++k) {
+    const TruthTable f = tt_random(n, rng);
+    funcs.push_back(f);
+    for (std::size_t j = 0; j < images_per_seed; ++j) {
+      funcs.push_back(apply_transform(f, NpnTransform::random(n, rng)));
+    }
+  }
+  std::shuffle(funcs.begin(), funcs.end(), rng);
+  return funcs;
+}
+
+/// True iff partition `coarse` merges every pair that `fine` merges, i.e.
+/// fine refines coarse: equal fine-classes imply equal coarse-classes.
+bool refines(const ClassificationResult& fine, const ClassificationResult& coarse)
+{
+  std::vector<std::uint32_t> coarse_of_fine(fine.num_classes, 0xffffffffU);
+  for (std::size_t i = 0; i < fine.class_of.size(); ++i) {
+    auto& mapped = coarse_of_fine[fine.class_of[i]];
+    if (mapped == 0xffffffffU) {
+      mapped = coarse.class_of[i];
+    } else if (mapped != coarse.class_of[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CrossClassifier, ExactGroupsEveryNpnImageWithItsSource)
+{
+  std::mt19937_64 rng{0xace};
+  for (const int n : {3, 4, 5, 6}) {
+    std::vector<TruthTable> funcs;
+    std::vector<std::size_t> source_of;
+    for (std::size_t k = 0; k < 20; ++k) {
+      const TruthTable f = tt_random(n, rng);
+      const std::size_t source_index = funcs.size();
+      funcs.push_back(f);
+      source_of.push_back(source_index);
+      for (int j = 0; j < 4; ++j) {
+        funcs.push_back(apply_transform(f, NpnTransform::random(n, rng)));
+        source_of.push_back(source_index);
+      }
+    }
+    const auto exact = classify_exact(funcs);
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      EXPECT_EQ(exact.class_of[i], exact.class_of[source_of[i]])
+          << "n=" << n << ": image " << i << " separated from its source";
+    }
+  }
+}
+
+TEST(CrossClassifier, ImageHeuristicsNeverMergeWhatExactSeparates)
+{
+  for (const int n : {4, 5, 6}) {
+    const auto funcs = transform_closure_set(n, 40, 3, 0xc0ffee + static_cast<std::uint64_t>(n));
+    const auto exact = classify_exact(funcs);
+    // Heuristic classes must refine the exact partition: a heuristic merge
+    // of exact-separated functions would be an unsound equivalence claim.
+    EXPECT_TRUE(refines(classify_semi_canonical(funcs), exact)) << "semi, n=" << n;
+    EXPECT_TRUE(refines(classify_hierarchical(funcs), exact)) << "hier, n=" << n;
+    EXPECT_TRUE(refines(classify_codesign(funcs), exact)) << "codesign, n=" << n;
+  }
+}
+
+TEST(CrossClassifier, SignatureClassifierNeverSplitsWhatExactMerges)
+{
+  for (const int n : {4, 5, 6}) {
+    const auto funcs = transform_closure_set(n, 40, 3, 0xfaceU + static_cast<std::uint64_t>(n));
+    const auto exact = classify_exact(funcs);
+    // Exact classes must refine the signature partition: signatures are NPN
+    // invariants, so NPN-equivalent functions always share an MSV.
+    EXPECT_TRUE(refines(exact, classify_fp(funcs, SignatureConfig::all()))) << "fp, n=" << n;
+    EXPECT_TRUE(refines(exact, classify_fp_hashed(funcs, SignatureConfig::all())))
+        << "fp-hashed, n=" << n;
+  }
+}
+
+TEST(CrossClassifier, BatchEngineInheritsBothProperties)
+{
+  const int n = 5;
+  const auto funcs = transform_closure_set(n, 50, 3, 0xdead);
+  BatchEngineOptions options;
+  options.num_threads = 4;
+  const auto exact = classify_batch(funcs, ClassifierKind::kExact, options);
+  EXPECT_TRUE(refines(classify_batch(funcs, ClassifierKind::kSemiCanonical, options), exact));
+  EXPECT_TRUE(refines(classify_batch(funcs, ClassifierKind::kHierarchical, options), exact));
+  EXPECT_TRUE(refines(classify_batch(funcs, ClassifierKind::kCodesign, options), exact));
+  EXPECT_TRUE(refines(exact, classify_batch(funcs, ClassifierKind::kFp, options)));
+}
+
+TEST(CrossClassifier, HierarchicalNeverCoarserThanCodesignAtSameBudget)
+{
+  // Hierarchical's refinement applies the co-designed form to semi-canonical
+  // representatives, so with the same budget its class count can only be
+  // >= the exact count and every merge stays sound (checked above); here we
+  // additionally pin the class-count ordering against exact.
+  for (const int n : {4, 5}) {
+    const auto funcs = transform_closure_set(n, 30, 3, 42 + static_cast<std::uint64_t>(n));
+    const auto exact = classify_exact(funcs);
+    EXPECT_GE(classify_hierarchical(funcs).num_classes, exact.num_classes);
+    EXPECT_GE(classify_codesign(funcs).num_classes, exact.num_classes);
+    EXPECT_GE(classify_semi_canonical(funcs).num_classes, exact.num_classes);
+  }
+}
+
+}  // namespace
+}  // namespace facet

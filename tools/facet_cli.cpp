@@ -10,6 +10,7 @@
 ///
 /// Examples:
 ///   facet_cli classify --n 6 --method fp < functions.txt
+///   facet_cli classify --n 6 --method exact --jobs 4 < functions.txt
 ///   facet_cli signatures --n 3 e8 f0
 ///   facet_cli canon --n 4 688d
 ///   facet_cli match --n 3 e8 d4
@@ -48,6 +49,11 @@ int cmd_classify(const CliArgs& args)
 {
   const int n = static_cast<int>(args.get_int("n", 6));
   const std::string method = args.get_string("method", "fp");
+  // --jobs N: classify on the parallel batch engine with N worker threads
+  // (0 = hardware concurrency). Without --jobs the sequential classifiers
+  // run directly, as before.
+  const bool use_engine = args.has("jobs");
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
 
   std::vector<TruthTable> funcs;
   const std::string input = args.get_string("input", "-");
@@ -66,31 +72,58 @@ int cmd_classify(const CliArgs& args)
     return 1;
   }
 
+  // "fp-extended" is the fp kind under the extended signature set.
+  const auto kind = classifier_kind_from_name(method == "fp-extended" ? "fp" : method);
+  if (!kind.has_value()) {
+    std::cerr << "error: unknown method '" << method
+              << "' (fp|fp-extended|fp-hashed|exact|kitty|semi|hier|codesign)\n";
+    return 1;
+  }
+  const SignatureConfig config =
+      method == "fp-extended" ? SignatureConfig::all_extended() : SignatureConfig::all();
+
   Stopwatch watch;
   ClassificationResult result;
-  if (method == "fp") {
-    result = classify_fp(funcs, SignatureConfig::all());
-  } else if (method == "fp-extended") {
-    result = classify_fp(funcs, SignatureConfig::all_extended());
-  } else if (method == "exact") {
-    result = classify_exact(funcs);
-  } else if (method == "kitty") {
-    result = classify_exhaustive(funcs);
-  } else if (method == "semi") {
-    result = classify_semi_canonical(funcs);
-  } else if (method == "hier") {
-    result = classify_hierarchical(funcs);
-  } else if (method == "codesign") {
-    result = classify_codesign(funcs);
+  BatchEngineStats stats;
+  if (use_engine) {
+    BatchEngineOptions options;
+    options.num_threads = jobs;
+    options.signature = config;
+    result = classify_batch(funcs, *kind, options, &stats);
   } else {
-    std::cerr << "error: unknown method '" << method
-              << "' (fp|fp-extended|exact|kitty|semi|hier|codesign)\n";
-    return 1;
+    switch (*kind) {
+      case ClassifierKind::kExact:
+        result = classify_exact(funcs);
+        break;
+      case ClassifierKind::kExhaustive:
+        result = classify_exhaustive(funcs);
+        break;
+      case ClassifierKind::kFp:
+        result = classify_fp(funcs, config);
+        break;
+      case ClassifierKind::kFpHashed:
+        result = classify_fp_hashed(funcs, config);
+        break;
+      case ClassifierKind::kSemiCanonical:
+        result = classify_semi_canonical(funcs);
+        break;
+      case ClassifierKind::kHierarchical:
+        result = classify_hierarchical(funcs);
+        break;
+      case ClassifierKind::kCodesign:
+        result = classify_codesign(funcs);
+        break;
+    }
   }
   const double seconds = watch.seconds();
 
   std::cout << "functions: " << funcs.size() << "\nclasses:   " << result.num_classes
             << "\ntime:      " << seconds << " s\n";
+  if (use_engine) {
+    std::cout << "engine:    " << stats.threads << " thread(s), " << stats.shards_used
+              << " shard(s) used (max " << stats.max_shard_size << " funcs), cache " << stats.cache_hits
+              << " hit(s) / " << stats.cache_misses << " miss(es)\n";
+  }
   if (args.get_bool("print-classes")) {
     for (std::size_t i = 0; i < funcs.size(); ++i) {
       std::cout << to_hex(funcs[i]) << " " << result.class_of[i] << "\n";
@@ -200,8 +233,10 @@ void print_usage()
 {
   std::cout << "facet_cli — NPN classification from face and point characteristics\n\n"
                "subcommands:\n"
-               "  classify   --n N [--method fp|fp-extended|exact|kitty|semi|hier|codesign]\n"
-               "             [--input FILE] [--print-classes]   (hex tables on stdin by default)\n"
+               "  classify   --n N [--method fp|fp-extended|fp-hashed|exact|kitty|semi|hier|codesign]\n"
+               "             [--jobs N] [--input FILE] [--print-classes]\n"
+               "             (hex tables on stdin by default; --jobs N runs the parallel\n"
+               "              batch engine with N threads, 0 = all cores)\n"
                "  signatures --n N <hex>...\n"
                "  canon      --n N <hex>            (n <= 8)\n"
                "  match      --n N <hexA> <hexB>\n"
