@@ -1,0 +1,139 @@
+/// bench_store_lookup: class-store build and lookup throughput, with
+/// machine-readable JSON output for CI trend tracking.
+///
+/// Measures, on a circuit-derived n-variable dataset:
+///   * index build time (BatchEngine classification + record assembly);
+///   * cold lookup throughput — empty hot cache, every query pays one
+///     canonicalization plus a binary search;
+///   * warm lookup throughput — every query answered by the sharded LRU
+///     hot cache, the steady state of a serving workload;
+///   * live single-thread exact classification throughput (the baseline the
+///     store replaces), measured on a sample;
+/// and verifies that every store lookup reproduces the BatchEngine class id
+/// mapping bit-for-bit and that every returned transform witnesses its
+/// representative.
+///
+/// Defaults are laptop-scale; the acceptance-scale run of the store PR is
+///   bench_store_lookup --n 6 --funcs 120000
+/// The JSON report lands in BENCH_store_lookup.json (override with --out).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "facet/facet.hpp"
+
+int main(int argc, char** argv)
+{
+  using namespace facet;
+  const CliArgs args{argc, argv};
+  const int n = static_cast<int>(args.get_int("n", 6));
+  const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("funcs", 20000));
+  const std::size_t live_sample = static_cast<std::size_t>(args.get_int("live-sample", 2000));
+  const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  const std::string out_path = args.get_string("out", "BENCH_store_lookup.json");
+
+  CircuitDatasetOptions dataset_options;
+  dataset_options.max_functions = max_funcs;
+  std::vector<TruthTable> funcs = make_circuit_dataset(n, dataset_options);
+  const std::size_t circuit_funcs = funcs.size();
+  if (funcs.size() < max_funcs) {
+    // The circuit suite runs dry before paper-scale workloads (e.g. ~13k
+    // full-support cut functions at n = 6); pad to the requested size with
+    // the Fig. 5 consecutive-encoding workload so --funcs means what it
+    // says.
+    const auto pad = make_consecutive_dataset(n, max_funcs - funcs.size());
+    funcs.insert(funcs.end(), pad.begin(), pad.end());
+  }
+  std::cout << "dataset: " << funcs.size() << " functions, n = " << n << " (" << circuit_funcs
+            << " circuit-derived, " << (funcs.size() - circuit_funcs) << " consecutive)\n";
+
+  // Reference classification (also the class ids the store must reproduce).
+  BatchEngineOptions engine_options;
+  engine_options.num_threads = jobs;
+  BatchEngine engine{ClassifierKind::kExhaustive, engine_options};
+  const ClassificationResult reference = engine.classify(funcs);
+
+  // --- build ---------------------------------------------------------------
+  StoreBuildOptions build_options;
+  build_options.num_threads = jobs;
+  // Size the cache to hold the whole workload with headroom for per-shard
+  // load skew, so the warm pass measures steady-state cache throughput, not
+  // LRU thrash.
+  build_options.store.hot_cache_capacity = 2 * funcs.size() + 16;
+  Stopwatch watch;
+  ClassStore store = build_class_store(funcs, build_options);
+  const double build_seconds = watch.seconds();
+  std::cout << "build:   " << store.num_records() << " classes in " << build_seconds << " s\n";
+
+  // --- cold lookups: no hot cache, canonicalize + binary search ------------
+  store.clear_hot_cache();
+  bool identical = true;
+  watch.reset();
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const auto result = store.lookup(funcs[i]);
+    identical = identical && result.has_value() && result->class_id == reference.class_of[i];
+  }
+  const double cold_seconds = watch.seconds();
+
+  // --- warm lookups: every query served by the hot cache -------------------
+  watch.reset();
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const auto result = store.lookup(funcs[i]);
+    identical = identical && result.has_value() && result->class_id == reference.class_of[i] &&
+                result->source == LookupSource::kHotCache;
+  }
+  const double warm_seconds = watch.seconds();
+
+  // Transform soundness on a sample spread across the workload.
+  const std::size_t stride = funcs.size() < 512 ? 1 : funcs.size() / 512;
+  for (std::size_t i = 0; i < funcs.size(); i += stride) {
+    const auto result = store.lookup(funcs[i]);
+    identical = identical && result.has_value() &&
+                apply_transform(funcs[i], result->to_representative) == result->representative;
+  }
+
+  // --- live single-thread exact classification baseline --------------------
+  const std::size_t sample = std::min(live_sample, funcs.size());
+  watch.reset();
+  for (std::size_t i = 0; i < sample; ++i) {
+    (void)exact_npn_canonical(funcs[i]);
+  }
+  const double live_seconds = watch.seconds();
+
+  const auto per_sec = [](std::size_t count, double seconds) {
+    return seconds > 0 ? static_cast<double>(count) / seconds : 0.0;
+  };
+  const double cold_rate = per_sec(funcs.size(), cold_seconds);
+  const double warm_rate = per_sec(funcs.size(), warm_seconds);
+  const double live_rate = per_sec(sample, live_seconds);
+  const double speedup = live_rate > 0 ? warm_rate / live_rate : 0.0;
+
+  std::cout << "cold:    " << cold_rate << " lookups/s\n"
+            << "warm:    " << warm_rate << " lookups/s\n"
+            << "live:    " << live_rate << " canonicalizations/s (single thread, " << sample
+            << " sampled)\n"
+            << "warm vs live speedup: " << speedup << "x\n"
+            << "bit-identical to BatchEngine: " << (identical ? "yes" : "NO") << "\n";
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "{\n"
+       << "  \"bench\": \"store_lookup\",\n"
+       << "  \"n\": " << n << ",\n"
+       << "  \"functions\": " << funcs.size() << ",\n"
+       << "  \"classes\": " << store.num_records() << ",\n"
+       << "  \"build_seconds\": " << build_seconds << ",\n"
+       << "  \"cold_lookups_per_sec\": " << cold_rate << ",\n"
+       << "  \"warm_lookups_per_sec\": " << warm_rate << ",\n"
+       << "  \"live_sample\": " << sample << ",\n"
+       << "  \"live_single_thread_per_sec\": " << live_rate << ",\n"
+       << "  \"warm_vs_live_speedup\": " << speedup << ",\n"
+       << "  \"identical_to_engine\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  // Non-zero exit on a correctness violation so CI fails loudly.
+  return identical ? 0 : 1;
+}

@@ -11,6 +11,7 @@
 #include "facet/npn/exact_canon.hpp"
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semi_canonical.hpp"
+#include "facet/store/class_store.hpp"
 #include "facet/util/hash.hpp"
 
 namespace facet {
@@ -50,6 +51,36 @@ struct LocalResult {
   std::uint32_t num_classes = 0;
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
+  std::size_t store_cache_hits = 0;
+  std::size_t store_index_hits = 0;
+};
+
+/// Class key of the store-backed kExhaustive fast path. A function resolved
+/// through the store keys on its stored class id; an unknown function keys
+/// on its canonical image. The two flavors induce the same partition —
+/// store class ids and canonical forms are bijective over the store's
+/// classes, and an unknown canonical form can never collide with a known
+/// one — so grouping is identical to grouping by canonical image alone.
+struct StoreKey {
+  bool known = false;
+  std::uint32_t id = 0;
+  TruthTable canon;
+
+  [[nodiscard]] friend bool operator==(const StoreKey& a, const StoreKey& b)
+  {
+    if (a.known != b.known) {
+      return false;
+    }
+    return a.known ? a.id == b.id : a.canon == b.canon;
+  }
+};
+
+struct StoreKeyHash {
+  [[nodiscard]] std::size_t operator()(const StoreKey& k) const noexcept
+  {
+    return k.known ? static_cast<std::size_t>(hash_mix64(0x53544f52ULL ^ k.id))
+                   : static_cast<std::size_t>(k.canon.hash());
+  }
 };
 
 struct Hash128 {
@@ -131,7 +162,8 @@ const Value& memoized(std::unordered_map<TruthTable, Value, TruthTableHash>& cac
 }
 
 LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& options,
-                           BatchShardState& state, std::span<const TruthTable> funcs,
+                           const ClassStore* store, BatchShardState& state,
+                           std::span<const TruthTable> funcs,
                            const std::vector<std::uint32_t>& members)
 {
   Dedup d = dedup_members(funcs, members);
@@ -159,6 +191,41 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
     }
 
     case ClassifierKind::kExhaustive:
+      if (store != nullptr) {
+        // Store-backed fast path: hot-cache hits skip canonicalization
+        // entirely; index hits key by stored class id; unknown functions
+        // fall back to the memoized canonical image.
+        std::vector<StoreKey> key_of_unique;
+        key_of_unique.reserve(d.uniques.size());
+        std::size_t store_cache_hits = 0;
+        std::size_t store_index_hits = 0;
+        for (const auto& u : d.uniques) {
+          const bool width_matches = u.num_vars() == store->num_vars();
+          if (width_matches) {
+            if (const auto hit = store->probe_cache(u)) {
+              ++store_cache_hits;
+              key_of_unique.push_back(StoreKey{true, hit->class_id, TruthTable{}});
+              continue;
+            }
+          }
+          const TruthTable& canon =
+              memoized(state.image_cache, u, hits, misses,
+                       [](const TruthTable& tt) { return exact_npn_canonical(tt); });
+          const StoreRecord* record = width_matches ? store->find_canonical(canon) : nullptr;
+          if (record != nullptr) {
+            ++store_index_hits;
+            key_of_unique.push_back(StoreKey{true, record->class_id, TruthTable{}});
+          } else {
+            key_of_unique.push_back(StoreKey{false, 0, canon});
+          }
+        }
+        LocalResult local =
+            group_by_key<StoreKey, StoreKeyHash>(d, std::move(key_of_unique), hits, misses);
+        local.store_cache_hits = store_cache_hits;
+        local.store_index_hits = store_index_hits;
+        return local;
+      }
+      [[fallthrough]];
     case ClassifierKind::kSemiCanonical:
     case ClassifierKind::kCodesign:
     case ClassifierKind::kHierarchical: {
@@ -296,6 +363,16 @@ void BatchEngine::clear_cache()
   }
 }
 
+void BatchEngine::attach_store(const ClassStore* store)
+{
+  if (store != nullptr && kind_ != ClassifierKind::kExhaustive) {
+    throw std::invalid_argument{
+        "BatchEngine::attach_store: the store fast path requires the exact-canonical "
+        "(kitty) engine"};
+  }
+  store_ = store;
+}
+
 ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, BatchEngineStats* stats)
 {
   // The fp kinds class on MSV equality, so the shard key must be a function
@@ -309,7 +386,7 @@ ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, Ba
   std::vector<LocalResult> locals(plan.num_shards);
   pool_->run_indexed(plan.num_shards, [&](std::size_t s) {
     if (!plan.members[s].empty()) {
-      locals[s] = classify_shard(kind_, options_, *shards_[s], funcs, plan.members[s]);
+      locals[s] = classify_shard(kind_, options_, store_, *shards_[s], funcs, plan.members[s]);
     }
   });
   if (!options_.memoize) {
@@ -347,6 +424,8 @@ ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, Ba
       stats->shards_used += plan.members[s].empty() ? 0 : 1;
       stats->cache_hits += locals[s].cache_hits;
       stats->cache_misses += locals[s].cache_misses;
+      stats->store_cache_hits += locals[s].store_cache_hits;
+      stats->store_index_hits += locals[s].store_index_hits;
     }
   }
   return result;

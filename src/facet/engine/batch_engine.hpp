@@ -39,6 +39,7 @@
 
 namespace facet {
 
+class ClassStore;
 class WorkerPool;
 struct BatchShardState;
 
@@ -82,6 +83,8 @@ struct BatchEngineStats {
   std::size_t max_shard_size = 0;  ///< largest shard (skew indicator)
   std::size_t cache_hits = 0;      ///< canonicalizations skipped (dups + memo)
   std::size_t cache_misses = 0;    ///< canonicalizations actually performed
+  std::size_t store_cache_hits = 0;  ///< attached-store hot-cache hits (no canonicalization)
+  std::size_t store_index_hits = 0;  ///< attached-store index hits (canonical known)
 };
 
 /// Reusable parallel batch classifier. Thread-safe for sequential reuse
@@ -108,12 +111,24 @@ class BatchEngine {
   /// Drops all per-shard memo caches.
   void clear_cache();
 
+  /// Attaches a read-only ClassStore fast path (kExhaustive engines only —
+  /// other kinds throw std::invalid_argument). Functions found in the
+  /// store's hot cache skip canonicalization entirely; canonical forms
+  /// found in its index key their class by the stored class id. Both key
+  /// flavors induce the same partition as the canonical image, so the
+  /// merged result stays bit-identical to the sequential classifier.
+  /// Pass nullptr to detach. The store must not be mutated (appended to)
+  /// while a classify() call is running.
+  void attach_store(const ClassStore* store);
+  [[nodiscard]] const ClassStore* attached_store() const noexcept { return store_; }
+
  private:
   ClassifierKind kind_;
   BatchEngineOptions options_;
   std::size_t num_shards_;
   std::unique_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<BatchShardState>> shards_;
+  const ClassStore* store_ = nullptr;
 };
 
 /// One-shot convenience wrapper around a temporary BatchEngine.

@@ -6,7 +6,8 @@
 /// get the truth-table kernel, the signature families (cofactor, influence,
 /// sensitivity, sensitivity distance), the signature-only NPN classifier of
 /// the paper, every baseline classifier of its evaluation, the parallel
-/// batch-classification engine that wraps them all, and the
+/// batch-classification engine that wraps them all, the persistent NPN class
+/// store (build / save / load / lookup / serve), and the
 /// AIG/cut-enumeration pipeline used to build benchmark function sets.
 
 #pragma once
@@ -38,6 +39,11 @@
 #include "facet/sig/sensitivity_distance.hpp"
 #include "facet/sig/variable_signatures.hpp"
 #include "facet/sig/walsh.hpp"
+#include "facet/store/class_store.hpp"
+#include "facet/store/hot_cache.hpp"
+#include "facet/store/serve.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/store/store_format.hpp"
 #include "facet/tt/bit_ops.hpp"
 #include "facet/tt/static_truth_table.hpp"
 #include "facet/tt/truth_table.hpp"

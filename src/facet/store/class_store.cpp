@@ -1,0 +1,345 @@
+#include "facet/store/class_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "facet/npn/exact_canon.hpp"
+#include "facet/util/hash.hpp"
+
+namespace facet {
+
+namespace {
+
+/// Record codec shared by save and load: records are streamed as u64 words
+/// (store_format.hpp layout) while a running hash_words-compatible state
+/// accumulates the payload checksum.
+class PayloadHasher {
+ public:
+  explicit PayloadHasher(std::uint64_t num_words)
+      : state_{0x8f1bbcdcbfa53e0bULL ^ (num_words * 0xff51afd7ed558ccdULL)}
+  {
+  }
+
+  void mix(std::uint64_t word) noexcept { state_ = hash_combine64(state_, word); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Streams a record's words in file order into `emit` — the single source
+/// of truth for the record layout on the write side.
+template <typename Emit>
+void for_each_record_word(const StoreRecord& record, const Emit& emit)
+{
+  for (const auto w : record.canonical.words()) {
+    emit(w);
+  }
+  for (const auto w : record.representative.words()) {
+    emit(w);
+  }
+  emit((static_cast<std::uint64_t>(record.class_id) << 32) |
+       static_cast<std::uint64_t>(record.class_size));
+  const auto packed = pack_transform(record.rep_to_canonical);
+  emit(packed[0]);
+  emit(packed[1]);
+}
+
+StoreRecord read_record(std::istream& is, int num_vars, PayloadHasher& hasher)
+{
+  const auto take = [&](const char* what) {
+    const std::uint64_t word = read_u64_le(is, what);
+    hasher.mix(word);
+    return word;
+  };
+  const std::size_t num_words = words_for_vars(num_vars);
+  std::vector<std::uint64_t> canonical(num_words);
+  for (auto& w : canonical) {
+    w = take("record canonical words");
+  }
+  std::vector<std::uint64_t> representative(num_words);
+  for (auto& w : representative) {
+    w = take("record representative words");
+  }
+  const std::uint64_t id_size = take("record id/size word");
+  const std::array<std::uint64_t, 2> packed = {take("record transform words"),
+                                               take("record transform words")};
+  StoreRecord record{TruthTable{num_vars, std::move(canonical)},
+                     TruthTable{num_vars, std::move(representative)},
+                     unpack_transform(num_vars, packed),
+                     static_cast<std::uint32_t>(id_size >> 32),
+                     static_cast<std::uint32_t>(id_size & 0xffffffffULL)};
+  return record;
+}
+
+}  // namespace
+
+const char* lookup_source_name(LookupSource source) noexcept
+{
+  switch (source) {
+    case LookupSource::kHotCache:
+      return "cache";
+    case LookupSource::kIndex:
+      return "index";
+    case LookupSource::kLive:
+      return "live";
+  }
+  return "unknown";
+}
+
+ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
+    : num_vars_{num_vars},
+      options_{options},
+      cache_{options.hot_cache_capacity, options.hot_cache_shards}
+{
+  if (num_vars < 0 || num_vars > kMaxVars) {
+    throw std::invalid_argument{"ClassStore: num_vars out of range"};
+  }
+}
+
+ClassStore::ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint64_t num_classes,
+                       ClassStoreOptions options)
+    : ClassStore{num_vars, options}
+{
+  records_ = std::move(records);
+  std::sort(records_.begin(), records_.end(),
+            [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].canonical.num_vars() != num_vars_ ||
+        records_[i].representative.num_vars() != num_vars_) {
+      throw std::invalid_argument{"ClassStore: record width does not match the store"};
+    }
+    if (i > 0 && records_[i - 1].canonical == records_[i].canonical) {
+      throw std::invalid_argument{"ClassStore: duplicate canonical form"};
+    }
+    if (records_[i].class_id >= num_classes) {
+      throw std::invalid_argument{"ClassStore: record class id exceeds num_classes"};
+    }
+  }
+  next_class_id_ = num_classes;
+}
+
+void ClassStore::save(std::ostream& os) const
+{
+  // Merge the appended delta into one sorted record stream. Records are
+  // serialized twice-over cheap relative to the canonicalizations they
+  // replace, so save() just re-sorts a merged copy.
+  std::vector<const StoreRecord*> merged;
+  merged.reserve(records_.size() + appended_.size());
+  for (const auto& r : records_) {
+    merged.push_back(&r);
+  }
+  for (const auto& r : appended_) {
+    merged.push_back(&r);
+  }
+  std::sort(merged.begin(), merged.end(), [](const StoreRecord* a, const StoreRecord* b) {
+    return a->canonical < b->canonical;
+  });
+
+  const std::uint64_t record_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars_)) * merged.size();
+
+  // Pass 1 hashes the payload for the header, pass 2 streams the records;
+  // both walk the identical word sequence via for_each_record_word.
+  PayloadHasher hasher{record_words};
+  for (const auto* r : merged) {
+    for_each_record_word(*r, [&](std::uint64_t word) { hasher.mix(word); });
+  }
+
+  StoreHeader header;
+  header.num_vars = static_cast<std::uint32_t>(num_vars_);
+  header.num_records = merged.size();
+  header.num_classes = next_class_id_;
+  header.payload_hash = hasher.value();
+  write_store_header(os, header);
+
+  for (const auto* r : merged) {
+    for_each_record_word(*r, [&](std::uint64_t word) { write_u64_le(os, word); });
+  }
+  if (!os) {
+    throw StoreFormatError{"store write failed"};
+  }
+}
+
+void ClassStore::save(const std::string& path) const
+{
+  // Write-then-rename: a crash or full disk mid-save must never destroy the
+  // existing index at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os{tmp, std::ios::binary | std::ios::trunc};
+    if (!os) {
+      throw StoreFormatError{"cannot open store file for writing: " + tmp};
+    }
+    save(os);
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw StoreFormatError{"store write failed: " + tmp};
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreFormatError{"cannot move finished store into place: " + path};
+  }
+}
+
+ClassStore ClassStore::load(std::istream& is, ClassStoreOptions options)
+{
+  const StoreHeader header = read_store_header(is);
+  const int num_vars = static_cast<int>(header.num_vars);
+  const std::uint64_t record_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars)) * header.num_records;
+
+  PayloadHasher hasher{record_words};
+  std::vector<StoreRecord> records;
+  // A corrupt record count must surface as a truncation error when the
+  // stream runs dry, not as an up-front allocation of header.num_records
+  // slots — so cap the reservation and let push_back grow past it.
+  records.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(header.num_records, 1ULL << 20)));
+  for (std::uint64_t i = 0; i < header.num_records; ++i) {
+    records.push_back(read_record(is, num_vars, hasher));
+  }
+  if (hasher.value() != header.payload_hash) {
+    throw StoreFormatError{"store payload checksum mismatch (file corrupt)"};
+  }
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw StoreFormatError{"store file has trailing bytes after the last record"};
+  }
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (!(records[i - 1].canonical < records[i].canonical)) {
+      throw StoreFormatError{"store records are not sorted by canonical form"};
+    }
+  }
+  try {
+    return ClassStore{num_vars, std::move(records), header.num_classes, options};
+  } catch (const std::invalid_argument& e) {
+    throw StoreFormatError{std::string{"corrupt store records: "} + e.what()};
+  }
+}
+
+ClassStore ClassStore::load(const std::string& path, ClassStoreOptions options)
+{
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    throw StoreFormatError{"cannot open store file: " + path};
+  }
+  return load(is, options);
+}
+
+const StoreRecord* ClassStore::find_canonical(const TruthTable& canonical) const
+{
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), canonical,
+      [](const StoreRecord& r, const TruthTable& key) { return r.canonical < key; });
+  if (it != records_.end() && it->canonical == canonical) {
+    return &*it;
+  }
+  if (const auto delta = appended_index_.find(canonical); delta != appended_index_.end()) {
+    return &appended_[delta->second];
+  }
+  return nullptr;
+}
+
+StoreLookupResult ClassStore::make_result(const StoreRecord& record,
+                                          const NpnTransform& query_to_canonical,
+                                          LookupSource source) const
+{
+  // query --t--> canonical --inverse(rep_to_canonical)--> representative.
+  StoreLookupResult result;
+  result.class_id = record.class_id;
+  result.representative = record.representative;
+  result.to_representative = compose(inverse(record.rep_to_canonical), query_to_canonical);
+  result.known = true;
+  result.source = source;
+  return result;
+}
+
+void ClassStore::check_width(const TruthTable& f, const char* who) const
+{
+  if (f.num_vars() != num_vars_) {
+    std::ostringstream msg;
+    msg << who << ": query has " << f.num_vars() << " variables, store holds " << num_vars_;
+    throw std::invalid_argument{msg.str()};
+  }
+}
+
+std::optional<StoreLookupResult> ClassStore::probe_cache(const TruthTable& f) const
+{
+  if (const auto entry = cache_.get(f)) {
+    StoreLookupResult result;
+    result.class_id = entry->class_id;
+    result.representative = entry->representative;
+    result.to_representative = entry->to_representative;
+    result.known = true;
+    result.source = LookupSource::kHotCache;
+    return result;
+  }
+  return std::nullopt;
+}
+
+std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
+{
+  check_width(f, "ClassStore::lookup");
+  if (auto cached = probe_cache(f)) {
+    return cached;
+  }
+  const CanonResult canon = exact_npn_canonical_with_transform(f);
+  const StoreRecord* record = find_canonical(canon.canonical);
+  if (record == nullptr) {
+    return std::nullopt;
+  }
+  StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
+  cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+  return result;
+}
+
+StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool append_on_miss)
+{
+  check_width(f, "ClassStore::lookup_or_classify");
+  if (auto cached = probe_cache(f)) {
+    return *cached;
+  }
+  const CanonResult canon = exact_npn_canonical_with_transform(f);
+  if (const StoreRecord* record = find_canonical(canon.canonical)) {
+    StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
+    cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+    return result;
+  }
+
+  // Live tier: the class is new. Reuse (or allocate) its dense id and keep
+  // the first query as representative so repeated misses stay consistent.
+  const auto transient = miss_records_.find(canon.canonical);
+  StoreRecord record;
+  if (transient != miss_records_.end()) {
+    record = transient->second;
+  } else {
+    record.canonical = canon.canonical;
+    record.representative = f;
+    record.rep_to_canonical = canon.transform;
+    record.class_id = static_cast<std::uint32_t>(next_class_id_++);
+    record.class_size = 1;
+  }
+
+  StoreLookupResult result = make_result(record, canon.transform, LookupSource::kLive);
+  result.known = false;
+
+  if (append_on_miss) {
+    if (transient != miss_records_.end()) {
+      miss_records_.erase(transient);
+    }
+    appended_index_.emplace(record.canonical, static_cast<std::uint32_t>(appended_.size()));
+    appended_.push_back(record);
+    cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+  } else if (transient == miss_records_.end()) {
+    miss_records_.emplace(record.canonical, record);
+  }
+  return result;
+}
+
+}  // namespace facet

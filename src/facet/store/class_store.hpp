@@ -1,0 +1,180 @@
+/// \file class_store.hpp
+/// \brief Disk-backed NPN class store with a hot-cache lookup front end.
+///
+/// A ClassStore holds the classification knowledge of one function width n:
+/// one record per NPN class, keyed by the exact canonical form
+/// (exact_npn_canonical), carrying the dense class id, the first dataset
+/// member as representative, the class size, and the transform mapping the
+/// representative onto the canonical form. Lookup of a query function f
+/// resolves in one of three tiers:
+///
+///   1. hot cache  — f itself was looked up recently: one sharded-LRU probe,
+///                   no canonicalization at all (hot_cache.hpp);
+///   2. index      — canonicalize f with a witnessing transform, then binary
+///                   search the sorted records (O(log n));
+///   3. live       — unknown canonical form: fall back to live
+///                   classification, allocating the next dense class id, and
+///                   optionally appending the new class to the store.
+///
+/// Class ids are assigned by first occurrence at build time, exactly as the
+/// BatchEngine / sequential classifiers assign them, so classifying a
+/// dataset through lookups is bit-identical to classify_exhaustive /
+/// BatchEngine{kExhaustive} output — including on a store that starts empty
+/// and learns every class through the live tier.
+///
+/// Concurrency: lookup(), probe_cache() and find_canonical() are safe to
+/// call from many threads at once (the hot cache is internally sharded and
+/// locked; the index is read-only). lookup_or_classify() and save() mutate
+/// the store and require external exclusion.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "facet/npn/transform.hpp"
+#include "facet/store/hot_cache.hpp"
+#include "facet/store/store_format.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// One NPN class of the store.
+struct StoreRecord {
+  /// Exact canonical form — the unique class key and the sort order on disk.
+  TruthTable canonical;
+  /// First dataset member of the class (build order), the function lookups
+  /// are mapped back onto.
+  TruthTable representative;
+  /// apply_transform(representative, rep_to_canonical) == canonical.
+  NpnTransform rep_to_canonical;
+  /// Dense id, assigned by first occurrence at build time.
+  std::uint32_t class_id = 0;
+  /// Members in the build dataset (1 for appended classes).
+  std::uint32_t class_size = 0;
+};
+
+/// Which tier resolved a lookup.
+enum class LookupSource {
+  kHotCache,  ///< sharded-LRU hit; no canonicalization performed
+  kIndex,     ///< canonicalized, found by binary search over the records
+  kLive,      ///< canonicalized, unknown: classified live (fresh class id)
+};
+
+/// Stable wire/CLI name of a lookup source: "cache", "index" or "live".
+[[nodiscard]] const char* lookup_source_name(LookupSource source) noexcept;
+
+struct StoreLookupResult {
+  std::uint32_t class_id = 0;
+  /// The class representative the query maps onto (the query itself for a
+  /// class first seen through the live tier).
+  TruthTable representative;
+  /// apply_transform(query, to_representative) == representative.
+  NpnTransform to_representative;
+  /// True iff the class was already in the store (records or appended).
+  bool known = false;
+  LookupSource source = LookupSource::kIndex;
+};
+
+struct ClassStoreOptions {
+  /// Total hot-cache entries across shards; 0 disables the cache.
+  std::size_t hot_cache_capacity = 1u << 16;
+  std::size_t hot_cache_shards = 8;
+};
+
+class ClassStore {
+ public:
+  /// An empty store of width `num_vars` — every class arrives through the
+  /// live tier of lookup_or_classify().
+  explicit ClassStore(int num_vars, ClassStoreOptions options = {});
+
+  /// A store over prebuilt records (store_builder.hpp). Records are sorted
+  /// by canonical form; duplicate canonical forms throw std::invalid_argument.
+  /// `num_classes` is the next fresh class id (>= every record's id + 1).
+  ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint64_t num_classes,
+             ClassStoreOptions options = {});
+
+  [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
+  /// Persisted classes: built records plus appended ones.
+  [[nodiscard]] std::size_t num_records() const noexcept
+  {
+    return records_.size() + appended_.size();
+  }
+  [[nodiscard]] std::size_t num_appended() const noexcept { return appended_.size(); }
+  /// Next fresh class id == total classes seen (persisted + live-transient).
+  [[nodiscard]] std::uint64_t num_classes() const noexcept { return next_class_id_; }
+  /// The built (sorted) records; excludes appended deltas.
+  [[nodiscard]] const std::vector<StoreRecord>& records() const noexcept { return records_; }
+
+  // -- persistence ---------------------------------------------------------
+
+  /// Serializes built + appended records, re-sorted by canonical form.
+  /// Live-transient class ids (non-appending misses) are not persisted.
+  void save(std::ostream& os) const;
+  void save(const std::string& path) const;
+
+  /// Loads and fully validates a store: header magic/version/width, record
+  /// payload checksum, canonical sortedness/uniqueness, transform sanity.
+  /// Throws StoreFormatError on any violation.
+  [[nodiscard]] static ClassStore load(std::istream& is, ClassStoreOptions options = {});
+  [[nodiscard]] static ClassStore load(const std::string& path, ClassStoreOptions options = {});
+
+  // -- lookup tiers --------------------------------------------------------
+
+  /// Index probe by canonical form: binary search over the built records,
+  /// then the appended-delta hash map. No canonicalization, no cache.
+  [[nodiscard]] const StoreRecord* find_canonical(const TruthTable& canonical) const;
+
+  /// Hot-cache probe by the query function itself; never canonicalizes.
+  [[nodiscard]] std::optional<StoreLookupResult> probe_cache(const TruthTable& f) const;
+
+  /// Full read-only lookup: hot cache, else canonicalize + index (warming
+  /// the cache on a hit). nullopt if the class is not in the store.
+  [[nodiscard]] std::optional<StoreLookupResult> lookup(const TruthTable& f) const;
+
+  /// Lookup with live fallback: unknown canonical forms are classified live
+  /// under the next dense class id. With `append_on_miss` the new class
+  /// becomes a persistent record (and is served from the index from then
+  /// on); without it the id is remembered only for this store object's
+  /// lifetime, keeping repeated queries consistent.
+  [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
+                                                     bool append_on_miss = false);
+
+  // -- hot cache -----------------------------------------------------------
+
+  [[nodiscard]] HotCacheStats hot_cache_stats() const { return cache_.stats(); }
+  void clear_hot_cache() const { cache_.clear(); }
+
+ private:
+  struct CacheEntry {
+    std::uint32_t class_id = 0;
+    TruthTable representative;
+    NpnTransform to_representative;
+  };
+
+  [[nodiscard]] StoreLookupResult make_result(const StoreRecord& record,
+                                              const NpnTransform& query_to_canonical,
+                                              LookupSource source) const;
+  void check_width(const TruthTable& f, const char* who) const;
+
+  int num_vars_;
+  ClassStoreOptions options_;
+  /// Built records, sorted by canonical form (binary-search index).
+  std::vector<StoreRecord> records_;
+  /// Appended delta (live misses with append_on_miss), hash-indexed by
+  /// canonical form; merged into sorted order on save().
+  std::vector<StoreRecord> appended_;
+  std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> appended_index_;
+  /// Live-transient classes (non-appending misses), keyed by canonical form.
+  /// Never visible to find_canonical() or the hot cache, so the batch
+  /// engine's store keys stay consistent.
+  std::unordered_map<TruthTable, StoreRecord, TruthTableHash> miss_records_;
+  std::uint64_t next_class_id_ = 0;
+  ShardedLruCache<TruthTable, CacheEntry, TruthTableHash> cache_;
+};
+
+}  // namespace facet

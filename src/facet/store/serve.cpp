@@ -1,0 +1,90 @@
+#include "facet/store/serve.hpp"
+
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "facet/tt/tt_io.hpp"
+
+namespace facet {
+
+ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
+                      const ServeOptions& options)
+{
+  ServeStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim; ignore blanks and comments so request files can be annotated.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    const auto end = line.find_last_not_of(" \t\r");
+    std::istringstream request{line.substr(begin, end - begin + 1)};
+    std::string command;
+    request >> command;
+    ++stats.requests;
+
+    if (command == "quit") {
+      out << "ok bye\n" << std::flush;
+      break;
+    }
+    if (command == "info") {
+      out << "ok n=" << store.num_vars() << " records=" << store.num_records()
+          << " appended=" << store.num_appended() << " classes=" << store.num_classes()
+          << " cache_entries=" << store.hot_cache_stats().entries << "\n"
+          << std::flush;
+      continue;
+    }
+    if (command == "stats") {
+      out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
+          << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
+          << " live=" << stats.live << " appended=" << store.num_appended() << "\n"
+          << std::flush;
+      continue;
+    }
+    if (command == "lookup") {
+      std::string hex;
+      std::string extra;
+      request >> hex;
+      if (hex.empty() || (request >> extra)) {
+        ++stats.errors;
+        out << "err lookup takes exactly one hex truth table\n" << std::flush;
+        continue;
+      }
+      try {
+        const TruthTable query = from_hex(store.num_vars(), hex);
+        const StoreLookupResult result =
+            store.lookup_or_classify(query, options.append_on_miss);
+        switch (result.source) {
+          case LookupSource::kHotCache:
+            ++stats.cache_hits;
+            break;
+          case LookupSource::kIndex:
+            ++stats.index_hits;
+            break;
+          case LookupSource::kLive:
+            ++stats.live;
+            break;
+        }
+        ++stats.lookups;
+        out << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
+            << " t=" << transform_to_compact(result.to_representative)
+            << " src=" << lookup_source_name(result.source) << " known=" << (result.known ? 1 : 0)
+            << "\n"
+            << std::flush;
+      } catch (const std::exception& e) {
+        ++stats.errors;
+        out << "err " << e.what() << "\n" << std::flush;
+      }
+      continue;
+    }
+    ++stats.errors;
+    out << "err unknown command '" << command << "' (lookup|info|stats|quit)\n" << std::flush;
+  }
+  return stats;
+}
+
+}  // namespace facet

@@ -1,0 +1,49 @@
+/// \file serve.hpp
+/// \brief Long-lived line-protocol loop serving a ClassStore over streams.
+///
+/// `facet_cli serve` runs this loop over stdin/stdout so other processes
+/// (a mapper, a test harness, a future network front end) can drive the
+/// store without re-loading the index per query. One request per line, one
+/// response line per request, flushed immediately:
+///
+///   lookup <hex>   ->  ok id=<id> rep=<hex> t=<compact-transform>
+///                         src=<cache|index|live> known=<0|1>
+///   info           ->  ok n=<n> records=<r> appended=<a> classes=<c>
+///                         cache_entries=<e>
+///   stats          ->  ok requests=<q> lookups=<k> cache_hits=<h>
+///                         index_hits=<i> live=<l> appended=<a>
+///   quit           ->  ok bye            (loop returns)
+///
+/// Blank lines and `#` comments are ignored. Any malformed request answers
+/// `err <message>` and the loop continues — a serving process must survive
+/// bad input. The compact transform rendering is documented in
+/// store_format.hpp (transform_to_compact).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "facet/store/class_store.hpp"
+
+namespace facet {
+
+struct ServeOptions {
+  /// Persist unknown classes into the store (lookup_or_classify append tier).
+  bool append_on_miss = false;
+};
+
+struct ServeStats {
+  std::uint64_t requests = 0;    ///< non-blank, non-comment request lines
+  std::uint64_t lookups = 0;     ///< lookup requests answered ok
+  std::uint64_t cache_hits = 0;  ///< answered from the hot cache
+  std::uint64_t index_hits = 0;  ///< answered from the persisted index
+  std::uint64_t live = 0;        ///< fell back to live classification
+  std::uint64_t errors = 0;      ///< `err` responses
+};
+
+/// Serves `store` until `quit` or end of input; returns the session stats.
+ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
+                      const ServeOptions& options = {});
+
+}  // namespace facet

@@ -1,0 +1,124 @@
+#include "facet/store/store_format.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+std::size_t store_record_words(int num_vars) noexcept
+{
+  return 2 * words_for_vars(num_vars) + 3;
+}
+
+void write_u64_le(std::ostream& os, std::uint64_t value)
+{
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  os.write(bytes, 8);
+}
+
+std::uint64_t read_u64_le(std::istream& is, const char* what)
+{
+  char bytes[8];
+  is.read(bytes, 8);
+  if (is.gcount() != 8) {
+    throw StoreFormatError{std::string{"store file truncated while reading "} + what};
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i])) << (8 * i);
+  }
+  return value;
+}
+
+void write_store_header(std::ostream& os, const StoreHeader& header)
+{
+  write_u64_le(os, kStoreMagic);
+  write_u64_le(os, static_cast<std::uint64_t>(header.version) |
+                       (static_cast<std::uint64_t>(header.num_vars) << 32));
+  write_u64_le(os, header.num_records);
+  write_u64_le(os, header.num_classes);
+  write_u64_le(os, header.payload_hash);
+  write_u64_le(os, 0);  // reserved
+}
+
+StoreHeader read_store_header(std::istream& is)
+{
+  const std::uint64_t magic = read_u64_le(is, "header magic");
+  if (magic != kStoreMagic) {
+    throw StoreFormatError{"not a facet class store (bad magic)"};
+  }
+  const std::uint64_t version_vars = read_u64_le(is, "header version");
+  StoreHeader header;
+  header.version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
+  header.num_vars = static_cast<std::uint32_t>(version_vars >> 32);
+  if (header.version != kStoreVersion) {
+    std::ostringstream msg;
+    msg << "unsupported store version " << header.version << " (this build reads version "
+        << kStoreVersion << ")";
+    throw StoreFormatError{msg.str()};
+  }
+  if (header.num_vars > static_cast<std::uint32_t>(kMaxVars)) {
+    std::ostringstream msg;
+    msg << "corrupt header: num_vars " << header.num_vars << " exceeds kMaxVars " << kMaxVars;
+    throw StoreFormatError{msg.str()};
+  }
+  header.num_records = read_u64_le(is, "header record count");
+  header.num_classes = read_u64_le(is, "header class count");
+  header.payload_hash = read_u64_le(is, "header payload hash");
+  (void)read_u64_le(is, "header reserved word");
+  return header;
+}
+
+std::array<std::uint64_t, 2> pack_transform(const NpnTransform& t) noexcept
+{
+  std::uint64_t perm_word = 0;
+  for (int i = 0; i < t.num_vars; ++i) {
+    perm_word |= static_cast<std::uint64_t>(t.perm[static_cast<std::size_t>(i)] & 0xf) << (4 * i);
+  }
+  const std::uint64_t neg_word =
+      static_cast<std::uint64_t>(t.input_neg) | (t.output_neg ? (1ULL << 32) : 0);
+  return {perm_word, neg_word};
+}
+
+NpnTransform unpack_transform(int num_vars, const std::array<std::uint64_t, 2>& words)
+{
+  NpnTransform t = NpnTransform::identity(num_vars);
+  std::uint32_t seen = 0;
+  for (int i = 0; i < num_vars; ++i) {
+    const auto v = static_cast<std::uint8_t>((words[0] >> (4 * i)) & 0xf);
+    if (v >= num_vars || ((seen >> v) & 1u) != 0) {
+      throw StoreFormatError{"corrupt record: transform perm is not a permutation"};
+    }
+    seen |= 1u << v;
+    t.perm[static_cast<std::size_t>(i)] = v;
+  }
+  const std::uint64_t input_neg = words[1] & 0xffffffffULL;
+  if (num_vars < 32 && input_neg >= (1ULL << num_vars)) {
+    throw StoreFormatError{"corrupt record: transform input_neg exceeds width"};
+  }
+  if ((words[1] >> 33) != 0) {
+    throw StoreFormatError{"corrupt record: transform has nonzero reserved bits"};
+  }
+  t.input_neg = static_cast<std::uint32_t>(input_neg);
+  t.output_neg = ((words[1] >> 32) & 1ULL) != 0;
+  return t;
+}
+
+std::string transform_to_compact(const NpnTransform& t)
+{
+  std::ostringstream out;
+  out << 'p';
+  for (int i = 0; i < t.num_vars; ++i) {
+    out << (i == 0 ? "" : ",") << static_cast<int>(t.perm[static_cast<std::size_t>(i)]);
+  }
+  out << ":n" << t.input_neg << ":o" << (t.output_neg ? 1 : 0);
+  return out.str();
+}
+
+}  // namespace facet

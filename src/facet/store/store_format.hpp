@@ -1,0 +1,92 @@
+/// \file store_format.hpp
+/// \brief On-disk format of the persistent NPN class store (`.fcs` files).
+///
+/// A `.fcs` file holds the classification knowledge of one function width:
+/// a fixed-size little-endian header followed by records sorted by canonical
+/// form, so a loaded store answers "which class is this canonical form?" with
+/// one binary search. Layout (all integers little-endian):
+///
+///   header (48 bytes)
+///     u64  magic         "FACETFCS"
+///     u32  version       kStoreVersion
+///     u32  num_vars      function width n (0 <= n <= kMaxVars)
+///     u64  num_records   record count
+///     u64  num_classes   next fresh class id (== class count for built
+///                        stores; appended deltas may leave gaps)
+///     u64  payload_hash  hash_words over every record word, in file order
+///     u64  reserved      zero
+///
+///   record ((2 * W + 3) * 8 bytes each, W = words_for_vars(n))
+///     u64[W]  canonical       exact NPN canonical form (unique sort key)
+///     u64[W]  representative  first dataset member of the class
+///     u64     (class_id << 32) | class_size
+///     u64[2]  packed NPN transform with
+///             apply_transform(representative, t) == canonical
+///
+/// The payload hash rejects bit-rot and truncation; the version field
+/// rejects files written by incompatible layouts. Everything here is pure
+/// encoding — the in-memory store lives in class_store.hpp.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "facet/npn/transform.hpp"
+
+namespace facet {
+
+/// Raised on any malformed, corrupt, truncated or incompatible store file.
+class StoreFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// "FACETFCS" read as a little-endian u64.
+inline constexpr std::uint64_t kStoreMagic = 0x5343'4654'4543'4146ULL;
+
+/// Current format version; bumped on any layout change.
+inline constexpr std::uint32_t kStoreVersion = 1;
+
+/// Serialized header size in bytes.
+inline constexpr std::size_t kStoreHeaderBytes = 48;
+
+struct StoreHeader {
+  std::uint32_t version = kStoreVersion;
+  std::uint32_t num_vars = 0;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_classes = 0;
+  std::uint64_t payload_hash = 0;
+};
+
+/// Number of u64 words one record occupies for an n-variable store.
+[[nodiscard]] std::size_t store_record_words(int num_vars) noexcept;
+
+/// Writes the header (including magic) to `os`.
+void write_store_header(std::ostream& os, const StoreHeader& header);
+
+/// Reads and validates magic, version and num_vars; throws StoreFormatError
+/// on a short read, wrong magic, unsupported version or impossible width.
+[[nodiscard]] StoreHeader read_store_header(std::istream& is);
+
+/// Little-endian integer plumbing, shared with the record codec in
+/// class_store.cpp. Readers throw StoreFormatError on a short read.
+void write_u64_le(std::ostream& os, std::uint64_t value);
+[[nodiscard]] std::uint64_t read_u64_le(std::istream& is, const char* what);
+
+/// Packs an NpnTransform into two words: word 0 carries perm as 16 nibbles,
+/// word 1 carries input_neg (low 32 bits) and output_neg (bit 32).
+[[nodiscard]] std::array<std::uint64_t, 2> pack_transform(const NpnTransform& t) noexcept;
+
+/// Inverse of pack_transform; validates that perm is a permutation of
+/// [0, num_vars) and that the negation masks fit the width.
+[[nodiscard]] NpnTransform unpack_transform(int num_vars, const std::array<std::uint64_t, 2>& words);
+
+/// Compact single-token rendering for the line protocol and CLI output:
+/// "p2,0,1:n3:o1" = perm (2,0,1), input_neg 0b011, output negated.
+[[nodiscard]] std::string transform_to_compact(const NpnTransform& t);
+
+}  // namespace facet

@@ -1,6 +1,8 @@
 #include "facet/tt/tt_io.hpp"
 
+#include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace facet {
@@ -20,7 +22,9 @@ constexpr char kHexDigits[] = "0123456789abcdef";
   if (c >= 'A' && c <= 'F') {
     return c - 'A' + 10;
   }
-  throw std::invalid_argument("from_hex: invalid hex digit");
+  std::ostringstream msg;
+  msg << "from_hex: invalid hex digit '" << c << "'";
+  throw std::invalid_argument(msg.str());
 }
 
 }  // namespace
@@ -60,7 +64,11 @@ TruthTable from_hex(int num_vars, const std::string& hex)
   const std::uint64_t bits = tt.num_bits();
   const std::uint64_t nibbles = bits >= 4 ? bits / 4 : 1;
   if (digits.size() != nibbles) {
-    throw std::invalid_argument("from_hex: digit count does not match num_vars");
+    std::ostringstream msg;
+    msg << "from_hex: expected " << nibbles << " hex digit" << (nibbles == 1 ? "" : "s")
+        << " for " << num_vars << " variable" << (num_vars == 1 ? "" : "s") << ", got "
+        << digits.size();
+    throw std::invalid_argument(msg.str());
   }
   auto words = tt.words();
   for (std::uint64_t i = 0; i < nibbles; ++i) {
@@ -86,6 +94,31 @@ TruthTable from_binary(int num_vars, const std::string& bits)
     }
   }
   return tt;
+}
+
+std::vector<TruthTable> read_hex_functions(int num_vars, std::istream& is)
+{
+  std::vector<TruthTable> funcs;
+  std::string line;
+  for (std::size_t line_number = 1; std::getline(is, line); ++line_number) {
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') {
+      continue;
+    }
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(begin, end - begin + 1);
+    try {
+      if (token.find_first_of(" \t") != std::string::npos) {
+        throw std::invalid_argument("expected one hex truth table per line");
+      }
+      funcs.push_back(from_hex(num_vars, token));
+    } catch (const std::invalid_argument& e) {
+      std::ostringstream msg;
+      msg << "line " << line_number << ": " << e.what();
+      throw std::invalid_argument(msg.str());
+    }
+  }
+  return funcs;
 }
 
 std::ostream& operator<<(std::ostream& os, const TruthTable& tt) { return os << to_hex(tt); }

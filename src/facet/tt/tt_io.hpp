@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "facet/tt/truth_table.hpp"
 
@@ -26,6 +27,13 @@ namespace facet {
 
 /// Parse from a binary string of exactly 2^n characters ('0'/'1'), MSB first.
 [[nodiscard]] TruthTable from_binary(int num_vars, const std::string& bits);
+
+/// Parses a function file: one hex table per line; blank lines and lines
+/// whose first non-blank character is '#' are skipped. Any malformed line —
+/// invalid digit, wrong digit count (overlong or short), trailing tokens —
+/// raises std::invalid_argument carrying the 1-based line number, e.g.
+/// "line 12: from_hex: expected 16 hex digits for 6 variables, got 17".
+[[nodiscard]] std::vector<TruthTable> read_hex_functions(int num_vars, std::istream& is);
 
 /// Streams the hex form.
 std::ostream& operator<<(std::ostream& os, const TruthTable& tt);

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,7 +19,11 @@ namespace facet {
 
 class CliArgs {
  public:
-  CliArgs(int argc, char** argv)
+  /// Flags named in `boolean_flags` never consume the following token as
+  /// their value (`--append e8` leaves "e8" positional); they still accept
+  /// an explicit `--flag=value`. Every other `--name value` pair binds as
+  /// before.
+  CliArgs(int argc, char** argv, std::set<std::string> boolean_flags = {})
   {
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
@@ -30,7 +35,8 @@ class CliArgs {
       const auto eq = arg.find('=');
       if (eq != std::string::npos) {
         values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      } else if (!boolean_flags.contains(arg) && i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         values_[arg] = argv[++i];
       } else {
         values_[arg] = "1";  // boolean flag

@@ -1,0 +1,373 @@
+/// Tests of the persistent NPN class store: build / save / load round-trips
+/// against live BatchEngine classification on randomized datasets, corrupted
+/// and version-mismatched file rejection, the hot cache, the live fallback
+/// tier, and the store-backed BatchEngine fast path.
+
+#include "facet/store/class_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "facet/engine/batch_engine.hpp"
+#include "facet/npn/exact_canon.hpp"
+#include "facet/npn/exact_classifier.hpp"
+#include "facet/npn/transform.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/store/store_format.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+namespace {
+
+/// A dataset with deliberately multi-member classes: random base functions
+/// plus random NPN images of them, shuffled.
+std::vector<TruthTable> make_npn_workload(int n, std::size_t bases, std::size_t images_per_base,
+                                          std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  for (std::size_t b = 0; b < bases; ++b) {
+    const TruthTable base = tt_random(n, rng);
+    funcs.push_back(base);
+    for (std::size_t k = 0; k < images_per_base; ++k) {
+      funcs.push_back(apply_transform(base, NpnTransform::random(n, rng)));
+    }
+  }
+  std::shuffle(funcs.begin(), funcs.end(), rng);
+  return funcs;
+}
+
+std::string serialize(const ClassStore& store)
+{
+  std::ostringstream os;
+  store.save(os);
+  return os.str();
+}
+
+ClassStore deserialize(const std::string& bytes, ClassStoreOptions options = {})
+{
+  std::istringstream is{bytes};
+  return ClassStore::load(is, options);
+}
+
+class StoreRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreRoundTrip, BuildMatchesBatchEngineAndTransformsWitness)
+{
+  const int n = GetParam();
+  const auto funcs = make_npn_workload(n, 40, 4, 0x51ULL + static_cast<unsigned>(n));
+
+  StoreBuildOptions build_options;
+  build_options.num_threads = 2;
+  ClassStore store = build_class_store(funcs, build_options);
+
+  const ClassificationResult expected = classify_exhaustive(funcs);
+  EXPECT_EQ(store.num_classes(), expected.num_classes);
+  EXPECT_EQ(store.num_records(), expected.num_classes);
+
+  const auto sizes = expected.class_sizes();
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const auto result = store.lookup(funcs[i]);
+    ASSERT_TRUE(result.has_value()) << "function " << i << " must be known";
+    EXPECT_TRUE(result->known);
+    // Identical class-id mapping as the live engine, and a sound witness.
+    EXPECT_EQ(result->class_id, expected.class_of[i]);
+    EXPECT_EQ(apply_transform(funcs[i], result->to_representative), result->representative);
+  }
+  for (const auto& record : store.records()) {
+    EXPECT_EQ(apply_transform(record.representative, record.rep_to_canonical), record.canonical);
+    EXPECT_EQ(exact_npn_canonical(record.representative), record.canonical);
+    EXPECT_EQ(record.class_size, sizes[record.class_id]);
+  }
+}
+
+TEST_P(StoreRoundTrip, SaveLoadPreservesEveryLookup)
+{
+  const int n = GetParam();
+  const auto funcs = make_npn_workload(n, 30, 3, 0x91ULL + static_cast<unsigned>(n));
+  const ClassStore built = build_class_store(funcs, {});
+  ClassStore loaded = deserialize(serialize(built));
+
+  EXPECT_EQ(loaded.num_vars(), built.num_vars());
+  EXPECT_EQ(loaded.num_classes(), built.num_classes());
+  ASSERT_EQ(loaded.num_records(), built.num_records());
+  for (std::size_t r = 0; r < built.records().size(); ++r) {
+    const StoreRecord& a = built.records()[r];
+    const StoreRecord& b = loaded.records()[r];
+    EXPECT_EQ(a.canonical, b.canonical);
+    EXPECT_EQ(a.representative, b.representative);
+    EXPECT_EQ(a.rep_to_canonical, b.rep_to_canonical);
+    EXPECT_EQ(a.class_id, b.class_id);
+    EXPECT_EQ(a.class_size, b.class_size);
+  }
+  for (const auto& f : funcs) {
+    const auto before = built.lookup(f);
+    const auto after = loaded.lookup(f);
+    ASSERT_TRUE(before.has_value());
+    ASSERT_TRUE(after.has_value());
+    EXPECT_EQ(before->class_id, after->class_id);
+    EXPECT_EQ(before->representative, after->representative);
+    EXPECT_EQ(apply_transform(f, after->to_representative), after->representative);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths3To6, StoreRoundTrip, ::testing::Range(3, 7));
+
+TEST(ClassStore, FileRoundTripThroughDisk)
+{
+  const auto funcs = make_npn_workload(4, 25, 3, 0xd15cULL);
+  const ClassStore built = build_class_store(funcs, {});
+  const std::string path = ::testing::TempDir() + "class_store_test_roundtrip.fcs";
+  built.save(path);
+  const ClassStore loaded = ClassStore::load(path);
+  EXPECT_EQ(loaded.num_records(), built.num_records());
+  for (const auto& f : funcs) {
+    const auto result = loaded.lookup(f);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(apply_transform(f, result->to_representative), result->representative);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ClassStore, LiveFallbackMatchesSequentialClassifierOnEmptyStore)
+{
+  // A store that starts empty and learns every class through the live tier
+  // must reproduce the sequential classifier's ids exactly.
+  const int n = 4;
+  const auto funcs = make_npn_workload(n, 30, 3, 0xf00dULL);
+  const ClassificationResult expected = classify_exhaustive(funcs);
+
+  ClassStore store{n};
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const StoreLookupResult result = store.lookup_or_classify(funcs[i]);
+    EXPECT_EQ(result.class_id, expected.class_of[i]) << "function " << i;
+    EXPECT_EQ(apply_transform(funcs[i], result.to_representative), result.representative);
+  }
+  EXPECT_EQ(store.num_classes(), expected.num_classes);
+  // Nothing was appended, so nothing persists.
+  EXPECT_EQ(store.num_records(), 0u);
+}
+
+TEST(ClassStore, AppendOnMissPersistsAcrossSaveLoad)
+{
+  const int n = 4;
+  std::mt19937_64 rng{0xabcdULL};
+  const auto known = make_npn_workload(n, 10, 2, 0x7777ULL);
+  ClassStore store = build_class_store(known, {});
+  const auto base_classes = store.num_classes();
+
+  // Collect a function whose class is genuinely absent from the store.
+  TruthTable novel{n};
+  for (;;) {
+    novel = tt_random(n, rng);
+    if (!store.lookup(novel).has_value()) {
+      break;
+    }
+  }
+
+  const StoreLookupResult miss = store.lookup_or_classify(novel, /*append_on_miss=*/true);
+  EXPECT_FALSE(miss.known);
+  EXPECT_EQ(miss.source, LookupSource::kLive);
+  EXPECT_EQ(miss.class_id, base_classes);
+  EXPECT_EQ(store.num_appended(), 1u);
+
+  // An NPN-equivalent query now resolves from the store, same id.
+  const TruthTable image = apply_transform(novel, NpnTransform::random(n, rng));
+  const auto hit = store.lookup(image);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->known);
+  EXPECT_EQ(hit->class_id, miss.class_id);
+  EXPECT_EQ(apply_transform(image, hit->to_representative), hit->representative);
+
+  // And it survives a save/load cycle.
+  const ClassStore reloaded = deserialize(serialize(store));
+  EXPECT_EQ(reloaded.num_records(), store.num_records());
+  const auto persisted = reloaded.lookup(novel);
+  ASSERT_TRUE(persisted.has_value());
+  EXPECT_EQ(persisted->class_id, miss.class_id);
+}
+
+TEST(ClassStore, TransientMissIdsAreStableWithinSession)
+{
+  const int n = 4;
+  std::mt19937_64 rng{0x1234ULL};
+  ClassStore store{n};
+  const TruthTable f = tt_random(n, rng);
+  const TruthTable g = apply_transform(f, NpnTransform::random(n, rng));
+
+  const auto first = store.lookup_or_classify(f);
+  const auto second = store.lookup_or_classify(g);
+  EXPECT_EQ(first.class_id, second.class_id);
+  EXPECT_FALSE(second.known);
+  // The first query of the class is its representative.
+  EXPECT_EQ(second.representative, f);
+  EXPECT_EQ(apply_transform(g, second.to_representative), f);
+}
+
+TEST(ClassStore, RejectsCorruptedTruncatedAndMismatchedFiles)
+{
+  const auto funcs = make_npn_workload(4, 15, 2, 0xbeefULL);
+  const ClassStore built = build_class_store(funcs, {});
+  const std::string good = serialize(built);
+
+  // Baseline sanity: the pristine bytes load.
+  EXPECT_NO_THROW(deserialize(good));
+
+  // Flipped payload byte -> checksum mismatch.
+  {
+    std::string bad = good;
+    bad[kStoreHeaderBytes + 5] = static_cast<char>(bad[kStoreHeaderBytes + 5] ^ 0x40);
+    EXPECT_THROW(deserialize(bad), StoreFormatError);
+  }
+  // Truncated payload and truncated header.
+  EXPECT_THROW(deserialize(good.substr(0, good.size() - 7)), StoreFormatError);
+  EXPECT_THROW(deserialize(good.substr(0, kStoreHeaderBytes / 2)), StoreFormatError);
+  // Trailing junk.
+  EXPECT_THROW(deserialize(good + "x"), StoreFormatError);
+  // Bad magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    EXPECT_THROW(deserialize(bad), StoreFormatError);
+  }
+  // Version mismatch (byte 8 is the low byte of the version field).
+  {
+    std::string bad = good;
+    bad[8] = static_cast<char>(kStoreVersion + 1);
+    try {
+      deserialize(bad);
+      FAIL() << "version mismatch must throw";
+    } catch (const StoreFormatError& e) {
+      EXPECT_NE(std::string{e.what()}.find("version"), std::string::npos);
+    }
+  }
+  // Empty stream.
+  EXPECT_THROW(deserialize(""), StoreFormatError);
+}
+
+TEST(ClassStore, HotCacheServesRepeatsAndEvicts)
+{
+  const int n = 4;
+  const auto funcs = make_npn_workload(n, 20, 2, 0xcafeULL);
+  ClassStoreOptions options;
+  options.hot_cache_capacity = 4;
+  options.hot_cache_shards = 1;
+  StoreBuildOptions build_options;
+  build_options.store = options;
+  ClassStore store = build_class_store(funcs, build_options);
+
+  const auto cold = store.lookup(funcs[0]);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(cold->source, LookupSource::kIndex);
+  const auto warm = store.lookup(funcs[0]);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->source, LookupSource::kHotCache);
+  EXPECT_EQ(warm->class_id, cold->class_id);
+
+  // Push 4 other distinct functions through the single-shard cache (cache
+  // keys are exact tables, so distinctness guarantees 4 insertions):
+  // funcs[0] evicts.
+  std::vector<TruthTable> pushed;
+  for (std::size_t i = 1; i < funcs.size() && pushed.size() < 4; ++i) {
+    if (funcs[i] != funcs[0] &&
+        std::find(pushed.begin(), pushed.end(), funcs[i]) == pushed.end()) {
+      (void)store.lookup(funcs[i]);
+      pushed.push_back(funcs[i]);
+    }
+  }
+  ASSERT_EQ(pushed.size(), 4u);
+  const auto evicted = store.lookup(funcs[0]);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->source, LookupSource::kIndex);
+
+  const HotCacheStats stats = store.hot_cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 4u);
+
+  store.clear_hot_cache();
+  EXPECT_EQ(store.hot_cache_stats().entries, 0u);
+}
+
+TEST(ClassStore, WidthMismatchesAreRejected)
+{
+  ClassStore store{4};
+  EXPECT_THROW((void)store.lookup(TruthTable{5}), std::invalid_argument);
+  EXPECT_THROW((void)store.lookup_or_classify(TruthTable{3}), std::invalid_argument);
+}
+
+TEST(BatchEngineStore, FastPathIsBitIdenticalAndCountsHits)
+{
+  const int n = 5;
+  const auto warm_half = make_npn_workload(n, 25, 3, 0x600dULL);
+  auto workload = warm_half;
+  const auto extra = make_npn_workload(n, 25, 3, 0xbad5ULL);
+  workload.insert(workload.end(), extra.begin(), extra.end());
+
+  ClassStore store = build_class_store(warm_half, {});
+  // Warm the hot cache with some direct lookups.
+  for (std::size_t i = 0; i < warm_half.size(); i += 3) {
+    (void)store.lookup(warm_half[i]);
+  }
+
+  BatchEngineOptions options;
+  options.num_threads = 2;
+  BatchEngine engine{ClassifierKind::kExhaustive, options};
+  engine.attach_store(&store);
+
+  BatchEngineStats stats;
+  const ClassificationResult with_store = engine.classify(workload, &stats);
+  const ClassificationResult expected = classify_exhaustive(workload);
+  EXPECT_EQ(with_store.num_classes, expected.num_classes);
+  EXPECT_EQ(with_store.class_of, expected.class_of);
+  EXPECT_GT(stats.store_cache_hits + stats.store_index_hits, 0u);
+
+  // Detached, the engine still matches (and no store hits are reported).
+  engine.attach_store(nullptr);
+  engine.clear_cache();
+  BatchEngineStats plain_stats;
+  const ClassificationResult plain = engine.classify(workload, &plain_stats);
+  EXPECT_EQ(plain.class_of, expected.class_of);
+  EXPECT_EQ(plain_stats.store_cache_hits, 0u);
+  EXPECT_EQ(plain_stats.store_index_hits, 0u);
+}
+
+TEST(BatchEngineStore, AttachRejectsNonExhaustiveKinds)
+{
+  ClassStore store{4};
+  BatchEngine engine{ClassifierKind::kFp};
+  EXPECT_THROW(engine.attach_store(&store), std::invalid_argument);
+}
+
+TEST(StoreFormat, TransformPackUnpackRoundTrips)
+{
+  std::mt19937_64 rng{0x7a31ULL};
+  for (int n = 0; n <= 8; ++n) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const NpnTransform t = NpnTransform::random(n, rng);
+      const NpnTransform back = unpack_transform(n, pack_transform(t));
+      EXPECT_EQ(back, t);
+    }
+  }
+}
+
+TEST(StoreFormat, UnpackRejectsCorruptTransforms)
+{
+  // perm word with a repeated target is not a permutation.
+  EXPECT_THROW(unpack_transform(3, {0x000ULL, 0}), StoreFormatError);
+  // input_neg beyond the width.
+  const auto packed = pack_transform(NpnTransform::identity(3));
+  EXPECT_THROW(unpack_transform(3, {packed[0], 0xffULL}), StoreFormatError);
+  // reserved high bits must be zero.
+  EXPECT_THROW(unpack_transform(3, {packed[0], 1ULL << 40}), StoreFormatError);
+}
+
+}  // namespace
+}  // namespace facet

@@ -1,0 +1,169 @@
+/// Tests of the line-protocol serve loop: known/unknown lookups, the info
+/// and stats introspection commands, error resilience, and append mode.
+
+#include "facet/store/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "facet/npn/transform.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_io.hpp"
+
+namespace facet {
+namespace {
+
+ClassStore make_store(int n, std::uint64_t seed, std::size_t count = 40)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  for (std::size_t i = 0; i < count; ++i) {
+    funcs.push_back(tt_random(n, rng));
+  }
+  return build_class_store(funcs, {});
+}
+
+std::vector<std::string> run_serve(ClassStore& store, const std::string& script,
+                                   ServeStats* stats_out = nullptr,
+                                   const ServeOptions& options = {})
+{
+  std::istringstream in{script};
+  std::ostringstream out;
+  const ServeStats stats = serve_loop(store, in, out, options);
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  std::vector<std::string> lines;
+  std::istringstream reader{out.str()};
+  std::string line;
+  while (std::getline(reader, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(StoreServe, LookupInfoStatsQuit)
+{
+  ClassStore store = make_store(4, 0x5e12ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+
+  ServeStats stats;
+  const auto lines = run_serve(
+      store, "lookup " + hex + "\nlookup " + hex + "\ninfo\nstats\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 5u);
+  // First lookup canonicalizes and hits the index; the repeat is cached.
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("src=index"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("known=1"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("src=cache"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok n=4 ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("ok requests=", 0), 0u) << lines[3];
+  EXPECT_EQ(lines[4], "ok bye");
+
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.live, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(StoreServe, BlankLinesAndCommentsAreIgnored)
+{
+  ClassStore store = make_store(3, 0x5e13ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store, "\n   \n# a comment\ninfo\n", &stats);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("ok n=3 ", 0), 0u);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(StoreServe, MalformedRequestsAnswerErrAndKeepServing)
+{
+  ClassStore store = make_store(3, 0x5e14ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store,
+                               "frobnicate\n"
+                               "lookup\n"
+                               "lookup zz\n"
+                               "lookup e8 extra\n"
+                               "lookup e8\n"
+                               "quit\n",
+                               &stats);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("err unknown command", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("err ", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("err ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("err ", 0), 0u);
+  EXPECT_EQ(lines[4].rfind("ok id=", 0), 0u) << "the loop must survive errors";
+  EXPECT_EQ(lines[5], "ok bye");
+  EXPECT_EQ(stats.errors, 4u);
+  EXPECT_EQ(stats.lookups, 1u);
+}
+
+TEST(StoreServe, EndOfInputEndsTheLoopWithoutQuit)
+{
+  ClassStore store = make_store(3, 0x5e15ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store, "info\n", &stats);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(stats.requests, 1u);
+}
+
+TEST(StoreServe, UnknownFunctionsFallBackToLiveAndCanAppend)
+{
+  const int n = 4;
+  ClassStore store = make_store(n, 0x5e16ULL, 10);
+  std::mt19937_64 rng{0x5e17ULL};
+  TruthTable novel{n};
+  for (;;) {
+    novel = tt_random(n, rng);
+    if (!store.lookup(novel).has_value()) {
+      break;
+    }
+  }
+  store.clear_hot_cache();
+  const std::string hex = to_hex(novel);
+  const std::string equivalent = to_hex(apply_transform(novel, NpnTransform::random(n, rng)));
+
+  // Without append: both queries classify live, with a consistent id.
+  {
+    ClassStore fresh = make_store(n, 0x5e16ULL, 10);
+    ServeStats stats;
+    const auto lines =
+        run_serve(fresh, "lookup " + hex + "\nlookup " + equivalent + "\nquit\n", &stats);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("src=live"), std::string::npos) << lines[0];
+    EXPECT_NE(lines[0].find("known=0"), std::string::npos);
+    EXPECT_NE(lines[1].find("src=live"), std::string::npos) << lines[1];
+    const auto id_of = [](const std::string& line) {
+      return line.substr(0, line.find(" rep="));
+    };
+    EXPECT_EQ(id_of(lines[0]), id_of(lines[1]));
+    EXPECT_EQ(stats.live, 2u);
+    EXPECT_EQ(fresh.num_appended(), 0u);
+  }
+
+  // With append: the first miss persists, the equivalent query hits the
+  // index (or cache), and the store grows by one record.
+  {
+    ServeStats stats;
+    ServeOptions options;
+    options.append_on_miss = true;
+    const auto lines =
+        run_serve(store, "lookup " + hex + "\nlookup " + equivalent + "\nquit\n", &stats, options);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_NE(lines[0].find("src=live"), std::string::npos);
+    EXPECT_NE(lines[1].find("known=1"), std::string::npos) << lines[1];
+    EXPECT_EQ(stats.live, 1u);
+    EXPECT_EQ(store.num_appended(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace facet

@@ -78,5 +78,62 @@ TEST(TtIo, StreamOperatorPrintsHex)
   EXPECT_EQ(oss.str(), "e8");
 }
 
+TEST(ReadHexFunctions, ParsesLinesSkippingBlanksAndComments)
+{
+  std::istringstream in{"# header comment\ne8\n\n   \n  f0  \n\t0xd4\r\n"};
+  const auto funcs = read_hex_functions(3, in);
+  ASSERT_EQ(funcs.size(), 3u);
+  EXPECT_EQ(to_hex(funcs[0]), "e8");
+  EXPECT_EQ(to_hex(funcs[1]), "f0");
+  EXPECT_EQ(to_hex(funcs[2]), "d4");
+}
+
+TEST(ReadHexFunctions, OverlongHexReportsTheLineNumber)
+{
+  // Line 3 has 3 digits where a 3-variable table needs exactly 2 — this must
+  // be a hard, line-numbered error, never a silently truncated table.
+  std::istringstream in{"e8\nf0\ne80\nd4\n"};
+  try {
+    (void)read_hex_functions(3, in);
+    FAIL() << "overlong hex must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 2 hex digits"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReadHexFunctions, InvalidDigitReportsTheLineNumberAndDigit)
+{
+  std::istringstream in{"# comment\ne8\nzq\n"};
+  try {
+    (void)read_hex_functions(3, in);
+    FAIL() << "invalid digit must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    // Digits are decoded low-nibble first, so 'q' is the first bad one seen.
+    EXPECT_NE(msg.find("'q'"), std::string::npos) << msg;
+  }
+}
+
+TEST(ReadHexFunctions, TrailingTokensAreRejected)
+{
+  std::istringstream in{"e8\nf0 junk\n"};
+  try {
+    (void)read_hex_functions(3, in);
+    FAIL() << "trailing tokens must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ReadHexFunctions, EmptyStreamYieldsNoFunctions)
+{
+  std::istringstream in{""};
+  EXPECT_TRUE(read_hex_functions(4, in).empty());
+}
+
 }  // namespace
 }  // namespace facet

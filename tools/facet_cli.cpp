@@ -1,16 +1,22 @@
 /// facet_cli: command-line driver for the facet library.
 ///
 /// Subcommands:
-///   classify    NPN-classify a list of truth tables (hex, one per line)
-///   signatures  print all signature vectors of given functions
-///   canon       exact NPN canonical form + witnessing transform (n <= 8)
-///   match       decide NPN equivalence of two functions, with witness
-///   dataset     emit a circuit-derived benchmark set as hex lines
-///   convert     AIGER ascii <-> binary conversion
+///   classify     NPN-classify a list of truth tables (hex, one per line)
+///   build-index  classify a dataset and persist it as a `.fcs` class store
+///   lookup       resolve functions against a `.fcs` store (live fallback)
+///   serve        long-lived line-protocol loop over a `.fcs` store
+///   signatures   print all signature vectors of given functions
+///   canon        exact NPN canonical form + witnessing transform (n <= 8)
+///   match        decide NPN equivalence of two functions, with witness
+///   dataset      emit a circuit-derived benchmark set as hex lines
+///   convert      AIGER ascii <-> binary conversion
 ///
 /// Examples:
 ///   facet_cli classify --n 6 --method fp < functions.txt
 ///   facet_cli classify --n 6 --method exact --jobs 4 < functions.txt
+///   facet_cli build-index --n 6 --input functions.txt --out set6.fcs --jobs 0
+///   facet_cli lookup --index set6.fcs e8e8e8e8e8e8e8e8
+///   facet_cli serve --index set6.fcs --append < requests.txt
 ///   facet_cli signatures --n 3 e8 f0
 ///   facet_cli canon --n 4 688d
 ///   facet_cli match --n 3 e8 d4
@@ -29,20 +35,23 @@ namespace {
 
 using namespace facet;
 
-std::vector<TruthTable> read_functions(int n, std::istream& is)
+/// Reads hex functions from --input (a file, or "-" = stdin), with
+/// line-numbered errors for malformed lines (read_hex_functions).
+std::vector<TruthTable> read_input_functions(int n, const CliArgs& args)
 {
-  std::vector<TruthTable> funcs;
-  std::string line;
-  while (std::getline(is, line)) {
-    // Trim whitespace and skip blanks/comments.
-    const auto begin = line.find_first_not_of(" \t\r");
-    if (begin == std::string::npos || line[begin] == '#') {
-      continue;
-    }
-    const auto end = line.find_last_not_of(" \t\r");
-    funcs.push_back(from_hex(n, line.substr(begin, end - begin + 1)));
+  const std::string input = args.get_string("input", "-");
+  if (input == "-") {
+    return read_hex_functions(n, std::cin);
   }
-  return funcs;
+  std::ifstream file{input};
+  if (!file) {
+    throw std::runtime_error{"cannot open " + input};
+  }
+  try {
+    return read_hex_functions(n, file);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument{input + ": " + e.what()};
+  }
 }
 
 int cmd_classify(const CliArgs& args)
@@ -55,18 +64,7 @@ int cmd_classify(const CliArgs& args)
   const bool use_engine = args.has("jobs");
   const std::size_t jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
 
-  std::vector<TruthTable> funcs;
-  const std::string input = args.get_string("input", "-");
-  if (input == "-") {
-    funcs = read_functions(n, std::cin);
-  } else {
-    std::ifstream file{input};
-    if (!file) {
-      std::cerr << "error: cannot open " << input << "\n";
-      return 1;
-    }
-    funcs = read_functions(n, file);
-  }
+  const std::vector<TruthTable> funcs = read_input_functions(n, args);
   if (funcs.empty()) {
     std::cerr << "error: no functions read (expected one hex truth table per line)\n";
     return 1;
@@ -129,6 +127,122 @@ int cmd_classify(const CliArgs& args)
       std::cout << to_hex(funcs[i]) << " " << result.class_of[i] << "\n";
     }
   }
+  return 0;
+}
+
+/// Writes the store back when --save was passed: `--save` alone overwrites
+/// the loaded index, `--save=FILE` writes elsewhere. Shared by lookup/serve.
+void save_store_if_requested(const CliArgs& args, const ClassStore& store,
+                             const std::string& index_path)
+{
+  if (!args.has("save")) {
+    return;
+  }
+  const std::string save_flag = args.get_string("save", "1");
+  const std::string save_path = save_flag == "1" ? index_path : save_flag;
+  store.save(save_path);
+  std::cerr << "saved " << store.num_records() << " record(s) (" << store.num_appended()
+            << " appended) to " << save_path << "\n";
+}
+
+/// Shared ClassStoreOptions from --cache / --cache-shards flags.
+ClassStoreOptions store_options_from(const CliArgs& args)
+{
+  ClassStoreOptions options;
+  options.hot_cache_capacity = static_cast<std::size_t>(
+      args.get_int("cache", static_cast<std::int64_t>(options.hot_cache_capacity)));
+  options.hot_cache_shards = static_cast<std::size_t>(
+      args.get_int("cache-shards", static_cast<std::int64_t>(options.hot_cache_shards)));
+  return options;
+}
+
+int cmd_build_index(const CliArgs& args)
+{
+  const int n = static_cast<int>(args.get_int("n", 6));
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "usage: facet_cli build-index --n N --out FILE.fcs [--input FILE] [--jobs N]\n";
+    return 1;
+  }
+  const std::vector<TruthTable> funcs = read_input_functions(n, args);
+  if (funcs.empty()) {
+    std::cerr << "error: no functions read (expected one hex truth table per line)\n";
+    return 1;
+  }
+
+  StoreBuildOptions options;
+  options.num_threads = static_cast<std::size_t>(args.get_int("jobs", 0));
+  BatchEngineStats stats;
+  options.stats = &stats;
+
+  Stopwatch watch;
+  const ClassStore store = build_class_store(funcs, options);
+  const double build_seconds = watch.seconds();
+  store.save(out);
+
+  std::ifstream written{out, std::ios::binary | std::ios::ate};
+  std::cout << "functions: " << funcs.size() << "\nclasses:   " << store.num_classes()
+            << "\nbuild:     " << build_seconds << " s (" << stats.threads << " thread(s), cache "
+            << stats.cache_hits << " hit(s) / " << stats.cache_misses << " miss(es))\nindex:     "
+            << out << " (" << (written ? static_cast<long long>(written.tellg()) : -1)
+            << " bytes)\n";
+  return 0;
+}
+
+int cmd_lookup(const CliArgs& args)
+{
+  const std::string index = args.get_string("index", "");
+  if (index.empty()) {
+    std::cerr << "usage: facet_cli lookup --index FILE.fcs [<hex>...] [--input FILE] "
+                 "[--append] [--save[=FILE]]\n";
+    return 1;
+  }
+  ClassStore store = ClassStore::load(index, store_options_from(args));
+  const bool append = args.get_bool("append");
+
+  std::vector<TruthTable> funcs;
+  if (args.positional().size() > 1) {
+    for (std::size_t k = 1; k < args.positional().size(); ++k) {
+      funcs.push_back(from_hex(store.num_vars(), args.positional()[k]));
+    }
+  } else {
+    funcs = read_input_functions(store.num_vars(), args);
+  }
+  if (funcs.empty()) {
+    std::cerr << "error: no functions to look up (pass hex arguments or --input)\n";
+    return 1;
+  }
+
+  for (const auto& f : funcs) {
+    const StoreLookupResult result = store.lookup_or_classify(f, append);
+    std::cout << to_hex(f) << " id=" << result.class_id
+              << " rep=" << to_hex(result.representative)
+              << " t=" << transform_to_compact(result.to_representative)
+              << " src=" << lookup_source_name(result.source)
+              << " known=" << (result.known ? 1 : 0) << "\n";
+  }
+
+  save_store_if_requested(args, store, index);
+  return 0;
+}
+
+int cmd_serve(const CliArgs& args)
+{
+  const std::string index = args.get_string("index", "");
+  if (index.empty()) {
+    std::cerr << "usage: facet_cli serve --index FILE.fcs [--append] [--save[=FILE]]\n";
+    return 1;
+  }
+  ClassStore store = ClassStore::load(index, store_options_from(args));
+  ServeOptions options;
+  options.append_on_miss = args.get_bool("append");
+
+  const ServeStats stats = serve_loop(store, std::cin, std::cout, options);
+
+  save_store_if_requested(args, store, index);
+  std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
+            << stats.cache_hits << " cache / " << stats.index_hits << " index / " << stats.live
+            << " live, " << stats.errors << " error(s)\n";
   return 0;
 }
 
@@ -233,22 +347,32 @@ void print_usage()
 {
   std::cout << "facet_cli — NPN classification from face and point characteristics\n\n"
                "subcommands:\n"
-               "  classify   --n N [--method fp|fp-extended|fp-hashed|exact|kitty|semi|hier|codesign]\n"
-               "             [--jobs N] [--input FILE] [--print-classes]\n"
-               "             (hex tables on stdin by default; --jobs N runs the parallel\n"
-               "              batch engine with N threads, 0 = all cores)\n"
-               "  signatures --n N <hex>...\n"
-               "  canon      --n N <hex>            (n <= 8)\n"
-               "  match      --n N <hexA> <hexB>\n"
-               "  dataset    --n N [--max-funcs K] [--seed S]\n"
-               "  convert    (--to-binary|--to-ascii) <in> <out>\n";
+               "  classify    --n N [--method fp|fp-extended|fp-hashed|exact|kitty|semi|hier|codesign]\n"
+               "              [--jobs N] [--input FILE] [--print-classes]\n"
+               "              (hex tables on stdin by default; --jobs N runs the parallel\n"
+               "               batch engine with N threads, 0 = all cores)\n"
+               "  build-index --n N --out FILE.fcs [--input FILE] [--jobs N]\n"
+               "              (classify a dataset and persist it as a class store)\n"
+               "  lookup      --index FILE.fcs [<hex>...] [--input FILE] [--append]\n"
+               "              [--save[=FILE]] [--cache K]\n"
+               "              (resolve functions; unknown classes classify live)\n"
+               "  serve       --index FILE.fcs [--append] [--save[=FILE]] [--cache K]\n"
+               "              (line protocol on stdin/stdout: lookup <hex> | info | stats | quit)\n"
+               "  signatures  --n N <hex>...\n"
+               "  canon       --n N <hex>            (n <= 8)\n"
+               "  match       --n N <hexA> <hexB>\n"
+               "  dataset     --n N [--max-funcs K] [--seed S]\n"
+               "  convert     (--to-binary|--to-ascii) <in> <out>\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv)
 {
-  const CliArgs args{argc, argv};
+  // Flags that never take a following-token value (use --flag=value for an
+  // explicit one) — so `lookup --index s.fcs --append e8...` keeps the hex
+  // operand positional, and `convert --to-binary in out` keeps both paths.
+  const CliArgs args{argc, argv, {"append", "save", "print-classes", "to-binary", "to-ascii"}};
   if (args.positional().empty()) {
     print_usage();
     return 1;
@@ -257,6 +381,15 @@ int main(int argc, char** argv)
   try {
     if (command == "classify") {
       return cmd_classify(args);
+    }
+    if (command == "build-index") {
+      return cmd_build_index(args);
+    }
+    if (command == "lookup") {
+      return cmd_lookup(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
     }
     if (command == "signatures") {
       return cmd_signatures(args);
