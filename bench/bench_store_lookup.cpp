@@ -13,17 +13,73 @@
 /// mapping bit-for-bit and that every returned transform witnesses its
 /// representative.
 ///
+/// A second phase benchmarks the storage engine itself: cold open of a
+/// prebuilt --mmap-n index of --mmap-records classes, materialized
+/// ClassStore::load vs zero-copy ClassStore::open(use_mmap) — wall time and
+/// resident-set growth — with find_canonical bit-identity checked between
+/// the two. Its report lands in BENCH_store_mmap.json (--mmap-out).
+///
 /// Defaults are laptop-scale; the acceptance-scale run of the store PR is
 ///   bench_store_lookup --n 6 --funcs 120000
 /// The JSON report lands in BENCH_store_lookup.json (override with --out).
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "facet/facet.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace {
+
+/// Resident-set size in KiB (0 when the platform offers no /proc/self/statm).
+long long rss_kib()
+{
+#if defined(__linux__)
+  std::ifstream statm{"/proc/self/statm"};
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  if (statm >> pages_total >> pages_resident) {
+    return pages_resident * (::sysconf(_SC_PAGESIZE) / 1024);
+  }
+#endif
+  return 0;
+}
+
+/// A synthetic sorted index of `count` distinct canonical keys: load-path
+/// benchmarking needs record volume, not classification work, so records
+/// carry identity transforms and are keyed by random distinct tables.
+facet::ClassStore make_synthetic_store(int n, std::size_t count, std::uint64_t seed)
+{
+  using namespace facet;
+  std::mt19937_64 rng{seed};
+  std::unordered_set<TruthTable, TruthTableHash> keys;
+  keys.reserve(count);
+  while (keys.size() < count) {
+    keys.insert(tt_random(n, rng));
+  }
+  std::vector<StoreRecord> records;
+  records.reserve(count);
+  for (const auto& key : keys) {
+    records.push_back(StoreRecord{key, key, NpnTransform::identity(n), 0, 1});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].class_id = static_cast<std::uint32_t>(i);
+  }
+  return ClassStore{n, std::move(records), count};
+}
+
+}  // namespace
 
 int main(int argc, char** argv)
 {
@@ -134,6 +190,97 @@ int main(int argc, char** argv)
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
 
+  // --- storage engine: materialized load vs mmap cold open -----------------
+  const int mmap_n = static_cast<int>(args.get_int("mmap-n", 7));
+  const std::size_t mmap_records = static_cast<std::size_t>(args.get_int("mmap-records", 200000));
+  const std::string mmap_out_path = args.get_string("mmap-out", "BENCH_store_mmap.json");
+  const std::string index_path = args.get_string("mmap-index", "bench_store_mmap.fcs");
+
+  std::cout << "\nstorage engine: n = " << mmap_n << ", " << mmap_records
+            << " synthetic classes\n";
+  make_synthetic_store(mmap_n, mmap_records, 0x5e6eULL).save(index_path);
+  std::ifstream index_file{index_path, std::ios::binary | std::ios::ate};
+  const long long index_bytes = index_file ? static_cast<long long>(index_file.tellg()) : -1;
+
+  bool mmap_identical = true;
+  double materialized_seconds = 0.0;
+  double mmap_seconds = 0.0;
+  long long materialized_rss_kib = 0;
+  long long mmap_rss_kib = 0;
+  long long mmap_rss_after_sample_kib = 0;
+  double open_speedup = 0.0;
+  std::size_t pages_validated = 0;
+  std::size_t num_pages = 0;
+  const std::size_t sample_every = mmap_records < 2048 ? 1 : mmap_records / 2048;
+
+  {
+    const long long rss_before = rss_kib();
+    watch.reset();
+    const ClassStore materialized = ClassStore::load(index_path);
+    materialized_seconds = watch.seconds();
+    materialized_rss_kib = rss_kib() - rss_before;
+
+    const long long rss_mapped_before = rss_kib();
+    watch.reset();
+    const ClassStore mapped = ClassStore::open(index_path, StoreOpenOptions{.use_mmap = true});
+    mmap_seconds = watch.seconds();
+    mmap_rss_kib = rss_kib() - rss_mapped_before;
+    open_speedup = mmap_seconds > 0 ? materialized_seconds / mmap_seconds : 0.0;
+
+    // Bit-identity of the two read paths, probed by canonical key — the
+    // operation the load produced the index for — plus absent keys.
+    std::mt19937_64 probe_rng{0xab5e17ULL};
+    for (std::size_t i = 0; i < materialized.records().size(); i += sample_every) {
+      const TruthTable& key = materialized.records()[i].canonical;
+      const auto a = materialized.find_canonical(key);
+      const auto b = mapped.find_canonical(key);
+      mmap_identical = mmap_identical && a.has_value() && b.has_value() &&
+                       a->class_id == b->class_id && a->canonical == b->canonical &&
+                       a->representative == b->representative &&
+                       a->rep_to_canonical == b->rep_to_canonical &&
+                       a->class_size == b->class_size;
+    }
+    for (std::size_t i = 0; i < 512; ++i) {
+      const TruthTable absent = tt_random(mmap_n, probe_rng);
+      const bool in_a = materialized.find_canonical(absent).has_value();
+      const bool in_b = mapped.find_canonical(absent).has_value();
+      mmap_identical = mmap_identical && in_a == in_b;
+    }
+    mmap_rss_after_sample_kib = rss_kib() - rss_mapped_before;
+    const auto* segment = dynamic_cast<const MmapSegment*>(&mapped.base_segment());
+    if (segment != nullptr) {
+      pages_validated = segment->pages_validated();
+      num_pages = segment->num_pages();
+    }
+  }
+  std::remove(index_path.c_str());
+
+  std::cout << "materialized load: " << materialized_seconds << " s (+" << materialized_rss_kib
+            << " KiB RSS)\n"
+            << "mmap cold open:    " << mmap_seconds << " s (+" << mmap_rss_kib
+            << " KiB RSS; +" << mmap_rss_after_sample_kib << " KiB after " << pages_validated
+            << "/" << num_pages << " pages touched)\n"
+            << "open speedup:      " << open_speedup << "x\n"
+            << "mmap bit-identical to materialized: " << (mmap_identical ? "yes" : "NO") << "\n";
+
+  std::ofstream mmap_json{mmap_out_path, std::ios::trunc};
+  mmap_json << "{\n"
+            << "  \"bench\": \"store_mmap\",\n"
+            << "  \"n\": " << mmap_n << ",\n"
+            << "  \"records\": " << mmap_records << ",\n"
+            << "  \"index_bytes\": " << index_bytes << ",\n"
+            << "  \"materialized_load_seconds\": " << materialized_seconds << ",\n"
+            << "  \"materialized_rss_kib\": " << materialized_rss_kib << ",\n"
+            << "  \"mmap_open_seconds\": " << mmap_seconds << ",\n"
+            << "  \"mmap_rss_kib\": " << mmap_rss_kib << ",\n"
+            << "  \"mmap_rss_after_sample_kib\": " << mmap_rss_after_sample_kib << ",\n"
+            << "  \"pages_validated\": " << pages_validated << ",\n"
+            << "  \"num_pages\": " << num_pages << ",\n"
+            << "  \"open_speedup\": " << open_speedup << ",\n"
+            << "  \"identical\": " << (mmap_identical ? "true" : "false") << "\n"
+            << "}\n";
+  std::cout << "wrote " << mmap_out_path << "\n";
+
   // Non-zero exit on a correctness violation so CI fails loudly.
-  return identical ? 0 : 1;
+  return identical && mmap_identical ? 0 : 1;
 }

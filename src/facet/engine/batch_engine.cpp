@@ -12,6 +12,7 @@
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semi_canonical.hpp"
 #include "facet/store/class_store.hpp"
+#include "facet/store/store_router.hpp"
 #include "facet/util/hash.hpp"
 
 namespace facet {
@@ -56,13 +57,16 @@ struct LocalResult {
 };
 
 /// Class key of the store-backed kExhaustive fast path. A function resolved
-/// through the store keys on its stored class id; an unknown function keys
-/// on its canonical image. The two flavors induce the same partition —
-/// store class ids and canonical forms are bijective over the store's
-/// classes, and an unknown canonical form can never collide with a known
-/// one — so grouping is identical to grouping by canonical image alone.
+/// through a store keys on (width, stored class id) — the width qualifier
+/// matters under a router, where stores of different widths assign
+/// overlapping dense ids; an unknown function keys on its canonical image.
+/// The two flavors induce the same partition — per width, store class ids
+/// and canonical forms are bijective over the store's classes, and an
+/// unknown canonical form can never collide with a known one — so grouping
+/// is identical to grouping by canonical image alone.
 struct StoreKey {
   bool known = false;
+  int width = 0;
   std::uint32_t id = 0;
   TruthTable canon;
 
@@ -71,14 +75,16 @@ struct StoreKey {
     if (a.known != b.known) {
       return false;
     }
-    return a.known ? a.id == b.id : a.canon == b.canon;
+    return a.known ? (a.width == b.width && a.id == b.id) : a.canon == b.canon;
   }
 };
 
 struct StoreKeyHash {
   [[nodiscard]] std::size_t operator()(const StoreKey& k) const noexcept
   {
-    return k.known ? static_cast<std::size_t>(hash_mix64(0x53544f52ULL ^ k.id))
+    return k.known ? static_cast<std::size_t>(hash_mix64(
+                         (0x53544f52ULL ^ k.id) + 0x9e3779b97f4a7c15ULL *
+                                                      static_cast<std::uint64_t>(k.width)))
                    : static_cast<std::size_t>(k.canon.hash());
   }
 };
@@ -162,8 +168,8 @@ const Value& memoized(std::unordered_map<TruthTable, Value, TruthTableHash>& cac
 }
 
 LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& options,
-                           const ClassStore* store, BatchShardState& state,
-                           std::span<const TruthTable> funcs,
+                           const ClassStore* store, const StoreRouter* router,
+                           BatchShardState& state, std::span<const TruthTable> funcs,
                            const std::vector<std::uint32_t>& members)
 {
   Dedup d = dedup_members(funcs, members);
@@ -191,32 +197,38 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
     }
 
     case ClassifierKind::kExhaustive:
-      if (store != nullptr) {
+      if (store != nullptr || router != nullptr) {
         // Store-backed fast path: hot-cache hits skip canonicalization
         // entirely; index hits key by stored class id; unknown functions
-        // fall back to the memoized canonical image.
+        // fall back to the memoized canonical image. Under a router, each
+        // function resolves through the store of its own width.
         std::vector<StoreKey> key_of_unique;
         key_of_unique.reserve(d.uniques.size());
         std::size_t store_cache_hits = 0;
         std::size_t store_index_hits = 0;
         for (const auto& u : d.uniques) {
-          const bool width_matches = u.num_vars() == store->num_vars();
+          const ClassStore* resolved =
+              router != nullptr ? router->store_for(u.num_vars()) : store;
+          const bool width_matches =
+              resolved != nullptr && u.num_vars() == resolved->num_vars();
+          const int width = u.num_vars();
           if (width_matches) {
-            if (const auto hit = store->probe_cache(u)) {
+            if (const auto hit = resolved->probe_cache(u)) {
               ++store_cache_hits;
-              key_of_unique.push_back(StoreKey{true, hit->class_id, TruthTable{}});
+              key_of_unique.push_back(StoreKey{true, width, hit->class_id, TruthTable{}});
               continue;
             }
           }
           const TruthTable& canon =
               memoized(state.image_cache, u, hits, misses,
                        [](const TruthTable& tt) { return exact_npn_canonical(tt); });
-          const StoreRecord* record = width_matches ? store->find_canonical(canon) : nullptr;
-          if (record != nullptr) {
+          const std::optional<std::uint32_t> id =
+              width_matches ? resolved->find_class_id(canon) : std::nullopt;
+          if (id.has_value()) {
             ++store_index_hits;
-            key_of_unique.push_back(StoreKey{true, record->class_id, TruthTable{}});
+            key_of_unique.push_back(StoreKey{true, width, *id, TruthTable{}});
           } else {
-            key_of_unique.push_back(StoreKey{false, 0, canon});
+            key_of_unique.push_back(StoreKey{false, 0, 0, canon});
           }
         }
         LocalResult local =
@@ -373,6 +385,16 @@ void BatchEngine::attach_store(const ClassStore* store)
   store_ = store;
 }
 
+void BatchEngine::attach_router(const StoreRouter* router)
+{
+  if (router != nullptr && kind_ != ClassifierKind::kExhaustive) {
+    throw std::invalid_argument{
+        "BatchEngine::attach_router: the store fast path requires the exact-canonical "
+        "(kitty) engine"};
+  }
+  router_ = router;
+}
+
 ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, BatchEngineStats* stats)
 {
   // The fp kinds class on MSV equality, so the shard key must be a function
@@ -386,7 +408,8 @@ ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, Ba
   std::vector<LocalResult> locals(plan.num_shards);
   pool_->run_indexed(plan.num_shards, [&](std::size_t s) {
     if (!plan.members[s].empty()) {
-      locals[s] = classify_shard(kind_, options_, store_, *shards_[s], funcs, plan.members[s]);
+      locals[s] =
+          classify_shard(kind_, options_, store_, router_, *shards_[s], funcs, plan.members[s]);
     }
   });
   if (!options_.memoize) {

@@ -40,6 +40,7 @@
 namespace facet {
 
 class ClassStore;
+class StoreRouter;
 class WorkerPool;
 struct BatchShardState;
 
@@ -122,6 +123,14 @@ class BatchEngine {
   void attach_store(const ClassStore* store);
   [[nodiscard]] const ClassStore* attached_store() const noexcept { return store_; }
 
+  /// Attaches a StoreRouter fast path (kExhaustive engines only): every
+  /// function resolves through the router's store of its width, so one
+  /// engine accelerates mixed-width workloads. Same bit-identity guarantee
+  /// and mutation rules as attach_store; pass nullptr to detach. A router
+  /// takes precedence over an attached single store.
+  void attach_router(const StoreRouter* router);
+  [[nodiscard]] const StoreRouter* attached_router() const noexcept { return router_; }
+
  private:
   ClassifierKind kind_;
   BatchEngineOptions options_;
@@ -129,6 +138,7 @@ class BatchEngine {
   std::unique_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<BatchShardState>> shards_;
   const ClassStore* store_ = nullptr;
+  const StoreRouter* router_ = nullptr;
 };
 
 /// One-shot convenience wrapper around a temporary BatchEngine.

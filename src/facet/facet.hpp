@@ -41,9 +41,12 @@
 #include "facet/sig/walsh.hpp"
 #include "facet/store/class_store.hpp"
 #include "facet/store/hot_cache.hpp"
+#include "facet/store/merge.hpp"
+#include "facet/store/segment.hpp"
 #include "facet/store/serve.hpp"
 #include "facet/store/store_builder.hpp"
 #include "facet/store/store_format.hpp"
+#include "facet/store/store_router.hpp"
 #include "facet/tt/bit_ops.hpp"
 #include "facet/tt/static_truth_table.hpp"
 #include "facet/tt/truth_table.hpp"

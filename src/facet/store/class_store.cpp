@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,72 +13,6 @@
 #include "facet/util/hash.hpp"
 
 namespace facet {
-
-namespace {
-
-/// Record codec shared by save and load: records are streamed as u64 words
-/// (store_format.hpp layout) while a running hash_words-compatible state
-/// accumulates the payload checksum.
-class PayloadHasher {
- public:
-  explicit PayloadHasher(std::uint64_t num_words)
-      : state_{0x8f1bbcdcbfa53e0bULL ^ (num_words * 0xff51afd7ed558ccdULL)}
-  {
-  }
-
-  void mix(std::uint64_t word) noexcept { state_ = hash_combine64(state_, word); }
-  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
-
- private:
-  std::uint64_t state_;
-};
-
-/// Streams a record's words in file order into `emit` — the single source
-/// of truth for the record layout on the write side.
-template <typename Emit>
-void for_each_record_word(const StoreRecord& record, const Emit& emit)
-{
-  for (const auto w : record.canonical.words()) {
-    emit(w);
-  }
-  for (const auto w : record.representative.words()) {
-    emit(w);
-  }
-  emit((static_cast<std::uint64_t>(record.class_id) << 32) |
-       static_cast<std::uint64_t>(record.class_size));
-  const auto packed = pack_transform(record.rep_to_canonical);
-  emit(packed[0]);
-  emit(packed[1]);
-}
-
-StoreRecord read_record(std::istream& is, int num_vars, PayloadHasher& hasher)
-{
-  const auto take = [&](const char* what) {
-    const std::uint64_t word = read_u64_le(is, what);
-    hasher.mix(word);
-    return word;
-  };
-  const std::size_t num_words = words_for_vars(num_vars);
-  std::vector<std::uint64_t> canonical(num_words);
-  for (auto& w : canonical) {
-    w = take("record canonical words");
-  }
-  std::vector<std::uint64_t> representative(num_words);
-  for (auto& w : representative) {
-    w = take("record representative words");
-  }
-  const std::uint64_t id_size = take("record id/size word");
-  const std::array<std::uint64_t, 2> packed = {take("record transform words"),
-                                               take("record transform words")};
-  StoreRecord record{TruthTable{num_vars, std::move(canonical)},
-                     TruthTable{num_vars, std::move(representative)},
-                     unpack_transform(num_vars, packed),
-                     static_cast<std::uint32_t>(id_size >> 32),
-                     static_cast<std::uint32_t>(id_size & 0xffffffffULL)};
-  return record;
-}
-
-}  // namespace
 
 const char* lookup_source_name(LookupSource source) noexcept
 {
@@ -94,6 +30,7 @@ const char* lookup_source_name(LookupSource source) noexcept
 ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
     : num_vars_{num_vars},
       options_{options},
+      base_{std::make_shared<MaterializedSegment>(num_vars, std::vector<StoreRecord>{})},
       cache_{options.hot_cache_capacity, options.hot_cache_shards}
 {
   if (num_vars < 0 || num_vars > kMaxVars) {
@@ -105,119 +42,139 @@ ClassStore::ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint
                        ClassStoreOptions options)
     : ClassStore{num_vars, options}
 {
-  records_ = std::move(records);
-  std::sort(records_.begin(), records_.end(),
+  std::sort(records.begin(), records.end(),
             [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    if (records_[i].canonical.num_vars() != num_vars_ ||
-        records_[i].representative.num_vars() != num_vars_) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].canonical.num_vars() != num_vars_ ||
+        records[i].representative.num_vars() != num_vars_) {
       throw std::invalid_argument{"ClassStore: record width does not match the store"};
     }
-    if (i > 0 && records_[i - 1].canonical == records_[i].canonical) {
+    if (i > 0 && records[i - 1].canonical == records[i].canonical) {
       throw std::invalid_argument{"ClassStore: duplicate canonical form"};
     }
-    if (records_[i].class_id >= num_classes) {
+    if (records[i].class_id >= num_classes) {
       throw std::invalid_argument{"ClassStore: record class id exceeds num_classes"};
     }
   }
+  base_ = std::make_shared<MaterializedSegment>(num_vars_, std::move(records));
   next_class_id_ = num_classes;
 }
 
-void ClassStore::save(std::ostream& os) const
+ClassStore::ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes,
+                       bool mmap_backed, ClassStoreOptions options)
+    : ClassStore{base->num_vars(), options}
 {
-  // Merge the appended delta into one sorted record stream. Records are
-  // serialized twice-over cheap relative to the canonicalizations they
-  // replace, so save() just re-sorts a merged copy.
-  std::vector<const StoreRecord*> merged;
-  merged.reserve(records_.size() + appended_.size());
-  for (const auto& r : records_) {
-    merged.push_back(&r);
-  }
-  for (const auto& r : appended_) {
-    merged.push_back(&r);
-  }
-  std::sort(merged.begin(), merged.end(), [](const StoreRecord* a, const StoreRecord* b) {
-    return a->canonical < b->canonical;
-  });
-
-  const std::uint64_t record_words =
-      static_cast<std::uint64_t>(store_record_words(num_vars_)) * merged.size();
-
-  // Pass 1 hashes the payload for the header, pass 2 streams the records;
-  // both walk the identical word sequence via for_each_record_word.
-  PayloadHasher hasher{record_words};
-  for (const auto* r : merged) {
-    for_each_record_word(*r, [&](std::uint64_t word) { hasher.mix(word); });
-  }
-
-  StoreHeader header;
-  header.num_vars = static_cast<std::uint32_t>(num_vars_);
-  header.num_records = merged.size();
-  header.num_classes = next_class_id_;
-  header.payload_hash = hasher.value();
-  write_store_header(os, header);
-
-  for (const auto* r : merged) {
-    for_each_record_word(*r, [&](std::uint64_t word) { write_u64_le(os, word); });
-  }
-  if (!os) {
-    throw StoreFormatError{"store write failed"};
-  }
+  base_ = std::move(base);
+  mmap_backed_ = mmap_backed;
+  next_class_id_ = num_classes;
 }
 
-void ClassStore::save(const std::string& path) const
+std::size_t ClassStore::num_records() const noexcept
 {
-  // Write-then-rename: a crash or full disk mid-save must never destroy the
-  // existing index at `path`.
+  return base_->size() + num_delta_records() + appended_.size();
+}
+
+std::size_t ClassStore::num_delta_records() const noexcept
+{
+  std::size_t total = 0;
+  for (const auto& delta : deltas_) {
+    total += delta->size();
+  }
+  return total;
+}
+
+const std::vector<StoreRecord>& ClassStore::records() const
+{
+  const auto* materialized = dynamic_cast<const MaterializedSegment*>(base_.get());
+  if (materialized == nullptr) {
+    throw std::logic_error{
+        "ClassStore::records: the base segment is mmap-backed; iterate via base_segment()"};
+  }
+  return materialized->records();
+}
+
+std::vector<StoreRecord> ClassStore::persisted_records() const
+{
+  // Newest occurrence of a canonical form shadows older ones, mirroring the
+  // lookup order memtable -> deltas (newest first) -> base.
+  std::unordered_map<TruthTable, StoreRecord, TruthTableHash> merged;
+  merged.reserve(num_records());
+  for (std::size_t i = 0; i < base_->size(); ++i) {
+    StoreRecord record = base_->record_at(i);
+    TruthTable key = record.canonical;
+    merged.insert_or_assign(std::move(key), std::move(record));
+  }
+  for (const auto& delta : deltas_) {
+    for (const auto& record : delta->records()) {
+      merged.insert_or_assign(record.canonical, record);
+    }
+  }
+  for (const auto& record : appended_) {
+    merged.insert_or_assign(record.canonical, record);
+  }
+
+  std::vector<StoreRecord> result;
+  result.reserve(merged.size());
+  for (auto& entry : merged) {
+    result.push_back(std::move(entry.second));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
+  return result;
+}
+
+// -- persistence -------------------------------------------------------------
+
+void ClassStore::save(std::ostream& os) const
+{
+  const std::vector<StoreRecord> merged = persisted_records();
+  std::vector<const StoreRecord*> pointers;
+  pointers.reserve(merged.size());
+  for (const auto& record : merged) {
+    pointers.push_back(&record);
+  }
+  write_base_segment(os, num_vars_, next_class_id_, pointers);
+}
+
+namespace {
+
+/// Write-then-rename: a crash or full disk mid-save must never destroy the
+/// existing index at `path`.
+void write_file_atomically(const std::string& path, const char* what,
+                           const std::function<void(std::ostream&)>& writer)
+{
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os{tmp, std::ios::binary | std::ios::trunc};
     if (!os) {
-      throw StoreFormatError{"cannot open store file for writing: " + tmp};
+      throw StoreFormatError{std::string{"cannot open "} + what + " for writing: " + tmp};
     }
-    save(os);
+    writer(os);
     os.flush();
     if (!os) {
       std::remove(tmp.c_str());
-      throw StoreFormatError{"store write failed: " + tmp};
+      throw StoreFormatError{std::string{what} + " write failed: " + tmp};
     }
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw StoreFormatError{"cannot move finished store into place: " + path};
+    throw StoreFormatError{std::string{"cannot move finished "} + what + " into place: " + path};
   }
+}
+
+}  // namespace
+
+void ClassStore::save(const std::string& path) const
+{
+  write_file_atomically(path, "store file", [&](std::ostream& os) { save(os); });
 }
 
 ClassStore ClassStore::load(std::istream& is, ClassStoreOptions options)
 {
-  const StoreHeader header = read_store_header(is);
-  const int num_vars = static_cast<int>(header.num_vars);
-  const std::uint64_t record_words =
-      static_cast<std::uint64_t>(store_record_words(num_vars)) * header.num_records;
-
-  PayloadHasher hasher{record_words};
-  std::vector<StoreRecord> records;
-  // A corrupt record count must surface as a truncation error when the
-  // stream runs dry, not as an up-front allocation of header.num_records
-  // slots — so cap the reservation and let push_back grow past it.
-  records.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(header.num_records, 1ULL << 20)));
-  for (std::uint64_t i = 0; i < header.num_records; ++i) {
-    records.push_back(read_record(is, num_vars, hasher));
-  }
-  if (hasher.value() != header.payload_hash) {
-    throw StoreFormatError{"store payload checksum mismatch (file corrupt)"};
-  }
-  if (is.peek() != std::char_traits<char>::eof()) {
-    throw StoreFormatError{"store file has trailing bytes after the last record"};
-  }
-  for (std::size_t i = 1; i < records.size(); ++i) {
-    if (!(records[i - 1].canonical < records[i].canonical)) {
-      throw StoreFormatError{"store records are not sorted by canonical form"};
-    }
-  }
+  LoadedBase base = read_base_segment(is);
   try {
-    return ClassStore{num_vars, std::move(records), header.num_classes, options};
+    return ClassStore{static_cast<int>(base.header.num_vars), std::move(base.records),
+                      base.header.num_classes, options};
   } catch (const std::invalid_argument& e) {
     throw StoreFormatError{std::string{"corrupt store records: "} + e.what()};
   }
@@ -232,18 +189,151 @@ ClassStore ClassStore::load(const std::string& path, ClassStoreOptions options)
   return load(is, options);
 }
 
-const StoreRecord* ClassStore::find_canonical(const TruthTable& canonical) const
+ClassStore ClassStore::open(const std::string& path, const StoreOpenOptions& options)
 {
-  const auto it = std::lower_bound(
-      records_.begin(), records_.end(), canonical,
-      [](const StoreRecord& r, const TruthTable& key) { return r.canonical < key; });
-  if (it != records_.end() && it->canonical == canonical) {
-    return &*it;
+  ClassStore store = [&] {
+    if (options.use_mmap) {
+      std::shared_ptr<MmapSegment> segment = MmapSegment::open(path);
+      const std::uint64_t num_classes = segment->num_classes();
+      return ClassStore{std::move(segment), num_classes, /*mmap_backed=*/true, options.store};
+    }
+    return load(path, options.store);
+  }();
+
+  const std::string dlog_path = delta_log_path(path);
+  std::ifstream dlog{dlog_path, std::ios::binary};
+  if (dlog) {
+    const DeltaLogReplay replay = store.load_deltas(dlog);
+    dlog.close();
+    if (replay.torn_tail) {
+      // Repair the crashed append: truncate back to the intact prefix so
+      // the next flush does not write after garbage.
+      std::error_code ec;
+      std::filesystem::resize_file(dlog_path, replay.clean_bytes, ec);
+      if (ec) {
+        throw StoreFormatError{"cannot truncate torn delta log: " + dlog_path + " (" +
+                               ec.message() + ")"};
+      }
+    }
   }
-  if (const auto delta = appended_index_.find(canonical); delta != appended_index_.end()) {
-    return &appended_[delta->second];
+  return store;
+}
+
+DeltaLogReplay ClassStore::load_deltas(std::istream& is)
+{
+  DeltaLogReplay replay = read_delta_log(is, num_vars_);
+  for (auto& run : replay.runs) {
+    for (const auto& record : run.records) {
+      if (record.class_id >= run.num_classes_after) {
+        throw StoreFormatError{"corrupt delta frame: record class id exceeds its class count"};
+      }
+    }
+    next_class_id_ = std::max(next_class_id_, run.num_classes_after);
+    deltas_.push_back(
+        std::make_shared<MaterializedSegment>(num_vars_, std::move(run.records)));
   }
-  return nullptr;
+  return replay;
+}
+
+std::vector<const StoreRecord*> ClassStore::sorted_memtable() const
+{
+  std::vector<const StoreRecord*> sorted;
+  sorted.reserve(appended_.size());
+  for (const auto& record : appended_) {
+    sorted.push_back(&record);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const StoreRecord* a, const StoreRecord* b) {
+    return a->canonical < b->canonical;
+  });
+  return sorted;
+}
+
+std::size_t ClassStore::flush_delta(std::ostream& os)
+{
+  if (appended_.empty()) {
+    return 0;
+  }
+  const std::vector<const StoreRecord*> sorted = sorted_memtable();
+  write_delta_frame(os, num_vars_, next_class_id_, sorted);
+
+  std::vector<StoreRecord> run;
+  run.reserve(sorted.size());
+  for (const auto* record : sorted) {
+    run.push_back(*record);
+  }
+  deltas_.push_back(std::make_shared<MaterializedSegment>(num_vars_, std::move(run)));
+  const std::size_t flushed = appended_.size();
+  appended_.clear();
+  appended_index_.clear();
+  return flushed;
+}
+
+std::size_t ClassStore::flush_delta(const std::string& dlog_path)
+{
+  if (appended_.empty()) {
+    return 0;
+  }
+  std::ofstream os{dlog_path, std::ios::binary | std::ios::app};
+  if (!os) {
+    throw StoreFormatError{"cannot open delta log for appending: " + dlog_path};
+  }
+  const std::size_t flushed = flush_delta(os);
+  os.flush();
+  if (!os) {
+    throw StoreFormatError{"delta log append failed: " + dlog_path};
+  }
+  return flushed;
+}
+
+void ClassStore::compact(const std::string& path)
+{
+  std::vector<StoreRecord> merged = persisted_records();
+  std::vector<const StoreRecord*> pointers;
+  pointers.reserve(merged.size());
+  for (const auto& record : merged) {
+    pointers.push_back(&record);
+  }
+  write_file_atomically(path, "store file", [&](std::ostream& os) {
+    write_base_segment(os, num_vars_, next_class_id_, pointers);
+  });
+  std::remove(delta_log_path(path).c_str());
+
+  deltas_.clear();
+  appended_.clear();
+  appended_index_.clear();
+  if (mmap_backed_) {
+    base_ = MmapSegment::open(path);
+  } else {
+    base_ = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
+  }
+}
+
+// -- lookup tiers ------------------------------------------------------------
+
+std::optional<StoreRecord> ClassStore::find_canonical(const TruthTable& canonical) const
+{
+  if (const auto it = appended_index_.find(canonical); it != appended_index_.end()) {
+    return appended_[it->second];
+  }
+  for (auto delta = deltas_.rbegin(); delta != deltas_.rend(); ++delta) {
+    if (auto record = (*delta)->find(canonical)) {
+      return record;
+    }
+  }
+  return base_->find(canonical);
+}
+
+std::optional<std::uint32_t> ClassStore::find_class_id(const TruthTable& canonical) const
+{
+  if (const auto it = appended_index_.find(canonical); it != appended_index_.end()) {
+    return appended_[it->second].class_id;
+  }
+  for (auto delta = deltas_.rbegin(); delta != deltas_.rend(); ++delta) {
+    if (const auto id = (*delta)->find_class_id(canonical)) {
+      return id;
+    }
+  }
+  return base_->find_class_id(canonical);
 }
 
 StoreLookupResult ClassStore::make_result(const StoreRecord& record,
@@ -290,8 +380,8 @@ std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
     return cached;
   }
   const CanonResult canon = exact_npn_canonical_with_transform(f);
-  const StoreRecord* record = find_canonical(canon.canonical);
-  if (record == nullptr) {
+  const std::optional<StoreRecord> record = find_canonical(canon.canonical);
+  if (!record.has_value()) {
     return std::nullopt;
   }
   StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
@@ -306,7 +396,7 @@ StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool appen
     return *cached;
   }
   const CanonResult canon = exact_npn_canonical_with_transform(f);
-  if (const StoreRecord* record = find_canonical(canon.canonical)) {
+  if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
     StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
     return result;

@@ -1,20 +1,33 @@
 /// \file class_store.hpp
-/// \brief Disk-backed NPN class store with a hot-cache lookup front end.
+/// \brief Segmented, disk-backed NPN class store with a hot-cache front end.
 ///
 /// A ClassStore holds the classification knowledge of one function width n:
 /// one record per NPN class, keyed by the exact canonical form
 /// (exact_npn_canonical), carrying the dense class id, the first dataset
 /// member as representative, the class size, and the transform mapping the
 /// representative onto the canonical form. Lookup of a query function f
-/// resolves in one of three tiers:
+/// resolves through a tiered read path:
 ///
-///   1. hot cache  — f itself was looked up recently: one sharded-LRU probe,
-///                   no canonicalization at all (hot_cache.hpp);
-///   2. index      — canonicalize f with a witnessing transform, then binary
-///                   search the sorted records (O(log n));
-///   3. live       — unknown canonical form: fall back to live
-///                   classification, allocating the next dense class id, and
-///                   optionally appending the new class to the store.
+///   1. hot cache   — f itself was looked up recently: one sharded-LRU
+///                    probe, no canonicalization at all (hot_cache.hpp);
+///   2. memtable    — canonicalize f with a witnessing transform, then probe
+///                    the unflushed appends (hash map);
+///   3. delta runs  — flushed-but-uncompacted append runs, consulted
+///                    newest-first (each a small sorted MaterializedSegment);
+///   4. base        — the compacted index: a binary search over the sorted
+///                    records, either materialized in RAM (load) or executed
+///                    in place over a read-only mmap of the `.fcs` file
+///                    (open with use_mmap; lazily page-validated);
+///   5. live        — unknown canonical form: fall back to live
+///                    classification, allocating the next dense class id,
+///                    and optionally appending the new class to the store.
+///
+/// Appends accumulate in the memtable until flush_delta() seals them into an
+/// immutable delta run (and, given a path, appends one frame to the
+/// `<index>.fcs.dlog` log — an O(delta) write, unlike the O(index) rewrite
+/// of save()). compact() merges base + deltas + memtable back into a single
+/// fresh base via write-then-rename and clears the log. open() restores the
+/// whole hierarchy: base segment plus every logged delta run.
 ///
 /// Class ids are assigned by first occurrence at build time, exactly as the
 /// BatchEngine / sequential classifiers assign them, so classifying a
@@ -23,14 +36,17 @@
 /// and learns every class through the live tier.
 ///
 /// Concurrency: lookup(), probe_cache() and find_canonical() are safe to
-/// call from many threads at once (the hot cache is internally sharded and
-/// locked; the index is read-only). lookup_or_classify() and save() mutate
-/// the store and require external exclusion.
+/// call from many threads at once, including against a store with live
+/// delta segments (the hot cache is internally sharded and locked; segments
+/// are immutable; mmap page validation is atomic and idempotent).
+/// lookup_or_classify(), flush_delta(), compact() and save() mutate the
+/// store and require external exclusion.
 
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,30 +54,16 @@
 
 #include "facet/npn/transform.hpp"
 #include "facet/store/hot_cache.hpp"
+#include "facet/store/segment.hpp"
 #include "facet/store/store_format.hpp"
 #include "facet/tt/truth_table.hpp"
 
 namespace facet {
 
-/// One NPN class of the store.
-struct StoreRecord {
-  /// Exact canonical form — the unique class key and the sort order on disk.
-  TruthTable canonical;
-  /// First dataset member of the class (build order), the function lookups
-  /// are mapped back onto.
-  TruthTable representative;
-  /// apply_transform(representative, rep_to_canonical) == canonical.
-  NpnTransform rep_to_canonical;
-  /// Dense id, assigned by first occurrence at build time.
-  std::uint32_t class_id = 0;
-  /// Members in the build dataset (1 for appended classes).
-  std::uint32_t class_size = 0;
-};
-
 /// Which tier resolved a lookup.
 enum class LookupSource {
   kHotCache,  ///< sharded-LRU hit; no canonicalization performed
-  kIndex,     ///< canonicalized, found by binary search over the records
+  kIndex,     ///< canonicalized, found in memtable / delta runs / base
   kLive,      ///< canonicalized, unknown: classified live (fresh class id)
 };
 
@@ -86,6 +88,14 @@ struct ClassStoreOptions {
   std::size_t hot_cache_shards = 8;
 };
 
+/// How ClassStore::open materializes the base segment.
+struct StoreOpenOptions {
+  /// Map the `.fcs` record region read-only and search it in place instead
+  /// of decoding every record into RAM. Requires mmap_supported().
+  bool use_mmap = false;
+  ClassStoreOptions store{};
+};
+
 class ClassStore {
  public:
   /// An empty store of width `num_vars` — every class arrives through the
@@ -99,35 +109,80 @@ class ClassStore {
              ClassStoreOptions options = {});
 
   [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
-  /// Persisted classes: built records plus appended ones.
-  [[nodiscard]] std::size_t num_records() const noexcept
-  {
-    return records_.size() + appended_.size();
-  }
+  /// Persisted classes: base records, flushed delta runs, and the memtable.
+  [[nodiscard]] std::size_t num_records() const noexcept;
+  /// Unflushed appends (live misses with append_on_miss) in the memtable.
   [[nodiscard]] std::size_t num_appended() const noexcept { return appended_.size(); }
+  /// Flushed-but-uncompacted delta runs.
+  [[nodiscard]] std::size_t num_delta_segments() const noexcept { return deltas_.size(); }
+  [[nodiscard]] std::size_t num_delta_records() const noexcept;
   /// Next fresh class id == total classes seen (persisted + live-transient).
   [[nodiscard]] std::uint64_t num_classes() const noexcept { return next_class_id_; }
-  /// The built (sorted) records; excludes appended deltas.
-  [[nodiscard]] const std::vector<StoreRecord>& records() const noexcept { return records_; }
+
+  /// The base segment (compacted sorted records; excludes deltas/memtable).
+  [[nodiscard]] const Segment& base_segment() const noexcept { return *base_; }
+  /// True when the base serves from a read-only mmap instead of RAM.
+  [[nodiscard]] bool mmap_backed() const noexcept { return mmap_backed_; }
+
+  /// The materialized base records, for stores whose base lives in RAM
+  /// (built stores, load()). Throws std::logic_error on an mmap-backed base
+  /// — iterate via base_segment().record_at there.
+  [[nodiscard]] const std::vector<StoreRecord>& records() const;
+
+  /// Every persisted record — base, delta runs and memtable merged (newest
+  /// occurrence of a canonical form wins) — sorted by canonical form.
+  [[nodiscard]] std::vector<StoreRecord> persisted_records() const;
 
   // -- persistence ---------------------------------------------------------
 
-  /// Serializes built + appended records, re-sorted by canonical form.
-  /// Live-transient class ids (non-appending misses) are not persisted.
+  /// Serializes base + deltas + memtable, re-sorted by canonical form, as
+  /// one fresh v2 base segment. Live-transient class ids (non-appending
+  /// misses) are not persisted.
   void save(std::ostream& os) const;
   void save(const std::string& path) const;
 
-  /// Loads and fully validates a store: header magic/version/width, record
-  /// payload checksum, canonical sortedness/uniqueness, transform sanity.
+  /// Loads a store with a fully-materialized, eagerly-validated base:
+  /// header magic/version/width, record/page checksums, canonical
+  /// sortedness/uniqueness, transform sanity. Reads v1 and v2 files.
   /// Throws StoreFormatError on any violation.
   [[nodiscard]] static ClassStore load(std::istream& is, ClassStoreOptions options = {});
   [[nodiscard]] static ClassStore load(const std::string& path, ClassStoreOptions options = {});
 
+  /// Opens `path` (materialized, or zero-copy via mmap with use_mmap) and
+  /// replays its delta log (delta_log_path(path)) if present, restoring
+  /// every flushed run as an immutable delta segment. A torn trailing
+  /// frame — a crash or full disk mid-flush — is dropped and the log is
+  /// truncated back to its intact prefix, so a crashed append never bricks
+  /// the store; corruption before the tail throws StoreFormatError.
+  [[nodiscard]] static ClassStore open(const std::string& path,
+                                       const StoreOpenOptions& options = {});
+
+  /// Companion delta-log file of a base index path.
+  [[nodiscard]] static std::string delta_log_path(const std::string& path)
+  {
+    return path + ".dlog";
+  }
+
+  /// Seals the memtable into an immutable delta segment, appending it as
+  /// one frame to `os`. Returns the number of records flushed (0 = no-op).
+  std::size_t flush_delta(std::ostream& os);
+  /// Same, appending the frame to the delta log at `dlog_path`.
+  std::size_t flush_delta(const std::string& dlog_path);
+
+  /// Merges base + deltas + memtable into a fresh base segment at `path`
+  /// (write-then-rename), removes the delta log, and re-tiers this store on
+  /// the compacted base (remapped when the store is mmap-backed).
+  void compact(const std::string& path);
+
   // -- lookup tiers --------------------------------------------------------
 
-  /// Index probe by canonical form: binary search over the built records,
-  /// then the appended-delta hash map. No canonicalization, no cache.
-  [[nodiscard]] const StoreRecord* find_canonical(const TruthTable& canonical) const;
+  /// Index probe by canonical form: memtable, then delta runs newest-first,
+  /// then the base segment. No canonicalization, no cache.
+  [[nodiscard]] std::optional<StoreRecord> find_canonical(const TruthTable& canonical) const;
+
+  /// Index probe returning only the class id — the batch-engine hot path;
+  /// skips record materialization on every tier.
+  [[nodiscard]] std::optional<std::uint32_t> find_class_id(const TruthTable& canonical) const;
 
   /// Hot-cache probe by the query function itself; never canonicalizes.
   [[nodiscard]] std::optional<StoreLookupResult> probe_cache(const TruthTable& f) const;
@@ -156,17 +211,29 @@ class ClassStore {
     NpnTransform to_representative;
   };
 
+  /// A store over an already-opened base segment (the mmap open path).
+  ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes, bool mmap_backed,
+             ClassStoreOptions options);
+
   [[nodiscard]] StoreLookupResult make_result(const StoreRecord& record,
                                               const NpnTransform& query_to_canonical,
                                               LookupSource source) const;
   void check_width(const TruthTable& f, const char* who) const;
+  /// Replays a delta log onto this store (open()); reports the clean
+  /// prefix so open() can repair a torn log.
+  DeltaLogReplay load_deltas(std::istream& is);
+  /// The memtable sorted by canonical form, as pointers for the writers.
+  [[nodiscard]] std::vector<const StoreRecord*> sorted_memtable() const;
 
   int num_vars_;
   ClassStoreOptions options_;
-  /// Built records, sorted by canonical form (binary-search index).
-  std::vector<StoreRecord> records_;
-  /// Appended delta (live misses with append_on_miss), hash-indexed by
-  /// canonical form; merged into sorted order on save().
+  /// Compacted sorted records (tier 4); never null.
+  std::shared_ptr<const Segment> base_;
+  bool mmap_backed_ = false;
+  /// Flushed append runs (tier 3), oldest first; consulted newest-first.
+  std::vector<std::shared_ptr<const MaterializedSegment>> deltas_;
+  /// Memtable (tier 2): live misses with append_on_miss, hash-indexed by
+  /// canonical form; sealed into a delta run by flush_delta().
   std::vector<StoreRecord> appended_;
   std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> appended_index_;
   /// Live-transient classes (non-appending misses), keyed by canonical form.

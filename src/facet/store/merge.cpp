@@ -1,0 +1,49 @@
+#include "facet/store/merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+namespace facet {
+
+ClassStore merge_class_stores(const std::vector<const ClassStore*>& stores,
+                              ClassStoreOptions options)
+{
+  if (stores.empty()) {
+    throw std::invalid_argument{"merge_class_stores: no stores to merge"};
+  }
+  const int num_vars = stores.front()->num_vars();
+  for (const auto* store : stores) {
+    if (store == nullptr) {
+      throw std::invalid_argument{"merge_class_stores: null store"};
+    }
+    if (store->num_vars() != num_vars) {
+      throw std::invalid_argument{"merge_class_stores: mixed store widths"};
+    }
+  }
+
+  std::vector<StoreRecord> merged;
+  std::unordered_map<TruthTable, std::size_t, TruthTableHash> index_of;
+  for (const auto* store : stores) {
+    // Walk this store's classes in id order so "first occurrence" follows
+    // the order its build dataset introduced them.
+    std::vector<StoreRecord> records = store->persisted_records();
+    std::sort(records.begin(), records.end(),
+              [](const StoreRecord& a, const StoreRecord& b) { return a.class_id < b.class_id; });
+    for (auto& record : records) {
+      const auto [it, inserted] = index_of.emplace(record.canonical, merged.size());
+      if (inserted) {
+        record.class_id = static_cast<std::uint32_t>(merged.size());
+        merged.push_back(std::move(record));
+      } else {
+        merged[it->second].class_size += record.class_size;
+      }
+    }
+  }
+
+  const auto num_classes = static_cast<std::uint64_t>(merged.size());
+  return ClassStore{num_vars, std::move(merged), num_classes, options};
+}
+
+}  // namespace facet

@@ -1,0 +1,27 @@
+/// \file merge.hpp
+/// \brief Union of class stores: dedup by canonical form, renumber by first
+///        occurrence.
+///
+/// `facet_cli fcs-merge` unions independently-built indexes of one width
+/// into a single store: records are walked store by store (input order),
+/// within each store in ascending class-id order, and every canonical form
+/// seen for the first time receives the next dense class id. A canonical
+/// form already merged keeps its first record (representative + transform)
+/// and accumulates the duplicate's class_size, so the merged sizes reflect
+/// the union of the build datasets.
+
+#pragma once
+
+#include <vector>
+
+#include "facet/store/class_store.hpp"
+
+namespace facet {
+
+/// Merges `stores` (all of one width; >= 1 of them) into a fresh store.
+/// Deltas and memtables of the inputs are included (persisted_records).
+/// Throws std::invalid_argument on an empty list or mixed widths.
+[[nodiscard]] ClassStore merge_class_stores(const std::vector<const ClassStore*>& stores,
+                                            ClassStoreOptions options = {});
+
+}  // namespace facet

@@ -1,0 +1,610 @@
+#include "facet/store/segment.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <iterator>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FACET_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FACET_HAS_MMAP 0
+#endif
+
+namespace facet {
+
+namespace {
+
+/// Decodes one record from its raw little-endian bytes — the single source
+/// of truth for the record layout on the zero-copy read side.
+StoreRecord decode_record(const unsigned char* bytes, int num_vars)
+{
+  const std::size_t num_words = words_for_vars(num_vars);
+  std::vector<std::uint64_t> canonical(num_words);
+  for (std::size_t w = 0; w < num_words; ++w) {
+    canonical[w] = load_le64(bytes + 8 * w);
+  }
+  std::vector<std::uint64_t> representative(num_words);
+  for (std::size_t w = 0; w < num_words; ++w) {
+    representative[w] = load_le64(bytes + 8 * (num_words + w));
+  }
+  const std::uint64_t id_size = load_le64(bytes + 8 * (2 * num_words));
+  const std::array<std::uint64_t, 2> packed = {load_le64(bytes + 8 * (2 * num_words + 1)),
+                                               load_le64(bytes + 8 * (2 * num_words + 2))};
+  return StoreRecord{TruthTable{num_vars, std::move(canonical)},
+                     TruthTable{num_vars, std::move(representative)},
+                     unpack_transform(num_vars, packed),
+                     static_cast<std::uint32_t>(id_size >> 32),
+                     static_cast<std::uint32_t>(id_size & 0xffffffffULL)};
+}
+
+std::uint64_t pages_for_words(std::uint64_t total_words) noexcept
+{
+  return (total_words + kStorePageWords - 1) / kStorePageWords;
+}
+
+/// Page checksums of a record stream, emitted via for_each_record_word —
+/// the write-side twin of the lazy per-page validation.
+std::vector<std::uint64_t> page_hashes_of(const std::vector<const StoreRecord*>& records,
+                                          std::uint64_t total_words)
+{
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(static_cast<std::size_t>(pages_for_words(total_words)));
+  PayloadHasher page{0};
+  std::uint64_t word_index = 0;
+  for (const auto* r : records) {
+    for_each_record_word(*r, [&](std::uint64_t word) {
+      if (word_index % kStorePageWords == 0) {
+        if (word_index != 0) {
+          hashes.push_back(page.value());
+        }
+        page = PayloadHasher{
+            std::min<std::uint64_t>(kStorePageWords, total_words - word_index)};
+      }
+      page.mix(word);
+      ++word_index;
+    });
+  }
+  if (total_words != 0) {
+    hashes.push_back(page.value());
+  }
+  return hashes;
+}
+
+void check_sorted_by_canonical(const std::vector<StoreRecord>& records, const char* what)
+{
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (!(records[i - 1].canonical < records[i].canonical)) {
+      throw StoreFormatError{std::string{what} + " records are not sorted by canonical form"};
+    }
+  }
+}
+
+}  // namespace
+
+const StoreRecord* MaterializedSegment::find_ptr(const TruthTable& canonical) const
+{
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), canonical,
+      [](const StoreRecord& r, const TruthTable& key) { return r.canonical < key; });
+  if (it != records_.end() && it->canonical == canonical) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+std::optional<StoreRecord> MaterializedSegment::find(const TruthTable& canonical) const
+{
+  if (const StoreRecord* record = find_ptr(canonical)) {
+    return *record;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> MaterializedSegment::find_class_id(const TruthTable& canonical) const
+{
+  if (const StoreRecord* record = find_ptr(canonical)) {
+    return record->class_id;
+  }
+  return std::nullopt;
+}
+
+bool mmap_supported() noexcept
+{
+  return FACET_HAS_MMAP != 0;
+}
+
+// -- base segment writer -----------------------------------------------------
+
+void write_base_segment(std::ostream& os, int num_vars, std::uint64_t num_classes,
+                        const std::vector<const StoreRecord*>& records)
+{
+  const std::uint64_t total_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars)) * records.size();
+  const std::vector<std::uint64_t> page_hashes = page_hashes_of(records, total_words);
+
+  PayloadHasher table_hasher{page_hashes.size()};
+  for (const auto h : page_hashes) {
+    table_hasher.mix(h);
+  }
+
+  StoreHeader header;
+  header.version = kStoreVersion;
+  header.num_vars = static_cast<std::uint32_t>(num_vars);
+  header.num_records = records.size();
+  header.num_classes = num_classes;
+  header.payload_hash = table_hasher.value();
+  write_store_header(os, header);
+
+  for (const auto* r : records) {
+    for_each_record_word(*r, [&](std::uint64_t word) { write_u64_le(os, word); });
+  }
+  for (const auto h : page_hashes) {
+    write_u64_le(os, h);
+  }
+  SegmentFooter footer;
+  footer.page_size = kStorePageBytes;
+  footer.num_pages = page_hashes.size();
+  footer.record_words = total_words;
+  write_segment_footer(os, footer);
+  if (!os) {
+    throw StoreFormatError{"store write failed"};
+  }
+}
+
+// -- materialized readers ----------------------------------------------------
+
+StoreRecord read_store_record(std::istream& is, int num_vars, PayloadHasher& hasher)
+{
+  const auto take = [&](const char* what) {
+    const std::uint64_t word = read_u64_le(is, what);
+    hasher.mix(word);
+    return word;
+  };
+  const std::size_t num_words = words_for_vars(num_vars);
+  std::vector<std::uint64_t> canonical(num_words);
+  for (auto& w : canonical) {
+    w = take("record canonical words");
+  }
+  std::vector<std::uint64_t> representative(num_words);
+  for (auto& w : representative) {
+    w = take("record representative words");
+  }
+  const std::uint64_t id_size = take("record id/size word");
+  const std::array<std::uint64_t, 2> packed = {take("record transform words"),
+                                               take("record transform words")};
+  return StoreRecord{TruthTable{num_vars, std::move(canonical)},
+                     TruthTable{num_vars, std::move(representative)},
+                     unpack_transform(num_vars, packed),
+                     static_cast<std::uint32_t>(id_size >> 32),
+                     static_cast<std::uint32_t>(id_size & 0xffffffffULL)};
+}
+
+LoadedBase read_base_segment(std::istream& is)
+{
+  LoadedBase out;
+  out.header = read_store_header(is);
+  const int num_vars = static_cast<int>(out.header.num_vars);
+  // Reject record counts whose region size would overflow — a wrapped-small
+  // region with a large decode loop is an out-of-bounds read, not a
+  // truncation error.
+  if (out.header.num_records >
+      (std::numeric_limits<std::uint64_t>::max() / 8) / store_record_words(num_vars)) {
+    throw StoreFormatError{"corrupt header: record count overflows the record region size"};
+  }
+  const std::uint64_t total_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars)) * out.header.num_records;
+
+  // A corrupt record count must surface as a truncation error when the
+  // stream runs dry, not as an up-front allocation of header.num_records
+  // slots — so cap reservations and let growth proceed past them.
+  const auto capped = [](std::uint64_t n) {
+    return static_cast<std::size_t>(std::min<std::uint64_t>(n, 1ULL << 20));
+  };
+
+  if (out.header.version == kStoreVersionV1) {
+    // v1: records followed by nothing; the header hash covers every word.
+    PayloadHasher hasher{total_words};
+    out.records.reserve(capped(out.header.num_records));
+    for (std::uint64_t i = 0; i < out.header.num_records; ++i) {
+      out.records.push_back(read_store_record(is, num_vars, hasher));
+    }
+    if (hasher.value() != out.header.payload_hash) {
+      throw StoreFormatError{"store payload checksum mismatch (file corrupt)"};
+    }
+  } else {
+    // v2: records, page-checksum table, footer. Buffer the record region so
+    // page checksums are computed exactly as the lazy mmap path would.
+    std::vector<unsigned char> region;
+    region.reserve(capped(total_words) * 8);
+    {
+      std::vector<char> chunk(1 << 16);
+      std::uint64_t remaining = total_words * 8;
+      while (remaining > 0) {
+        const std::streamsize want =
+            static_cast<std::streamsize>(std::min<std::uint64_t>(remaining, chunk.size()));
+        is.read(chunk.data(), want);
+        if (is.gcount() != want) {
+          throw StoreFormatError{"store file truncated while reading the record region"};
+        }
+        region.insert(region.end(), chunk.data(), chunk.data() + want);
+        remaining -= static_cast<std::uint64_t>(want);
+      }
+    }
+
+    const std::uint64_t num_pages = pages_for_words(total_words);
+    PayloadHasher table_hasher{num_pages};
+    for (std::uint64_t p = 0; p < num_pages; ++p) {
+      const std::uint64_t expected = read_u64_le(is, "page checksum table");
+      table_hasher.mix(expected);
+      const std::size_t words_in_page = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kStorePageWords, total_words - p * kStorePageWords));
+      const std::uint64_t actual =
+          checksum_le_words(region.data() + p * kStorePageBytes, words_in_page);
+      if (actual != expected) {
+        std::ostringstream msg;
+        msg << "store page " << p << " failed checksum validation (file corrupt)";
+        throw StoreFormatError{msg.str()};
+      }
+    }
+    if (table_hasher.value() != out.header.payload_hash) {
+      throw StoreFormatError{"store page-table checksum mismatch (file corrupt)"};
+    }
+
+    const SegmentFooter footer = read_segment_footer(is);
+    if (footer.page_size != kStorePageBytes || footer.num_pages != num_pages ||
+        footer.record_words != total_words) {
+      throw StoreFormatError{"corrupt store: segment footer disagrees with the header"};
+    }
+
+    out.records.reserve(capped(out.header.num_records));
+    const std::size_t stride = store_record_words(num_vars) * 8;
+    for (std::uint64_t i = 0; i < out.header.num_records; ++i) {
+      out.records.push_back(decode_record(region.data() + i * stride, num_vars));
+    }
+  }
+
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw StoreFormatError{"store file has trailing bytes after the last record"};
+  }
+  check_sorted_by_canonical(out.records, "store");
+  return out;
+}
+
+// -- delta log ---------------------------------------------------------------
+
+void write_delta_frame(std::ostream& os, int num_vars, std::uint64_t num_classes_after,
+                       const std::vector<const StoreRecord*>& records)
+{
+  const std::uint64_t total_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars)) * records.size();
+  PayloadHasher hasher{total_words};
+  for (const auto* r : records) {
+    for_each_record_word(*r, [&](std::uint64_t word) { hasher.mix(word); });
+  }
+
+  DeltaFrameHeader header;
+  header.version = kStoreVersion;
+  header.num_vars = static_cast<std::uint32_t>(num_vars);
+  header.num_records = records.size();
+  header.num_classes_after = num_classes_after;
+  header.payload_hash = hasher.value();
+  write_delta_frame_header(os, header);
+  for (const auto* r : records) {
+    for_each_record_word(*r, [&](std::uint64_t word) { write_u64_le(os, word); });
+  }
+  if (!os) {
+    throw StoreFormatError{"delta frame write failed"};
+  }
+}
+
+DeltaLogReplay read_delta_log(std::istream& is, int num_vars)
+{
+  // Slurp the log: frames are small relative to the base, and buffer
+  // parsing is what lets a torn trailing frame be told apart from
+  // mid-log corruption.
+  const std::string log{std::istreambuf_iterator<char>{is}, std::istreambuf_iterator<char>{}};
+  const auto* bytes = reinterpret_cast<const unsigned char*>(log.data());
+  const std::size_t stride = store_record_words(num_vars) * 8;
+
+  DeltaLogReplay out;
+  std::size_t offset = 0;
+  while (offset < log.size()) {
+    if (log.size() - offset < kDeltaFrameHeaderBytes) {
+      out.torn_tail = true;  // crashed append: partial frame header
+      break;
+    }
+    if (load_le64(bytes + offset) != kDeltaFrameMagic) {
+      throw StoreFormatError{"corrupt delta log: bad frame magic"};
+    }
+    const std::uint64_t version_vars = load_le64(bytes + offset + 8);
+    const auto version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
+    const auto frame_vars = static_cast<std::uint32_t>(version_vars >> 32);
+    if (version != kStoreVersion) {
+      std::ostringstream msg;
+      msg << "unsupported delta frame version " << version;
+      throw StoreFormatError{msg.str()};
+    }
+    if (static_cast<int>(frame_vars) != num_vars) {
+      std::ostringstream msg;
+      msg << "delta frame width " << frame_vars << " does not match the base segment ("
+          << num_vars << ")";
+      throw StoreFormatError{msg.str()};
+    }
+    const std::uint64_t num_records = load_le64(bytes + offset + 16);
+    const std::uint64_t num_classes_after = load_le64(bytes + offset + 24);
+    const std::uint64_t payload_hash = load_le64(bytes + offset + 32);
+    // The bound also forecloses any overflow in the size arithmetic below.
+    if (num_records > (log.size() - offset - kDeltaFrameHeaderBytes) / stride) {
+      out.torn_tail = true;  // crashed append: records cut short
+      break;
+    }
+
+    const unsigned char* records_begin = bytes + offset + kDeltaFrameHeaderBytes;
+    const std::uint64_t total_words = num_records * (stride / 8);
+    if (checksum_le_words(records_begin, static_cast<std::size_t>(total_words)) != payload_hash) {
+      throw StoreFormatError{"delta frame checksum mismatch (log corrupt)"};
+    }
+    DeltaRun run;
+    run.num_classes_after = num_classes_after;
+    run.records.reserve(static_cast<std::size_t>(num_records));
+    for (std::uint64_t i = 0; i < num_records; ++i) {
+      run.records.push_back(decode_record(records_begin + i * stride, num_vars));
+    }
+    check_sorted_by_canonical(run.records, "delta frame");
+    out.runs.push_back(std::move(run));
+    offset += kDeltaFrameHeaderBytes + static_cast<std::size_t>(num_records) * stride;
+    out.clean_bytes = offset;
+  }
+  return out;
+}
+
+// -- mmap segment ------------------------------------------------------------
+
+#if FACET_HAS_MMAP
+
+std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
+{
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw StoreFormatError{"cannot open store file: " + path};
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw StoreFormatError{"cannot stat store file: " + path};
+  }
+  const std::size_t mapped_bytes = static_cast<std::size_t>(st.st_size);
+  if (mapped_bytes < kStoreHeaderBytes) {
+    ::close(fd);
+    throw StoreFormatError{"store file truncated while reading header magic"};
+  }
+  void* map = ::mmap(nullptr, mapped_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    throw StoreFormatError{"cannot mmap store file: " + path};
+  }
+
+  std::shared_ptr<MmapSegment> segment{new MmapSegment{}};
+  segment->data_ = static_cast<const unsigned char*>(map);
+  segment->mapped_bytes_ = mapped_bytes;
+
+  // Parse the header straight from the mapping (same checks as
+  // read_store_header, which wants a stream).
+  const unsigned char* bytes = segment->data_;
+  if (load_le64(bytes) != kStoreMagic) {
+    throw StoreFormatError{"not a facet class store (bad magic)"};
+  }
+  const std::uint64_t version_vars = load_le64(bytes + 8);
+  const auto version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
+  const auto num_vars = static_cast<std::uint32_t>(version_vars >> 32);
+  if (version != kStoreVersion && version != kStoreVersionV1) {
+    std::ostringstream msg;
+    msg << "unsupported store version " << version << " (this build reads versions "
+        << kStoreVersionV1 << " and " << kStoreVersion << ")";
+    throw StoreFormatError{msg.str()};
+  }
+  if (num_vars > static_cast<std::uint32_t>(kMaxVars)) {
+    throw StoreFormatError{"corrupt header: num_vars exceeds kMaxVars"};
+  }
+  const std::uint64_t num_records = load_le64(bytes + 16);
+  segment->num_classes_ = load_le64(bytes + 24);
+  const std::uint64_t payload_hash = load_le64(bytes + 32);
+
+  segment->num_vars_ = static_cast<int>(num_vars);
+  segment->num_records_ = static_cast<std::size_t>(num_records);
+  segment->record_stride_ = store_record_words(segment->num_vars_) * 8;
+  // Bound the record count by the mapping before any size arithmetic, so a
+  // crafted huge count cannot wrap the multiplications below into a
+  // plausible-looking geometry.
+  if (num_records > mapped_bytes / segment->record_stride_) {
+    throw StoreFormatError{"store file truncated (size disagrees with its record count)"};
+  }
+  const std::uint64_t record_bytes = num_records * segment->record_stride_;
+  const std::uint64_t total_words = record_bytes / 8;
+  segment->record_bytes_ = static_cast<std::size_t>(record_bytes);
+  segment->records_begin_ = bytes + kStoreHeaderBytes;
+
+  if (version == kStoreVersionV1) {
+    // v1 has no page table: validate the whole payload once at open. The
+    // records still serve from the mapping, so no decode or allocation
+    // happens per record until a lookup materializes its result.
+    if (mapped_bytes != kStoreHeaderBytes + record_bytes) {
+      throw StoreFormatError{"store file size disagrees with its record count"};
+    }
+    if (checksum_le_words(segment->records_begin_, static_cast<std::size_t>(total_words)) !=
+        payload_hash) {
+      throw StoreFormatError{"store payload checksum mismatch (file corrupt)"};
+    }
+    return segment;
+  }
+
+  const std::uint64_t num_pages = pages_for_words(total_words);
+  const std::uint64_t expected_bytes =
+      kStoreHeaderBytes + record_bytes + num_pages * 8 + kStoreFooterBytes;
+  if (mapped_bytes != expected_bytes) {
+    throw StoreFormatError{mapped_bytes < expected_bytes
+                               ? "store file truncated (size disagrees with its record count)"
+                               : "store file has trailing bytes after the last record"};
+  }
+  segment->page_table_ = segment->records_begin_ + record_bytes;
+  segment->num_pages_ = static_cast<std::size_t>(num_pages);
+
+  const SegmentFooter footer =
+      parse_segment_footer(segment->page_table_ + num_pages * 8);
+  if (footer.page_size != kStorePageBytes || footer.num_pages != num_pages ||
+      footer.record_words != total_words) {
+    throw StoreFormatError{"corrupt store: segment footer disagrees with the header"};
+  }
+  if (checksum_le_words(segment->page_table_, static_cast<std::size_t>(num_pages)) !=
+      payload_hash) {
+    throw StoreFormatError{"store page-table checksum mismatch (file corrupt)"};
+  }
+
+  segment->page_states_ =
+      std::make_unique<std::atomic<std::uint8_t>[]>(segment->num_pages_);
+  for (std::size_t p = 0; p < segment->num_pages_; ++p) {
+    segment->page_states_[p].store(0, std::memory_order_relaxed);
+  }
+  return segment;
+}
+
+MmapSegment::~MmapSegment()
+{
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), mapped_bytes_);
+  }
+}
+
+#else  // !FACET_HAS_MMAP
+
+std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
+{
+  throw StoreFormatError{"mmap-backed stores are not supported on this platform (" + path +
+                         "); use a materialized load instead"};
+}
+
+MmapSegment::~MmapSegment() = default;
+
+#endif  // FACET_HAS_MMAP
+
+const unsigned char* MmapSegment::record_ptr(std::size_t i) const noexcept
+{
+  return records_begin_ + i * record_stride_;
+}
+
+void MmapSegment::validate_page(std::size_t page) const
+{
+  std::atomic<std::uint8_t>& state = page_states_[page];
+  if (state.load(std::memory_order_acquire) == 1) {
+    return;
+  }
+  const std::size_t total_words = record_bytes_ / 8;
+  const std::size_t words_in_page =
+      std::min(kStorePageWords, total_words - page * kStorePageWords);
+  const std::uint64_t actual =
+      checksum_le_words(records_begin_ + page * kStorePageBytes, words_in_page);
+  const std::uint64_t expected = load_le64(page_table_ + 8 * page);
+  if (actual != expected) {
+    std::ostringstream msg;
+    msg << "store page " << page << " failed checksum validation (file corrupt)";
+    throw StoreFormatError{msg.str()};
+  }
+  // Concurrent validators may race here; both computed the same verdict, so
+  // the double store is harmless.
+  state.store(1, std::memory_order_release);
+}
+
+void MmapSegment::touch_record(std::size_t i) const
+{
+  if (page_states_ == nullptr) {
+    return;  // v1 mapping, validated eagerly at open
+  }
+  const std::size_t first = (i * record_stride_) / kStorePageBytes;
+  const std::size_t last = (i * record_stride_ + record_stride_ - 1) / kStorePageBytes;
+  for (std::size_t p = first; p <= last; ++p) {
+    validate_page(p);
+  }
+}
+
+std::size_t MmapSegment::pages_validated() const noexcept
+{
+  if (page_states_ == nullptr) {
+    return num_pages_;
+  }
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < num_pages_; ++p) {
+    count += page_states_[p].load(std::memory_order_relaxed) == 1 ? 1 : 0;
+  }
+  return count;
+}
+
+int MmapSegment::compare_canonical(std::size_t i, const TruthTable& key) const
+{
+  touch_record(i);
+  const unsigned char* rec = record_ptr(i);
+  const auto words = key.words();
+  for (std::size_t w = words.size(); w-- > 0;) {
+    const std::uint64_t a = load_le64(rec + 8 * w);
+    const std::uint64_t b = words[w];
+    if (a != b) {
+      return a < b ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+StoreRecord MmapSegment::record_at(std::size_t i) const
+{
+  touch_record(i);
+  return decode_record(record_ptr(i), num_vars_);
+}
+
+std::optional<std::size_t> MmapSegment::find_index(const TruthTable& key) const
+{
+  if (key.num_vars() != num_vars_) {
+    return std::nullopt;
+  }
+  std::size_t lo = 0;
+  std::size_t hi = num_records_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (compare_canonical(mid, key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < num_records_ && compare_canonical(lo, key) == 0) {
+    return lo;
+  }
+  return std::nullopt;
+}
+
+std::optional<StoreRecord> MmapSegment::find(const TruthTable& canonical) const
+{
+  if (const auto i = find_index(canonical)) {
+    return record_at(*i);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> MmapSegment::find_class_id(const TruthTable& canonical) const
+{
+  if (const auto i = find_index(canonical)) {
+    // compare_canonical already validated the record's pages; the id rides
+    // in the word after the two tables, no decode needed.
+    const std::size_t num_words = words_for_vars(num_vars_);
+    return static_cast<std::uint32_t>(load_le64(record_ptr(*i) + 8 * (2 * num_words)) >> 32);
+  }
+  return std::nullopt;
+}
+
+}  // namespace facet

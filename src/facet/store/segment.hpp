@@ -1,0 +1,196 @@
+/// \file segment.hpp
+/// \brief Read-only record segments backing the class store.
+///
+/// A Segment is an immutable sorted run of StoreRecords searchable by
+/// canonical form. The store composes them into a lookup hierarchy
+/// (class_store.hpp): one **base segment** — the full compacted index —
+/// shadowed by zero or more small **delta segments** holding appends that
+/// have not been compacted yet.
+///
+/// Two base flavors exist:
+///
+///   * MaterializedSegment — records decoded into a std::vector. What
+///     ClassStore::load produces; every byte of the file was validated up
+///     front.
+///   * MmapSegment — the record region of a v2 `.fcs` file mapped read-only
+///     and binary-searched **in place**. Nothing is decoded at open beyond
+///     the header, the page-checksum table and the footer, so opening a
+///     million-class index costs microseconds instead of a full decode.
+///     Record pages are checksum-validated lazily on first touch; a
+///     bit-flipped page raises StoreFormatError at the first lookup that
+///     reads it, never silently. Version-1 files (no page table) are
+///     validated eagerly at open — still without materializing records.
+///
+/// All Segment methods are const and safe to call from many threads at once
+/// (lazy validation uses atomic page flags; double validation is idempotent).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "facet/store/store_format.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// Immutable sorted run of store records, searchable by canonical form.
+class Segment {
+ public:
+  virtual ~Segment() = default;
+
+  [[nodiscard]] virtual int num_vars() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// Decodes record `i` (0 <= i < size(), ascending canonical order). The
+  /// mmap flavor throws StoreFormatError if the record's page fails its
+  /// lazy checksum validation.
+  [[nodiscard]] virtual StoreRecord record_at(std::size_t i) const = 0;
+
+  /// Binary search by canonical form; nullopt when absent.
+  [[nodiscard]] virtual std::optional<StoreRecord> find(const TruthTable& canonical) const = 0;
+
+  /// Binary search returning only the class id — the batch-engine hot
+  /// path. Neither flavor materializes a record for this.
+  [[nodiscard]] virtual std::optional<std::uint32_t> find_class_id(
+      const TruthTable& canonical) const = 0;
+};
+
+/// Segment over records held in RAM. The records must already be sorted by
+/// canonical form and width-consistent — the store validates before
+/// constructing (ClassStore's constructors, the delta replay, compaction).
+class MaterializedSegment final : public Segment {
+ public:
+  MaterializedSegment(int num_vars, std::vector<StoreRecord> records)
+      : num_vars_{num_vars}, records_{std::move(records)}
+  {
+  }
+
+  [[nodiscard]] int num_vars() const noexcept override { return num_vars_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return records_.size(); }
+  [[nodiscard]] StoreRecord record_at(std::size_t i) const override { return records_[i]; }
+  [[nodiscard]] std::optional<StoreRecord> find(const TruthTable& canonical) const override;
+  [[nodiscard]] std::optional<std::uint32_t> find_class_id(
+      const TruthTable& canonical) const override;
+
+  [[nodiscard]] const std::vector<StoreRecord>& records() const noexcept { return records_; }
+
+ private:
+  [[nodiscard]] const StoreRecord* find_ptr(const TruthTable& canonical) const;
+
+  int num_vars_;
+  std::vector<StoreRecord> records_;
+};
+
+/// Segment over the record region of a `.fcs` file mapped read-only.
+class MmapSegment final : public Segment {
+ public:
+  /// Maps `path` and validates header, footer and page-table checksum (v2)
+  /// or the whole payload (v1 — no page table to defer to). Record pages of
+  /// v2 files are validated lazily on first touch. Throws StoreFormatError
+  /// on any structural violation, and std::runtime_error when the platform
+  /// has no mmap (see mmap_supported()).
+  [[nodiscard]] static std::shared_ptr<MmapSegment> open(const std::string& path);
+
+  ~MmapSegment() override;
+  MmapSegment(const MmapSegment&) = delete;
+  MmapSegment& operator=(const MmapSegment&) = delete;
+
+  [[nodiscard]] int num_vars() const noexcept override { return num_vars_; }
+  [[nodiscard]] std::size_t size() const noexcept override { return num_records_; }
+  [[nodiscard]] StoreRecord record_at(std::size_t i) const override;
+  [[nodiscard]] std::optional<StoreRecord> find(const TruthTable& canonical) const override;
+  [[nodiscard]] std::optional<std::uint32_t> find_class_id(
+      const TruthTable& canonical) const override;
+
+  /// Next fresh class id recorded in the mapped header.
+  [[nodiscard]] std::uint64_t num_classes() const noexcept { return num_classes_; }
+  /// True when record pages validate lazily (v2); v1 maps validate at open.
+  [[nodiscard]] bool lazy_validation() const noexcept { return page_states_ != nullptr; }
+  /// Pages already checksum-validated (for telemetry and tests).
+  [[nodiscard]] std::size_t pages_validated() const noexcept;
+  [[nodiscard]] std::size_t num_pages() const noexcept { return num_pages_; }
+
+ private:
+  MmapSegment() = default;
+
+  [[nodiscard]] const unsigned char* record_ptr(std::size_t i) const noexcept;
+  /// Validates every page overlapping record `i` (first touch only).
+  void touch_record(std::size_t i) const;
+  void validate_page(std::size_t page) const;
+  /// -1 / 0 / +1 of record i's canonical vs `key` (most-significant first).
+  [[nodiscard]] int compare_canonical(std::size_t i, const TruthTable& key) const;
+  /// Index of the record whose canonical equals `key`, if any.
+  [[nodiscard]] std::optional<std::size_t> find_index(const TruthTable& key) const;
+
+  const unsigned char* data_ = nullptr;  // whole mapping
+  std::size_t mapped_bytes_ = 0;
+  const unsigned char* records_begin_ = nullptr;
+  const unsigned char* page_table_ = nullptr;  // v2 only
+  std::size_t record_bytes_ = 0;
+  std::size_t record_stride_ = 0;  // bytes per record
+  std::size_t num_records_ = 0;
+  std::size_t num_pages_ = 0;
+  std::uint64_t num_classes_ = 0;
+  int num_vars_ = 0;
+  /// 0 = not yet validated, 1 = validated. Null for eagerly-validated maps.
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> page_states_;
+};
+
+/// True when this platform supports MmapSegment (POSIX mmap).
+[[nodiscard]] bool mmap_supported() noexcept;
+
+/// Writes one v2 base segment — header, records, page-checksum table,
+/// footer — to `os`. `records` must be sorted by canonical form.
+void write_base_segment(std::ostream& os, int num_vars, std::uint64_t num_classes,
+                        const std::vector<const StoreRecord*>& records);
+
+/// Reads a record (shared by the materialized base loader and the delta
+/// replay), mixing every word into `hasher`.
+[[nodiscard]] StoreRecord read_store_record(std::istream& is, int num_vars, PayloadHasher& hasher);
+
+/// Materialized read of a base segment (v1 or v2): every record decoded,
+/// every checksum and structural invariant validated eagerly, including
+/// canonical sortedness/uniqueness and the absence of trailing bytes.
+struct LoadedBase {
+  StoreHeader header;
+  std::vector<StoreRecord> records;
+};
+[[nodiscard]] LoadedBase read_base_segment(std::istream& is);
+
+/// Appends one delta frame holding `records` (sorted by canonical form) to
+/// `os`.
+void write_delta_frame(std::ostream& os, int num_vars, std::uint64_t num_classes_after,
+                       const std::vector<const StoreRecord*>& records);
+
+/// One decoded delta frame.
+struct DeltaRun {
+  std::uint64_t num_classes_after = 0;
+  std::vector<StoreRecord> records;
+};
+
+/// Result of replaying a delta log.
+struct DeltaLogReplay {
+  std::vector<DeltaRun> runs;
+  /// Log prefix covered by intact frames — the truncation point that
+  /// repairs a torn log.
+  std::uint64_t clean_bytes = 0;
+  /// True when a truncated trailing frame (a crashed append) was dropped.
+  bool torn_tail = false;
+};
+
+/// Reads the frames of a delta log; validates per-frame checksums, width
+/// agreement with `num_vars`, and canonical sortedness within each frame.
+/// A truncated *trailing* frame — the signature of a crash or full disk
+/// mid-append — is dropped and reported via torn_tail, never breaking the
+/// intact prefix (standard write-ahead-log recovery). Corruption anywhere
+/// before the tail (bad magic, checksum mismatch on a complete frame)
+/// throws StoreFormatError.
+[[nodiscard]] DeltaLogReplay read_delta_log(std::istream& is, int num_vars);
+
+}  // namespace facet

@@ -5,10 +5,126 @@
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "facet/tt/tt_io.hpp"
 
 namespace facet {
+
+namespace {
+
+void count_source(ServeStats& stats, LookupSource source)
+{
+  switch (source) {
+    case LookupSource::kHotCache:
+      ++stats.cache_hits;
+      break;
+    case LookupSource::kIndex:
+      ++stats.index_hits;
+      break;
+    case LookupSource::kLive:
+      ++stats.live;
+      break;
+  }
+}
+
+/// Resolves one hex operand against `store` and renders the response line
+/// (without trailing newline). Shared by lookup, mlookup and both loops.
+std::string lookup_response(ClassStore& store, const std::string& hex, bool append_on_miss,
+                            ServeStats& stats)
+{
+  try {
+    const TruthTable query = from_hex(store.num_vars(), hex);
+    const StoreLookupResult result = store.lookup_or_classify(query, append_on_miss);
+    count_source(stats, result.source);
+    ++stats.lookups;
+    std::ostringstream line;
+    line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
+         << " t=" << transform_to_compact(result.to_representative)
+         << " src=" << lookup_source_name(result.source) << " known=" << (result.known ? 1 : 0);
+    return line.str();
+  } catch (const std::exception& e) {
+    ++stats.errors;
+    return std::string{"err "} + e.what();
+  }
+}
+
+/// Routes one hex operand by its inferred width. Shared by the router
+/// loop's lookup and mlookup.
+std::string routed_lookup_response(StoreRouter& router, const std::string& hex,
+                                   bool append_on_miss, ServeStats& stats)
+{
+  const int width = hex_operand_width(hex);
+  if (width < 0) {
+    ++stats.errors;
+    return "err operand '" + hex + "' has no valid width (digit count must be a power of two)";
+  }
+  ClassStore* store = router.store_for(width);
+  if (store == nullptr) {
+    ++stats.errors;
+    std::ostringstream line;
+    line << "err no store routes width " << width;
+    return line.str();
+  }
+  return lookup_response(*store, hex, append_on_miss, stats);
+}
+
+/// Splits the rest of a request into whitespace-separated operands.
+std::vector<std::string> read_operands(std::istringstream& request)
+{
+  std::vector<std::string> operands;
+  std::string token;
+  while (request >> token) {
+    operands.push_back(std::move(token));
+  }
+  return operands;
+}
+
+void emit_stats(std::ostream& out, const ServeStats& stats, std::size_t appended)
+{
+  out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
+      << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
+      << " live=" << stats.live << " appended=" << appended << "\n"
+      << std::flush;
+}
+
+/// Trims and comment-strips one request line; false = skip it.
+bool normalize_request(const std::string& line, std::string& request)
+{
+  const auto begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos || line[begin] == '#') {
+    return false;
+  }
+  const auto end = line.find_last_not_of(" \t\r");
+  request = line.substr(begin, end - begin + 1);
+  return true;
+}
+
+}  // namespace
+
+int hex_operand_width(const std::string& hex) noexcept
+{
+  std::size_t digits = hex.size();
+  if (digits >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
+    digits -= 2;
+  }
+  if (digits == 0) {
+    return -1;
+  }
+  if (digits == 1) {
+    return 2;  // a single nibble: n <= 2 all serialize as one digit
+  }
+  // digits must be a power of two: 2^n bits = 4 * digits, n = log2(digits) + 2.
+  if ((digits & (digits - 1)) != 0) {
+    return -1;
+  }
+  int width = 2;
+  while (digits > 1) {
+    digits >>= 1;
+    ++width;
+  }
+  return width <= kMaxVars ? width : -1;
+}
 
 ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
                       const ServeOptions& options)
@@ -16,13 +132,11 @@ ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
   ServeStats stats;
   std::string line;
   while (std::getline(in, line)) {
-    // Trim; ignore blanks and comments so request files can be annotated.
-    const auto begin = line.find_first_not_of(" \t\r");
-    if (begin == std::string::npos || line[begin] == '#') {
+    std::string trimmed;
+    if (!normalize_request(line, trimmed)) {
       continue;
     }
-    const auto end = line.find_last_not_of(" \t\r");
-    std::istringstream request{line.substr(begin, end - begin + 1)};
+    std::istringstream request{trimmed};
     std::string command;
     request >> command;
     ++stats.requests;
@@ -33,56 +147,116 @@ ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
     }
     if (command == "info") {
       out << "ok n=" << store.num_vars() << " records=" << store.num_records()
-          << " appended=" << store.num_appended() << " classes=" << store.num_classes()
+          << " appended=" << store.num_appended() << " deltas=" << store.num_delta_segments()
+          << " classes=" << store.num_classes()
           << " cache_entries=" << store.hot_cache_stats().entries << "\n"
           << std::flush;
       continue;
     }
     if (command == "stats") {
-      out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
-          << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
-          << " live=" << stats.live << " appended=" << store.num_appended() << "\n"
-          << std::flush;
+      emit_stats(out, stats, store.num_appended());
       continue;
     }
     if (command == "lookup") {
-      std::string hex;
-      std::string extra;
-      request >> hex;
-      if (hex.empty() || (request >> extra)) {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.size() != 1) {
         ++stats.errors;
         out << "err lookup takes exactly one hex truth table\n" << std::flush;
         continue;
       }
-      try {
-        const TruthTable query = from_hex(store.num_vars(), hex);
-        const StoreLookupResult result =
-            store.lookup_or_classify(query, options.append_on_miss);
-        switch (result.source) {
-          case LookupSource::kHotCache:
-            ++stats.cache_hits;
-            break;
-          case LookupSource::kIndex:
-            ++stats.index_hits;
-            break;
-          case LookupSource::kLive:
-            ++stats.live;
-            break;
-        }
-        ++stats.lookups;
-        out << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
-            << " t=" << transform_to_compact(result.to_representative)
-            << " src=" << lookup_source_name(result.source) << " known=" << (result.known ? 1 : 0)
-            << "\n"
-            << std::flush;
-      } catch (const std::exception& e) {
+      out << lookup_response(store, operands.front(), options.append_on_miss, stats) << "\n"
+          << std::flush;
+      continue;
+    }
+    if (command == "mlookup") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.empty()) {
         ++stats.errors;
-        out << "err " << e.what() << "\n" << std::flush;
+        out << "err mlookup takes one or more hex truth tables\n" << std::flush;
+        continue;
       }
+      // One response line per operand, one flush per batch: pipelined
+      // clients pay the flush latency once instead of per function.
+      for (const auto& hex : operands) {
+        out << lookup_response(store, hex, options.append_on_miss, stats) << "\n";
+      }
+      out << std::flush;
       continue;
     }
     ++stats.errors;
-    out << "err unknown command '" << command << "' (lookup|info|stats|quit)\n" << std::flush;
+    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
+        << std::flush;
+  }
+  return stats;
+}
+
+ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream& out,
+                             const ServeOptions& options)
+{
+  ServeStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string trimmed;
+    if (!normalize_request(line, trimmed)) {
+      continue;
+    }
+    std::istringstream request{trimmed};
+    std::string command;
+    request >> command;
+    ++stats.requests;
+
+    if (command == "quit") {
+      out << "ok bye\n" << std::flush;
+      break;
+    }
+    if (command == "info") {
+      out << "ok widths=";
+      const std::vector<int> widths = router.widths();
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out << (i == 0 ? "" : ",") << widths[i];
+      }
+      out << " stores=" << router.num_stores() << " records=" << router.num_records()
+          << " classes=" << router.num_classes()
+          << " cache_entries=" << router.hot_cache_entries() << "\n"
+          << std::flush;
+      continue;
+    }
+    if (command == "stats") {
+      std::size_t appended = 0;
+      for (const int width : router.widths()) {
+        appended += router.store_for(width)->num_appended();
+      }
+      emit_stats(out, stats, appended);
+      continue;
+    }
+    if (command == "lookup") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.size() != 1) {
+        ++stats.errors;
+        out << "err lookup takes exactly one hex truth table\n" << std::flush;
+        continue;
+      }
+      out << routed_lookup_response(router, operands.front(), options.append_on_miss, stats)
+          << "\n"
+          << std::flush;
+      continue;
+    }
+    if (command == "mlookup") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.empty()) {
+        ++stats.errors;
+        out << "err mlookup takes one or more hex truth tables\n" << std::flush;
+        continue;
+      }
+      for (const auto& hex : operands) {
+        out << routed_lookup_response(router, hex, options.append_on_miss, stats) << "\n";
+      }
+      out << std::flush;
+      continue;
+    }
+    ++stats.errors;
+    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
+        << std::flush;
   }
   return stats;
 }

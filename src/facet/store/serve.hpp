@@ -1,18 +1,29 @@
 /// \file serve.hpp
-/// \brief Long-lived line-protocol loop serving a ClassStore over streams.
+/// \brief Long-lived line-protocol loops serving class stores over streams.
 ///
-/// `facet_cli serve` runs this loop over stdin/stdout so other processes
-/// (a mapper, a test harness, a future network front end) can drive the
-/// store without re-loading the index per query. One request per line, one
-/// response line per request, flushed immediately:
+/// `facet_cli serve` runs these loops over stdin/stdout so other processes
+/// (a mapper, a test harness, a future network front end) can drive a store
+/// without re-loading the index per query. One request per line:
 ///
-///   lookup <hex>   ->  ok id=<id> rep=<hex> t=<compact-transform>
-///                         src=<cache|index|live> known=<0|1>
-///   info           ->  ok n=<n> records=<r> appended=<a> classes=<c>
-///                         cache_entries=<e>
-///   stats          ->  ok requests=<q> lookups=<k> cache_hits=<h>
-///                         index_hits=<i> live=<l> appended=<a>
-///   quit           ->  ok bye            (loop returns)
+///   lookup <hex>        ->  ok id=<id> rep=<hex> t=<compact-transform>
+///                              src=<cache|index|live> known=<0|1>
+///   mlookup <hex>...    ->  one lookup-response line per operand, flushed
+///                              once at the end of the batch — pipelined
+///                              clients stop paying per-line flush latency
+///   info                ->  ok n=<n> records=<r> appended=<a> deltas=<d>
+///                              classes=<c> cache_entries=<e>
+///   stats               ->  ok requests=<q> lookups=<k> cache_hits=<h>
+///                              index_hits=<i> live=<l> appended=<a>
+///   quit                ->  ok bye            (loop returns)
+///
+/// `serve_loop` serves one single-width ClassStore. `serve_router_loop`
+/// serves a StoreRouter — one session answering mixed-width queries, with
+/// each operand's width inferred from its hex digit count (2^n bits = 4 *
+/// digits), so a mapper can stream n=3..8 cut functions down one pipe. Its
+/// `info` line reports the routed widths:
+///
+///   info                ->  ok widths=<w1,w2,...> stores=<s> records=<r>
+///                              classes=<c> cache_entries=<e>
 ///
 /// Blank lines and `#` comments are ignored. Any malformed request answers
 /// `err <message>` and the loop continues — a serving process must survive
@@ -25,6 +36,7 @@
 #include <iosfwd>
 
 #include "facet/store/class_store.hpp"
+#include "facet/store/store_router.hpp"
 
 namespace facet {
 
@@ -35,7 +47,7 @@ struct ServeOptions {
 
 struct ServeStats {
   std::uint64_t requests = 0;    ///< non-blank, non-comment request lines
-  std::uint64_t lookups = 0;     ///< lookup requests answered ok
+  std::uint64_t lookups = 0;     ///< lookup/mlookup operands answered ok
   std::uint64_t cache_hits = 0;  ///< answered from the hot cache
   std::uint64_t index_hits = 0;  ///< answered from the persisted index
   std::uint64_t live = 0;        ///< fell back to live classification
@@ -45,5 +57,16 @@ struct ServeStats {
 /// Serves `store` until `quit` or end of input; returns the session stats.
 ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
                       const ServeOptions& options = {});
+
+/// Serves `router` (mixed widths, one session) until `quit` or end of
+/// input; returns the session stats.
+ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream& out,
+                             const ServeOptions& options = {});
+
+/// Function width implied by a hex operand of the line protocol: 4 * digits
+/// = 2^n bits (one digit reads as n = 2, the smallest width a single nibble
+/// encodes). Returns -1 for an impossible digit count. The "0x" prefix is
+/// tolerated.
+[[nodiscard]] int hex_operand_width(const std::string& hex) noexcept;
 
 }  // namespace facet

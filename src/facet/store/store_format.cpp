@@ -1,16 +1,49 @@
 #include "facet/store/store_format.hpp"
 
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
-#include "facet/tt/truth_table.hpp"
-
 namespace facet {
+
+namespace {
+
+/// Self-hash of the footer's leading words, so a torn or overwritten tail is
+/// distinguishable from a valid one regardless of record-region contents.
+std::uint64_t footer_hash(const SegmentFooter& footer) noexcept
+{
+  PayloadHasher hasher{4};
+  hasher.mix(kStoreFooterMagic);
+  hasher.mix(footer.page_size);
+  hasher.mix(footer.num_pages);
+  hasher.mix(footer.record_words);
+  return hasher.value();
+}
+
+}  // namespace
 
 std::size_t store_record_words(int num_vars) noexcept
 {
   return 2 * words_for_vars(num_vars) + 3;
+}
+
+std::uint64_t load_le64(const unsigned char* bytes) noexcept
+{
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t checksum_le_words(const unsigned char* bytes, std::size_t num_words) noexcept
+{
+  PayloadHasher hasher{num_words};
+  for (std::size_t w = 0; w < num_words; ++w) {
+    hasher.mix(load_le64(bytes + 8 * w));
+  }
+  return hasher.value();
 }
 
 void write_u64_le(std::ostream& os, std::uint64_t value)
@@ -57,10 +90,10 @@ StoreHeader read_store_header(std::istream& is)
   StoreHeader header;
   header.version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
   header.num_vars = static_cast<std::uint32_t>(version_vars >> 32);
-  if (header.version != kStoreVersion) {
+  if (header.version != kStoreVersion && header.version != kStoreVersionV1) {
     std::ostringstream msg;
-    msg << "unsupported store version " << header.version << " (this build reads version "
-        << kStoreVersion << ")";
+    msg << "unsupported store version " << header.version << " (this build reads versions "
+        << kStoreVersionV1 << " and " << kStoreVersion << ")";
     throw StoreFormatError{msg.str()};
   }
   if (header.num_vars > static_cast<std::uint32_t>(kMaxVars)) {
@@ -72,6 +105,85 @@ StoreHeader read_store_header(std::istream& is)
   header.num_classes = read_u64_le(is, "header class count");
   header.payload_hash = read_u64_le(is, "header payload hash");
   (void)read_u64_le(is, "header reserved word");
+  return header;
+}
+
+void write_segment_footer(std::ostream& os, const SegmentFooter& footer)
+{
+  write_u64_le(os, kStoreFooterMagic);
+  write_u64_le(os, footer.page_size);
+  write_u64_le(os, footer.num_pages);
+  write_u64_le(os, footer.record_words);
+  write_u64_le(os, footer_hash(footer));
+}
+
+SegmentFooter read_segment_footer(std::istream& is)
+{
+  unsigned char bytes[kStoreFooterBytes];
+  is.read(reinterpret_cast<char*>(bytes), static_cast<std::streamsize>(kStoreFooterBytes));
+  if (static_cast<std::size_t>(is.gcount()) != kStoreFooterBytes) {
+    throw StoreFormatError{"store file truncated while reading segment footer"};
+  }
+  return parse_segment_footer(bytes);
+}
+
+SegmentFooter parse_segment_footer(const unsigned char* bytes)
+{
+  if (load_le64(bytes) != kStoreFooterMagic) {
+    throw StoreFormatError{"corrupt store: segment footer magic mismatch"};
+  }
+  SegmentFooter footer;
+  footer.page_size = load_le64(bytes + 8);
+  footer.num_pages = load_le64(bytes + 16);
+  footer.record_words = load_le64(bytes + 24);
+  if (load_le64(bytes + 32) != footer_hash(footer)) {
+    throw StoreFormatError{"corrupt store: segment footer failed its self-check"};
+  }
+  return footer;
+}
+
+void write_delta_frame_header(std::ostream& os, const DeltaFrameHeader& header)
+{
+  write_u64_le(os, kDeltaFrameMagic);
+  write_u64_le(os, static_cast<std::uint64_t>(header.version) |
+                       (static_cast<std::uint64_t>(header.num_vars) << 32));
+  write_u64_le(os, header.num_records);
+  write_u64_le(os, header.num_classes_after);
+  write_u64_le(os, header.payload_hash);
+}
+
+std::optional<DeltaFrameHeader> read_delta_frame_header(std::istream& is)
+{
+  char magic_bytes[8];
+  is.read(magic_bytes, 8);
+  if (is.gcount() == 0) {
+    return std::nullopt;  // clean end of log
+  }
+  if (is.gcount() != 8) {
+    throw StoreFormatError{"delta log truncated inside a frame header"};
+  }
+  std::uint64_t magic = 0;
+  for (int i = 0; i < 8; ++i) {
+    magic |= static_cast<std::uint64_t>(static_cast<unsigned char>(magic_bytes[i])) << (8 * i);
+  }
+  if (magic != kDeltaFrameMagic) {
+    throw StoreFormatError{"corrupt delta log: bad frame magic"};
+  }
+  const std::uint64_t version_vars = read_u64_le(is, "delta frame version");
+  DeltaFrameHeader header;
+  header.version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
+  header.num_vars = static_cast<std::uint32_t>(version_vars >> 32);
+  if (header.version != kStoreVersion) {
+    std::ostringstream msg;
+    msg << "unsupported delta frame version " << header.version;
+    throw StoreFormatError{msg.str()};
+  }
+  if (header.num_vars > static_cast<std::uint32_t>(kMaxVars)) {
+    throw StoreFormatError{"corrupt delta frame: num_vars exceeds kMaxVars"};
+  }
+  header.num_records = read_u64_le(is, "delta frame record count");
+  header.num_classes_after = read_u64_le(is, "delta frame class count");
+  header.payload_hash = read_u64_le(is, "delta frame payload hash");
   return header;
 }
 

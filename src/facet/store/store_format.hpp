@@ -1,19 +1,22 @@
 /// \file store_format.hpp
 /// \brief On-disk format of the persistent NPN class store (`.fcs` files).
 ///
-/// A `.fcs` file holds the classification knowledge of one function width:
-/// a fixed-size little-endian header followed by records sorted by canonical
-/// form, so a loaded store answers "which class is this canonical form?" with
-/// one binary search. Layout (all integers little-endian):
+/// A `.fcs` file holds the classification knowledge of one function width as
+/// one immutable **base segment**: a fixed-size little-endian header followed
+/// by records sorted by canonical form, so a reader answers "which class is
+/// this canonical form?" with one binary search — in RAM after a materialized
+/// load, or directly in the page cache through a read-only mmap
+/// (segment.hpp). Version 2 layout (all integers little-endian):
 ///
 ///   header (48 bytes)
 ///     u64  magic         "FACETFCS"
-///     u32  version       kStoreVersion
+///     u32  version       kStoreVersion (version-1 files remain readable)
 ///     u32  num_vars      function width n (0 <= n <= kMaxVars)
 ///     u64  num_records   record count
 ///     u64  num_classes   next fresh class id (== class count for built
 ///                        stores; appended deltas may leave gaps)
-///     u64  payload_hash  hash_words over every record word, in file order
+///     u64  payload_hash  v2: hash_words over the page-checksum table;
+///                        v1: hash_words over every record word in file order
 ///     u64  reserved      zero
 ///
 ///   record ((2 * W + 3) * 8 bytes each, W = words_for_vars(n))
@@ -23,19 +26,43 @@
 ///     u64[2]  packed NPN transform with
 ///             apply_transform(representative, t) == canonical
 ///
-/// The payload hash rejects bit-rot and truncation; the version field
-/// rejects files written by incompatible layouts. Everything here is pure
-/// encoding — the in-memory store lives in class_store.hpp.
+///   page-checksum table (v2 only; num_pages * 8 bytes)
+///     u64[num_pages]  checksum of each kStorePageBytes-sized slice of the
+///                     record region (the last page may be partial). The
+///                     mmap reader validates pages lazily on first touch;
+///                     the materialized loader validates all of them.
+///
+///   segment footer (v2 only; 40 bytes, see SegmentFooter)
+///
+/// Appends between compactions live outside the base segment in a
+/// log-structured **delta log** (`<index>.dlog`): a sequence of independent
+/// frames, each a small sorted run of records flushed in one append. Frame
+/// layout:
+///
+///   frame header (40 bytes, see DeltaFrameHeader)
+///     u64  magic              "FCSDELT1"
+///     u64  version | num_vars << 32
+///     u64  num_records        records in this run
+///     u64  num_classes_after  next fresh class id after applying the run
+///     u64  payload_hash       hash_words over the run's record words
+///   records (same codec as the base segment, sorted by canonical form)
+///
+/// The checksums reject bit-rot and truncation; the version field rejects
+/// files written by incompatible layouts. Everything here is pure encoding —
+/// segments live in segment.hpp, the serving store in class_store.hpp.
 
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "facet/npn/transform.hpp"
+#include "facet/tt/truth_table.hpp"
+#include "facet/util/hash.hpp"
 
 namespace facet {
 
@@ -48,11 +75,30 @@ class StoreFormatError : public std::runtime_error {
 /// "FACETFCS" read as a little-endian u64.
 inline constexpr std::uint64_t kStoreMagic = 0x5343'4654'4543'4146ULL;
 
-/// Current format version; bumped on any layout change.
-inline constexpr std::uint32_t kStoreVersion = 1;
+/// Current format version (page-checksummed segments); bumped on any layout
+/// change. Version-1 files (whole-payload checksum, no footer) still load.
+inline constexpr std::uint32_t kStoreVersion = 2;
+inline constexpr std::uint32_t kStoreVersionV1 = 1;
 
 /// Serialized header size in bytes.
 inline constexpr std::size_t kStoreHeaderBytes = 48;
+
+/// Granularity of lazy checksum validation on the mmap read path: the record
+/// region is checksummed in slices of this many bytes.
+inline constexpr std::size_t kStorePageBytes = 4096;
+inline constexpr std::size_t kStorePageWords = kStorePageBytes / 8;
+
+/// "FCSFOOT1" read as a little-endian u64.
+inline constexpr std::uint64_t kStoreFooterMagic = 0x3154'4f4f'4653'4346ULL;
+
+/// Serialized SegmentFooter size in bytes (magic + 3 fields + self-hash).
+inline constexpr std::size_t kStoreFooterBytes = 40;
+
+/// "FCSDELT1" read as a little-endian u64.
+inline constexpr std::uint64_t kDeltaFrameMagic = 0x3154'4c45'4453'4346ULL;
+
+/// Serialized DeltaFrameHeader size in bytes.
+inline constexpr std::size_t kDeltaFrameHeaderBytes = 40;
 
 struct StoreHeader {
   std::uint32_t version = kStoreVersion;
@@ -62,18 +108,96 @@ struct StoreHeader {
   std::uint64_t payload_hash = 0;
 };
 
+/// Trailer of a v2 base segment, after the page-checksum table. Lets a
+/// reader cross-check the record/page geometry implied by the header and
+/// reject files whose tail was cut or overwritten.
+struct SegmentFooter {
+  std::uint64_t page_size = kStorePageBytes;
+  std::uint64_t num_pages = 0;
+  std::uint64_t record_words = 0;  ///< total record-region size in u64 words
+};
+
+/// Header of one delta-log frame (the records follow immediately).
+struct DeltaFrameHeader {
+  std::uint32_t version = kStoreVersion;
+  std::uint32_t num_vars = 0;
+  std::uint64_t num_records = 0;
+  std::uint64_t num_classes_after = 0;
+  std::uint64_t payload_hash = 0;
+};
+
+/// One NPN class of the store — the record both segment flavors decode to.
+struct StoreRecord {
+  /// Exact canonical form — the unique class key and the sort order on disk.
+  TruthTable canonical;
+  /// First dataset member of the class (build order), the function lookups
+  /// are mapped back onto.
+  TruthTable representative;
+  /// apply_transform(representative, rep_to_canonical) == canonical.
+  NpnTransform rep_to_canonical;
+  /// Dense id, assigned by first occurrence at build time.
+  std::uint32_t class_id = 0;
+  /// Members in the build dataset (1 for appended classes).
+  std::uint32_t class_size = 0;
+};
+
 /// Number of u64 words one record occupies for an n-variable store.
 [[nodiscard]] std::size_t store_record_words(int num_vars) noexcept;
+
+/// Streaming checksum over a u64 word sequence, seeded with the sequence
+/// length so truncations that happen to hash-collide on a prefix are still
+/// rejected. Both the record payload (v1), the page slices and the page
+/// table (v2) use this.
+class PayloadHasher {
+ public:
+  explicit PayloadHasher(std::uint64_t num_words) noexcept
+      : state_{0x8f1bbcdcbfa53e0bULL ^ (num_words * 0xff51afd7ed558ccdULL)}
+  {
+  }
+
+  void mix(std::uint64_t word) noexcept { state_ = hash_combine64(state_, word); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Decodes a little-endian u64 from raw bytes (the mmap read path).
+[[nodiscard]] std::uint64_t load_le64(const unsigned char* bytes) noexcept;
+
+/// Checksum of `num_words` little-endian u64 words starting at `bytes`.
+[[nodiscard]] std::uint64_t checksum_le_words(const unsigned char* bytes,
+                                              std::size_t num_words) noexcept;
 
 /// Writes the header (including magic) to `os`.
 void write_store_header(std::ostream& os, const StoreHeader& header);
 
 /// Reads and validates magic, version and num_vars; throws StoreFormatError
 /// on a short read, wrong magic, unsupported version or impossible width.
+/// Accepts kStoreVersion and kStoreVersionV1 (callers branch on
+/// header.version for the tail layout).
 [[nodiscard]] StoreHeader read_store_header(std::istream& is);
 
+/// Writes the footer (magic, fields, self-hash) to `os`.
+void write_segment_footer(std::ostream& os, const SegmentFooter& footer);
+
+/// Reads and validates a footer (magic + self-hash); throws StoreFormatError
+/// on mismatch.
+[[nodiscard]] SegmentFooter read_segment_footer(std::istream& is);
+
+/// Parses a footer from its raw serialized bytes (the mmap read path);
+/// throws StoreFormatError on a bad magic or self-hash.
+[[nodiscard]] SegmentFooter parse_segment_footer(const unsigned char* bytes);
+
+void write_delta_frame_header(std::ostream& os, const DeltaFrameHeader& header);
+
+/// Reads the next frame header from a delta log. Returns nullopt at a clean
+/// end of log; throws StoreFormatError on a torn header, bad magic, version
+/// or width.
+[[nodiscard]] std::optional<DeltaFrameHeader> read_delta_frame_header(std::istream& is);
+
 /// Little-endian integer plumbing, shared with the record codec in
-/// class_store.cpp. Readers throw StoreFormatError on a short read.
+/// segment.cpp. Readers throw StoreFormatError on a short read.
 void write_u64_le(std::ostream& os, std::uint64_t value);
 [[nodiscard]] std::uint64_t read_u64_le(std::istream& is, const char* what);
 
@@ -84,6 +208,24 @@ void write_u64_le(std::ostream& os, std::uint64_t value);
 /// Inverse of pack_transform; validates that perm is a permutation of
 /// [0, num_vars) and that the negation masks fit the width.
 [[nodiscard]] NpnTransform unpack_transform(int num_vars, const std::array<std::uint64_t, 2>& words);
+
+/// Streams a record's words in file order into `emit` — the single source
+/// of truth for the record layout on the write side.
+template <typename Emit>
+void for_each_record_word(const StoreRecord& record, const Emit& emit)
+{
+  for (const auto w : record.canonical.words()) {
+    emit(w);
+  }
+  for (const auto w : record.representative.words()) {
+    emit(w);
+  }
+  emit((static_cast<std::uint64_t>(record.class_id) << 32) |
+       static_cast<std::uint64_t>(record.class_size));
+  const auto packed = pack_transform(record.rep_to_canonical);
+  emit(packed[0]);
+  emit(packed[1]);
+}
 
 /// Compact single-token rendering for the line protocol and CLI output:
 /// "p2,0,1:n3:o1" = perm (2,0,1), input_neg 0b011, output negated.

@@ -1,0 +1,68 @@
+/// \file store_router.hpp
+/// \brief Multi-width store federation: one ClassStore per function width
+///        behind a single lookup surface.
+///
+/// One `.fcs` index holds one function width, but production NPN lookup —
+/// mappers enumerating cuts of mixed sizes — queries many widths through a
+/// single session. A StoreRouter owns one ClassStore per width n and
+/// dispatches every query by `num_vars`, so the batch engine
+/// (BatchEngine::attach_router), the serve loop (serve_router_loop) and the
+/// CLI (`facet_cli serve --route`) talk to one object regardless of how many
+/// widths are indexed.
+///
+/// Concurrency mirrors ClassStore: lookup() and the const accessors are safe
+/// from many threads at once; attach() and lookup_or_classify() mutate and
+/// require external exclusion.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "facet/store/class_store.hpp"
+
+namespace facet {
+
+class StoreRouter {
+ public:
+  StoreRouter() = default;
+
+  /// Takes ownership of `store`, routing its width to it. Throws
+  /// std::invalid_argument when the width is already routed.
+  void attach(std::unique_ptr<ClassStore> store);
+
+  /// Convenience: opens every path (ClassStore::open — base plus delta log)
+  /// and attaches the stores. Widths come from the file headers; a
+  /// duplicate width throws std::invalid_argument.
+  [[nodiscard]] static StoreRouter open(const std::vector<std::string>& paths,
+                                        const StoreOpenOptions& options = {});
+
+  /// The store routing width `num_vars`; nullptr when unrouted.
+  [[nodiscard]] const ClassStore* store_for(int num_vars) const noexcept;
+  [[nodiscard]] ClassStore* store_for(int num_vars) noexcept;
+
+  [[nodiscard]] std::size_t num_stores() const noexcept { return stores_.size(); }
+  /// Routed widths, ascending.
+  [[nodiscard]] std::vector<int> widths() const;
+
+  /// Aggregates across all routed stores.
+  [[nodiscard]] std::size_t num_records() const noexcept;
+  [[nodiscard]] std::uint64_t num_classes() const noexcept;
+  [[nodiscard]] std::size_t hot_cache_entries() const;
+
+  /// Dispatches to the store of f's width. Throws std::invalid_argument
+  /// when no store routes that width.
+  [[nodiscard]] std::optional<StoreLookupResult> lookup(const TruthTable& f) const;
+  [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
+                                                     bool append_on_miss = false);
+
+ private:
+  [[nodiscard]] const ClassStore& routed_store(const TruthTable& f, const char* who) const;
+
+  std::map<int, std::unique_ptr<ClassStore>> stores_;
+};
+
+}  // namespace facet

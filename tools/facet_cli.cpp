@@ -4,7 +4,12 @@
 ///   classify     NPN-classify a list of truth tables (hex, one per line)
 ///   build-index  classify a dataset and persist it as a `.fcs` class store
 ///   lookup       resolve functions against a `.fcs` store (live fallback)
-///   serve        long-lived line-protocol loop over a `.fcs` store
+///   serve        long-lived line-protocol loop over one `.fcs` store, or —
+///                with --route — over one store per width (queries dispatch
+///                by inferred width)
+///   fcs-merge    union `.fcs` indexes of one width (dedup by canonical
+///                form, renumber by first occurrence)
+///   compact      merge a store's delta log back into its base segment
 ///   signatures   print all signature vectors of given functions
 ///   canon        exact NPN canonical form + witnessing transform (n <= 8)
 ///   match        decide NPN equivalence of two functions, with witness
@@ -15,8 +20,11 @@
 ///   facet_cli classify --n 6 --method fp < functions.txt
 ///   facet_cli classify --n 6 --method exact --jobs 4 < functions.txt
 ///   facet_cli build-index --n 6 --input functions.txt --out set6.fcs --jobs 0
-///   facet_cli lookup --index set6.fcs e8e8e8e8e8e8e8e8
-///   facet_cli serve --index set6.fcs --append < requests.txt
+///   facet_cli lookup --index set6.fcs --mmap e8e8e8e8e8e8e8e8
+///   facet_cli serve --index set6.fcs --append --flush < requests.txt
+///   facet_cli serve --route set4.fcs set5.fcs set6.fcs --mmap
+///   facet_cli fcs-merge --out union6.fcs a6.fcs b6.fcs
+///   facet_cli compact --index set6.fcs
 ///   facet_cli signatures --n 3 e8 f0
 ///   facet_cli canon --n 4 688d
 ///   facet_cli match --n 3 e8 d4
@@ -25,8 +33,10 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "facet/facet.hpp"
@@ -130,19 +140,29 @@ int cmd_classify(const CliArgs& args)
   return 0;
 }
 
-/// Writes the store back when --save was passed: `--save` alone overwrites
-/// the loaded index, `--save=FILE` writes elsewhere. Shared by lookup/serve.
-void save_store_if_requested(const CliArgs& args, const ClassStore& store,
-                             const std::string& index_path)
+/// Persists appends when requested, cheapest mode first: `--flush` appends
+/// one delta frame to the index's log (O(delta)); `--save` compacts
+/// everything back into the base segment (`--save=FILE` writes elsewhere;
+/// O(index)). Shared by lookup/serve.
+void persist_store_if_requested(const CliArgs& args, ClassStore& store,
+                                const std::string& index_path)
 {
+  if (args.get_bool("flush")) {
+    const std::size_t appended = store.num_appended();
+    const std::size_t flushed = store.flush_delta(ClassStore::delta_log_path(index_path));
+    std::cerr << "flushed " << flushed << " of " << appended << " appended record(s) to "
+              << ClassStore::delta_log_path(index_path) << "\n";
+  }
   if (!args.has("save")) {
     return;
   }
   const std::string save_flag = args.get_string("save", "1");
   const std::string save_path = save_flag == "1" ? index_path : save_flag;
-  store.save(save_path);
-  std::cerr << "saved " << store.num_records() << " record(s) (" << store.num_appended()
-            << " appended) to " << save_path << "\n";
+  const std::size_t records = store.num_records();
+  const std::size_t appended = store.num_appended() + store.num_delta_records();
+  store.compact(save_path);
+  std::cerr << "saved " << records << " record(s) (" << appended << " appended) to " << save_path
+            << "\n";
 }
 
 /// Shared ClassStoreOptions from --cache / --cache-shards flags.
@@ -153,6 +173,16 @@ ClassStoreOptions store_options_from(const CliArgs& args)
       args.get_int("cache", static_cast<std::int64_t>(options.hot_cache_capacity)));
   options.hot_cache_shards = static_cast<std::size_t>(
       args.get_int("cache-shards", static_cast<std::int64_t>(options.hot_cache_shards)));
+  return options;
+}
+
+/// Shared StoreOpenOptions: --mmap serves the base segment zero-copy from a
+/// read-only mapping instead of materializing records in RAM.
+StoreOpenOptions open_options_from(const CliArgs& args)
+{
+  StoreOpenOptions options;
+  options.use_mmap = args.get_bool("mmap");
+  options.store = store_options_from(args);
   return options;
 }
 
@@ -194,10 +224,10 @@ int cmd_lookup(const CliArgs& args)
   const std::string index = args.get_string("index", "");
   if (index.empty()) {
     std::cerr << "usage: facet_cli lookup --index FILE.fcs [<hex>...] [--input FILE] "
-                 "[--append] [--save[=FILE]]\n";
+                 "[--append] [--mmap] [--flush] [--save[=FILE]]\n";
     return 1;
   }
-  ClassStore store = ClassStore::load(index, store_options_from(args));
+  ClassStore store = ClassStore::open(index, open_options_from(args));
   const bool append = args.get_bool("append");
 
   std::vector<TruthTable> funcs;
@@ -222,27 +252,121 @@ int cmd_lookup(const CliArgs& args)
               << " known=" << (result.known ? 1 : 0) << "\n";
   }
 
-  save_store_if_requested(args, store, index);
+  persist_store_if_requested(args, store, index);
   return 0;
+}
+
+void report_serve_stats(const ServeStats& stats)
+{
+  std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
+            << stats.cache_hits << " cache / " << stats.index_hits << " index / " << stats.live
+            << " live, " << stats.errors << " error(s)\n";
 }
 
 int cmd_serve(const CliArgs& args)
 {
-  const std::string index = args.get_string("index", "");
-  if (index.empty()) {
-    std::cerr << "usage: facet_cli serve --index FILE.fcs [--append] [--save[=FILE]]\n";
-    return 1;
-  }
-  ClassStore store = ClassStore::load(index, store_options_from(args));
   ServeOptions options;
   options.append_on_miss = args.get_bool("append");
 
+  if (args.get_bool("route")) {
+    // Route mode: one store per width behind a single session; every .fcs
+    // path is positional, widths come from the file headers.
+    if (args.positional().size() < 2) {
+      std::cerr << "usage: facet_cli serve --route FILE.fcs [FILE.fcs...] [--append] [--mmap] "
+                   "[--flush]\n";
+      return 1;
+    }
+    if (args.has("save")) {
+      // Refuse rather than silently drop the session's appends: compaction
+      // of N indexes is a deliberate per-index operation (`compact`).
+      std::cerr << "error: --save is not supported with --route; use --flush to append each "
+                   "store's delta log, then `facet_cli compact --index FILE.fcs` per index\n";
+      return 1;
+    }
+    const StoreOpenOptions open_options = open_options_from(args);
+    StoreRouter router;
+    std::vector<std::pair<int, std::string>> paths;  // width -> path, for --flush
+    for (std::size_t k = 1; k < args.positional().size(); ++k) {
+      const std::string& path = args.positional()[k];
+      auto store = std::make_unique<ClassStore>(ClassStore::open(path, open_options));
+      paths.emplace_back(store->num_vars(), path);
+      router.attach(std::move(store));
+    }
+
+    const ServeStats stats = serve_router_loop(router, std::cin, std::cout, options);
+
+    if (args.get_bool("flush")) {
+      for (const auto& [width, path] : paths) {
+        ClassStore* store = router.store_for(width);
+        const std::size_t flushed = store->flush_delta(ClassStore::delta_log_path(path));
+        if (flushed != 0) {
+          std::cerr << "flushed " << flushed << " record(s) to "
+                    << ClassStore::delta_log_path(path) << "\n";
+        }
+      }
+    }
+    report_serve_stats(stats);
+    return 0;
+  }
+
+  const std::string index = args.get_string("index", "");
+  if (index.empty()) {
+    std::cerr << "usage: facet_cli serve --index FILE.fcs [--append] [--mmap] [--flush] "
+                 "[--save[=FILE]]\n"
+                 "       facet_cli serve --route FILE.fcs [FILE.fcs...] [--append] [--mmap]\n";
+    return 1;
+  }
+  ClassStore store = ClassStore::open(index, open_options_from(args));
+
   const ServeStats stats = serve_loop(store, std::cin, std::cout, options);
 
-  save_store_if_requested(args, store, index);
-  std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
-            << stats.cache_hits << " cache / " << stats.index_hits << " index / " << stats.live
-            << " live, " << stats.errors << " error(s)\n";
+  persist_store_if_requested(args, store, index);
+  report_serve_stats(stats);
+  return 0;
+}
+
+int cmd_fcs_merge(const CliArgs& args)
+{
+  const std::string out = args.get_string("out", "");
+  if (out.empty() || args.positional().size() < 2) {
+    std::cerr << "usage: facet_cli fcs-merge --out MERGED.fcs FILE.fcs [FILE.fcs...]\n";
+    return 1;
+  }
+  std::vector<ClassStore> inputs;
+  inputs.reserve(args.positional().size() - 1);
+  for (std::size_t k = 1; k < args.positional().size(); ++k) {
+    inputs.push_back(ClassStore::open(args.positional()[k], open_options_from(args)));
+    std::cout << args.positional()[k] << ": " << inputs.back().num_records() << " record(s), n="
+              << inputs.back().num_vars() << "\n";
+  }
+  std::vector<const ClassStore*> pointers;
+  pointers.reserve(inputs.size());
+  for (const auto& store : inputs) {
+    pointers.push_back(&store);
+  }
+  const ClassStore merged = merge_class_stores(pointers, store_options_from(args));
+  merged.save(out);
+
+  std::ifstream written{out, std::ios::binary | std::ios::ate};
+  std::cout << "merged:    " << merged.num_records() << " class(es) from " << inputs.size()
+            << " store(s)\nindex:     " << out << " ("
+            << (written ? static_cast<long long>(written.tellg()) : -1) << " bytes)\n";
+  return 0;
+}
+
+int cmd_compact(const CliArgs& args)
+{
+  const std::string index = args.get_string("index", "");
+  if (index.empty()) {
+    std::cerr << "usage: facet_cli compact --index FILE.fcs\n";
+    return 1;
+  }
+  ClassStore store = ClassStore::open(index, open_options_from(args));
+  const std::size_t delta_records = store.num_delta_records();
+  const std::size_t segments = store.num_delta_segments();
+  store.compact(index);
+  std::cout << "compacted " << segments << " delta segment(s) (" << delta_records
+            << " record(s)) into " << index << ": " << store.num_records() << " record(s)\n";
   return 0;
 }
 
@@ -353,11 +477,22 @@ void print_usage()
                "               batch engine with N threads, 0 = all cores)\n"
                "  build-index --n N --out FILE.fcs [--input FILE] [--jobs N]\n"
                "              (classify a dataset and persist it as a class store)\n"
-               "  lookup      --index FILE.fcs [<hex>...] [--input FILE] [--append]\n"
-               "              [--save[=FILE]] [--cache K]\n"
-               "              (resolve functions; unknown classes classify live)\n"
-               "  serve       --index FILE.fcs [--append] [--save[=FILE]] [--cache K]\n"
-               "              (line protocol on stdin/stdout: lookup <hex> | info | stats | quit)\n"
+               "  lookup      --index FILE.fcs [<hex>...] [--input FILE] [--append] [--mmap]\n"
+               "              [--flush] [--save[=FILE]] [--cache K]\n"
+               "              (resolve functions; unknown classes classify live; --mmap\n"
+               "               serves the index from a read-only mapping)\n"
+               "  serve       --index FILE.fcs [--append] [--mmap] [--flush] [--save[=FILE]]\n"
+               "              [--cache K]\n"
+               "              (line protocol on stdin/stdout: lookup <hex> | mlookup <hex>...\n"
+               "               | info | stats | quit; --flush appends new classes to the\n"
+               "               index's delta log on exit)\n"
+               "  serve       --route FILE.fcs [FILE.fcs...] [--append] [--mmap] [--flush]\n"
+               "              (one store per width; query width inferred from hex length)\n"
+               "  fcs-merge   --out MERGED.fcs FILE.fcs [FILE.fcs...]\n"
+               "              (union same-width indexes: dedup by canonical form,\n"
+               "               renumber by first occurrence)\n"
+               "  compact     --index FILE.fcs\n"
+               "              (merge the delta log back into the base segment)\n"
                "  signatures  --n N <hex>...\n"
                "  canon       --n N <hex>            (n <= 8)\n"
                "  match       --n N <hexA> <hexB>\n"
@@ -371,8 +506,11 @@ int main(int argc, char** argv)
 {
   // Flags that never take a following-token value (use --flag=value for an
   // explicit one) — so `lookup --index s.fcs --append e8...` keeps the hex
-  // operand positional, and `convert --to-binary in out` keeps both paths.
-  const CliArgs args{argc, argv, {"append", "save", "print-classes", "to-binary", "to-ascii"}};
+  // operand positional, `serve --route a.fcs b.fcs` keeps the index paths
+  // positional, and `convert --to-binary in out` keeps both paths.
+  const CliArgs args{argc, argv,
+                     {"append", "save", "print-classes", "to-binary", "to-ascii", "route", "mmap",
+                      "flush"}};
   if (args.positional().empty()) {
     print_usage();
     return 1;
@@ -390,6 +528,12 @@ int main(int argc, char** argv)
     }
     if (command == "serve") {
       return cmd_serve(args);
+    }
+    if (command == "fcs-merge") {
+      return cmd_fcs_merge(args);
+    }
+    if (command == "compact") {
+      return cmd_compact(args);
     }
     if (command == "signatures") {
       return cmd_signatures(args);
