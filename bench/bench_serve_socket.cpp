@@ -1,0 +1,184 @@
+/// bench_serve_socket: throughput of the socket serving subsystem, with
+/// machine-readable JSON output for CI trend tracking.
+///
+/// Builds an n-variable class store, starts an in-process ServeServer on a
+/// loopback TCP port, and measures:
+///   * direct warm lookups — ClassStore::lookup in-process, the ceiling the
+///     protocol overhead is measured against;
+///   * single-client socket throughput — one connection streaming batched
+///     mlookup requests (the pipelined-mapper workload);
+///   * fleet socket throughput — --clients concurrent connections sharing
+///     the store through the server's reader lock;
+/// and verifies that every class id answered over the socket is
+/// bit-identical to the direct lookups (exit 1 on any mismatch).
+///
+/// Defaults are laptop-scale; flags scale the workload (--n, --funcs,
+/// --clients, --batch). The JSON report lands in BENCH_serve_socket.json
+/// (--out). Platforms without sockets emit a report with
+/// "socket_supported": false and exit 0.
+
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "facet/facet.hpp"
+
+namespace {
+
+using namespace facet;
+
+/// One client pass: streams the workload in mlookup batches over a fresh
+/// connection, checks ids against `expected`, returns answered lookups.
+std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
+                       const std::vector<std::uint32_t>& expected, std::size_t batch,
+                       std::atomic<std::size_t>& mismatches)
+{
+  Socket socket = connect_tcp({"127.0.0.1", port});
+  FdStreamBuf buf{socket.fd()};
+  std::ostream out{&buf};
+  std::istream in{&buf};
+
+  std::size_t answered = 0;
+  std::string line;
+  for (std::size_t start = 0; start < hex.size(); start += batch) {
+    const std::size_t end = std::min(start + batch, hex.size());
+    out << "mlookup";
+    for (std::size_t i = start; i < end; ++i) {
+      out << ' ' << hex[i];
+    }
+    out << '\n' << std::flush;
+    for (std::size_t i = start; i < end; ++i) {
+      if (!std::getline(in, line)) {
+        ++mismatches;
+        return answered;
+      }
+      if (line.rfind("ok id=", 0) != 0 ||
+          std::stoul(line.substr(6)) != expected[i]) {
+        ++mismatches;
+      }
+      ++answered;
+    }
+  }
+  out << "quit\n" << std::flush;
+  return answered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+  const CliArgs args{argc, argv};
+  const int n = static_cast<int>(args.get_int("n", 6));
+  const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("funcs", 5000));
+  const std::size_t num_clients = static_cast<std::size_t>(args.get_int("clients", 8));
+  const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  const std::string out_path = args.get_string("out", "BENCH_serve_socket.json");
+
+  if (!net_supported()) {
+    std::ofstream json{out_path, std::ios::trunc};
+    json << "{\n  \"bench\": \"serve_socket\",\n  \"socket_supported\": false\n}\n";
+    std::cout << "sockets unsupported on this platform; wrote " << out_path << "\n";
+    return 0;
+  }
+
+  CircuitDatasetOptions dataset_options;
+  dataset_options.max_functions = max_funcs;
+  std::vector<TruthTable> funcs = make_circuit_dataset(n, dataset_options);
+  if (funcs.size() < max_funcs) {
+    const auto pad = make_consecutive_dataset(n, max_funcs - funcs.size());
+    funcs.insert(funcs.end(), pad.begin(), pad.end());
+  }
+  std::cout << "dataset: " << funcs.size() << " functions, n = " << n << "\n";
+
+  StoreBuildOptions build_options;
+  build_options.store.hot_cache_capacity = 2 * funcs.size() + 16;
+  ClassStore store = build_class_store(funcs, build_options);
+  std::cout << "store:   " << store.num_records() << " classes\n";
+
+  std::vector<std::string> hex;
+  hex.reserve(funcs.size());
+  for (const auto& f : funcs) {
+    hex.push_back(to_hex(f));
+  }
+
+  // --- direct warm lookups (the in-process ceiling) ------------------------
+  std::vector<std::uint32_t> expected;
+  expected.reserve(funcs.size());
+  for (const auto& f : funcs) {
+    expected.push_back(store.lookup(f)->class_id);  // also warms the cache
+  }
+  Stopwatch watch;
+  bool direct_ok = true;
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const auto result = store.lookup(funcs[i]);
+    direct_ok = direct_ok && result.has_value() && result->class_id == expected[i];
+  }
+  const double direct_seconds = watch.seconds();
+
+  // --- socket serving ------------------------------------------------------
+  ServeServerOptions server_options;
+  server_options.listen = "127.0.0.1:0";
+  server_options.max_connections = num_clients + 8;
+  ServeServer server{store, "bench_serve_socket.fcs", server_options};
+  server.start();
+  const std::uint16_t port = server.tcp_port();
+
+  std::atomic<std::size_t> mismatches{0};
+  watch.reset();
+  const std::size_t single_answered = run_client(port, hex, expected, batch, mismatches);
+  const double single_seconds = watch.seconds();
+
+  std::atomic<std::size_t> fleet_answered{0};
+  watch.reset();
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&] {
+        fleet_answered += run_client(port, hex, expected, batch, mismatches);
+      });
+    }
+    for (auto& client : clients) {
+      client.join();
+    }
+  }
+  const double fleet_seconds = watch.seconds();
+
+  server.request_shutdown();
+  server.wait();
+
+  const auto per_sec = [](std::size_t count, double seconds) {
+    return seconds > 0 ? static_cast<double>(count) / seconds : 0.0;
+  };
+  const double direct_rate = per_sec(funcs.size(), direct_seconds);
+  const double single_rate = per_sec(single_answered, single_seconds);
+  const double fleet_rate = per_sec(fleet_answered.load(), fleet_seconds);
+  const bool identical = direct_ok && mismatches.load() == 0;
+
+  std::cout << "direct:  " << direct_rate << " lookups/s (in-process, warm)\n"
+            << "socket:  " << single_rate << " lookups/s (1 client, batch " << batch << ")\n"
+            << "fleet:   " << fleet_rate << " lookups/s (" << num_clients
+            << " concurrent clients)\n"
+            << "bit-identical over the socket: " << (identical ? "yes" : "NO") << "\n";
+
+  std::ofstream json{out_path, std::ios::trunc};
+  json << "{\n"
+       << "  \"bench\": \"serve_socket\",\n"
+       << "  \"socket_supported\": true,\n"
+       << "  \"n\": " << n << ",\n"
+       << "  \"functions\": " << funcs.size() << ",\n"
+       << "  \"classes\": " << store.num_records() << ",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"clients\": " << num_clients << ",\n"
+       << "  \"direct_warm_lookups_per_sec\": " << direct_rate << ",\n"
+       << "  \"socket_single_client_lookups_per_sec\": " << single_rate << ",\n"
+       << "  \"socket_fleet_lookups_per_sec\": " << fleet_rate << ",\n"
+       << "  \"identical_over_socket\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return identical ? 0 : 1;
+}

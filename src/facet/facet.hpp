@@ -21,6 +21,9 @@
 #include "facet/engine/batch_engine.hpp"
 #include "facet/engine/shard.hpp"
 #include "facet/engine/work_queue.hpp"
+#include "facet/net/fd_stream.hpp"
+#include "facet/net/server.hpp"
+#include "facet/net/socket.hpp"
 #include "facet/npn/classifier.hpp"
 #include "facet/npn/codesign.hpp"
 #include "facet/npn/enumerate.hpp"

@@ -1,0 +1,132 @@
+#include "facet/net/fd_stream.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FACET_HAS_SOCKETS 1
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define FACET_HAS_SOCKETS 0
+#endif
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace facet {
+
+FdStreamBuf::FdStreamBuf(int fd, std::size_t buffer_bytes)
+    : fd_{fd}, in_buf_(buffer_bytes), out_buf_(buffer_bytes)
+{
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data());
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+}
+
+FdStreamBuf::~FdStreamBuf()
+{
+  // Best effort — a close-time flush failure has no one left to report to.
+  flush_pending();
+}
+
+#if FACET_HAS_SOCKETS
+
+namespace {
+
+/// read() with EINTR retry; send() keeps SIGPIPE from killing the process
+/// when the peer is gone (falls back to write() for non-socket fds).
+ssize_t read_some(int fd, char* data, std::size_t size)
+{
+  for (;;) {
+    const ssize_t got = ::read(fd, data, size);
+    if (got >= 0 || errno != EINTR) {
+      return got;
+    }
+  }
+}
+
+ssize_t write_some(int fd, const char* data, std::size_t size)
+{
+  for (;;) {
+    ssize_t wrote = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (wrote < 0 && errno == ENOTSOCK) {
+      wrote = ::write(fd, data, size);
+    }
+    if (wrote >= 0 || errno != EINTR) {
+      return wrote;
+    }
+  }
+}
+
+}  // namespace
+
+FdStreamBuf::int_type FdStreamBuf::underflow()
+{
+  if (gptr() < egptr()) {
+    return traits_type::to_int_type(*gptr());
+  }
+  const ssize_t got = read_some(fd_, in_buf_.data(), in_buf_.size());
+  if (got <= 0) {
+    return traits_type::eof();
+  }
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data() + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flush_pending()
+{
+  const char* data = pbase();
+  std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+  while (left > 0) {
+    const ssize_t wrote = write_some(fd_, data, left);
+    if (wrote <= 0) {
+      return false;
+    }
+    data += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch)
+{
+  if (!flush_pending()) {
+    return traits_type::eof();
+  }
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync()
+{
+  return flush_pending() ? 0 : -1;
+}
+
+#else  // !FACET_HAS_SOCKETS
+
+FdStreamBuf::int_type FdStreamBuf::underflow()
+{
+  return traits_type::eof();
+}
+
+bool FdStreamBuf::flush_pending()
+{
+  return false;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type)
+{
+  return traits_type::eof();
+}
+
+int FdStreamBuf::sync()
+{
+  return -1;
+}
+
+#endif
+
+}  // namespace facet

@@ -1,0 +1,403 @@
+#include "facet/net/server.hpp"
+
+#include <exception>
+#include <iostream>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "facet/net/fd_stream.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FACET_HAS_SOCKETS 1
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+#else
+#define FACET_HAS_SOCKETS 0
+#endif
+
+namespace facet {
+
+ServeServer::ServeServer(ClassStore& store, std::string index_path, ServeServerOptions options)
+    : store_{&store}, options_{std::move(options)}
+{
+  index_paths_.emplace(store.num_vars(), std::move(index_path));
+}
+
+ServeServer::ServeServer(StoreRouter& router, std::map<int, std::string> index_paths,
+                         ServeServerOptions options)
+    : router_{&router}, index_paths_{std::move(index_paths)}, options_{std::move(options)}
+{
+}
+
+std::vector<CompactionEvent> ServeServer::compaction_log() const
+{
+  const std::lock_guard<std::mutex> lock{compaction_log_mutex_};
+  return compaction_log_;
+}
+
+ServeOptions ServeServer::session_options()
+{
+  ServeOptions session;
+  session.readonly = options_.readonly;
+  session.append_on_miss = options_.append_on_miss && !options_.readonly;
+  session.store_mutex = &mutex_;
+  session.aggregate = &stats_;
+  if (session.append_on_miss) {
+    if (router_ != nullptr) {
+      for (const auto& [width, path] : index_paths_) {
+        session.dlog_paths.emplace(width, ClassStore::delta_log_path(path));
+      }
+    } else {
+      session.dlog_path = ClassStore::delta_log_path(index_paths_.begin()->second);
+    }
+  }
+  return session;
+}
+
+#if FACET_HAS_SOCKETS
+
+ServeServer::~ServeServer()
+{
+  if (started_ && !drained_) {
+    request_shutdown();
+    try {
+      wait();
+    } catch (...) {
+      // destructor: nothing left to report to
+    }
+  }
+  for (const int fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+void ServeServer::start()
+{
+  if (options_.listen.empty() && options_.unix_path.empty()) {
+    throw NetError{"no endpoint configured (need --listen and/or --unix)"};
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    throw NetError{"cannot create shutdown pipe"};
+  }
+  // send() passes MSG_NOSIGNAL where it exists (Linux), but macOS has
+  // neither it nor a portable per-socket equivalent here — a peer that
+  // vanishes mid-response must surface as a write error, never as a
+  // process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+  if (!options_.listen.empty()) {
+    tcp_listener_ = listen_tcp(parse_tcp_endpoint(options_.listen));
+    tcp_port_ = local_tcp_port(tcp_listener_);
+  }
+  if (!options_.unix_path.empty()) {
+    unix_listener_ = listen_unix(options_.unix_path);
+  }
+  started_ = true;
+  accept_thread_ = std::thread{[this] {
+    try {
+      accept_loop();
+    } catch (const std::exception& e) {
+      std::cerr << "facet-serve: accept loop failed: " << e.what() << "\n";
+      stopping_.store(true);
+    }
+  }};
+  const bool compaction_enabled =
+      !options_.readonly &&
+      (options_.compact_after_runs != 0 || options_.compact_after_bytes != 0);
+  if (compaction_enabled) {
+    compactor_thread_ = std::thread{[this] { compactor_loop(); }};
+  }
+}
+
+void ServeServer::request_shutdown() noexcept
+{
+  stopping_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const auto written = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void ServeServer::accept_loop()
+{
+  std::vector<pollfd> fds;
+  fds.push_back({wake_pipe_[0], POLLIN, 0});
+  if (tcp_listener_.valid()) {
+    fds.push_back({tcp_listener_.fd(), POLLIN, 0});
+  }
+  if (unix_listener_.valid()) {
+    fds.push_back({unix_listener_.fd(), POLLIN, 0});
+  }
+
+  while (!stopping_.load()) {
+    for (auto& fd : fds) {
+      fd.revents = 0;
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      continue;  // EINTR
+    }
+    if ((fds[0].revents & POLLIN) != 0 || stopping_.load()) {
+      break;
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) {
+        continue;
+      }
+      const Socket& listener =
+          fds[i].fd == tcp_listener_.fd() ? tcp_listener_ : unix_listener_;
+      Socket connection = accept_connection(listener);
+      if (!connection.valid()) {
+        // Transient accept failure (EINTR, fd pressure): back off briefly
+        // so a still-failing accept does not busy-spin against poll().
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+        continue;
+      }
+      set_receive_timeout(connection, options_.idle_timeout);
+      if (stats_.connections_active.load() >= options_.max_connections) {
+        FdStreamBuf buf{connection.fd()};
+        std::ostream out{&buf};
+        out << "err server at capacity (" << options_.max_connections << " connections)\n"
+            << std::flush;
+        continue;  // connection closes on scope exit
+      }
+      reap_finished_connections();
+      ++stats_.connections_active;
+      ++stats_.connections_total;
+      const std::lock_guard<std::mutex> lock{connections_mutex_};
+      const auto entry = connections_.emplace(connections_.end());
+      entry->socket = std::move(connection);
+      entry->thread = std::thread{[this, entry] { handle_connection(entry); }};
+    }
+  }
+  tcp_listener_.close();
+  unix_listener_.close();
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+void ServeServer::handle_connection(std::list<Connection>::iterator self)
+{
+  {
+    FdStreamBuf buf{self->socket.fd()};
+    std::istream in{&buf};
+    std::ostream out{&buf};
+    try {
+      if (router_ != nullptr) {
+        serve_router_loop(*router_, in, out, session_options());
+      } else {
+        serve_loop(*store_, in, out, session_options());
+      }
+    } catch (const std::exception& e) {
+      // One poisoned connection (I/O failure, a corrupt-store throw) must
+      // never take the serving process down with it.
+      try {
+        out << "err " << e.what() << "\n" << std::flush;
+      } catch (...) {
+      }
+    }
+  }
+  // Close under the connections lock so the drain path can never race a
+  // shutdown() call against a recycled descriptor.
+  {
+    const std::lock_guard<std::mutex> lock{connections_mutex_};
+    self->socket.close();
+  }
+  // Join siblings that already finished, so an idle server after a burst
+  // holds at most one unreclaimed thread (ours), not max_connections of
+  // them. Our own entry (done set below) is reaped by the next exit,
+  // accept, or shutdown.
+  reap_finished_connections();
+  self->done.store(true);
+  --stats_.connections_active;
+  compactor_cv_.notify_one();  // the exit flush may have sealed a new run
+}
+
+void ServeServer::reap_finished_connections()
+{
+  const std::lock_guard<std::mutex> lock{connections_mutex_};
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done.load()) {
+      if (it->thread.joinable()) {
+        it->thread.join();
+      }
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ServeServer::wait()
+{
+  if (!started_) {
+    throw NetError{"ServeServer::wait called before start"};
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+
+  // Drain: wake every in-flight connection (their sessions see EOF, flush
+  // appends to the delta log, and exit), then join them one at a time.
+  for (;;) {
+    std::unique_lock<std::mutex> lock{connections_mutex_};
+    if (connections_.empty()) {
+      break;
+    }
+    Connection& connection = connections_.front();
+    std::thread worker = std::move(connection.thread);
+    connection.socket.shutdown_both();
+    lock.unlock();
+    if (worker.joinable()) {
+      worker.join();
+    }
+    lock.lock();
+    connections_.pop_front();
+  }
+
+  if (compactor_thread_.joinable()) {
+    compactor_cv_.notify_all();
+    compactor_thread_.join();
+  }
+  final_flush();
+  drained_ = true;
+}
+
+void ServeServer::final_flush()
+{
+  // Sessions already flush on exit; this catches a store mutated outside
+  // any session (belt and braces — shutdown must lose zero appends).
+  const std::unique_lock<std::shared_mutex> lock{mutex_};
+  for (const auto& [width, path] : index_paths_) {
+    ClassStore* store = router_ != nullptr ? router_->store_for(width) : store_;
+    if (store == nullptr || store->num_appended() == 0) {
+      continue;
+    }
+    try {
+      stats_.flushed_records += store->flush_delta(ClassStore::delta_log_path(path));
+    } catch (const std::exception& e) {
+      std::cerr << "facet-serve: final flush of width " << width << " failed: " << e.what()
+                << "\n";
+    }
+  }
+}
+
+void ServeServer::compactor_loop()
+{
+  std::unique_lock<std::mutex> lock{compactor_mutex_};
+  while (!stopping_.load()) {
+    compactor_cv_.wait_for(lock, options_.compact_poll);
+    if (stopping_.load()) {
+      break;
+    }
+    lock.unlock();
+    run_due_compactions();
+    lock.lock();
+  }
+}
+
+std::size_t ServeServer::run_due_compactions()
+{
+  std::size_t performed = 0;
+  for (const auto& [width, path] : index_paths_) {
+    ClassStore* store = router_ != nullptr ? router_->store_for(width) : store_;
+    if (store == nullptr) {
+      continue;
+    }
+    bool due = false;
+    {
+      const std::shared_lock<std::shared_mutex> lock{mutex_};
+      due = (options_.compact_after_runs != 0 &&
+             store->num_delta_segments() >= options_.compact_after_runs) ||
+            (options_.compact_after_bytes != 0 &&
+             ClassStore::delta_log_size(ClassStore::delta_log_path(path)) >=
+                 options_.compact_after_bytes);
+    }
+    if (!due) {
+      continue;
+    }
+    try {
+      compact_one(width, *store, path);
+      ++performed;
+    } catch (const std::exception& e) {
+      // A failed compaction leaves the store serving its old tiers — log
+      // and retry on the next poll rather than dying.
+      std::cerr << "facet-serve: compaction of width " << width << " failed: " << e.what()
+                << "\n";
+    }
+  }
+  return performed;
+}
+
+void ServeServer::compact_one(int width, ClassStore& store, const std::string& path)
+{
+  const std::string dlog = ClassStore::delta_log_path(path);
+  CompactionSnapshot snapshot;
+  std::size_t flushed = 0;
+  {
+    // Phase 1 (exclusive, cheap): fold the memtable into a sealed run and
+    // pin the immutable tiers.
+    const std::unique_lock<std::shared_mutex> lock{mutex_};
+    flushed = store.flush_delta(dlog);
+    snapshot = store.compaction_snapshot();
+  }
+  if (snapshot.deltas.empty()) {
+    return;
+  }
+  std::size_t delta_records = 0;
+  for (const auto& run : snapshot.deltas) {
+    delta_records += run->size();
+  }
+
+  // Phase 2 (no lock): merge and write the fresh base while readers serve.
+  std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
+  const std::string tmp = path + ".cpt";
+  ClassStore::write_compacted(tmp, snapshot, merged);
+
+  {
+    // Phase 3 (exclusive, cheap): swap the new base in.
+    const std::unique_lock<std::shared_mutex> lock{mutex_};
+    store.adopt_compacted(path, tmp, snapshot, std::move(merged));
+  }
+
+  ++stats_.compactions;
+  stats_.compacted_runs += snapshot.deltas.size();
+  stats_.compacted_records += delta_records;
+  stats_.flushed_records += flushed;
+  const std::lock_guard<std::mutex> log_lock{compaction_log_mutex_};
+  compaction_log_.push_back(CompactionEvent{width, snapshot.deltas.size(), delta_records});
+}
+
+#else  // !FACET_HAS_SOCKETS
+
+ServeServer::~ServeServer() = default;
+
+void ServeServer::start()
+{
+  throw NetError{"sockets are not supported on this platform"};
+}
+
+void ServeServer::wait()
+{
+  throw NetError{"sockets are not supported on this platform"};
+}
+
+void ServeServer::request_shutdown() noexcept {}
+
+void ServeServer::accept_loop() {}
+void ServeServer::handle_connection(std::list<Connection>::iterator) {}
+void ServeServer::reap_finished_connections() {}
+void ServeServer::compactor_loop() {}
+std::size_t ServeServer::run_due_compactions()
+{
+  return 0;
+}
+void ServeServer::compact_one(int, ClassStore&, const std::string&) {}
+void ServeServer::final_flush() {}
+
+#endif
+
+}  // namespace facet

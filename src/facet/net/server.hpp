@@ -1,0 +1,195 @@
+/// \file server.hpp
+/// \brief Socket front end for the serve protocol: N concurrent connections
+///        sharing one ClassStore / StoreRouter, plus background compaction.
+///
+/// `facet_cli serve --listen HOST:PORT [--unix PATH]` runs a ServeServer:
+/// a TCP and/or Unix-domain listener whose accepted connections each run
+/// the line protocol of store/serve.hpp against ONE shared store. The
+/// concurrency contract of the store stack makes this safe with a single
+/// reader/writer lock:
+///
+///   * lookups, hot-cache probes, delta-run reads and lazy mmap page
+///     validation are thread-safe (class_store.hpp, store_concurrency_test)
+///     — reader connections hold a shared lock;
+///   * mutations — live classification, append_on_miss, session-exit delta
+///     flushes, compaction swaps — serialize through the exclusive side of
+///     the same lock.
+///
+/// The server also owns the background compactor the ROADMAP asked for: a
+/// thread that watches every served store and, when the sealed delta-run
+/// count or the `.dlog` size crosses its threshold, folds base + runs into
+/// a fresh base segment using the three-phase ClassStore compaction API —
+/// the heavy merge and file write run with NO store lock held (the tiers
+/// are immutable snapshots), and only the final swap takes the exclusive
+/// lock, so live traffic never stalls behind a compaction.
+///
+/// Shutdown (request_shutdown(), wired to SIGINT/SIGTERM by the CLI) is
+/// graceful: stop accepting, wake every in-flight connection (its session
+/// flushes appends to the delta log on exit, exactly like `quit`), join the
+/// compactor, then run one final flush — a server killed mid-traffic loses
+/// zero appended classes.
+///
+/// `--readonly` drops the exclusive paths entirely: misses answer `err`
+/// instead of classifying live, appends are rejected, and every connection
+/// runs purely under the shared lock — the fleet fan-out mode where many
+/// replicas serve one warm index.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "facet/net/socket.hpp"
+#include "facet/store/class_store.hpp"
+#include "facet/store/serve.hpp"
+#include "facet/store/store_router.hpp"
+
+namespace facet {
+
+struct ServeServerOptions {
+  /// TCP listen spec ("HOST:PORT", ":PORT", "PORT"); empty = no TCP
+  /// listener. Port 0 binds an ephemeral port (tcp_port() reports it).
+  std::string listen;
+  /// Unix-domain socket path; empty = no Unix listener. At least one of
+  /// listen/unix_path must be set.
+  std::string unix_path;
+
+  /// Serve reads only (see serve.hpp): misses answer err, appends rejected.
+  bool readonly = false;
+  /// Persist unknown classes (ignored under readonly).
+  bool append_on_miss = false;
+
+  /// Connections beyond this answer `err server at capacity` and close.
+  std::size_t max_connections = 64;
+
+  /// Disconnect a connection that sends nothing for this long (its session
+  /// sees EOF and flushes exactly like a clean exit), so idle clients
+  /// cannot pin connection slots forever. zero() = no timeout.
+  std::chrono::milliseconds idle_timeout{0};
+
+  /// Compact a store once it holds >= this many sealed delta runs
+  /// (0 disables the run-count trigger).
+  std::size_t compact_after_runs = 0;
+  /// Compact a store once its `.dlog` reaches this many bytes
+  /// (0 disables the size trigger).
+  std::uint64_t compact_after_bytes = 0;
+  /// How often the compactor re-checks the triggers.
+  std::chrono::milliseconds compact_poll{200};
+};
+
+/// One compaction the server performed (surfaced for logs and tests).
+struct CompactionEvent {
+  int width = 0;
+  std::size_t runs = 0;     ///< delta runs folded into the new base
+  std::size_t records = 0;  ///< records those runs held
+};
+
+class ServeServer {
+ public:
+  /// Serves one single-width store with the single-store protocol.
+  /// `index_path` locates the base segment (its delta log rides alongside).
+  ServeServer(ClassStore& store, std::string index_path, ServeServerOptions options);
+
+  /// Serves a router (mixed widths, width inferred per operand).
+  /// `index_paths` maps each routed width to its base-segment path.
+  ServeServer(StoreRouter& router, std::map<int, std::string> index_paths,
+              ServeServerOptions options);
+
+  ~ServeServer();
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds the listeners and launches the accept and compactor threads.
+  /// Throws NetError when no endpoint is configured or a bind fails.
+  void start();
+
+  /// Blocks until a shutdown request, then drains: stops accepting, wakes
+  /// every in-flight connection, joins workers, runs the final flush.
+  void wait();
+
+  /// start() + wait().
+  void run()
+  {
+    start();
+    wait();
+  }
+
+  /// Triggers shutdown. Async-signal-safe (atomic flag + self-pipe write),
+  /// so the CLI calls this straight from its SIGINT/SIGTERM handler.
+  void request_shutdown() noexcept;
+
+  /// The TCP port actually bound (after start(); resolves ephemeral-port
+  /// requests for tests and logs). 0 when no TCP listener is configured.
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
+  /// Aggregated protocol + compaction counters (the `stats all` numbers).
+  [[nodiscard]] const ServeAggregateStats& stats() const noexcept { return stats_; }
+
+  /// The reader/writer lock every connection and the compactor share.
+  [[nodiscard]] std::shared_mutex& store_mutex() noexcept { return mutex_; }
+
+  /// Compactions performed so far (copy; internally synchronized).
+  [[nodiscard]] std::vector<CompactionEvent> compaction_log() const;
+
+ private:
+  struct Connection {
+    std::thread thread;
+    /// Owned here (not by the handler thread) so the drain path can
+    /// shutdown() it under connections_mutex_ without racing a close.
+    Socket socket;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void handle_connection(std::list<Connection>::iterator self);
+  [[nodiscard]] ServeOptions session_options();
+  void reap_finished_connections();
+
+  void compactor_loop();
+  /// One trigger sweep over every served store; returns compactions done.
+  std::size_t run_due_compactions();
+  void compact_one(int width, ClassStore& store, const std::string& path);
+
+  void final_flush();
+
+  // Exactly one of store_/router_ is non-null.
+  ClassStore* store_ = nullptr;
+  StoreRouter* router_ = nullptr;
+  /// width -> base path for every served store (single store: one entry).
+  std::map<int, std::string> index_paths_;
+  ServeServerOptions options_;
+
+  std::shared_mutex mutex_;
+  ServeAggregateStats stats_;
+
+  Socket tcp_listener_;
+  Socket unix_listener_;
+  std::uint16_t tcp_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::thread compactor_thread_;
+  std::mutex connections_mutex_;
+  std::list<Connection> connections_;
+
+  std::mutex compactor_mutex_;
+  std::condition_variable compactor_cv_;
+  mutable std::mutex compaction_log_mutex_;
+  std::vector<CompactionEvent> compaction_log_;
+
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace facet

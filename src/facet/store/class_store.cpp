@@ -306,6 +306,136 @@ void ClassStore::compact(const std::string& path)
   } else {
     base_ = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
   }
+  ++compactions_;
+}
+
+// -- concurrent (three-phase) compaction -------------------------------------
+
+CompactionSnapshot ClassStore::compaction_snapshot() const
+{
+  CompactionSnapshot snapshot;
+  snapshot.base = base_;
+  snapshot.deltas = deltas_;
+  snapshot.num_classes = next_class_id_;
+  snapshot.num_vars = num_vars_;
+  return snapshot;
+}
+
+std::vector<StoreRecord> ClassStore::merge_compaction_snapshot(const CompactionSnapshot& snapshot)
+{
+  // Same shadowing order as lookups: delta runs (newest last, so later
+  // insert_or_assign wins) over the base.
+  std::unordered_map<TruthTable, StoreRecord, TruthTableHash> merged;
+  std::size_t upper_bound = snapshot.base->size();
+  for (const auto& delta : snapshot.deltas) {
+    upper_bound += delta->size();
+  }
+  merged.reserve(upper_bound);
+  for (std::size_t i = 0; i < snapshot.base->size(); ++i) {
+    StoreRecord record = snapshot.base->record_at(i);
+    TruthTable key = record.canonical;
+    merged.insert_or_assign(std::move(key), std::move(record));
+  }
+  for (const auto& delta : snapshot.deltas) {
+    for (const auto& record : delta->records()) {
+      merged.insert_or_assign(record.canonical, record);
+    }
+  }
+
+  std::vector<StoreRecord> result;
+  result.reserve(merged.size());
+  for (auto& entry : merged) {
+    result.push_back(std::move(entry.second));
+  }
+  std::sort(result.begin(), result.end(),
+            [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
+  return result;
+}
+
+void ClassStore::write_compacted(const std::string& tmp_path, const CompactionSnapshot& snapshot,
+                                 const std::vector<StoreRecord>& merged)
+{
+  std::vector<const StoreRecord*> pointers;
+  pointers.reserve(merged.size());
+  for (const auto& record : merged) {
+    pointers.push_back(&record);
+  }
+  std::ofstream os{tmp_path, std::ios::binary | std::ios::trunc};
+  if (!os) {
+    throw StoreFormatError{"cannot open compacted store file for writing: " + tmp_path};
+  }
+  write_base_segment(os, snapshot.num_vars, snapshot.num_classes, pointers);
+  os.flush();
+  if (!os) {
+    std::remove(tmp_path.c_str());
+    throw StoreFormatError{"compacted store file write failed: " + tmp_path};
+  }
+}
+
+void ClassStore::adopt_compacted(const std::string& path, const std::string& tmp_path,
+                                 const CompactionSnapshot& snapshot,
+                                 std::vector<StoreRecord> merged)
+{
+  if (snapshot.base.get() != base_.get() || snapshot.deltas.size() > deltas_.size()) {
+    throw std::logic_error{"ClassStore::adopt_compacted: snapshot is not from this store state"};
+  }
+  for (std::size_t i = 0; i < snapshot.deltas.size(); ++i) {
+    if (snapshot.deltas[i].get() != deltas_[i].get()) {
+      throw std::logic_error{
+          "ClassStore::adopt_compacted: snapshot delta runs no longer prefix the store"};
+    }
+  }
+
+  // Swap order is crash-safe for concurrent open()s by other processes:
+  // first the new base lands (rename), then the delta log shrinks to the
+  // surviving runs. A crash in between leaves the new base plus a log that
+  // still replays the merged runs — they shadow the base with identical
+  // records, so the store stays consistent.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    throw StoreFormatError{"cannot move compacted store file into place: " + path};
+  }
+
+  const std::string dlog = delta_log_path(path);
+  const std::size_t merged_runs = snapshot.deltas.size();
+  if (merged_runs == deltas_.size()) {
+    std::remove(dlog.c_str());
+  } else {
+    // Runs flushed while the merge ran survive: rewrite the log with only
+    // their frames. next_class_id_ bounds every surviving id, so it is a
+    // valid (if conservative) num_classes_after for each frame.
+    write_file_atomically(dlog, "delta log", [&](std::ostream& os) {
+      for (std::size_t run = merged_runs; run < deltas_.size(); ++run) {
+        std::vector<const StoreRecord*> pointers;
+        pointers.reserve(deltas_[run]->size());
+        for (const auto& record : deltas_[run]->records()) {
+          pointers.push_back(&record);
+        }
+        write_delta_frame(os, num_vars_, next_class_id_, pointers);
+      }
+    });
+  }
+
+  // Construct the replacement base BEFORE dropping the merged runs: if the
+  // re-open throws (transient fd pressure on an mmap-backed store), the
+  // in-memory tiers must keep serving old base + runs — the disk is already
+  // consistent either way, and the compactor will simply retry.
+  std::shared_ptr<const Segment> new_base;
+  if (mmap_backed_) {
+    new_base = MmapSegment::open(path);
+  } else {
+    new_base = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
+  }
+  deltas_.erase(deltas_.begin(), deltas_.begin() + static_cast<std::ptrdiff_t>(merged_runs));
+  base_ = std::move(new_base);
+  ++compactions_;
+}
+
+std::uint64_t ClassStore::delta_log_size(const std::string& dlog_path) noexcept
+{
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(dlog_path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
 }
 
 // -- lookup tiers ------------------------------------------------------------
@@ -379,7 +509,13 @@ std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
   if (auto cached = probe_cache(f)) {
     return cached;
   }
-  const CanonResult canon = exact_npn_canonical_with_transform(f);
+  return lookup_canonical(f, exact_npn_canonical_with_transform(f));
+}
+
+std::optional<StoreLookupResult> ClassStore::lookup_canonical(const TruthTable& f,
+                                                              const CanonResult& canon) const
+{
+  check_width(f, "ClassStore::lookup_canonical");
   const std::optional<StoreRecord> record = find_canonical(canon.canonical);
   if (!record.has_value()) {
     return std::nullopt;
@@ -395,7 +531,14 @@ StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool appen
   if (auto cached = probe_cache(f)) {
     return *cached;
   }
-  const CanonResult canon = exact_npn_canonical_with_transform(f);
+  return lookup_or_classify_canonical(f, exact_npn_canonical_with_transform(f), append_on_miss);
+}
+
+StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
+                                                           const CanonResult& canon,
+                                                           bool append_on_miss)
+{
+  check_width(f, "ClassStore::lookup_or_classify_canonical");
   if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
     StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});

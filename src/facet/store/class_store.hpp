@@ -39,8 +39,17 @@
 /// call from many threads at once, including against a store with live
 /// delta segments (the hot cache is internally sharded and locked; segments
 /// are immutable; mmap page validation is atomic and idempotent).
-/// lookup_or_classify(), flush_delta(), compact() and save() mutate the
-/// store and require external exclusion.
+/// lookup_or_classify(), flush_delta(), compact(), adopt_compacted() and
+/// save() mutate the store and require external exclusion.
+///
+/// Background compaction (net/server.hpp's compactor thread) splits
+/// compact() into three phases so readers keep serving through the heavy
+/// merge: compaction_snapshot() pins the immutable base + delta runs under
+/// the mutation lock (cheap), merge_compaction_snapshot() +
+/// write_compacted() produce the fresh base off-lock (the segments are
+/// immutable and shared), and adopt_compacted() swaps the new base in under
+/// the mutation lock again (cheap) — runs flushed or records appended while
+/// the merge ran survive untouched.
 
 #pragma once
 
@@ -52,6 +61,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "facet/npn/exact_canon.hpp"
 #include "facet/npn/transform.hpp"
 #include "facet/store/hot_cache.hpp"
 #include "facet/store/segment.hpp"
@@ -86,6 +96,20 @@ struct ClassStoreOptions {
   /// Total hot-cache entries across shards; 0 disables the cache.
   std::size_t hot_cache_capacity = 1u << 16;
   std::size_t hot_cache_shards = 8;
+};
+
+/// The compactable read tiers pinned at one instant: the base segment and
+/// the delta runs sealed so far (the memtable is excluded — flush it first
+/// to fold unflushed appends into the compaction). Segments are immutable
+/// and reference-counted, so the heavy merge/write phase of a background
+/// compaction works off this snapshot with no store lock held while readers
+/// keep serving.
+struct CompactionSnapshot {
+  std::shared_ptr<const Segment> base;
+  std::vector<std::shared_ptr<const MaterializedSegment>> deltas;
+  /// next_class_id_ at snapshot time — the compacted base's header value.
+  std::uint64_t num_classes = 0;
+  int num_vars = 0;
 };
 
 /// How ClassStore::open materializes the base segment.
@@ -174,6 +198,42 @@ class ClassStore {
   /// the compacted base (remapped when the store is mmap-backed).
   void compact(const std::string& path);
 
+  // -- concurrent (three-phase) compaction ---------------------------------
+
+  /// Phase 1 (cheap; call under the mutation lock): pins the base and every
+  /// sealed delta run. Flush the memtable first if its appends should be
+  /// part of the compaction.
+  [[nodiscard]] CompactionSnapshot compaction_snapshot() const;
+
+  /// Phase 2a (heavy; no lock needed): merges a snapshot's tiers into one
+  /// sorted record vector, newest occurrence of a canonical form winning —
+  /// the same shadowing order lookups use.
+  [[nodiscard]] static std::vector<StoreRecord> merge_compaction_snapshot(
+      const CompactionSnapshot& snapshot);
+
+  /// Phase 2b (heavy; no lock needed): writes `merged` as a fresh v2 base
+  /// segment at `tmp_path` (not yet visible at the store's real path).
+  static void write_compacted(const std::string& tmp_path, const CompactionSnapshot& snapshot,
+                              const std::vector<StoreRecord>& merged);
+
+  /// Phase 3 (cheap; call under the mutation lock): renames `tmp_path` over
+  /// `path`, rewrites the delta log to hold only the runs flushed *after*
+  /// the snapshot (removing it when none survive), drops the merged runs,
+  /// and re-tiers this store on the compacted base (remapped when
+  /// mmap-backed). The snapshot must have been taken from this store and
+  /// still match its delta prefix — throws std::logic_error otherwise.
+  /// Appends and flushes that happened between the phases survive.
+  void adopt_compacted(const std::string& path, const std::string& tmp_path,
+                       const CompactionSnapshot& snapshot, std::vector<StoreRecord> merged);
+
+  /// Compactions applied to this store object (compact + adopt_compacted) —
+  /// trigger/telemetry input for the background compactor.
+  [[nodiscard]] std::uint64_t num_compactions() const noexcept { return compactions_; }
+
+  /// Bytes currently in the delta log at `dlog_path` (0 when absent) — the
+  /// `--compact-after-bytes` trigger input.
+  [[nodiscard]] static std::uint64_t delta_log_size(const std::string& dlog_path) noexcept;
+
   // -- lookup tiers --------------------------------------------------------
 
   /// Index probe by canonical form: memtable, then delta runs newest-first,
@@ -191,6 +251,16 @@ class ClassStore {
   /// the cache on a hit). nullopt if the class is not in the store.
   [[nodiscard]] std::optional<StoreLookupResult> lookup(const TruthTable& f) const;
 
+  /// lookup() minus the cache probe and canonicalization: resolves f
+  /// against the index through a caller-precomputed canonicalization
+  /// (`canon` must be exact_npn_canonical_with_transform(f)), warming the
+  /// cache on a hit. Canonicalization is the expensive step, so a caller
+  /// that interleaves locked and unlocked phases — the shared-store serve
+  /// session — computes it once outside every lock and reuses it here and
+  /// in lookup_or_classify().
+  [[nodiscard]] std::optional<StoreLookupResult> lookup_canonical(const TruthTable& f,
+                                                                 const CanonResult& canon) const;
+
   /// Lookup with live fallback: unknown canonical forms are classified live
   /// under the next dense class id. With `append_on_miss` the new class
   /// becomes a persistent record (and is served from the index from then
@@ -198,6 +268,12 @@ class ClassStore {
   /// lifetime, keeping repeated queries consistent.
   [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
                                                      bool append_on_miss = false);
+
+  /// lookup_or_classify() through a caller-precomputed canonicalization
+  /// (no cache probe, no canonicalization — see lookup_canonical).
+  [[nodiscard]] StoreLookupResult lookup_or_classify_canonical(const TruthTable& f,
+                                                               const CanonResult& canon,
+                                                               bool append_on_miss);
 
   // -- hot cache -----------------------------------------------------------
 
@@ -241,6 +317,7 @@ class ClassStore {
   /// engine's store keys stay consistent.
   std::unordered_map<TruthTable, StoreRecord, TruthTableHash> miss_records_;
   std::uint64_t next_class_id_ = 0;
+  std::uint64_t compactions_ = 0;
   ShardedLruCache<TruthTable, CacheEntry, TruthTableHash> cache_;
 };
 

@@ -1,12 +1,16 @@
 #include "facet/store/serve.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <istream>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "facet/npn/exact_canon.hpp"
 #include "facet/tt/tt_io.hpp"
 
 namespace facet {
@@ -28,45 +32,69 @@ void count_source(ServeStats& stats, LookupSource source)
   }
 }
 
-/// Resolves one hex operand against `store` and renders the response line
-/// (without trailing newline). Shared by lookup, mlookup and both loops.
-std::string lookup_response(ClassStore& store, const std::string& hex, bool append_on_miss,
-                            ServeStats& stats)
+[[nodiscard]] bool is_hex_digit(char c) noexcept
 {
-  try {
-    const TruthTable query = from_hex(store.num_vars(), hex);
-    const StoreLookupResult result = store.lookup_or_classify(query, append_on_miss);
-    count_source(stats, result.source);
-    ++stats.lookups;
-    std::ostringstream line;
-    line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
-         << " t=" << transform_to_compact(result.to_representative)
-         << " src=" << lookup_source_name(result.source) << " known=" << (result.known ? 1 : 0);
-    return line.str();
-  } catch (const std::exception& e) {
-    ++stats.errors;
-    return std::string{"err "} + e.what();
-  }
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
 }
 
-/// Routes one hex operand by its inferred width. Shared by the router
-/// loop's lookup and mlookup.
-std::string routed_lookup_response(StoreRouter& router, const std::string& hex,
-                                   bool append_on_miss, ServeStats& stats)
+/// The operand without its optional "0x"/"0X" prefix.
+[[nodiscard]] std::string_view hex_payload(std::string_view token) noexcept
 {
-  const int width = hex_operand_width(hex);
-  if (width < 0) {
-    ++stats.errors;
-    return "err operand '" + hex + "' has no valid width (digit count must be a power of two)";
+  if (token.size() >= 2 && token[0] == '0' && (token[1] == 'x' || token[1] == 'X')) {
+    token.remove_prefix(2);
   }
-  ClassStore* store = router.store_for(width);
-  if (store == nullptr) {
-    ++stats.errors;
-    std::ostringstream line;
-    line << "err no store routes width " << width;
-    return line.str();
+  return token;
+}
+
+/// Digit-level validity shared by both loops: empty payloads (a bare "0x")
+/// and non-hex digits are rejected before any width/parse logic runs, so
+/// every malformed operand fails in one place with one message shape.
+/// Returns the reason, or an empty string for a well-formed payload.
+[[nodiscard]] std::string payload_error(std::string_view payload)
+{
+  if (payload.empty()) {
+    return "empty hex payload";
   }
-  return lookup_response(*store, hex, append_on_miss, stats);
+  for (const char c : payload) {
+    if (!is_hex_digit(c)) {
+      return std::string{"invalid hex digit '"} + c + "'";
+    }
+  }
+  return {};
+}
+
+/// The one canonical err shape for malformed operands in both loops.
+[[nodiscard]] std::string operand_err(const std::string& token, const std::string& reason)
+{
+  return "err operand '" + token + "': " + reason;
+}
+
+/// Reads one request line (up to '\n'); false only at end of input with
+/// nothing read. Lines longer than kMaxRequestLineBytes set `overflow` and
+/// the excess is consumed and discarded, so a hostile client cannot balloon
+/// the serving process by withholding a newline.
+bool read_request_line(std::istream& in, std::string& line, bool& overflow)
+{
+  line.clear();
+  overflow = false;
+  std::streambuf* buf = in.rdbuf();
+  using Traits = std::char_traits<char>;
+  bool read_any = false;
+  for (int ch = buf->sbumpc(); ch != Traits::eof(); ch = buf->sbumpc()) {
+    read_any = true;
+    if (ch == '\n') {
+      return true;
+    }
+    if (line.size() < kMaxRequestLineBytes) {
+      line.push_back(static_cast<char>(ch));
+    } else {
+      overflow = true;
+    }
+  }
+  if (!read_any) {
+    in.setstate(std::ios::eofbit);
+  }
+  return read_any;
 }
 
 /// Splits the rest of a request into whitespace-separated operands.
@@ -78,14 +106,6 @@ std::vector<std::string> read_operands(std::istringstream& request)
     operands.push_back(std::move(token));
   }
   return operands;
-}
-
-void emit_stats(std::ostream& out, const ServeStats& stats, std::size_t appended)
-{
-  out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
-      << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
-      << " live=" << stats.live << " appended=" << appended << "\n"
-      << std::flush;
 }
 
 /// Trims and comment-strips one request line; false = skip it.
@@ -100,16 +120,360 @@ bool normalize_request(const std::string& line, std::string& request)
   return true;
 }
 
+/// One protocol session over a single store or a router — the shared
+/// implementation behind serve_loop, serve_router_loop and every network
+/// connection. Exactly one of store/router is non-null.
+class Session {
+ public:
+  Session(ClassStore* store, StoreRouter* router, const ServeOptions& options)
+      : store_{store}, router_{router}, options_{options}
+  {
+    if (options_.aggregate == nullptr) {
+      // A standalone (stdin) session is its own aggregate, so `stats all`
+      // always answers something meaningful.
+      local_aggregate_.connections_active.store(1);
+      local_aggregate_.connections_total.store(1);
+      options_.aggregate = &local_aggregate_;
+    }
+  }
+
+  ServeStats run(std::istream& in, std::ostream& out)
+  {
+    std::string line;
+    bool overflow = false;
+    while (read_request_line(in, line, overflow)) {
+      if (overflow) {
+        ++stats_.requests;
+        ++stats_.errors;
+        out << "err request line exceeds " << kMaxRequestLineBytes << " bytes\n" << std::flush;
+        sync_aggregate();
+        continue;
+      }
+      std::string trimmed;
+      if (!normalize_request(line, trimmed)) {
+        continue;
+      }
+      ++stats_.requests;
+      const bool keep_serving = handle(trimmed, out);
+      sync_aggregate();
+      if (!keep_serving) {
+        break;
+      }
+    }
+    flush_on_exit();
+    sync_aggregate();
+    return stats_;
+  }
+
+ private:
+  [[nodiscard]] std::shared_lock<std::shared_mutex> read_lock() const
+  {
+    return options_.store_mutex != nullptr ? std::shared_lock<std::shared_mutex>{*options_.store_mutex}
+                                           : std::shared_lock<std::shared_mutex>{};
+  }
+
+  [[nodiscard]] std::unique_lock<std::shared_mutex> write_lock() const
+  {
+    return options_.store_mutex != nullptr ? std::unique_lock<std::shared_mutex>{*options_.store_mutex}
+                                           : std::unique_lock<std::shared_mutex>{};
+  }
+
+  /// Handles one normalized request line; false ends the session (quit).
+  bool handle(const std::string& trimmed, std::ostream& out)
+  {
+    std::istringstream request{trimmed};
+    std::string command;
+    request >> command;
+
+    if (command == "quit") {
+      // Flush *before* answering, so a client that reads the response knows
+      // its appends are durable in the delta log.
+      const bool report_flush = flush_configured();
+      const std::size_t flushed = flush_on_exit();
+      if (report_flush) {
+        out << "ok bye flushed=" << flushed << "\n" << std::flush;
+      } else {
+        out << "ok bye\n" << std::flush;
+      }
+      return false;
+    }
+    if (command == "info") {
+      emit_info(out);
+      return true;
+    }
+    if (command == "stats") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.size() == 1 && operands.front() == "all") {
+        emit_stats_all(out);
+        return true;
+      }
+      if (!operands.empty()) {
+        ++stats_.errors;
+        out << "err stats takes no argument or 'all'\n" << std::flush;
+        return true;
+      }
+      emit_stats(out);
+      return true;
+    }
+    if (command == "lookup") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.size() != 1) {
+        ++stats_.errors;
+        out << "err lookup takes exactly one hex truth table\n" << std::flush;
+        return true;
+      }
+      out << resolve_operand(operands.front()) << "\n" << std::flush;
+      return true;
+    }
+    if (command == "mlookup") {
+      const std::vector<std::string> operands = read_operands(request);
+      if (operands.empty()) {
+        ++stats_.errors;
+        out << "err mlookup takes one or more hex truth tables\n" << std::flush;
+        return true;
+      }
+      // One response line per operand, one flush per batch: pipelined
+      // clients pay the flush latency once instead of per function. An err
+      // on one operand answers in place; the batch always completes.
+      for (const auto& hex : operands) {
+        out << resolve_operand(hex) << "\n";
+      }
+      out << std::flush;
+      return true;
+    }
+    ++stats_.errors;
+    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
+        << std::flush;
+    return true;
+  }
+
+  /// Resolves one hex operand end to end: digit validation, width
+  /// inference/check, store dispatch, tiered lookup. Returns the response
+  /// line without its newline; malformed operands answer the canonical
+  /// `err operand '<token>': <reason>` shape and never throw.
+  [[nodiscard]] std::string resolve_operand(const std::string& token)
+  {
+    const std::string_view payload = hex_payload(token);
+    if (std::string reason = payload_error(payload); !reason.empty()) {
+      ++stats_.errors;
+      return operand_err(token, reason);
+    }
+
+    ClassStore* store = store_;
+    if (router_ != nullptr) {
+      const int width = hex_operand_width(token);
+      if (width < 0) {
+        ++stats_.errors;
+        std::ostringstream reason;
+        reason << "digit count " << payload.size()
+               << " maps to no function width (must be a power of two, n <= " << kMaxVars << ")";
+        return operand_err(token, reason.str());
+      }
+      store = router_->store_for(width);
+      if (store == nullptr) {
+        ++stats_.errors;
+        std::ostringstream line;
+        line << "err no store routes width " << width;
+        return line.str();
+      }
+    } else {
+      const std::size_t expected =
+          std::max<std::size_t>(1, (std::size_t{1} << store->num_vars()) / 4);
+      if (payload.size() != expected) {
+        ++stats_.errors;
+        std::ostringstream reason;
+        reason << "expected " << expected << " hex digits for " << store->num_vars()
+               << " variables, got " << payload.size();
+        return operand_err(token, reason.str());
+      }
+    }
+
+    try {
+      const TruthTable query = from_hex(store->num_vars(), token);
+      return lookup_line(*store, query);
+    } catch (const std::exception& e) {
+      ++stats_.errors;
+      return operand_err(token, e.what());
+    }
+  }
+
+  /// The tiered lookup of one parsed query, with the locking discipline of
+  /// a shared store: cache probe and index resolution under a shared lock;
+  /// the miss path (live classification, appends) under an exclusive lock.
+  /// Canonicalization — the expensive step — happens exactly once, outside
+  /// every lock, so a cold query never stalls other connections. An
+  /// unshared session (no mutex) takes the direct lookup_or_classify path,
+  /// exactly as the pre-socket loops did.
+  [[nodiscard]] std::string lookup_line(ClassStore& store, const TruthTable& query)
+  {
+    StoreLookupResult result;
+    bool resolved = false;
+    if (options_.store_mutex == nullptr && !options_.readonly) {
+      result = store.lookup_or_classify(query, options_.append_on_miss);
+      resolved = true;
+    } else {
+      {
+        const auto lock = read_lock();
+        if (const auto hit = store.probe_cache(query)) {
+          result = *hit;
+          resolved = true;
+        }
+      }
+      if (!resolved) {
+        const CanonResult canon = exact_npn_canonical_with_transform(query);
+        {
+          const auto lock = read_lock();
+          if (const auto hit = store.lookup_canonical(query, canon)) {
+            result = *hit;
+            resolved = true;
+          }
+        }
+        if (!resolved && options_.readonly) {
+          ++stats_.errors;
+          return "err unknown function (readonly session)";
+        }
+        if (!resolved) {
+          const auto lock = write_lock();
+          result = store.lookup_or_classify_canonical(query, canon, options_.append_on_miss);
+          resolved = true;
+        }
+      }
+    }
+
+    count_source(stats_, result.source);
+    ++stats_.lookups;
+    std::ostringstream line;
+    line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
+         << " t=" << transform_to_compact(result.to_representative)
+         << " src=" << lookup_source_name(result.source) << " known=" << (result.known ? 1 : 0);
+    return line.str();
+  }
+
+  void emit_info(std::ostream& out)
+  {
+    const auto lock = read_lock();
+    if (router_ != nullptr) {
+      out << "ok widths=";
+      const std::vector<int> widths = router_->widths();
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        out << (i == 0 ? "" : ",") << widths[i];
+      }
+      out << " stores=" << router_->num_stores() << " records=" << router_->num_records()
+          << " classes=" << router_->num_classes()
+          << " cache_entries=" << router_->hot_cache_entries() << "\n"
+          << std::flush;
+      return;
+    }
+    out << "ok n=" << store_->num_vars() << " records=" << store_->num_records()
+        << " appended=" << store_->num_appended() << " deltas=" << store_->num_delta_segments()
+        << " classes=" << store_->num_classes()
+        << " cache_entries=" << store_->hot_cache_stats().entries << "\n"
+        << std::flush;
+  }
+
+  void emit_stats(std::ostream& out)
+  {
+    std::size_t appended = 0;
+    {
+      const auto lock = read_lock();
+      if (router_ != nullptr) {
+        for (const int width : router_->widths()) {
+          appended += router_->store_for(width)->num_appended();
+        }
+      } else {
+        appended = store_->num_appended();
+      }
+    }
+    out << "ok requests=" << stats_.requests << " lookups=" << stats_.lookups
+        << " cache_hits=" << stats_.cache_hits << " index_hits=" << stats_.index_hits
+        << " live=" << stats_.live << " appended=" << appended << " errors=" << stats_.errors
+        << "\n"
+        << std::flush;
+  }
+
+  void emit_stats_all(std::ostream& out)
+  {
+    sync_aggregate();  // make this session's own numbers visible
+    const ServeAggregateStats& agg = *options_.aggregate;
+    out << "ok connections=" << agg.connections_active.load()
+        << " sessions=" << agg.connections_total.load() << " requests=" << agg.requests.load()
+        << " lookups=" << agg.lookups.load() << " cache_hits=" << agg.cache_hits.load()
+        << " index_hits=" << agg.index_hits.load() << " live=" << agg.live.load()
+        << " errors=" << agg.errors.load() << " flushed=" << agg.flushed_records.load()
+        << " compactions=" << agg.compactions.load()
+        << " compacted_runs=" << agg.compacted_runs.load()
+        << " compacted_records=" << agg.compacted_records.load() << "\n"
+        << std::flush;
+  }
+
+  [[nodiscard]] bool flush_configured() const noexcept
+  {
+    return router_ != nullptr ? !options_.dlog_paths.empty() : !options_.dlog_path.empty();
+  }
+
+  /// Seals the session's appends into the configured delta log(s) — once;
+  /// both the quit path and the end-of-input path land here, so appends
+  /// survive a client that drops the connection without a clean quit.
+  std::size_t flush_on_exit()
+  {
+    if (exit_flushed_ || !flush_configured()) {
+      exit_flushed_ = true;
+      return 0;
+    }
+    exit_flushed_ = true;
+    std::size_t flushed = 0;
+    const auto lock = write_lock();
+    if (router_ != nullptr) {
+      for (const auto& [width, dlog_path] : options_.dlog_paths) {
+        if (ClassStore* store = router_->store_for(width)) {
+          flushed += store->flush_delta(dlog_path);
+        }
+      }
+    } else {
+      flushed += store_->flush_delta(options_.dlog_path);
+    }
+    stats_.flushed += flushed;
+    return flushed;
+  }
+
+  /// Adds this session's not-yet-reported counter increments to the shared
+  /// aggregate (atomic, no lock), so `stats all` on any connection sees
+  /// every session's traffic.
+  void sync_aggregate()
+  {
+    ServeAggregateStats& agg = *options_.aggregate;
+    agg.requests += stats_.requests - synced_.requests;
+    agg.lookups += stats_.lookups - synced_.lookups;
+    agg.cache_hits += stats_.cache_hits - synced_.cache_hits;
+    agg.index_hits += stats_.index_hits - synced_.index_hits;
+    agg.live += stats_.live - synced_.live;
+    agg.errors += stats_.errors - synced_.errors;
+    agg.flushed_records += stats_.flushed - synced_.flushed;
+    synced_ = stats_;
+  }
+
+  ClassStore* store_;
+  StoreRouter* router_;
+  ServeOptions options_;
+  ServeStats stats_;
+  ServeStats synced_;
+  ServeAggregateStats local_aggregate_;
+  bool exit_flushed_ = false;
+};
+
 }  // namespace
 
 int hex_operand_width(const std::string& hex) noexcept
 {
-  std::size_t digits = hex.size();
-  if (digits >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X')) {
-    digits -= 2;
-  }
+  const std::string_view payload = hex_payload(hex);
+  std::size_t digits = payload.size();
   if (digits == 0) {
     return -1;
+  }
+  for (const char c : payload) {
+    if (!is_hex_digit(c)) {
+      return -1;
+    }
   }
   if (digits == 1) {
     return 2;  // a single nibble: n <= 2 all serialize as one digit
@@ -129,136 +493,15 @@ int hex_operand_width(const std::string& hex) noexcept
 ServeStats serve_loop(ClassStore& store, std::istream& in, std::ostream& out,
                       const ServeOptions& options)
 {
-  ServeStats stats;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string trimmed;
-    if (!normalize_request(line, trimmed)) {
-      continue;
-    }
-    std::istringstream request{trimmed};
-    std::string command;
-    request >> command;
-    ++stats.requests;
-
-    if (command == "quit") {
-      out << "ok bye\n" << std::flush;
-      break;
-    }
-    if (command == "info") {
-      out << "ok n=" << store.num_vars() << " records=" << store.num_records()
-          << " appended=" << store.num_appended() << " deltas=" << store.num_delta_segments()
-          << " classes=" << store.num_classes()
-          << " cache_entries=" << store.hot_cache_stats().entries << "\n"
-          << std::flush;
-      continue;
-    }
-    if (command == "stats") {
-      emit_stats(out, stats, store.num_appended());
-      continue;
-    }
-    if (command == "lookup") {
-      const std::vector<std::string> operands = read_operands(request);
-      if (operands.size() != 1) {
-        ++stats.errors;
-        out << "err lookup takes exactly one hex truth table\n" << std::flush;
-        continue;
-      }
-      out << lookup_response(store, operands.front(), options.append_on_miss, stats) << "\n"
-          << std::flush;
-      continue;
-    }
-    if (command == "mlookup") {
-      const std::vector<std::string> operands = read_operands(request);
-      if (operands.empty()) {
-        ++stats.errors;
-        out << "err mlookup takes one or more hex truth tables\n" << std::flush;
-        continue;
-      }
-      // One response line per operand, one flush per batch: pipelined
-      // clients pay the flush latency once instead of per function.
-      for (const auto& hex : operands) {
-        out << lookup_response(store, hex, options.append_on_miss, stats) << "\n";
-      }
-      out << std::flush;
-      continue;
-    }
-    ++stats.errors;
-    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
-        << std::flush;
-  }
-  return stats;
+  Session session{&store, nullptr, options};
+  return session.run(in, out);
 }
 
 ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream& out,
                              const ServeOptions& options)
 {
-  ServeStats stats;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string trimmed;
-    if (!normalize_request(line, trimmed)) {
-      continue;
-    }
-    std::istringstream request{trimmed};
-    std::string command;
-    request >> command;
-    ++stats.requests;
-
-    if (command == "quit") {
-      out << "ok bye\n" << std::flush;
-      break;
-    }
-    if (command == "info") {
-      out << "ok widths=";
-      const std::vector<int> widths = router.widths();
-      for (std::size_t i = 0; i < widths.size(); ++i) {
-        out << (i == 0 ? "" : ",") << widths[i];
-      }
-      out << " stores=" << router.num_stores() << " records=" << router.num_records()
-          << " classes=" << router.num_classes()
-          << " cache_entries=" << router.hot_cache_entries() << "\n"
-          << std::flush;
-      continue;
-    }
-    if (command == "stats") {
-      std::size_t appended = 0;
-      for (const int width : router.widths()) {
-        appended += router.store_for(width)->num_appended();
-      }
-      emit_stats(out, stats, appended);
-      continue;
-    }
-    if (command == "lookup") {
-      const std::vector<std::string> operands = read_operands(request);
-      if (operands.size() != 1) {
-        ++stats.errors;
-        out << "err lookup takes exactly one hex truth table\n" << std::flush;
-        continue;
-      }
-      out << routed_lookup_response(router, operands.front(), options.append_on_miss, stats)
-          << "\n"
-          << std::flush;
-      continue;
-    }
-    if (command == "mlookup") {
-      const std::vector<std::string> operands = read_operands(request);
-      if (operands.empty()) {
-        ++stats.errors;
-        out << "err mlookup takes one or more hex truth tables\n" << std::flush;
-        continue;
-      }
-      for (const auto& hex : operands) {
-        out << routed_lookup_response(router, hex, options.append_on_miss, stats) << "\n";
-      }
-      out << std::flush;
-      continue;
-    }
-    ++stats.errors;
-    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
-        << std::flush;
-  }
-  return stats;
+  Session session{nullptr, &router, options};
+  return session.run(in, out);
 }
 
 }  // namespace facet

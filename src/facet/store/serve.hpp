@@ -1,20 +1,37 @@
 /// \file serve.hpp
-/// \brief Long-lived line-protocol loops serving class stores over streams.
+/// \brief Long-lived line-protocol sessions serving class stores over streams.
 ///
-/// `facet_cli serve` runs these loops over stdin/stdout so other processes
-/// (a mapper, a test harness, a future network front end) can drive a store
-/// without re-loading the index per query. One request per line:
+/// `facet_cli serve` runs these loops over stdin/stdout, and the network
+/// listener (net/server.hpp) runs the same protocol per accepted socket, so
+/// other processes (a mapper, a test harness, a fleet of remote clients) can
+/// drive a store without re-loading the index per query. One request per
+/// line:
 ///
 ///   lookup <hex>        ->  ok id=<id> rep=<hex> t=<compact-transform>
 ///                              src=<cache|index|live> known=<0|1>
 ///   mlookup <hex>...    ->  one lookup-response line per operand, flushed
 ///                              once at the end of the batch — pipelined
-///                              clients stop paying per-line flush latency
+///                              clients stop paying per-line flush latency.
+///                              An err on one operand answers in place and
+///                              never aborts the rest of the batch.
 ///   info                ->  ok n=<n> records=<r> appended=<a> deltas=<d>
 ///                              classes=<c> cache_entries=<e>
 ///   stats               ->  ok requests=<q> lookups=<k> cache_hits=<h>
 ///                              index_hits=<i> live=<l> appended=<a>
-///   quit                ->  ok bye            (loop returns)
+///                              errors=<e>            (this session)
+///   stats all           ->  ok connections=<active> sessions=<total>
+///                              requests=... lookups=... cache_hits=...
+///                              index_hits=... live=... errors=...
+///                              flushed=<f> compactions=<c>
+///                              compacted_runs=<r> compacted_records=<k>
+///                              (aggregated across every session of the
+///                               process; equals the session numbers for a
+///                               stdin session)
+///   quit                ->  ok bye                  (loop returns)
+///                           ok bye flushed=<k>      (when a delta-log path
+///                              is configured: appends are flushed to the
+///                              log *before* the response, so a client that
+///                              reads it knows its appends are durable)
 ///
 /// `serve_loop` serves one single-width ClassStore. `serve_router_loop`
 /// serves a StoreRouter — one session answering mixed-width queries, with
@@ -25,24 +42,94 @@
 ///   info                ->  ok widths=<w1,w2,...> stores=<s> records=<r>
 ///                              classes=<c> cache_entries=<e>
 ///
-/// Blank lines and `#` comments are ignored. Any malformed request answers
-/// `err <message>` and the loop continues — a serving process must survive
-/// bad input. The compact transform rendering is documented in
-/// store_format.hpp (transform_to_compact).
+/// Hardening (the same code path serves untrusted network clients):
+///
+///   * Blank lines and `#` comments are ignored; CRLF line endings and
+///     surrounding whitespace are stripped.
+///   * Any malformed request answers `err <message>` and the loop continues.
+///     A malformed hex operand — invalid digit, bad digit count, empty
+///     `0x` payload — answers one canonical shape in both loops:
+///     `err operand '<token>': <reason>`.
+///   * Request lines are capped at kMaxRequestLineBytes; an oversized line
+///     is consumed and answered with a single `err` instead of buffering
+///     unbounded input.
+///   * A session that ends via EOF flushes its appends exactly like `quit`
+///     (when a delta-log path is configured), so a dropped connection never
+///     silently loses appended classes.
+///
+/// The compact transform rendering is documented in store_format.hpp
+/// (transform_to_compact).
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <shared_mutex>
+#include <string>
 
 #include "facet/store/class_store.hpp"
 #include "facet/store/store_router.hpp"
 
 namespace facet {
 
+/// Longest accepted request line (bytes, excluding the newline). Large
+/// enough for multi-thousand-operand mlookup batches, small enough that a
+/// hostile client cannot balloon the server by never sending a newline.
+inline constexpr std::size_t kMaxRequestLineBytes = 1u << 20;
+
+/// Process-wide counters shared by every serve session (and the background
+/// compactor) of one serving process — the numbers behind `stats all`. All
+/// fields are atomics: sessions on different connections bump them without
+/// coordination.
+struct ServeAggregateStats {
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> index_hits{0};
+  std::atomic<std::uint64_t> live{0};
+  std::atomic<std::uint64_t> errors{0};
+  /// Appended records made durable (session-exit and shutdown flushes).
+  std::atomic<std::uint64_t> flushed_records{0};
+  /// Background-compactor activity (net/server.hpp).
+  std::atomic<std::uint64_t> compactions{0};
+  std::atomic<std::uint64_t> compacted_runs{0};
+  std::atomic<std::uint64_t> compacted_records{0};
+};
+
 struct ServeOptions {
   /// Persist unknown classes into the store (lookup_or_classify append tier).
   bool append_on_miss = false;
+
+  /// Serve reads only: misses answer `err` instead of classifying live, and
+  /// appends never happen — the fleet fan-out mode where many processes
+  /// share one index read-only. Overrides append_on_miss.
+  bool readonly = false;
+
+  /// When non-empty (single-store loop): the delta-log path appends are
+  /// flushed to when the session ends — on `quit` (reported as
+  /// `ok bye flushed=<k>`) and on EOF. Without it appends only persist if
+  /// the caller flushes after the loop returns.
+  std::string dlog_path;
+
+  /// Router-loop equivalent: width -> delta-log path.
+  std::map<int, std::string> dlog_paths;
+
+  /// When set, every store access locks here: reads take a shared lock,
+  /// mutations (live classification, appends, session-exit flushes) take an
+  /// exclusive lock. This is how N concurrent sessions share one store /
+  /// router (the segments and the hot cache are internally thread-safe for
+  /// readers; mutations require exclusion — class_store.hpp). Null = the
+  /// session owns its store exclusively and no locking happens.
+  std::shared_mutex* store_mutex = nullptr;
+
+  /// When set, the session also accumulates into these process-wide
+  /// counters, and `stats all` reports them. Null = `stats all` reports the
+  /// session's own numbers.
+  ServeAggregateStats* aggregate = nullptr;
 };
 
 struct ServeStats {
@@ -52,6 +139,7 @@ struct ServeStats {
   std::uint64_t index_hits = 0;  ///< answered from the persisted index
   std::uint64_t live = 0;        ///< fell back to live classification
   std::uint64_t errors = 0;      ///< `err` responses
+  std::uint64_t flushed = 0;     ///< appended records flushed on session exit
 };
 
 /// Serves `store` until `quit` or end of input; returns the session stats.
@@ -65,8 +153,9 @@ ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream
 
 /// Function width implied by a hex operand of the line protocol: 4 * digits
 /// = 2^n bits (one digit reads as n = 2, the smallest width a single nibble
-/// encodes). Returns -1 for an impossible digit count. The "0x" prefix is
-/// tolerated.
+/// encodes). Returns -1 for an impossible digit count or any non-hex digit
+/// — a malformed operand is rejected at width inference, not later inside
+/// parsing. The "0x" prefix is tolerated (a bare "0x" is malformed).
 [[nodiscard]] int hex_operand_width(const std::string& hex) noexcept;
 
 }  // namespace facet

@@ -346,6 +346,107 @@ TEST(BatchEngineStore, AttachRejectsNonExhaustiveKinds)
   EXPECT_THROW(engine.attach_store(&store), std::invalid_argument);
 }
 
+/// Appends `count` genuinely-new classes to `store`; returns them.
+std::vector<TruthTable> append_novel(ClassStore& store, std::size_t count, std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> appended;
+  while (appended.size() < count) {
+    const TruthTable f = tt_random(store.num_vars(), rng);
+    if (!store.lookup(f).has_value()) {
+      (void)store.lookup_or_classify(f, /*append_on_miss=*/true);
+      appended.push_back(f);
+    }
+  }
+  return appended;
+}
+
+/// The three-phase (background) compaction: snapshot -> off-lock merge and
+/// write -> adopt. Appends and flushes that land between the phases — the
+/// live-traffic case — must survive the swap, on disk and in memory.
+TEST(ClassStore, ThreePhaseCompactionKeepsConcurrentAppends)
+{
+  const int n = 4;
+  const std::string path = ::testing::TempDir() + "three_phase.fcs";
+  const std::string dlog = ClassStore::delta_log_path(path);
+  build_class_store(make_npn_workload(n, 12, 2, 0x3f01ULL), {}).save(path);
+
+  for (const bool use_mmap : {false, true}) {
+    if (use_mmap && !mmap_supported()) {
+      continue;
+    }
+    std::remove(dlog.c_str());
+    StoreOpenOptions open_options;
+    open_options.use_mmap = use_mmap;
+    ClassStore store = ClassStore::open(path, open_options);
+    const std::size_t base_records = store.num_records();
+
+    // Two sealed runs before the snapshot...
+    const auto first = append_novel(store, 3, 0x3f02ULL + (use_mmap ? 1 : 0));
+    ASSERT_EQ(store.flush_delta(dlog), 3u);
+    const auto second = append_novel(store, 2, 0x3f03ULL + (use_mmap ? 2 : 0));
+    ASSERT_EQ(store.flush_delta(dlog), 2u);
+    ASSERT_EQ(store.num_delta_segments(), 2u);
+
+    const CompactionSnapshot snapshot = store.compaction_snapshot();
+    EXPECT_EQ(snapshot.deltas.size(), 2u);
+
+    // ...then traffic lands while the merge "runs": one more sealed run and
+    // one unflushed memtable append.
+    const auto third = append_novel(store, 2, 0x3f04ULL + (use_mmap ? 3 : 0));
+    ASSERT_EQ(store.flush_delta(dlog), 2u);
+    const auto fourth = append_novel(store, 1, 0x3f05ULL + (use_mmap ? 4 : 0));
+
+    std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
+    EXPECT_EQ(merged.size(), base_records + first.size() + second.size());
+    ClassStore::write_compacted(path + ".cpt", snapshot, merged);
+    store.adopt_compacted(path, path + ".cpt", snapshot, std::move(merged));
+
+    EXPECT_EQ(store.num_compactions(), 1u);
+    EXPECT_EQ(store.num_delta_segments(), 1u) << "the post-snapshot run must survive";
+    EXPECT_EQ(store.num_appended(), 1u) << "the memtable must survive";
+    EXPECT_EQ(store.base_segment().size(), base_records + first.size() + second.size());
+    EXPECT_EQ(store.mmap_backed(), use_mmap);
+
+    // Every class — compacted, surviving run, memtable — still answers with
+    // its original id, in memory and after a fresh open of the swapped
+    // files (base + rewritten delta log).
+    ClassStore reopened = ClassStore::open(path, open_options);
+    EXPECT_EQ(reopened.base_segment().size(), base_records + first.size() + second.size());
+    EXPECT_EQ(reopened.num_delta_records(), third.size());
+    for (const auto& group : {first, second, third}) {
+      for (const auto& f : group) {
+        const auto live = store.lookup(f);
+        const auto durable = reopened.lookup(f);
+        ASSERT_TRUE(live.has_value());
+        ASSERT_TRUE(durable.has_value());
+        EXPECT_EQ(live->class_id, durable->class_id);
+        EXPECT_TRUE(durable->known);
+      }
+    }
+    EXPECT_TRUE(store.lookup(fourth.front()).has_value());
+    // The memtable append was never flushed, so it is (correctly) not on
+    // disk yet; flushing now must append cleanly to the rewritten log.
+    EXPECT_FALSE(reopened.lookup(fourth.front()).has_value());
+    ASSERT_EQ(store.flush_delta(dlog), 1u);
+    ClassStore reflushed = ClassStore::open(path, open_options);
+    EXPECT_TRUE(reflushed.lookup(fourth.front()).has_value());
+  }
+  std::remove(path.c_str());
+  std::remove(dlog.c_str());
+}
+
+TEST(ClassStore, AdoptCompactedRejectsForeignSnapshots)
+{
+  const int n = 3;
+  ClassStore store = build_class_store(make_npn_workload(n, 6, 1, 0x3f10ULL), {});
+  ClassStore other = build_class_store(make_npn_workload(n, 6, 1, 0x3f11ULL), {});
+  const CompactionSnapshot snapshot = other.compaction_snapshot();
+  std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
+  EXPECT_THROW(store.adopt_compacted("x.fcs", "x.fcs.cpt", snapshot, std::move(merged)),
+               std::logic_error);
+}
+
 TEST(StoreFormat, TransformPackUnpackRoundTrips)
 {
   std::mt19937_64 rng{0x7a31ULL};

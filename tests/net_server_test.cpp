@@ -1,0 +1,416 @@
+/// End-to-end tests of the socket serving subsystem: >= 8 concurrent
+/// clients over TCP and Unix-domain sockets sharing one router, with class
+/// ids bit-identical to the BatchEngine; background compaction collapsing
+/// delta runs under live traffic; capacity rejection; readonly fan-out; and
+/// graceful shutdown losing zero appends.
+
+#include "facet/net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "facet/engine/batch_engine.hpp"
+#include "facet/net/fd_stream.hpp"
+#include "facet/net/socket.hpp"
+#include "facet/npn/transform.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_io.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+namespace {
+
+std::vector<TruthTable> random_funcs(int n, std::size_t count, std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  for (std::size_t i = 0; i < count; ++i) {
+    funcs.push_back(tt_random(n, rng));
+  }
+  return funcs;
+}
+
+/// Writes `script` (which must end in "quit\n") over `socket` and reads
+/// every response line until the server closes the connection.
+std::vector<std::string> exchange(Socket socket, const std::string& script)
+{
+  FdStreamBuf buf{socket.fd()};
+  std::ostream out{&buf};
+  std::istream in{&buf};
+  out << script << std::flush;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Parses "ok id=<id> ..."; -1 for anything else.
+long parse_id(const std::string& line)
+{
+  if (line.rfind("ok id=", 0) != 0) {
+    return -1;
+  }
+  return std::stol(line.substr(6));
+}
+
+TEST(NetServer, EightConcurrentClientsMatchBatchEngineBitIdentically)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  // One store per width, built from the same datasets the BatchEngine
+  // classifies — store lookups must answer the engine's exact class ids.
+  const auto funcs4 = random_funcs(4, 60, 0x4e01ULL);
+  const auto funcs5 = random_funcs(5, 80, 0x4e02ULL);
+  const ClassificationResult expected4 = classify_batch(funcs4, ClassifierKind::kExhaustive, {});
+  const ClassificationResult expected5 = classify_batch(funcs5, ClassifierKind::kExhaustive, {});
+
+  const std::string path4 = ::testing::TempDir() + "net_server_4.fcs";
+  const std::string path5 = ::testing::TempDir() + "net_server_5.fcs";
+  build_class_store(funcs4, {}).save(path4);
+  build_class_store(funcs5, {}).save(path5);
+  std::remove(ClassStore::delta_log_path(path4).c_str());
+  std::remove(ClassStore::delta_log_path(path5).c_str());
+
+  StoreRouter router = StoreRouter::open({path4, path5});
+  const std::string unix_path = ::testing::TempDir() + "net_server_test.sock";
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.unix_path = unix_path;
+  ServeServer server{router, {{4, path4}, {5, path5}}, options};
+  server.start();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  // Every client queries the full mixed-width set — originals and one NPN
+  // image of each (the image must land in the same class) — in mlookup
+  // batches, half the fleet over TCP, half over the Unix socket.
+  struct Query {
+    std::string hex;
+    std::uint32_t expected_id;
+    int width;
+  };
+  std::vector<Query> queries;
+  std::mt19937_64 rng{0x4e03ULL};
+  for (std::size_t i = 0; i < funcs4.size(); ++i) {
+    queries.push_back({to_hex(funcs4[i]), expected4.class_of[i], 4});
+    queries.push_back(
+        {to_hex(apply_transform(funcs4[i], NpnTransform::random(4, rng))), expected4.class_of[i], 4});
+  }
+  for (std::size_t i = 0; i < funcs5.size(); ++i) {
+    queries.push_back({to_hex(funcs5[i]), expected5.class_of[i], 5});
+    queries.push_back(
+        {to_hex(apply_transform(funcs5[i], NpnTransform::random(5, rng))), expected5.class_of[i], 5});
+  }
+
+  const std::size_t num_clients = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client walks the queries from its own offset, batched.
+      std::string script;
+      std::vector<std::uint32_t> expected_ids;
+      const std::size_t batch = 25;
+      for (std::size_t start = 0; start < queries.size(); start += batch) {
+        script += "mlookup";
+        for (std::size_t k = start; k < std::min(start + batch, queries.size()); ++k) {
+          const Query& q = queries[(k + c * 37) % queries.size()];
+          script += " " + q.hex;
+          expected_ids.push_back(q.expected_id);
+        }
+        script += "\n";
+      }
+      script += "quit\n";
+      Socket socket = c % 2 == 0 ? connect_tcp({"127.0.0.1", server.tcp_port()})
+                                 : connect_unix(unix_path);
+      const std::vector<std::string> lines = exchange(std::move(socket), script);
+      if (lines.size() != expected_ids.size() + 1) {
+        ++mismatches;
+        return;
+      }
+      for (std::size_t i = 0; i < expected_ids.size(); ++i) {
+        if (parse_id(lines[i]) != static_cast<long>(expected_ids[i])) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(server.stats().errors.load(), 0u);
+  EXPECT_EQ(server.stats().connections_total.load(), num_clients);
+
+  server.request_shutdown();
+  server.wait();
+  std::remove(path4.c_str());
+  std::remove(path5.c_str());
+}
+
+TEST(NetServer, BackgroundCompactionCollapsesRunsUnderLiveTraffic)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  const int n = 5;
+  const auto base_funcs = random_funcs(n, 40, 0x4e10ULL);
+  const std::string path = ::testing::TempDir() + "net_server_compact.fcs";
+  build_class_store(base_funcs, {}).save(path);
+  std::remove(ClassStore::delta_log_path(path).c_str());
+
+  ClassStore store = ClassStore::open(path);
+  const std::size_t base_records = store.num_records();
+
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.append_on_miss = true;
+  options.compact_after_runs = 1;  // collapse every sealed run immediately
+  options.compact_poll = std::chrono::milliseconds{5};
+  ServeServer server{store, path, options};
+  server.start();
+
+  // Novel classes to append, split across sequential append sessions (each
+  // session's exit flush seals one delta run for the compactor)...
+  std::vector<TruthTable> novel;
+  {
+    std::mt19937_64 rng{0x4e11ULL};
+    ClassStore probe = ClassStore::open(path);
+    while (novel.size() < 12) {
+      const TruthTable f = tt_random(n, rng);
+      if (!probe.lookup(f).has_value()) {
+        novel.push_back(f);
+      }
+    }
+  }
+
+  // ...while a reader hammers known lookups through the compaction swaps.
+  std::atomic<bool> stop_reader{false};
+  std::atomic<std::size_t> reader_errors{0};
+  std::thread reader{[&] {
+    while (!stop_reader.load()) {
+      std::string script;
+      for (std::size_t i = 0; i < 10; ++i) {
+        script += "lookup " + to_hex(base_funcs[i % base_funcs.size()]) + "\n";
+      }
+      script += "quit\n";
+      const auto lines = exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), script);
+      for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+        if (parse_id(lines[i]) < 0) {
+          ++reader_errors;
+        }
+      }
+    }
+  }};
+
+  std::vector<long> appended_ids;
+  for (std::size_t start = 0; start < novel.size(); start += 3) {
+    std::string script;
+    for (std::size_t k = start; k < std::min(start + 3, novel.size()); ++k) {
+      script += "lookup " + to_hex(novel[k]) + "\n";
+    }
+    script += "quit\n";
+    const auto lines = exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), script);
+    ASSERT_GE(lines.size(), 2u);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+      const long id = parse_id(lines[i]);
+      ASSERT_GE(id, 0) << lines[i];
+      appended_ids.push_back(id);
+    }
+    EXPECT_EQ(lines.back().rfind("ok bye flushed=", 0), 0u) << lines.back();
+  }
+
+  // The compactor runs on a 5ms poll with a 1-run threshold: wait for it to
+  // fold the sealed runs into the base.
+  for (int spin = 0; spin < 400 && server.stats().compactions.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  stop_reader.store(true);
+  reader.join();
+  EXPECT_GE(server.stats().compactions.load(), 1u) << "no compaction was observed";
+  EXPECT_EQ(reader_errors.load(), 0u) << "readers failed during compaction swaps";
+
+  server.request_shutdown();
+  server.wait();
+  const auto log = server.compaction_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.front().width, n);
+  EXPECT_GE(log.front().runs, 1u);
+
+  // Zero lost appends: a cold open of the swapped files answers every
+  // appended class from the persisted index, under the id the live server
+  // handed out.
+  ClassStore reopened = ClassStore::open(path);
+  EXPECT_GE(reopened.base_segment().size(), base_records + 1) << "the base never grew";
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    const auto result = reopened.lookup(novel[i]);
+    ASSERT_TRUE(result.has_value()) << "append " << i << " was lost";
+    EXPECT_TRUE(result->known);
+    EXPECT_EQ(static_cast<long>(result->class_id), appended_ids[i]);
+  }
+  std::remove(path.c_str());
+  std::remove(ClassStore::delta_log_path(path).c_str());
+}
+
+TEST(NetServer, ReadonlyServerRejectsAppendsAndServesConcurrentReaders)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  const int n = 4;
+  const auto funcs = random_funcs(n, 30, 0x4e20ULL);
+  const std::string path = ::testing::TempDir() + "net_server_ro.fcs";
+  build_class_store(funcs, {}).save(path);
+  std::remove(ClassStore::delta_log_path(path).c_str());
+  ClassStore store = ClassStore::open(path);
+
+  TruthTable novel{n};
+  {
+    std::mt19937_64 rng{0x4e21ULL};
+    do {
+      novel = tt_random(n, rng);
+    } while (store.lookup(novel).has_value());
+    store.clear_hot_cache();
+  }
+
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.readonly = true;
+  options.append_on_miss = true;  // must be ignored under readonly
+  ServeServer server{store, path, options};
+  server.start();
+
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      std::string script = "lookup " + to_hex(funcs[0]) + "\nlookup " + to_hex(novel) + "\nquit\n";
+      const auto lines = exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), script);
+      if (lines.size() != 3 || parse_id(lines[0]) < 0 ||
+          lines[1] != "err unknown function (readonly session)" || lines[2] != "ok bye") {
+        ++failures;
+      }
+    });
+  }
+  for (auto& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(failures.load(), 0u);
+
+  server.request_shutdown();
+  server.wait();
+  EXPECT_EQ(store.num_appended(), 0u);
+  EXPECT_EQ(ClassStore::delta_log_size(ClassStore::delta_log_path(path)), 0u)
+      << "a readonly server must never write a delta log";
+  std::remove(path.c_str());
+}
+
+TEST(NetServer, IdleTimeoutDisconnectsAndFlushesLikeCleanExit)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  const int n = 4;
+  const std::string path = ::testing::TempDir() + "net_server_idle.fcs";
+  const std::string dlog = ClassStore::delta_log_path(path);
+  build_class_store(random_funcs(n, 20, 0x4e40ULL), {}).save(path);
+  std::remove(dlog.c_str());
+  ClassStore store = ClassStore::open(path);
+
+  TruthTable novel{n};
+  {
+    std::mt19937_64 rng{0x4e41ULL};
+    do {
+      novel = tt_random(n, rng);
+    } while (store.lookup(novel).has_value());
+  }
+
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.append_on_miss = true;
+  options.idle_timeout = std::chrono::milliseconds{100};
+  ServeServer server{store, path, options};
+  server.start();
+
+  // Append one class, then go silent: the server must cut the connection
+  // (EOF on our read) and the session-exit flush must make the append
+  // durable — an idle client neither pins its slot nor loses work.
+  Socket socket = connect_tcp({"127.0.0.1", server.tcp_port()});
+  FdStreamBuf buf{socket.fd()};
+  std::ostream out{&buf};
+  std::istream in{&buf};
+  out << "lookup " << to_hex(novel) << "\n" << std::flush;
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, line)));
+  EXPECT_EQ(line.rfind("ok id=", 0), 0u) << line;
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, line)))
+      << "the idle connection was not cut: " << line;
+
+  for (int spin = 0; spin < 200 && server.stats().connections_active.load() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  EXPECT_EQ(server.stats().connections_active.load(), 0u);
+  server.request_shutdown();
+  server.wait();
+
+  ClassStore reopened = ClassStore::open(path);
+  const auto replayed = reopened.lookup(novel);
+  ASSERT_TRUE(replayed.has_value()) << "the idle session's append was lost";
+  EXPECT_TRUE(replayed->known);
+  std::remove(path.c_str());
+  std::remove(dlog.c_str());
+}
+
+TEST(NetServer, CapacityOverflowAnswersErrAndCloses)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  const auto funcs = random_funcs(3, 10, 0x4e30ULL);
+  const std::string path = ::testing::TempDir() + "net_server_cap.fcs";
+  build_class_store(funcs, {}).save(path);
+  ClassStore store = ClassStore::open(path);
+
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.max_connections = 1;
+  ServeServer server{store, path, options};
+  server.start();
+
+  // Hold one connection open, then connect again: the second must be
+  // rejected with the capacity error.
+  Socket first = connect_tcp({"127.0.0.1", server.tcp_port()});
+  FdStreamBuf first_buf{first.fd()};
+  std::ostream first_out{&first_buf};
+  std::istream first_in{&first_buf};
+  first_out << "info\n" << std::flush;
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(first_in, line)));
+
+  const auto rejected =
+      exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), std::string{});
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].rfind("err server at capacity", 0), 0u) << rejected[0];
+
+  first_out << "quit\n" << std::flush;
+  server.request_shutdown();
+  server.wait();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace facet

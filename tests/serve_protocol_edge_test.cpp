@@ -1,0 +1,361 @@
+/// Protocol edge cases of the hardened serve loops: CRLF input, comment-only
+/// sessions, malformed operands (bare "0x", invalid digits, wrong digit
+/// counts) answering one canonical err shape in both loops, oversized
+/// request lines, per-operand mlookup error isolation, flush-on-exit with
+/// `ok bye flushed=<k>` reporting, readonly sessions, and `stats all`.
+
+#include "facet/store/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "facet/store/store_builder.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_io.hpp"
+
+namespace facet {
+namespace {
+
+ClassStore make_store(int n, std::uint64_t seed, std::size_t count = 30)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  for (std::size_t i = 0; i < count; ++i) {
+    funcs.push_back(tt_random(n, rng));
+  }
+  return build_class_store(funcs, {});
+}
+
+std::vector<std::string> run_serve(ClassStore& store, const std::string& script,
+                                   ServeStats* stats_out = nullptr,
+                                   const ServeOptions& options = {})
+{
+  std::istringstream in{script};
+  std::ostringstream out;
+  const ServeStats stats = serve_loop(store, in, out, options);
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  std::vector<std::string> lines;
+  std::istringstream reader{out.str()};
+  std::string line;
+  while (std::getline(reader, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<std::string> run_router_serve(StoreRouter& router, const std::string& script,
+                                          ServeStats* stats_out = nullptr,
+                                          const ServeOptions& options = {})
+{
+  std::istringstream in{script};
+  std::ostringstream out;
+  const ServeStats stats = serve_router_loop(router, in, out, options);
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  std::vector<std::string> lines;
+  std::istringstream reader{out.str()};
+  std::string line;
+  while (std::getline(reader, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+StoreRouter make_router(std::uint64_t seed)
+{
+  StoreRouter router;
+  router.attach(std::make_unique<ClassStore>(make_store(3, seed)));
+  router.attach(std::make_unique<ClassStore>(make_store(4, seed + 1)));
+  return router;
+}
+
+TEST(ServeProtocolEdge, CrlfLineEndingsAreAccepted)
+{
+  ClassStore store = make_store(4, 0xed01ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  ServeStats stats;
+  const auto lines =
+      run_serve(store, "lookup " + hex + "\r\ninfo\r\n  stats  \r\nquit\r\n", &stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok n=4 ", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok requests=", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3], "ok bye");
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeProtocolEdge, BlankAndCommentOnlySessionAnswersNothing)
+{
+  ClassStore store = make_store(3, 0xed02ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store, "\n\r\n   \t \n# comment\n  # another\n", &stats);
+  EXPECT_TRUE(lines.empty());
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeProtocolEdge, MalformedOperandsAnswerOneCanonicalShapeInBothLoops)
+{
+  // Single-store loop: bare 0x, invalid digit (valid count), wrong count.
+  ClassStore store = make_store(4, 0xed03ULL);
+  ServeStats stats;
+  auto lines = run_serve(store,
+                         "lookup 0x\n"
+                         "lookup zzzz\n"
+                         "lookup ffff00\n"
+                         "quit\n",
+                         &stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "err operand '0x': empty hex payload");
+  EXPECT_EQ(lines[1], "err operand 'zzzz': invalid hex digit 'z'");
+  EXPECT_EQ(lines[2], "err operand 'ffff00': expected 4 hex digits for 4 variables, got 6");
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.lookups, 0u);
+
+  // Router loop: identical shape for the digit-level failures; a bad digit
+  // count reports the width-inference failure.
+  StoreRouter router = make_router(0xed04ULL);
+  ServeStats router_stats;
+  lines = run_router_serve(router,
+                           "lookup 0X\n"
+                           "lookup zzzz\n"
+                           "lookup abc\n"
+                           "quit\n",
+                           &router_stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "err operand '0X': empty hex payload");
+  EXPECT_EQ(lines[1], "err operand 'zzzz': invalid hex digit 'z'");
+  EXPECT_EQ(lines[2].rfind("err operand 'abc': digit count 3 maps to no function width", 0), 0u)
+      << lines[2];
+  EXPECT_EQ(router_stats.errors, 3u);
+}
+
+TEST(ServeProtocolEdge, HexOperandWidthRejectsInvalidDigitsAtInference)
+{
+  EXPECT_EQ(hex_operand_width("zzzz"), -1) << "valid count, invalid digits";
+  EXPECT_EQ(hex_operand_width("e8g8"), -1);
+  EXPECT_EQ(hex_operand_width("0xzz"), -1);
+  EXPECT_EQ(hex_operand_width("0x"), -1);
+  EXPECT_EQ(hex_operand_width("0xe8"), 3) << "the prefix itself stays legal";
+}
+
+TEST(ServeProtocolEdge, OversizedRequestLineAnswersErrAndKeepsServing)
+{
+  ClassStore store = make_store(3, 0xed05ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  std::string script;
+  script += "lookup " + hex + "\n";
+  script += std::string(kMaxRequestLineBytes + 100, 'a') + "\n";
+  script += "lookup " + hex + "\nquit\n";
+  ServeStats stats;
+  const auto lines = run_serve(store, script, &stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("err request line exceeds", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok id=", 0), 0u) << "the loop must survive the flood";
+  EXPECT_EQ(lines[3], "ok bye");
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST(ServeProtocolEdge, ZeroOperandMlookupAnswersErr)
+{
+  ClassStore store = make_store(3, 0xed06ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store, "mlookup\nmlookup   \nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("err mlookup takes", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("err mlookup takes", 0), 0u);
+  EXPECT_EQ(stats.errors, 2u);
+}
+
+TEST(ServeProtocolEdge, MlookupBatchSurvivesErrOperandsAndCountsThem)
+{
+  ClassStore store = make_store(4, 0xed07ULL);
+  const std::string a = to_hex(store.records().front().representative);
+  const std::string b = to_hex(store.records().back().representative);
+  ServeStats stats;
+  const auto lines =
+      run_serve(store, "mlookup " + a + " zzzz 0x " + b + " fff " + a + "\nquit\n", &stats);
+  // One response line per operand — errors answer in place, the batch never
+  // aborts, and every failed operand lands in ServeStats::errors.
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("err operand 'zzzz'", 0), 0u);
+  EXPECT_EQ(lines[2].rfind("err operand '0x'", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("ok id=", 0), 0u);
+  EXPECT_EQ(lines[4].rfind("err operand 'fff'", 0), 0u);
+  EXPECT_EQ(lines[5].rfind("ok id=", 0), 0u);
+  EXPECT_EQ(lines[6], "ok bye");
+  EXPECT_EQ(stats.errors, 3u);
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.cache_hits, 1u) << "the repeated operand hits the hot cache";
+}
+
+/// The append-loss bugfix: a session that appends classes flushes them to
+/// the delta log when it ends — via quit (reported in the response) and via
+/// bare EOF — so an unflushed memtable never dies with the process.
+TEST(ServeProtocolEdge, QuitFlushesAppendsAndReportsCount)
+{
+  const int n = 4;
+  const std::string path = ::testing::TempDir() + "serve_edge_quit.fcs";
+  const std::string dlog = ClassStore::delta_log_path(path);
+  make_store(n, 0xed08ULL, 8).save(path);
+  std::remove(dlog.c_str());
+
+  ClassStore store = ClassStore::open(path);
+  std::mt19937_64 rng{0xed09ULL};
+  TruthTable novel{n};
+  do {
+    novel = tt_random(n, rng);
+  } while (store.lookup(novel).has_value());
+
+  ServeOptions options;
+  options.append_on_miss = true;
+  options.dlog_path = dlog;
+  ServeStats stats;
+  const auto lines = run_serve(store, "lookup " + to_hex(novel) + "\nquit\n", &stats, options);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("src=live"), std::string::npos);
+  EXPECT_EQ(lines[1], "ok bye flushed=1");
+  EXPECT_EQ(stats.flushed, 1u);
+  EXPECT_EQ(store.num_appended(), 0u) << "the memtable was sealed";
+
+  // The append is durable: a fresh open replays the delta log.
+  ClassStore reopened = ClassStore::open(path);
+  const auto replayed = reopened.lookup(novel);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_TRUE(replayed->known);
+  std::remove(path.c_str());
+  std::remove(dlog.c_str());
+}
+
+TEST(ServeProtocolEdge, EofFlushesAppendsWithoutQuit)
+{
+  const int n = 4;
+  const std::string path = ::testing::TempDir() + "serve_edge_eof.fcs";
+  const std::string dlog = ClassStore::delta_log_path(path);
+  make_store(n, 0xed10ULL, 8).save(path);
+  std::remove(dlog.c_str());
+
+  ClassStore store = ClassStore::open(path);
+  std::mt19937_64 rng{0xed11ULL};
+  TruthTable novel{n};
+  do {
+    novel = tt_random(n, rng);
+  } while (store.lookup(novel).has_value());
+
+  ServeOptions options;
+  options.append_on_miss = true;
+  options.dlog_path = dlog;
+  ServeStats stats;
+  // No quit: the pipe just ends — the EOF path must flush identically.
+  (void)run_serve(store, "lookup " + to_hex(novel) + "\n", &stats, options);
+  EXPECT_EQ(stats.flushed, 1u);
+
+  ClassStore reopened = ClassStore::open(path);
+  const auto replayed = reopened.lookup(novel);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_TRUE(replayed->known);
+  std::remove(path.c_str());
+  std::remove(dlog.c_str());
+}
+
+TEST(ServeProtocolEdge, RouterQuitFlushesEveryWidth)
+{
+  const std::string path3 = ::testing::TempDir() + "serve_edge_r3.fcs";
+  const std::string path4 = ::testing::TempDir() + "serve_edge_r4.fcs";
+  make_store(3, 0xed12ULL, 6).save(path3);
+  make_store(4, 0xed13ULL, 6).save(path4);
+  std::remove(ClassStore::delta_log_path(path3).c_str());
+  std::remove(ClassStore::delta_log_path(path4).c_str());
+
+  StoreRouter router = StoreRouter::open({path3, path4});
+  std::mt19937_64 rng{0xed14ULL};
+  TruthTable novel3{3};
+  do {
+    novel3 = tt_random(3, rng);
+  } while (router.lookup(novel3).has_value());
+  TruthTable novel4{4};
+  do {
+    novel4 = tt_random(4, rng);
+  } while (router.lookup(novel4).has_value());
+
+  ServeOptions options;
+  options.append_on_miss = true;
+  options.dlog_paths = {{3, ClassStore::delta_log_path(path3)},
+                        {4, ClassStore::delta_log_path(path4)}};
+  ServeStats stats;
+  const auto lines = run_router_serve(
+      router, "mlookup " + to_hex(novel3) + " " + to_hex(novel4) + "\nquit\n", &stats, options);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "ok bye flushed=2");
+  EXPECT_EQ(stats.flushed, 2u);
+
+  StoreRouter reopened = StoreRouter::open({path3, path4});
+  EXPECT_TRUE(reopened.lookup(novel3).has_value());
+  EXPECT_TRUE(reopened.lookup(novel4).has_value());
+  for (const auto& path : {path3, path4}) {
+    std::remove(path.c_str());
+    std::remove(ClassStore::delta_log_path(path).c_str());
+  }
+}
+
+TEST(ServeProtocolEdge, ReadonlySessionRejectsMissesButServesHits)
+{
+  ClassStore store = make_store(4, 0xed15ULL, 8);
+  std::mt19937_64 rng{0xed16ULL};
+  TruthTable novel{4};
+  do {
+    novel = tt_random(4, rng);
+  } while (store.lookup(novel).has_value());
+  store.clear_hot_cache();
+  const std::string known = to_hex(store.records().front().representative);
+
+  ServeOptions options;
+  options.readonly = true;
+  ServeStats stats;
+  const auto lines = run_serve(
+      store, "lookup " + known + "\nlookup " + to_hex(novel) + "\nquit\n", &stats, options);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "err unknown function (readonly session)");
+  EXPECT_EQ(lines[2], "ok bye");
+  EXPECT_EQ(stats.lookups, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(store.num_appended(), 0u);
+  EXPECT_EQ(store.num_classes(), store.num_records()) << "no live ids were allocated";
+}
+
+TEST(ServeProtocolEdge, StatsAllAnswersAggregateInStdinSessions)
+{
+  ClassStore store = make_store(3, 0xed17ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  ServeStats stats;
+  const auto lines =
+      run_serve(store, "lookup " + hex + "\nstats all\nstats bogus\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[1].rfind("ok connections=1 sessions=1 requests=2 lookups=1", 0), 0u)
+      << lines[1];
+  EXPECT_EQ(lines[2], "err stats takes no argument or 'all'");
+  EXPECT_EQ(lines[3], "ok bye");
+}
+
+TEST(ServeProtocolEdge, StatsLineReportsErrors)
+{
+  ClassStore store = make_store(3, 0xed18ULL);
+  ServeStats stats;
+  const auto lines = run_serve(store, "frobnicate\nstats\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find(" errors=1"), std::string::npos) << lines[1];
+}
+
+}  // namespace
+}  // namespace facet

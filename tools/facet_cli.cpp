@@ -6,7 +6,9 @@
 ///   lookup       resolve functions against a `.fcs` store (live fallback)
 ///   serve        long-lived line-protocol loop over one `.fcs` store, or —
 ///                with --route — over one store per width (queries dispatch
-///                by inferred width)
+///                by inferred width); --listen/--unix serve the same
+///                protocol over TCP / Unix sockets to concurrent clients,
+///                with background compaction and graceful shutdown
 ///   fcs-merge    union `.fcs` indexes of one width (dedup by canonical
 ///                form, renumber by first occurrence)
 ///   compact      merge a store's delta log back into its base segment
@@ -23,6 +25,9 @@
 ///   facet_cli lookup --index set6.fcs --mmap e8e8e8e8e8e8e8e8
 ///   facet_cli serve --index set6.fcs --append --flush < requests.txt
 ///   facet_cli serve --route set4.fcs set5.fcs set6.fcs --mmap
+///   facet_cli serve --index set6.fcs --listen 127.0.0.1:7533 --append
+///       --compact-after-runs 4
+///   facet_cli serve --route set4.fcs set6.fcs --unix /tmp/facet.sock --readonly
 ///   facet_cli fcs-merge --out union6.fcs a6.fcs b6.fcs
 ///   facet_cli compact --index set6.fcs
 ///   facet_cli signatures --n 3 e8 f0
@@ -31,6 +36,7 @@
 ///   facet_cli dataset --n 5 --max-funcs 1000 > set5.txt
 ///   facet_cli convert --to-binary circuit.aag circuit.aig
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -260,13 +266,87 @@ void report_serve_stats(const ServeStats& stats)
 {
   std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
             << stats.cache_hits << " cache / " << stats.index_hits << " index / " << stats.live
-            << " live, " << stats.errors << " error(s)\n";
+            << " live, " << stats.errors << " error(s)";
+  if (stats.flushed != 0) {
+    std::cerr << ", flushed " << stats.flushed << " record(s)";
+  }
+  std::cerr << "\n";
+}
+
+void report_server_stats(const ServeAggregateStats& stats)
+{
+  std::cerr << "served " << stats.connections_total.load() << " connection(s), "
+            << stats.requests.load() << " request(s): " << stats.lookups.load() << " lookup(s), "
+            << stats.cache_hits.load() << " cache / " << stats.index_hits.load() << " index / "
+            << stats.live.load() << " live, " << stats.errors.load() << " error(s), flushed "
+            << stats.flushed_records.load() << " record(s), " << stats.compactions.load()
+            << " compaction(s) (" << stats.compacted_runs.load() << " run(s), "
+            << stats.compacted_records.load() << " record(s))\n";
+}
+
+// The SIGINT/SIGTERM bridge into the serve server's graceful shutdown
+// (request_shutdown is async-signal-safe: an atomic flag + self-pipe write).
+ServeServer* g_serve_server = nullptr;
+
+extern "C" void handle_shutdown_signal(int)
+{
+  if (g_serve_server != nullptr) {
+    g_serve_server->request_shutdown();
+  }
+}
+
+/// Runs a started server until SIGINT/SIGTERM (or a client-side
+/// request_shutdown), then reports the aggregate session stats.
+int run_serve_server(ServeServer& server)
+{
+  server.start();
+  if (server.tcp_port() != 0) {
+    std::cerr << "listening on tcp port " << server.tcp_port() << "\n" << std::flush;
+  }
+  g_serve_server = &server;
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+  server.wait();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serve_server = nullptr;
+  report_server_stats(server.stats());
+  return 0;
+}
+
+/// Shared ServeServerOptions from the serve subcommand's network flags.
+ServeServerOptions server_options_from(const CliArgs& args)
+{
+  ServeServerOptions options;
+  options.listen = args.get_string("listen", "");
+  options.unix_path = args.get_string("unix", "");
+  options.readonly = args.get_bool("readonly");
+  options.append_on_miss = args.get_bool("append");
+  options.max_connections = static_cast<std::size_t>(args.get_int("max-conns", 64));
+  options.idle_timeout = std::chrono::milliseconds{args.get_int("idle-timeout-ms", 0)};
+  options.compact_after_runs =
+      static_cast<std::size_t>(args.get_int("compact-after-runs", 0));
+  options.compact_after_bytes =
+      static_cast<std::uint64_t>(args.get_int("compact-after-bytes", 0));
+  return options;
 }
 
 int cmd_serve(const CliArgs& args)
 {
   ServeOptions options;
   options.append_on_miss = args.get_bool("append");
+  options.readonly = args.get_bool("readonly");
+  if (options.readonly && options.append_on_miss) {
+    std::cerr << "error: --append and --readonly are mutually exclusive\n";
+    return 1;
+  }
+  // Network mode: same stores, same protocol, N concurrent connections.
+  const bool network = args.has("listen") || args.has("unix");
+  if (network && args.has("save")) {
+    std::cerr << "error: --save is not supported with --listen/--unix (appends flush to the "
+                 "delta log continuously; run `facet_cli compact` offline)\n";
+    return 1;
+  }
 
   if (args.get_bool("route")) {
     // Route mode: one store per width behind a single session; every .fcs
@@ -293,6 +373,19 @@ int cmd_serve(const CliArgs& args)
       router.attach(std::move(store));
     }
 
+    if (network) {
+      ServeServer server{router, std::map<int, std::string>{paths.begin(), paths.end()},
+                         server_options_from(args)};
+      return run_serve_server(server);
+    }
+
+    if (options.append_on_miss) {
+      // Appends are flushed to each store's delta log when the session ends
+      // (quit or EOF) — a dropped pipe never silently loses classes.
+      for (const auto& [width, path] : paths) {
+        options.dlog_paths.emplace(width, ClassStore::delta_log_path(path));
+      }
+    }
     const ServeStats stats = serve_router_loop(router, std::cin, std::cout, options);
 
     if (args.get_bool("flush")) {
@@ -318,6 +411,15 @@ int cmd_serve(const CliArgs& args)
   }
   ClassStore store = ClassStore::open(index, open_options_from(args));
 
+  if (network) {
+    ServeServer server{store, index, server_options_from(args)};
+    return run_serve_server(server);
+  }
+
+  if (options.append_on_miss) {
+    // Flush-on-exit: appends persist to the delta log on quit and EOF.
+    options.dlog_path = ClassStore::delta_log_path(index);
+  }
   const ServeStats stats = serve_loop(store, std::cin, std::cout, options);
 
   persist_store_if_requested(args, store, index);
@@ -484,10 +586,19 @@ void print_usage()
                "  serve       --index FILE.fcs [--append] [--mmap] [--flush] [--save[=FILE]]\n"
                "              [--cache K]\n"
                "              (line protocol on stdin/stdout: lookup <hex> | mlookup <hex>...\n"
-               "               | info | stats | quit; --flush appends new classes to the\n"
-               "               index's delta log on exit)\n"
+               "               | info | stats [all] | quit; with --append new classes flush\n"
+               "               to the index's delta log when the session ends)\n"
                "  serve       --route FILE.fcs [FILE.fcs...] [--append] [--mmap] [--flush]\n"
                "              (one store per width; query width inferred from hex length)\n"
+               "  serve       ... --listen [HOST:]PORT and/or --unix PATH [--readonly]\n"
+               "              [--max-conns N] [--idle-timeout-ms T]\n"
+               "              [--compact-after-runs K] [--compact-after-bytes B]\n"
+               "              (socket server: N concurrent connections share the store(s);\n"
+               "               port 0 binds an ephemeral port, reported on stderr;\n"
+               "               --readonly rejects appends and live classification;\n"
+               "               --compact-after-* runs background compaction when a store's\n"
+               "               delta runs / .dlog bytes cross the threshold;\n"
+               "               SIGINT/SIGTERM drain connections and flush before exit)\n"
                "  fcs-merge   --out MERGED.fcs FILE.fcs [FILE.fcs...]\n"
                "              (union same-width indexes: dedup by canonical form,\n"
                "               renumber by first occurrence)\n"
@@ -510,7 +621,7 @@ int main(int argc, char** argv)
   // positional, and `convert --to-binary in out` keeps both paths.
   const CliArgs args{argc, argv,
                      {"append", "save", "print-classes", "to-binary", "to-ascii", "route", "mmap",
-                      "flush"}};
+                      "flush", "readonly"}};
   if (args.positional().empty()) {
     print_usage();
     return 1;
