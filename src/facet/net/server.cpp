@@ -242,20 +242,24 @@ void ServeServer::wait()
 
   // Drain: wake every in-flight connection (their sessions see EOF, flush
   // appends to the delta log, and exit), then join them one at a time.
+  // Each entry is spliced out of the shared list BEFORE the unlocked join:
+  // a concurrently-exiting handler's reap_finished_connections() can then
+  // never erase the entry being joined, and no pop after the join can hit
+  // a different, still-running connection. splice() relinks the node, so
+  // the handler's `self` iterator stays valid until the join completes.
   for (;;) {
-    std::unique_lock<std::mutex> lock{connections_mutex_};
-    if (connections_.empty()) {
-      break;
+    std::list<Connection> draining;
+    {
+      const std::lock_guard<std::mutex> lock{connections_mutex_};
+      if (connections_.empty()) {
+        break;
+      }
+      draining.splice(draining.begin(), connections_, connections_.begin());
+      draining.front().socket.shutdown_both();
     }
-    Connection& connection = connections_.front();
-    std::thread worker = std::move(connection.thread);
-    connection.socket.shutdown_both();
-    lock.unlock();
-    if (worker.joinable()) {
-      worker.join();
+    if (draining.front().thread.joinable()) {
+      draining.front().thread.join();
     }
-    lock.lock();
-    connections_.pop_front();
   }
 
   if (compactor_thread_.joinable()) {

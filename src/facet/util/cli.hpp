@@ -61,6 +61,22 @@ class CliArgs {
     return std::stoll(it->second);
   }
 
+  /// Unsigned 64-bit getter for size/byte/count flags: full uint64 range,
+  /// and a negative value is rejected outright instead of wrapping into a
+  /// huge threshold.
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name, std::uint64_t fallback) const
+  {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    if (it->second.find('-') != std::string::npos) {
+      throw std::invalid_argument{"--" + name + ": expected a non-negative integer, got '" +
+                                  it->second + "'"};
+    }
+    return std::stoull(it->second);
+  }
+
   [[nodiscard]] double get_double(const std::string& name, double fallback) const
   {
     const auto it = values_.find(name);

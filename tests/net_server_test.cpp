@@ -375,6 +375,89 @@ TEST(NetServer, IdleTimeoutDisconnectsAndFlushesLikeCleanExit)
   std::remove(dlog.c_str());
 }
 
+TEST(NetServer, ShutdownDrainsLiveConnectionsWhileOthersExitConcurrently)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  // Regression: wait()'s drain used to join the front connection with the
+  // connections lock released and then pop_front() — a handler exiting in
+  // that window could reap the joined entry, so the pop destroyed a
+  // different, still-running connection (std::terminate on its joinable
+  // thread, use-after-free of the handler's iterator). Hold several
+  // connections open across the shutdown while others quit concurrently,
+  // so the drain overlaps handler exits.
+  const auto funcs = random_funcs(4, 20, 0x4e50ULL);
+  const std::string path = ::testing::TempDir() + "net_server_drain.fcs";
+  build_class_store(funcs, {}).save(path);
+  ClassStore store = ClassStore::open(path);
+
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  ServeServer server{store, path, options};
+  server.start();
+
+  // Lingerers connect, get one answer, then sit in a blocking read until
+  // the drain cuts them (EOF) — they are the live connections at shutdown.
+  const std::size_t num_lingerers = 6;
+  std::atomic<std::size_t> lingering{0};
+  std::vector<std::thread> lingerers;
+  for (std::size_t c = 0; c < num_lingerers; ++c) {
+    lingerers.emplace_back([&] {
+      Socket socket = connect_tcp({"127.0.0.1", server.tcp_port()});
+      FdStreamBuf buf{socket.fd()};
+      std::ostream out{&buf};
+      std::istream in{&buf};
+      out << "lookup " << to_hex(funcs[0]) << "\n" << std::flush;
+      std::string line;
+      if (!std::getline(in, line)) {
+        return;
+      }
+      ++lingering;
+      while (std::getline(in, line)) {
+        // drain: the server shuts the socket down, getline sees EOF
+      }
+    });
+  }
+  // Churners open and quit short sessions straight through the shutdown,
+  // so handler exits (and their reaps) race the drain loop.
+  std::atomic<bool> stop_churn{false};
+  std::vector<std::thread> churners;
+  for (std::size_t c = 0; c < 4; ++c) {
+    churners.emplace_back([&] {
+      while (!stop_churn.load()) {
+        try {
+          exchange(connect_tcp({"127.0.0.1", server.tcp_port()}),
+                   "lookup " + to_hex(funcs[1]) + "\nquit\n");
+        } catch (const NetError&) {
+          return;  // listener already closed by the shutdown
+        }
+      }
+    });
+  }
+
+  for (int spin = 0; spin < 400 && lingering.load() < num_lingerers; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  // Assertions wait until every client thread is joined: an early return
+  // with joinable std::threads would escalate to std::terminate and eat
+  // the real failure diagnostic.
+  const std::size_t lingered = lingering.load();
+  server.request_shutdown();
+  server.wait();  // must join every connection exactly once, no terminate
+  stop_churn.store(true);
+  for (auto& t : lingerers) {
+    t.join();
+  }
+  for (auto& t : churners) {
+    t.join();
+  }
+  EXPECT_EQ(lingered, num_lingerers);
+  EXPECT_EQ(server.stats().connections_active.load(), 0u);
+  EXPECT_GE(server.stats().connections_total.load(), num_lingerers);
+  std::remove(path.c_str());
+}
+
 TEST(NetServer, CapacityOverflowAnswersErrAndCloses)
 {
   if (!net_supported()) {

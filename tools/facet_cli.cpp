@@ -39,6 +39,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -299,14 +300,26 @@ extern "C" void handle_shutdown_signal(int)
 /// request_shutdown), then reports the aggregate session stats.
 int run_serve_server(ServeServer& server)
 {
-  server.start();
-  if (server.tcp_port() != 0) {
-    std::cerr << "listening on tcp port " << server.tcp_port() << "\n" << std::flush;
-  }
+  // Handlers go in before start(): a signal arriving during bind/spawn
+  // (an orchestrator's immediate TERM) must still reach the graceful
+  // drain-and-flush path, not the default disposition. request_shutdown()
+  // on a not-yet-started server just sets the stop flag, which
+  // start()/wait() honor.
   g_serve_server = &server;
   std::signal(SIGINT, handle_shutdown_signal);
   std::signal(SIGTERM, handle_shutdown_signal);
-  server.wait();
+  try {
+    server.start();
+    if (server.tcp_port() != 0) {
+      std::cerr << "listening on tcp port " << server.tcp_port() << "\n" << std::flush;
+    }
+    server.wait();
+  } catch (...) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_serve_server = nullptr;
+    throw;
+  }
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
   g_serve_server = nullptr;
@@ -322,12 +335,16 @@ ServeServerOptions server_options_from(const CliArgs& args)
   options.unix_path = args.get_string("unix", "");
   options.readonly = args.get_bool("readonly");
   options.append_on_miss = args.get_bool("append");
-  options.max_connections = static_cast<std::size_t>(args.get_int("max-conns", 64));
-  options.idle_timeout = std::chrono::milliseconds{args.get_int("idle-timeout-ms", 0)};
+  options.max_connections = static_cast<std::size_t>(args.get_uint64("max-conns", 64));
+  const std::uint64_t idle_ms = args.get_uint64("idle-timeout-ms", 0);
+  using IdleRep = std::chrono::milliseconds::rep;
+  if (idle_ms > static_cast<std::uint64_t>(std::numeric_limits<IdleRep>::max())) {
+    throw std::invalid_argument{"--idle-timeout-ms: value too large"};
+  }
+  options.idle_timeout = std::chrono::milliseconds{static_cast<IdleRep>(idle_ms)};
   options.compact_after_runs =
-      static_cast<std::size_t>(args.get_int("compact-after-runs", 0));
-  options.compact_after_bytes =
-      static_cast<std::uint64_t>(args.get_int("compact-after-bytes", 0));
+      static_cast<std::size_t>(args.get_uint64("compact-after-runs", 0));
+  options.compact_after_bytes = args.get_uint64("compact-after-bytes", 0);
   return options;
 }
 
