@@ -1,27 +1,44 @@
-/// bench_serve_socket: throughput of the socket serving subsystem, with
-/// machine-readable JSON output for CI trend tracking.
+/// bench_serve_socket: contention sweep of the socket serving subsystem,
+/// with machine-readable JSON output for CI trend tracking.
 ///
-/// Builds an n-variable class store, starts an in-process ServeServer on a
-/// loopback TCP port, and measures:
-///   * direct warm lookups — ClassStore::lookup in-process, the ceiling the
-///     protocol overhead is measured against;
-///   * single-client socket throughput — one connection streaming batched
-///     mlookup requests (the pipelined-mapper workload);
-///   * fleet socket throughput — --clients concurrent connections sharing
-///     the store through the server's reader lock;
-/// and verifies that every class id answered over the socket is
-/// bit-identical to the direct lookups (exit 1 on any mismatch).
+/// Builds class stores, starts in-process ServeServers on loopback TCP
+/// ports, and measures three phases at a fleet of client counts (default
+/// 1/2/4/8/16):
 ///
-/// Defaults are laptop-scale; flags scale the workload (--n, --funcs,
-/// --clients, --batch). The JSON report lands in BENCH_serve_socket.json
-/// (--out). Platforms without sockets emit a report with
-/// "socket_supported": false and exit 0.
+///   * read_mostly        — every client streams batched mlookup requests
+///                          over a warm single-width store: the fleet
+///                          fan-out workload. Ids are checked bit-identical
+///                          to direct in-process lookups.
+///   * append_heavy       — an append_on_miss server; every client streams
+///                          its own run of mostly-novel random functions,
+///                          driving the live-classify + memtable append
+///                          path and the session-exit delta flushes.
+///   * mixed_width_router — a StoreRouter serving three widths; every
+///                          client interleaves operands of all widths, so
+///                          the per-width store gates stripe the traffic.
+///
+/// Each phase reports lookups/s per client count plus `scaling` — fleet
+/// throughput over the same phase's single-client throughput. With the
+/// store-layer gates (snapshot-epoch reads, per-width striping) the
+/// read-mostly fleet scales with available cores instead of serializing on
+/// a process-wide lock; `cpus` is recorded so a 1-core runner's flat
+/// scaling is not mistaken for contention.
+///
+/// Also measured: direct warm lookups (the in-process ceiling the protocol
+/// overhead is judged against). Defaults are laptop-scale; flags scale the
+/// workload (--n, --funcs, --clients, --batch, --append-funcs). The JSON
+/// report lands in BENCH_serve_socket.json (--out). Platforms without
+/// sockets emit a report with "socket_supported": false and exit 0.
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,10 +49,11 @@ namespace {
 
 using namespace facet;
 
-/// One client pass: streams the workload in mlookup batches over a fresh
-/// connection, checks ids against `expected`, returns answered lookups.
+/// One client pass: streams `hex` in mlookup batches over a fresh
+/// connection; checks ids against `expected` when given, otherwise only
+/// response shape. Returns answered lookups.
 std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
-                       const std::vector<std::uint32_t>& expected, std::size_t batch,
+                       const std::vector<std::uint32_t>* expected, std::size_t batch,
                        std::atomic<std::size_t>& mismatches)
 {
   Socket socket = connect_tcp({"127.0.0.1", port});
@@ -58,7 +76,7 @@ std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
         return answered;
       }
       if (line.rfind("ok id=", 0) != 0 ||
-          std::stoul(line.substr(6)) != expected[i]) {
+          (expected != nullptr && std::stoul(line.substr(6)) != (*expected)[i])) {
         ++mismatches;
       }
       ++answered;
@@ -68,6 +86,70 @@ std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
   return answered;
 }
 
+struct PhaseResult {
+  std::string phase;
+  std::size_t clients = 0;
+  std::size_t lookups = 0;
+  double seconds = 0;
+  double rate = 0;
+  double scaling = 1.0;
+};
+
+/// Runs one fleet: `make_workload(c)` yields client c's hex stream (and
+/// optionally its expected ids). Returns total answered lookups + seconds.
+template <typename WorkloadOf>
+PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t num_clients,
+                      std::size_t batch, std::atomic<std::size_t>& mismatches,
+                      const WorkloadOf& make_workload)
+{
+  PhaseResult result;
+  result.phase = phase;
+  result.clients = num_clients;
+  std::atomic<std::size_t> answered{0};
+  Stopwatch watch;
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        const auto [hex, expected] = make_workload(c);
+        answered += run_client(port, *hex, expected, batch, mismatches);
+      });
+    }
+    for (auto& client : clients) {
+      client.join();
+    }
+  }
+  result.seconds = watch.seconds();
+  result.lookups = answered.load();
+  result.rate = result.seconds > 0 ? static_cast<double>(result.lookups) / result.seconds : 0.0;
+  return result;
+}
+
+/// Sweeps one phase over every fleet size, computing each run's scaling
+/// against the phase's own single-client rate, printing and recording.
+/// An unmeasured single-client warm-up run precedes the timed sweep so the
+/// c=1 baseline does not absorb server/connection cold-start — without it
+/// the scaling ratios read inflated (the baseline is the denominator).
+template <typename WorkloadOf>
+void sweep_phase(const std::string& phase, std::uint16_t port,
+                 const std::vector<std::size_t>& fleet_sizes, std::size_t batch,
+                 std::atomic<std::size_t>& mismatches, std::vector<PhaseResult>& phases,
+                 const WorkloadOf& make_workload)
+{
+  (void)run_fleet(phase, port, 1, batch, mismatches, make_workload);
+  double single_rate = 0;
+  for (const std::size_t c : fleet_sizes) {
+    PhaseResult result = run_fleet(phase, port, c, batch, mismatches, make_workload);
+    if (c == 1) {
+      single_rate = result.rate;
+    }
+    result.scaling = single_rate > 0 ? result.rate / single_rate : 0.0;
+    std::cout << phase << " " << c << " client(s): " << result.rate << " lookups/s (scaling "
+              << result.scaling << ")\n";
+    phases.push_back(result);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
@@ -75,15 +157,22 @@ int main(int argc, char** argv)
   const CliArgs args{argc, argv};
   const int n = static_cast<int>(args.get_int("n", 6));
   const std::size_t max_funcs = static_cast<std::size_t>(args.get_int("funcs", 5000));
-  const std::size_t num_clients = static_cast<std::size_t>(args.get_int("clients", 8));
+  const std::size_t max_clients = static_cast<std::size_t>(args.get_int("clients", 16));
   const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 64));
+  const std::size_t append_funcs = static_cast<std::size_t>(args.get_int("append-funcs", 400));
   const std::string out_path = args.get_string("out", "BENCH_serve_socket.json");
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
 
   if (!net_supported()) {
     std::ofstream json{out_path, std::ios::trunc};
     json << "{\n  \"bench\": \"serve_socket\",\n  \"socket_supported\": false\n}\n";
     std::cout << "sockets unsupported on this platform; wrote " << out_path << "\n";
     return 0;
+  }
+
+  std::vector<std::size_t> fleet_sizes;
+  for (std::size_t c = 1; c <= max_clients; c *= 2) {
+    fleet_sizes.push_back(c);
   }
 
   CircuitDatasetOptions dataset_options;
@@ -93,7 +182,8 @@ int main(int argc, char** argv)
     const auto pad = make_consecutive_dataset(n, max_funcs - funcs.size());
     funcs.insert(funcs.end(), pad.begin(), pad.end());
   }
-  std::cout << "dataset: " << funcs.size() << " functions, n = " << n << "\n";
+  std::cout << "dataset: " << funcs.size() << " functions, n = " << n << ", cpus = " << cpus
+            << "\n";
 
   StoreBuildOptions build_options;
   build_options.store.hot_cache_capacity = 2 * funcs.size() + 16;
@@ -118,52 +208,146 @@ int main(int argc, char** argv)
     const auto result = store.lookup(funcs[i]);
     direct_ok = direct_ok && result.has_value() && result->class_id == expected[i];
   }
-  const double direct_seconds = watch.seconds();
-
-  // --- socket serving ------------------------------------------------------
-  ServeServerOptions server_options;
-  server_options.listen = "127.0.0.1:0";
-  server_options.max_connections = num_clients + 8;
-  ServeServer server{store, "bench_serve_socket.fcs", server_options};
-  server.start();
-  const std::uint16_t port = server.tcp_port();
+  const double direct_rate =
+      watch.seconds() > 0 ? static_cast<double>(funcs.size()) / watch.seconds() : 0.0;
 
   std::atomic<std::size_t> mismatches{0};
-  watch.reset();
-  const std::size_t single_answered = run_client(port, hex, expected, batch, mismatches);
-  const double single_seconds = watch.seconds();
+  std::vector<PhaseResult> phases;
 
-  std::atomic<std::size_t> fleet_answered{0};
-  watch.reset();
+  // --- phase: read_mostly --------------------------------------------------
   {
-    std::vector<std::thread> clients;
-    for (std::size_t c = 0; c < num_clients; ++c) {
-      clients.emplace_back([&] {
-        fleet_answered += run_client(port, hex, expected, batch, mismatches);
-      });
+    ServeServerOptions server_options;
+    server_options.listen = "127.0.0.1:0";
+    server_options.max_connections = max_clients + 8;
+    ServeServer server{store, "bench_serve_socket.fcs", server_options};
+    server.start();
+    sweep_phase("read_mostly", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
+                [&](std::size_t) { return std::pair{&hex, &expected}; });
+    server.request_shutdown();
+    server.wait();
+  }
+
+  // --- phase: append_heavy -------------------------------------------------
+  // A fresh empty-delta store per phase keeps runs comparable: every client
+  // streams its own run of random n-var functions (mostly novel classes),
+  // so the traffic is dominated by the live-classify + append path, plus
+  // one exit flush per session.
+  {
+    const std::string append_path = "bench_serve_socket_append.fcs";
+    store.save(append_path);
+    std::remove(ClassStore::delta_log_path(append_path).c_str());
+    ClassStore append_store = ClassStore::open(append_path);
+    ServeServerOptions server_options;
+    server_options.listen = "127.0.0.1:0";
+    server_options.max_connections = max_clients + 8;
+    server_options.append_on_miss = true;
+    ServeServer server{append_store, append_path, server_options};
+    server.start();
+
+    // One fresh stream per client per fleet run (sum of fleet sizes, plus
+    // one for sweep_phase's warm-up), handed out through an atomic cursor:
+    // every session appends functions never seen before instead of
+    // re-hitting earlier appends.
+    std::size_t total_streams = 1;
+    for (const std::size_t c : fleet_sizes) {
+      total_streams += c;
     }
-    for (auto& client : clients) {
-      client.join();
+    std::uint64_t seed = 0xbe5eULL;
+    std::vector<std::shared_ptr<std::vector<std::string>>> streams;
+    for (std::size_t k = 0; k < total_streams; ++k) {
+      auto stream = std::make_shared<std::vector<std::string>>();
+      std::mt19937_64 rng{seed++};
+      for (std::size_t i = 0; i < append_funcs; ++i) {
+        stream->push_back(to_hex(tt_random(n, rng)));
+      }
+      streams.push_back(std::move(stream));
+    }
+    std::atomic<std::size_t> next_stream{0};
+    sweep_phase("append_heavy", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
+                [&](std::size_t) {
+                  return std::pair{streams[next_stream.fetch_add(1)].get(),
+                                   static_cast<const std::vector<std::uint32_t>*>(nullptr)};
+                });
+    server.request_shutdown();
+    server.wait();
+    std::remove(append_path.c_str());
+    std::remove(ClassStore::delta_log_path(append_path).c_str());
+  }
+
+  // --- phase: mixed_width_router -------------------------------------------
+  // Three widths behind one router; every client interleaves operands of
+  // all widths, so requests stripe across the per-width store gates.
+  {
+    StoreRouter router;
+    std::vector<std::string> mixed_hex;
+    std::vector<std::uint32_t> mixed_expected;
+    for (const int width : {std::max(3, n - 2), std::max(4, n - 1), std::max(5, n)}) {
+      if (router.store_for(width) != nullptr) {
+        continue;
+      }
+      CircuitDatasetOptions width_options;
+      width_options.max_functions = max_funcs / 4;
+      std::vector<TruthTable> width_funcs = make_circuit_dataset(width, width_options);
+      if (width_funcs.empty()) {
+        continue;
+      }
+      StoreBuildOptions width_build;
+      width_build.store.hot_cache_capacity = 2 * width_funcs.size() + 16;
+      auto width_store = std::make_unique<ClassStore>(build_class_store(width_funcs, width_build));
+      for (const auto& f : width_funcs) {
+        mixed_hex.push_back(to_hex(f));
+        mixed_expected.push_back(width_store->lookup(f)->class_id);
+      }
+      router.attach(std::move(width_store));
+    }
+    // Interleave widths: shuffle (hex, id) pairs once, deterministically.
+    {
+      std::mt19937_64 rng{0x51afULL};
+      for (std::size_t i = mixed_hex.size(); i > 1; --i) {
+        const std::size_t j = rng() % i;
+        std::swap(mixed_hex[i - 1], mixed_hex[j]);
+        std::swap(mixed_expected[i - 1], mixed_expected[j]);
+      }
+    }
+    ServeServerOptions server_options;
+    server_options.listen = "127.0.0.1:0";
+    server_options.max_connections = max_clients + 8;
+    // Genuinely read-only: a miss answers `err` (caught as a mismatch)
+    // instead of silently classifying live, and the in-memory stores need
+    // no index paths to flush or compact against.
+    server_options.readonly = true;
+    ServeServer server{router, std::map<int, std::string>{}, server_options};
+    server.start();
+    sweep_phase("mixed_width_router", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
+                [&](std::size_t) { return std::pair{&mixed_hex, &mixed_expected}; });
+    server.request_shutdown();
+    server.wait();
+  }
+
+  const bool identical = direct_ok && mismatches.load() == 0;
+  std::cout << "direct:  " << direct_rate << " lookups/s (in-process, warm)\n"
+            << "bit-identical over the socket: " << (identical ? "yes" : "NO") << "\n";
+
+  // The headline numbers CI trends: 1-client read-mostly vs the 8-client
+  // fleet (falling back to the largest fleet actually run, so a --clients
+  // value below 8 never reports a spurious zero).
+  double single_rate = 0;
+  double fleet_rate = 0;
+  double fleet_scaling = 0;
+  std::size_t fleet_clients = 0;
+  for (const auto& phase : phases) {
+    if (phase.phase != "read_mostly") {
+      continue;
+    }
+    if (phase.clients == 1) {
+      single_rate = phase.rate;
+    }
+    if (phase.clients == 8 || (fleet_clients != 8 && phase.clients > fleet_clients)) {
+      fleet_rate = phase.rate;
+      fleet_scaling = phase.scaling;
+      fleet_clients = phase.clients;
     }
   }
-  const double fleet_seconds = watch.seconds();
-
-  server.request_shutdown();
-  server.wait();
-
-  const auto per_sec = [](std::size_t count, double seconds) {
-    return seconds > 0 ? static_cast<double>(count) / seconds : 0.0;
-  };
-  const double direct_rate = per_sec(funcs.size(), direct_seconds);
-  const double single_rate = per_sec(single_answered, single_seconds);
-  const double fleet_rate = per_sec(fleet_answered.load(), fleet_seconds);
-  const bool identical = direct_ok && mismatches.load() == 0;
-
-  std::cout << "direct:  " << direct_rate << " lookups/s (in-process, warm)\n"
-            << "socket:  " << single_rate << " lookups/s (1 client, batch " << batch << ")\n"
-            << "fleet:   " << fleet_rate << " lookups/s (" << num_clients
-            << " concurrent clients)\n"
-            << "bit-identical over the socket: " << (identical ? "yes" : "NO") << "\n";
 
   std::ofstream json{out_path, std::ios::trunc};
   json << "{\n"
@@ -173,10 +357,21 @@ int main(int argc, char** argv)
        << "  \"functions\": " << funcs.size() << ",\n"
        << "  \"classes\": " << store.num_records() << ",\n"
        << "  \"batch\": " << batch << ",\n"
-       << "  \"clients\": " << num_clients << ",\n"
+       << "  \"cpus\": " << cpus << ",\n"
        << "  \"direct_warm_lookups_per_sec\": " << direct_rate << ",\n"
        << "  \"socket_single_client_lookups_per_sec\": " << single_rate << ",\n"
        << "  \"socket_fleet_lookups_per_sec\": " << fleet_rate << ",\n"
+       << "  \"fleet_clients\": " << fleet_clients << ",\n"
+       << "  \"read_mostly_fleet_scaling\": " << fleet_scaling << ",\n"
+       << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    json << "    {\"phase\": \"" << p.phase << "\", \"clients\": " << p.clients
+         << ", \"lookups\": " << p.lookups << ", \"seconds\": " << p.seconds
+         << ", \"lookups_per_sec\": " << p.rate << ", \"scaling\": " << p.scaling << "}"
+         << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
        << "  \"identical_over_socket\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";

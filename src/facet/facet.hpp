@@ -43,6 +43,7 @@
 #include "facet/sig/variable_signatures.hpp"
 #include "facet/sig/walsh.hpp"
 #include "facet/store/class_store.hpp"
+#include "facet/store/gate.hpp"
 #include "facet/store/hot_cache.hpp"
 #include "facet/store/merge.hpp"
 #include "facet/store/segment.hpp"

@@ -42,7 +42,6 @@ ServeOptions ServeServer::session_options()
   ServeOptions session;
   session.readonly = options_.readonly;
   session.append_on_miss = options_.append_on_miss && !options_.readonly;
-  session.store_mutex = &mutex_;
   session.aggregate = &stats_;
   if (session.append_on_miss) {
     if (router_ != nullptr) {
@@ -274,7 +273,7 @@ void ServeServer::final_flush()
 {
   // Sessions already flush on exit; this catches a store mutated outside
   // any session (belt and braces — shutdown must lose zero appends).
-  const std::unique_lock<std::shared_mutex> lock{mutex_};
+  // flush_delta serializes inside each store's gate.
   for (const auto& [width, path] : index_paths_) {
     ClassStore* store = router_ != nullptr ? router_->store_for(width) : store_;
     if (store == nullptr || store->num_appended() == 0) {
@@ -311,15 +310,13 @@ std::size_t ServeServer::run_due_compactions()
     if (store == nullptr) {
       continue;
     }
-    bool due = false;
-    {
-      const std::shared_lock<std::shared_mutex> lock{mutex_};
-      due = (options_.compact_after_runs != 0 &&
-             store->num_delta_segments() >= options_.compact_after_runs) ||
-            (options_.compact_after_bytes != 0 &&
-             ClassStore::delta_log_size(ClassStore::delta_log_path(path)) >=
-                 options_.compact_after_bytes);
-    }
+    // Trigger probes read the published tier snapshot without entering the
+    // store gate.
+    const bool due = (options_.compact_after_runs != 0 &&
+                      store->num_delta_segments() >= options_.compact_after_runs) ||
+                     (options_.compact_after_bytes != 0 &&
+                      ClassStore::delta_log_size(ClassStore::delta_log_path(path)) >=
+                          options_.compact_after_bytes);
     if (!due) {
       continue;
     }
@@ -339,15 +336,10 @@ std::size_t ServeServer::run_due_compactions()
 void ServeServer::compact_one(int width, ClassStore& store, const std::string& path)
 {
   const std::string dlog = ClassStore::delta_log_path(path);
-  CompactionSnapshot snapshot;
-  std::size_t flushed = 0;
-  {
-    // Phase 1 (exclusive, cheap): fold the memtable into a sealed run and
-    // pin the immutable tiers.
-    const std::unique_lock<std::shared_mutex> lock{mutex_};
-    flushed = store.flush_delta(dlog);
-    snapshot = store.compaction_snapshot();
-  }
+  // Phase 1 (cheap): fold the memtable into a sealed run (serialized inside
+  // the store's gate) and pin the immutable tiers (no gate entered).
+  const std::size_t flushed = store.flush_delta(dlog);
+  const CompactionSnapshot snapshot = store.compaction_snapshot();
   if (snapshot.deltas.empty()) {
     return;
   }
@@ -356,16 +348,16 @@ void ServeServer::compact_one(int width, ClassStore& store, const std::string& p
     delta_records += run->size();
   }
 
-  // Phase 2 (no lock): merge and write the fresh base while readers serve.
+  // Phase 2 (no gate held): merge and write the fresh base while readers
+  // and appenders keep going.
   std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
   const std::string tmp = path + ".cpt";
   ClassStore::write_compacted(tmp, snapshot, merged);
 
-  {
-    // Phase 3 (exclusive, cheap): swap the new base in.
-    const std::unique_lock<std::shared_mutex> lock{mutex_};
-    store.adopt_compacted(path, tmp, snapshot, std::move(merged));
-  }
+  // Phase 3 (cheap): swap the new base in through the store's gate. Runs
+  // flushed since the snapshot survive; only this compactor thread ever
+  // swaps the base, so the snapshot-prefix validation cannot fail.
+  store.adopt_compacted(path, tmp, snapshot, std::move(merged));
 
   ++stats_.compactions;
   stats_.compacted_runs += snapshot.deltas.size();

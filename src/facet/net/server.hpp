@@ -5,23 +5,25 @@
 /// `facet_cli serve --listen HOST:PORT [--unix PATH]` runs a ServeServer:
 /// a TCP and/or Unix-domain listener whose accepted connections each run
 /// the line protocol of store/serve.hpp against ONE shared store. The
-/// concurrency contract of the store stack makes this safe with a single
-/// reader/writer lock:
+/// server carries NO store lock of its own — synchronization lives inside
+/// the store layer (class_store.hpp, store_router.hpp):
 ///
-///   * lookups, hot-cache probes, delta-run reads and lazy mmap page
-///     validation are thread-safe (class_store.hpp, store_concurrency_test)
-///     — reader connections hold a shared lock;
+///   * lookups, hot-cache probes and index searches run gate-free against
+///     the store's atomically-published tier snapshot — reader connections
+///     never block behind a mutator;
 ///   * mutations — live classification, append_on_miss, session-exit delta
-///     flushes, compaction swaps — serialize through the exclusive side of
-///     the same lock.
+///     flushes, compaction swaps — serialize inside each store's own gate,
+///     striped per width under a router: traffic on one width never stalls
+///     another.
 ///
-/// The server also owns the background compactor the ROADMAP asked for: a
+/// What remains here is connection lifecycle (accept, capacity, idle
+/// timeout, drain) and the background compactor the ROADMAP asked for: a
 /// thread that watches every served store and, when the sealed delta-run
 /// count or the `.dlog` size crosses its threshold, folds base + runs into
 /// a fresh base segment using the three-phase ClassStore compaction API —
-/// the heavy merge and file write run with NO store lock held (the tiers
-/// are immutable snapshots), and only the final swap takes the exclusive
-/// lock, so live traffic never stalls behind a compaction.
+/// the heavy merge and file write run against a pinned snapshot with no
+/// gate held, and only the final adopt_compacted swap enters the store's
+/// gate, so live traffic never stalls behind a compaction.
 ///
 /// Shutdown (request_shutdown(), wired to SIGINT/SIGTERM by the CLI) is
 /// graceful: stop accepting, wake every in-flight connection (its session
@@ -29,10 +31,10 @@
 /// compactor, then run one final flush — a server killed mid-traffic loses
 /// zero appended classes.
 ///
-/// `--readonly` drops the exclusive paths entirely: misses answer `err`
+/// `--readonly` drops the mutation paths entirely: misses answer `err`
 /// instead of classifying live, appends are rejected, and every connection
-/// runs purely under the shared lock — the fleet fan-out mode where many
-/// replicas serve one warm index.
+/// runs purely on the gate-free read path — the fleet fan-out mode where
+/// many replicas serve one warm index.
 
 #pragma once
 
@@ -44,7 +46,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -135,9 +136,6 @@ class ServeServer {
   /// Aggregated protocol + compaction counters (the `stats all` numbers).
   [[nodiscard]] const ServeAggregateStats& stats() const noexcept { return stats_; }
 
-  /// The reader/writer lock every connection and the compactor share.
-  [[nodiscard]] std::shared_mutex& store_mutex() noexcept { return mutex_; }
-
   /// Compactions performed so far (copy; internally synchronized).
   [[nodiscard]] std::vector<CompactionEvent> compaction_log() const;
 
@@ -169,7 +167,6 @@ class ServeServer {
   std::map<int, std::string> index_paths_;
   ServeServerOptions options_;
 
-  std::shared_mutex mutex_;
   ServeAggregateStats stats_;
 
   Socket tcp_listener_;

@@ -1,6 +1,7 @@
 #include "facet/store/class_store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,7 +31,10 @@ const char* lookup_source_name(LookupSource source) noexcept
 ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
     : num_vars_{num_vars},
       options_{options},
-      base_{std::make_shared<MaterializedSegment>(num_vars, std::vector<StoreRecord>{})},
+      gate_{std::make_unique<StoreGate<TierSnapshot>>(std::make_shared<TierSnapshot>(
+          TierSnapshot{std::make_shared<MaterializedSegment>(num_vars, std::vector<StoreRecord>{}),
+                       {}}))},
+      memtable_{std::make_unique<Memtable>()},
       cache_{options.hot_cache_capacity, options.hot_cache_shards}
 {
   if (num_vars < 0 || num_vars > kMaxVars) {
@@ -56,28 +60,82 @@ ClassStore::ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint
       throw std::invalid_argument{"ClassStore: record class id exceeds num_classes"};
     }
   }
-  base_ = std::make_shared<MaterializedSegment>(num_vars_, std::move(records));
-  next_class_id_ = num_classes;
+  reset_base(std::make_shared<MaterializedSegment>(num_vars_, std::move(records)));
+  next_class_id_.store(num_classes, std::memory_order_relaxed);
 }
 
 ClassStore::ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes,
                        bool mmap_backed, ClassStoreOptions options)
     : ClassStore{base->num_vars(), options}
 {
-  base_ = std::move(base);
+  reset_base(std::move(base));
   mmap_backed_ = mmap_backed;
-  next_class_id_ = num_classes;
+  next_class_id_.store(num_classes, std::memory_order_relaxed);
 }
 
-std::size_t ClassStore::num_records() const noexcept
+ClassStore::ClassStore(ClassStore&& other) noexcept
+    : num_vars_{other.num_vars_},
+      options_{other.options_},
+      gate_{std::move(other.gate_)},
+      mmap_backed_{other.mmap_backed_},
+      memtable_{std::move(other.memtable_)},
+      miss_records_{std::move(other.miss_records_)},
+      next_class_id_{other.next_class_id_.load(std::memory_order_relaxed)},
+      compactions_{other.compactions_.load(std::memory_order_relaxed)},
+      cache_{std::move(other.cache_)}
 {
-  return base_->size() + num_delta_records() + appended_.size();
 }
 
-std::size_t ClassStore::num_delta_records() const noexcept
+ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
 {
+  num_vars_ = other.num_vars_;
+  options_ = other.options_;
+  gate_ = std::move(other.gate_);
+  mmap_backed_ = other.mmap_backed_;
+  memtable_ = std::move(other.memtable_);
+  miss_records_ = std::move(other.miss_records_);
+  next_class_id_.store(other.next_class_id_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  compactions_.store(other.compactions_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  cache_ = std::move(other.cache_);
+  return *this;
+}
+
+void ClassStore::reset_base(std::shared_ptr<const Segment> base)
+{
+  const auto gate = gate_->acquire();
+  auto next = std::make_shared<TierSnapshot>(*gate_->pin());
+  next->base = std::move(base);
+  gate_->publish(gate, std::move(next));
+}
+
+std::size_t ClassStore::num_records() const
+{
+  const auto tiers = gate_->pin();
+  std::size_t total = tiers->base->size();
+  for (const auto& delta : tiers->deltas) {
+    total += delta->size();
+  }
+  return total + num_appended();
+}
+
+std::size_t ClassStore::num_appended() const
+{
+  const std::lock_guard<std::mutex> lock{memtable_->mutex};
+  return memtable_->records.size();
+}
+
+std::size_t ClassStore::num_delta_segments() const
+{
+  return gate_->pin()->deltas.size();
+}
+
+std::size_t ClassStore::num_delta_records() const
+{
+  const auto tiers = gate_->pin();
   std::size_t total = 0;
-  for (const auto& delta : deltas_) {
+  for (const auto& delta : tiers->deltas) {
     total += delta->size();
   }
   return total;
@@ -85,7 +143,8 @@ std::size_t ClassStore::num_delta_records() const noexcept
 
 const std::vector<StoreRecord>& ClassStore::records() const
 {
-  const auto* materialized = dynamic_cast<const MaterializedSegment*>(base_.get());
+  const auto tiers = gate_->pin();
+  const auto* materialized = dynamic_cast<const MaterializedSegment*>(tiers->base.get());
   if (materialized == nullptr) {
     throw std::logic_error{
         "ClassStore::records: the base segment is mmap-backed; iterate via base_segment()"};
@@ -95,21 +154,36 @@ const std::vector<StoreRecord>& ClassStore::records() const
 
 std::vector<StoreRecord> ClassStore::persisted_records() const
 {
+  // Copy the memtable BEFORE pinning the tiers: a concurrent flush publishes
+  // its sealed run before clearing the memtable, so every record is visible
+  // through at least one of the two (a record seen through both is
+  // identical, and the memtable copy shadowing the run is a no-op).
+  std::vector<StoreRecord> memtable;
+  {
+    const std::lock_guard<std::mutex> lock{memtable_->mutex};
+    memtable = memtable_->records;
+  }
+  const auto tiers = gate_->pin();
+
   // Newest occurrence of a canonical form shadows older ones, mirroring the
   // lookup order memtable -> deltas (newest first) -> base.
   std::unordered_map<TruthTable, StoreRecord, TruthTableHash> merged;
-  merged.reserve(num_records());
-  for (std::size_t i = 0; i < base_->size(); ++i) {
-    StoreRecord record = base_->record_at(i);
+  std::size_t upper_bound = tiers->base->size() + memtable.size();
+  for (const auto& delta : tiers->deltas) {
+    upper_bound += delta->size();
+  }
+  merged.reserve(upper_bound);
+  for (std::size_t i = 0; i < tiers->base->size(); ++i) {
+    StoreRecord record = tiers->base->record_at(i);
     TruthTable key = record.canonical;
     merged.insert_or_assign(std::move(key), std::move(record));
   }
-  for (const auto& delta : deltas_) {
+  for (const auto& delta : tiers->deltas) {
     for (const auto& record : delta->records()) {
       merged.insert_or_assign(record.canonical, record);
     }
   }
-  for (const auto& record : appended_) {
+  for (const auto& record : memtable) {
     merged.insert_or_assign(record.canonical, record);
   }
 
@@ -128,12 +202,15 @@ std::vector<StoreRecord> ClassStore::persisted_records() const
 void ClassStore::save(std::ostream& os) const
 {
   const std::vector<StoreRecord> merged = persisted_records();
+  // Loaded after the records are collected, so the header's class count
+  // bounds every collected id even if an append lands in between.
+  const std::uint64_t num_classes = next_class_id_.load(std::memory_order_acquire);
   std::vector<const StoreRecord*> pointers;
   pointers.reserve(merged.size());
   for (const auto& record : merged) {
     pointers.push_back(&record);
   }
-  write_base_segment(os, num_vars_, next_class_id_, pointers);
+  write_base_segment(os, num_vars_, num_classes, pointers);
 }
 
 namespace {
@@ -222,24 +299,29 @@ ClassStore ClassStore::open(const std::string& path, const StoreOpenOptions& opt
 DeltaLogReplay ClassStore::load_deltas(std::istream& is)
 {
   DeltaLogReplay replay = read_delta_log(is, num_vars_);
+  const auto gate = gate_->acquire();
+  auto next = std::make_shared<TierSnapshot>(*gate_->pin());
+  std::uint64_t next_class_id = next_class_id_.load(std::memory_order_relaxed);
   for (auto& run : replay.runs) {
     for (const auto& record : run.records) {
       if (record.class_id >= run.num_classes_after) {
         throw StoreFormatError{"corrupt delta frame: record class id exceeds its class count"};
       }
     }
-    next_class_id_ = std::max(next_class_id_, run.num_classes_after);
-    deltas_.push_back(
+    next_class_id = std::max(next_class_id, run.num_classes_after);
+    next->deltas.push_back(
         std::make_shared<MaterializedSegment>(num_vars_, std::move(run.records)));
   }
+  next_class_id_.store(next_class_id, std::memory_order_relaxed);
+  gate_->publish(gate, std::move(next));
   return replay;
 }
 
 std::vector<const StoreRecord*> ClassStore::sorted_memtable() const
 {
   std::vector<const StoreRecord*> sorted;
-  sorted.reserve(appended_.size());
-  for (const auto& record : appended_) {
+  sorted.reserve(memtable_->records.size());
+  for (const auto& record : memtable_->records) {
     sorted.push_back(&record);
   }
   std::sort(sorted.begin(), sorted.end(), [](const StoreRecord* a, const StoreRecord* b) {
@@ -248,36 +330,54 @@ std::vector<const StoreRecord*> ClassStore::sorted_memtable() const
   return sorted;
 }
 
-std::size_t ClassStore::flush_delta(std::ostream& os)
+std::size_t ClassStore::flush_delta_locked(const std::unique_lock<std::mutex>& gate,
+                                           std::ostream& os)
 {
-  if (appended_.empty()) {
+  // Only gate holders mutate the memtable, so reading it here needs no
+  // memtable lock; the lock below covers the clear, which readers can race.
+  if (memtable_->records.empty()) {
     return 0;
   }
   const std::vector<const StoreRecord*> sorted = sorted_memtable();
-  write_delta_frame(os, num_vars_, next_class_id_, sorted);
+  write_delta_frame(os, num_vars_, next_class_id_.load(std::memory_order_relaxed), sorted);
 
   std::vector<StoreRecord> run;
   run.reserve(sorted.size());
   for (const auto* record : sorted) {
     run.push_back(*record);
   }
-  deltas_.push_back(std::make_shared<MaterializedSegment>(num_vars_, std::move(run)));
-  const std::size_t flushed = appended_.size();
-  appended_.clear();
-  appended_index_.clear();
+  auto next = std::make_shared<TierSnapshot>(*gate_->pin());
+  next->deltas.push_back(std::make_shared<MaterializedSegment>(num_vars_, std::move(run)));
+  // Publish the sealed run BEFORE clearing the memtable: a reader always
+  // finds an in-flight record through at least one of the two tiers.
+  gate_->publish(gate, std::move(next));
+  std::size_t flushed = 0;
+  {
+    const std::lock_guard<std::mutex> lock{memtable_->mutex};
+    flushed = memtable_->records.size();
+    memtable_->records.clear();
+    memtable_->index.clear();
+  }
   return flushed;
+}
+
+std::size_t ClassStore::flush_delta(std::ostream& os)
+{
+  const auto gate = gate_->acquire();
+  return flush_delta_locked(gate, os);
 }
 
 std::size_t ClassStore::flush_delta(const std::string& dlog_path)
 {
-  if (appended_.empty()) {
+  const auto gate = gate_->acquire();
+  if (memtable_->records.empty()) {
     return 0;
   }
   std::ofstream os{dlog_path, std::ios::binary | std::ios::app};
   if (!os) {
     throw StoreFormatError{"cannot open delta log for appending: " + dlog_path};
   }
-  const std::size_t flushed = flush_delta(os);
+  const std::size_t flushed = flush_delta_locked(gate, os);
   os.flush();
   if (!os) {
     throw StoreFormatError{"delta log append failed: " + dlog_path};
@@ -287,36 +387,46 @@ std::size_t ClassStore::flush_delta(const std::string& dlog_path)
 
 void ClassStore::compact(const std::string& path)
 {
+  const auto gate = gate_->acquire();
   std::vector<StoreRecord> merged = persisted_records();
   std::vector<const StoreRecord*> pointers;
   pointers.reserve(merged.size());
   for (const auto& record : merged) {
     pointers.push_back(&record);
   }
+  const std::uint64_t num_classes = next_class_id_.load(std::memory_order_relaxed);
   write_file_atomically(path, "store file", [&](std::ostream& os) {
-    write_base_segment(os, num_vars_, next_class_id_, pointers);
+    write_base_segment(os, num_vars_, num_classes, pointers);
   });
   std::remove(delta_log_path(path).c_str());
 
-  deltas_.clear();
-  appended_.clear();
-  appended_index_.clear();
+  auto next = std::make_shared<TierSnapshot>();
   if (mmap_backed_) {
-    base_ = MmapSegment::open(path);
+    next->base = MmapSegment::open(path);
   } else {
-    base_ = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
+    next->base = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
   }
-  ++compactions_;
+  gate_->publish(gate, std::move(next));
+  {
+    const std::lock_guard<std::mutex> lock{memtable_->mutex};
+    memtable_->records.clear();
+    memtable_->index.clear();
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 // -- concurrent (three-phase) compaction -------------------------------------
 
 CompactionSnapshot ClassStore::compaction_snapshot() const
 {
+  const auto tiers = gate_->pin();
   CompactionSnapshot snapshot;
-  snapshot.base = base_;
-  snapshot.deltas = deltas_;
-  snapshot.num_classes = next_class_id_;
+  snapshot.base = tiers->base;
+  snapshot.deltas = tiers->deltas;
+  // Loaded after the pin: every id in the pinned tiers predates the pin, so
+  // this (possibly newer) count bounds them all — a valid, if conservative,
+  // header value for the compacted base.
+  snapshot.num_classes = next_class_id_.load(std::memory_order_acquire);
   snapshot.num_vars = num_vars_;
   return snapshot;
 }
@@ -376,11 +486,13 @@ void ClassStore::adopt_compacted(const std::string& path, const std::string& tmp
                                  const CompactionSnapshot& snapshot,
                                  std::vector<StoreRecord> merged)
 {
-  if (snapshot.base.get() != base_.get() || snapshot.deltas.size() > deltas_.size()) {
+  const auto gate = gate_->acquire();
+  const auto tiers = gate_->pin();
+  if (snapshot.base.get() != tiers->base.get() || snapshot.deltas.size() > tiers->deltas.size()) {
     throw std::logic_error{"ClassStore::adopt_compacted: snapshot is not from this store state"};
   }
   for (std::size_t i = 0; i < snapshot.deltas.size(); ++i) {
-    if (snapshot.deltas[i].get() != deltas_[i].get()) {
+    if (snapshot.deltas[i].get() != tiers->deltas[i].get()) {
       throw std::logic_error{
           "ClassStore::adopt_compacted: snapshot delta runs no longer prefix the store"};
     }
@@ -398,37 +510,39 @@ void ClassStore::adopt_compacted(const std::string& path, const std::string& tmp
 
   const std::string dlog = delta_log_path(path);
   const std::size_t merged_runs = snapshot.deltas.size();
-  if (merged_runs == deltas_.size()) {
+  const std::uint64_t num_classes = next_class_id_.load(std::memory_order_relaxed);
+  if (merged_runs == tiers->deltas.size()) {
     std::remove(dlog.c_str());
   } else {
     // Runs flushed while the merge ran survive: rewrite the log with only
-    // their frames. next_class_id_ bounds every surviving id, so it is a
+    // their frames. num_classes bounds every surviving id, so it is a
     // valid (if conservative) num_classes_after for each frame.
     write_file_atomically(dlog, "delta log", [&](std::ostream& os) {
-      for (std::size_t run = merged_runs; run < deltas_.size(); ++run) {
+      for (std::size_t run = merged_runs; run < tiers->deltas.size(); ++run) {
         std::vector<const StoreRecord*> pointers;
-        pointers.reserve(deltas_[run]->size());
-        for (const auto& record : deltas_[run]->records()) {
+        pointers.reserve(tiers->deltas[run]->size());
+        for (const auto& record : tiers->deltas[run]->records()) {
           pointers.push_back(&record);
         }
-        write_delta_frame(os, num_vars_, next_class_id_, pointers);
+        write_delta_frame(os, num_vars_, num_classes, pointers);
       }
     });
   }
 
-  // Construct the replacement base BEFORE dropping the merged runs: if the
-  // re-open throws (transient fd pressure on an mmap-backed store), the
-  // in-memory tiers must keep serving old base + runs — the disk is already
-  // consistent either way, and the compactor will simply retry.
-  std::shared_ptr<const Segment> new_base;
+  // Construct the replacement base BEFORE publishing: if the re-open throws
+  // (transient fd pressure on an mmap-backed store), the published tiers
+  // must keep serving old base + runs — the disk is already consistent
+  // either way, and the compactor will simply retry.
+  auto next = std::make_shared<TierSnapshot>();
   if (mmap_backed_) {
-    new_base = MmapSegment::open(path);
+    next->base = MmapSegment::open(path);
   } else {
-    new_base = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
+    next->base = std::make_shared<MaterializedSegment>(num_vars_, std::move(merged));
   }
-  deltas_.erase(deltas_.begin(), deltas_.begin() + static_cast<std::ptrdiff_t>(merged_runs));
-  base_ = std::move(new_base);
-  ++compactions_;
+  next->deltas.assign(tiers->deltas.begin() + static_cast<std::ptrdiff_t>(merged_runs),
+                      tiers->deltas.end());
+  gate_->publish(gate, std::move(next));
+  compactions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t ClassStore::delta_log_size(const std::string& dlog_path) noexcept
@@ -440,30 +554,47 @@ std::uint64_t ClassStore::delta_log_size(const std::string& dlog_path) noexcept
 
 // -- lookup tiers ------------------------------------------------------------
 
+std::optional<StoreRecord> ClassStore::memtable_find(const TruthTable& canonical) const
+{
+  const std::lock_guard<std::mutex> lock{memtable_->mutex};
+  if (const auto it = memtable_->index.find(canonical); it != memtable_->index.end()) {
+    return memtable_->records[it->second];
+  }
+  return std::nullopt;
+}
+
 std::optional<StoreRecord> ClassStore::find_canonical(const TruthTable& canonical) const
 {
-  if (const auto it = appended_index_.find(canonical); it != appended_index_.end()) {
-    return appended_[it->second];
+  // Memtable BEFORE the pin: a concurrent flush publishes its sealed run
+  // before clearing the memtable, so a record mid-flush is visible through
+  // at least one of the two probes.
+  if (auto record = memtable_find(canonical)) {
+    return record;
   }
-  for (auto delta = deltas_.rbegin(); delta != deltas_.rend(); ++delta) {
+  const auto tiers = gate_->pin();
+  for (auto delta = tiers->deltas.rbegin(); delta != tiers->deltas.rend(); ++delta) {
     if (auto record = (*delta)->find(canonical)) {
       return record;
     }
   }
-  return base_->find(canonical);
+  return tiers->base->find(canonical);
 }
 
 std::optional<std::uint32_t> ClassStore::find_class_id(const TruthTable& canonical) const
 {
-  if (const auto it = appended_index_.find(canonical); it != appended_index_.end()) {
-    return appended_[it->second].class_id;
+  {
+    const std::lock_guard<std::mutex> lock{memtable_->mutex};
+    if (const auto it = memtable_->index.find(canonical); it != memtable_->index.end()) {
+      return memtable_->records[it->second].class_id;
+    }
   }
-  for (auto delta = deltas_.rbegin(); delta != deltas_.rend(); ++delta) {
+  const auto tiers = gate_->pin();
+  for (auto delta = tiers->deltas.rbegin(); delta != tiers->deltas.rend(); ++delta) {
     if (const auto id = (*delta)->find_class_id(canonical)) {
       return id;
     }
   }
-  return base_->find_class_id(canonical);
+  return tiers->base->find_class_id(canonical);
 }
 
 StoreLookupResult ClassStore::make_result(const StoreRecord& record,
@@ -539,6 +670,16 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
                                                            bool append_on_miss)
 {
   check_width(f, "ClassStore::lookup_or_classify_canonical");
+  // Known classes resolve without entering the gate, like lookup_canonical.
+  if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
+    StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
+    cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+    return result;
+  }
+
+  // Miss: serialize through the gate and re-probe — a concurrent session
+  // may have appended this very class between our probe and the gate.
+  const auto gate = gate_->acquire();
   if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
     StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
@@ -555,7 +696,8 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
     record.canonical = canon.canonical;
     record.representative = f;
     record.rep_to_canonical = canon.transform;
-    record.class_id = static_cast<std::uint32_t>(next_class_id_++);
+    record.class_id =
+        static_cast<std::uint32_t>(next_class_id_.fetch_add(1, std::memory_order_acq_rel));
     record.class_size = 1;
   }
 
@@ -566,8 +708,12 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
     if (transient != miss_records_.end()) {
       miss_records_.erase(transient);
     }
-    appended_index_.emplace(record.canonical, static_cast<std::uint32_t>(appended_.size()));
-    appended_.push_back(record);
+    {
+      const std::lock_guard<std::mutex> lock{memtable_->mutex};
+      memtable_->index.emplace(record.canonical,
+                               static_cast<std::uint32_t>(memtable_->records.size()));
+      memtable_->records.push_back(record);
+    }
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
   } else if (transient == miss_records_.end()) {
     miss_records_.emplace(record.canonical, record);

@@ -35,27 +35,62 @@
 /// BatchEngine{kExhaustive} output — including on a store that starts empty
 /// and learns every class through the live tier.
 ///
-/// Concurrency: lookup(), probe_cache() and find_canonical() are safe to
-/// call from many threads at once, including against a store with live
-/// delta segments (the hot cache is internally sharded and locked; segments
-/// are immutable; mmap page validation is atomic and idempotent).
-/// lookup_or_classify(), flush_delta(), compact(), adopt_compacted() and
-/// save() mutate the store and require external exclusion.
+/// ## Concurrency
+///
+/// The store synchronizes itself — callers (the serve sessions, the network
+/// server, the background compactor, the batch engine's workers) never wrap
+/// it in an external lock:
+///
+///   * The immutable tiers — base segment + delta runs — are published as
+///     one swapped-wholesale TierSnapshot (gate.hpp). Readers pin the
+///     current snapshot (a pointer-copy handoff, never a wait on a
+///     mutator's critical section) and search it with no lock held; a
+///     flush or compaction swap publishes a fresh snapshot and the retired
+///     epoch is freed by the last pin that drops it.
+///   * The memtable is guarded by a mutex of its own, held only for the
+///     hash probe / insert — never across canonicalization, segment
+///     searches or I/O.
+///   * Mutations — lookup_or_classify's live tier, flush_delta, compact,
+///     the adopt_compacted swap — serialize on one small per-store gate.
+///     Canonicalization (the expensive step) always happens before the
+///     gate is taken; lookup_or_classify re-probes the index under the
+///     gate, so two sessions racing on the same novel class agree on one
+///     id and one appended record. save() is a snapshot-ordered *reader*
+///     (it holds no gate): concurrent appends may or may not land in the
+///     written file, and only the caller's own file-level coordination
+///     prevents two writers racing on one target path.
+///
+/// Thread-safe from any mix of threads: lookup(), lookup_canonical(),
+/// probe_cache(), find_canonical(), find_class_id(), lookup_or_classify(),
+/// lookup_or_classify_canonical(), flush_delta(), the three-phase
+/// compaction API, and the counters (num_records / num_appended /
+/// num_delta_segments / num_classes / ...). Readers never enter the
+/// mutation gate: the snapshot pin and the memtable probe each take a
+/// dedicated mutex for a pointer copy / one hash op — never across
+/// canonicalization, segment searches or I/O, so a flush writing its frame
+/// or a compactor mid-merge cannot stall them.
+/// Not synchronized: construction, move,
+/// save()/compact() racing other mutators of the same *file*, and
+/// records()/base_segment(), whose returned references are only stable
+/// while no compaction swap lands (pin tier_snapshot() to hold an epoch
+/// across concurrent swaps).
 ///
 /// Background compaction (net/server.hpp's compactor thread) splits
 /// compact() into three phases so readers keep serving through the heavy
-/// merge: compaction_snapshot() pins the immutable base + delta runs under
-/// the mutation lock (cheap), merge_compaction_snapshot() +
-/// write_compacted() produce the fresh base off-lock (the segments are
-/// immutable and shared), and adopt_compacted() swaps the new base in under
-/// the mutation lock again (cheap) — runs flushed or records appended while
-/// the merge ran survive untouched.
+/// merge: compaction_snapshot() pins the immutable base + delta runs
+/// (without entering the gate), merge_compaction_snapshot() +
+/// write_compacted() produce the
+/// fresh base with no gate held (the segments are immutable and shared),
+/// and adopt_compacted() swaps the new base in through the gate (cheap) —
+/// runs flushed or records appended while the merge ran survive untouched.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +98,7 @@
 
 #include "facet/npn/exact_canon.hpp"
 #include "facet/npn/transform.hpp"
+#include "facet/store/gate.hpp"
 #include "facet/store/hot_cache.hpp"
 #include "facet/store/segment.hpp"
 #include "facet/store/store_format.hpp"
@@ -98,16 +134,25 @@ struct ClassStoreOptions {
   std::size_t hot_cache_shards = 8;
 };
 
+/// The immutable read tiers of one epoch: the base segment plus the delta
+/// runs sealed so far, oldest first. Published atomically through the
+/// store's gate; a pinned snapshot stays alive and bit-stable across any
+/// number of concurrent flushes and compaction swaps.
+struct TierSnapshot {
+  std::shared_ptr<const Segment> base;
+  std::vector<std::shared_ptr<const MaterializedSegment>> deltas;
+};
+
 /// The compactable read tiers pinned at one instant: the base segment and
 /// the delta runs sealed so far (the memtable is excluded — flush it first
 /// to fold unflushed appends into the compaction). Segments are immutable
 /// and reference-counted, so the heavy merge/write phase of a background
-/// compaction works off this snapshot with no store lock held while readers
+/// compaction works off this snapshot with no store gate held while readers
 /// keep serving.
 struct CompactionSnapshot {
   std::shared_ptr<const Segment> base;
   std::vector<std::shared_ptr<const MaterializedSegment>> deltas;
-  /// next_class_id_ at snapshot time — the compacted base's header value.
+  /// num_classes() at snapshot time — the compacted base's header value.
   std::uint64_t num_classes = 0;
   int num_vars = 0;
 };
@@ -132,25 +177,52 @@ class ClassStore {
   ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint64_t num_classes,
              ClassStoreOptions options = {});
 
+  /// Movable (the factory functions return by value), but a move is NOT
+  /// thread-safe: the source must be quiescent.
+  ClassStore(ClassStore&& other) noexcept;
+  ClassStore& operator=(ClassStore&& other) noexcept;
+  ClassStore(const ClassStore&) = delete;
+  ClassStore& operator=(const ClassStore&) = delete;
+  ~ClassStore() = default;
+
   [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
   /// Persisted classes: base records, flushed delta runs, and the memtable.
-  [[nodiscard]] std::size_t num_records() const noexcept;
+  /// Racing a flush, the count can transiently include the sealing run
+  /// twice (the run is published before the memtable clears, so no record
+  /// is ever *missing*); lookups are unaffected — the overlap shadows
+  /// itself with identical records.
+  [[nodiscard]] std::size_t num_records() const;
   /// Unflushed appends (live misses with append_on_miss) in the memtable.
-  [[nodiscard]] std::size_t num_appended() const noexcept { return appended_.size(); }
+  [[nodiscard]] std::size_t num_appended() const;
   /// Flushed-but-uncompacted delta runs.
-  [[nodiscard]] std::size_t num_delta_segments() const noexcept { return deltas_.size(); }
-  [[nodiscard]] std::size_t num_delta_records() const noexcept;
+  [[nodiscard]] std::size_t num_delta_segments() const;
+  [[nodiscard]] std::size_t num_delta_records() const;
   /// Next fresh class id == total classes seen (persisted + live-transient).
-  [[nodiscard]] std::uint64_t num_classes() const noexcept { return next_class_id_; }
+  [[nodiscard]] std::uint64_t num_classes() const noexcept
+  {
+    return next_class_id_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the current epoch of immutable tiers (base + delta runs). The
+  /// returned snapshot stays alive and bit-stable for as long as the caller
+  /// holds it, across any concurrent flush or compaction swap.
+  [[nodiscard]] std::shared_ptr<const TierSnapshot> tier_snapshot() const
+  {
+    return gate_->pin();
+  }
 
   /// The base segment (compacted sorted records; excludes deltas/memtable).
-  [[nodiscard]] const Segment& base_segment() const noexcept { return *base_; }
+  /// The reference tracks the *currently published* base: it is stable only
+  /// while no compaction swap lands — pin tier_snapshot() instead when a
+  /// compactor may run concurrently.
+  [[nodiscard]] const Segment& base_segment() const { return *gate_->pin()->base; }
   /// True when the base serves from a read-only mmap instead of RAM.
   [[nodiscard]] bool mmap_backed() const noexcept { return mmap_backed_; }
 
   /// The materialized base records, for stores whose base lives in RAM
   /// (built stores, load()). Throws std::logic_error on an mmap-backed base
-  /// — iterate via base_segment().record_at there.
+  /// — iterate via base_segment().record_at there. Like base_segment(),
+  /// stable only while no compaction swap lands.
   [[nodiscard]] const std::vector<StoreRecord>& records() const;
 
   /// Every persisted record — base, delta runs and memtable merged (newest
@@ -189,46 +261,54 @@ class ClassStore {
 
   /// Seals the memtable into an immutable delta segment, appending it as
   /// one frame to `os`. Returns the number of records flushed (0 = no-op).
+  /// Serialized through the store gate; readers keep serving throughout.
   std::size_t flush_delta(std::ostream& os);
   /// Same, appending the frame to the delta log at `dlog_path`.
   std::size_t flush_delta(const std::string& dlog_path);
 
   /// Merges base + deltas + memtable into a fresh base segment at `path`
   /// (write-then-rename), removes the delta log, and re-tiers this store on
-  /// the compacted base (remapped when the store is mmap-backed).
+  /// the compacted base (remapped when the store is mmap-backed). Holds the
+  /// gate for the whole merge — prefer the three-phase API below when
+  /// readers should keep serving.
   void compact(const std::string& path);
 
   // -- concurrent (three-phase) compaction ---------------------------------
 
-  /// Phase 1 (cheap; call under the mutation lock): pins the base and every
+  /// Phase 1 (cheap; does not enter the gate): pins the base and every
   /// sealed delta run. Flush the memtable first if its appends should be
   /// part of the compaction.
   [[nodiscard]] CompactionSnapshot compaction_snapshot() const;
 
-  /// Phase 2a (heavy; no lock needed): merges a snapshot's tiers into one
-  /// sorted record vector, newest occurrence of a canonical form winning —
-  /// the same shadowing order lookups use.
+  /// Phase 2a (heavy; runs with no gate held): merges a snapshot's tiers
+  /// into one sorted record vector, newest occurrence of a canonical form
+  /// winning — the same shadowing order lookups use.
   [[nodiscard]] static std::vector<StoreRecord> merge_compaction_snapshot(
       const CompactionSnapshot& snapshot);
 
-  /// Phase 2b (heavy; no lock needed): writes `merged` as a fresh v2 base
-  /// segment at `tmp_path` (not yet visible at the store's real path).
+  /// Phase 2b (heavy; runs with no gate held): writes `merged` as a fresh
+  /// v2 base segment at `tmp_path` (not yet visible at the store's real
+  /// path).
   static void write_compacted(const std::string& tmp_path, const CompactionSnapshot& snapshot,
                               const std::vector<StoreRecord>& merged);
 
-  /// Phase 3 (cheap; call under the mutation lock): renames `tmp_path` over
+  /// Phase 3 (cheap; serialized through the gate): renames `tmp_path` over
   /// `path`, rewrites the delta log to hold only the runs flushed *after*
   /// the snapshot (removing it when none survive), drops the merged runs,
   /// and re-tiers this store on the compacted base (remapped when
   /// mmap-backed). The snapshot must have been taken from this store and
   /// still match its delta prefix — throws std::logic_error otherwise.
-  /// Appends and flushes that happened between the phases survive.
+  /// Appends and flushes that happened between the phases survive; readers
+  /// pinned to the old epoch keep serving it until they drop the pin.
   void adopt_compacted(const std::string& path, const std::string& tmp_path,
                        const CompactionSnapshot& snapshot, std::vector<StoreRecord> merged);
 
   /// Compactions applied to this store object (compact + adopt_compacted) —
   /// trigger/telemetry input for the background compactor.
-  [[nodiscard]] std::uint64_t num_compactions() const noexcept { return compactions_; }
+  [[nodiscard]] std::uint64_t num_compactions() const noexcept
+  {
+    return compactions_.load(std::memory_order_relaxed);
+  }
 
   /// Bytes currently in the delta log at `dlog_path` (0 when absent) — the
   /// `--compact-after-bytes` trigger input.
@@ -255,9 +335,8 @@ class ClassStore {
   /// against the index through a caller-precomputed canonicalization
   /// (`canon` must be exact_npn_canonical_with_transform(f)), warming the
   /// cache on a hit. Canonicalization is the expensive step, so a caller
-  /// that interleaves locked and unlocked phases — the shared-store serve
-  /// session — computes it once outside every lock and reuses it here and
-  /// in lookup_or_classify().
+  /// that already paid for it — the serve session — reuses it here and in
+  /// lookup_or_classify_canonical().
   [[nodiscard]] std::optional<StoreLookupResult> lookup_canonical(const TruthTable& f,
                                                                  const CanonResult& canon) const;
 
@@ -265,7 +344,10 @@ class ClassStore {
   /// under the next dense class id. With `append_on_miss` the new class
   /// becomes a persistent record (and is served from the index from then
   /// on); without it the id is remembered only for this store object's
-  /// lifetime, keeping repeated queries consistent.
+  /// lifetime, keeping repeated queries consistent. Known classes resolve
+  /// without touching the gate; the miss path serializes through it and
+  /// re-probes, so concurrent sessions racing on one novel class agree on
+  /// one id.
   [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
                                                      bool append_on_miss = false);
 
@@ -287,6 +369,16 @@ class ClassStore {
     NpnTransform to_representative;
   };
 
+  /// The memtable (tier 2): live misses with append_on_miss, hash-indexed
+  /// by canonical form; sealed into a delta run by flush_delta(). Only gate
+  /// holders mutate it; the mutex lets readers probe it concurrently, and
+  /// is held for single map operations only — never across I/O.
+  struct Memtable {
+    mutable std::mutex mutex;
+    std::vector<StoreRecord> records;
+    std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> index;
+  };
+
   /// A store over an already-opened base segment (the mmap open path).
   ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes, bool mmap_backed,
              ClassStoreOptions options);
@@ -295,29 +387,32 @@ class ClassStore {
                                               const NpnTransform& query_to_canonical,
                                               LookupSource source) const;
   void check_width(const TruthTable& f, const char* who) const;
+  /// Replaces the published base (construction/open time; not concurrent).
+  void reset_base(std::shared_ptr<const Segment> base);
+  /// Memtable probe under its mutex; copies the record out.
+  [[nodiscard]] std::optional<StoreRecord> memtable_find(const TruthTable& canonical) const;
+  /// Seals the memtable into `os` + a published delta run. Gate held.
+  std::size_t flush_delta_locked(const std::unique_lock<std::mutex>& gate, std::ostream& os);
   /// Replays a delta log onto this store (open()); reports the clean
   /// prefix so open() can repair a torn log.
   DeltaLogReplay load_deltas(std::istream& is);
   /// The memtable sorted by canonical form, as pointers for the writers.
+  /// Gate held (the memtable cannot shrink underneath the pointers).
   [[nodiscard]] std::vector<const StoreRecord*> sorted_memtable() const;
 
   int num_vars_;
   ClassStoreOptions options_;
-  /// Compacted sorted records (tier 4); never null.
-  std::shared_ptr<const Segment> base_;
+  /// The store gate: publishes the TierSnapshot epochs (tiers 3 + 4) and
+  /// serializes mutators. unique_ptr so the store stays movable.
+  std::unique_ptr<StoreGate<TierSnapshot>> gate_;
   bool mmap_backed_ = false;
-  /// Flushed append runs (tier 3), oldest first; consulted newest-first.
-  std::vector<std::shared_ptr<const MaterializedSegment>> deltas_;
-  /// Memtable (tier 2): live misses with append_on_miss, hash-indexed by
-  /// canonical form; sealed into a delta run by flush_delta().
-  std::vector<StoreRecord> appended_;
-  std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> appended_index_;
+  std::unique_ptr<Memtable> memtable_;
   /// Live-transient classes (non-appending misses), keyed by canonical form.
   /// Never visible to find_canonical() or the hot cache, so the batch
-  /// engine's store keys stay consistent.
+  /// engine's store keys stay consistent. Gate holders only.
   std::unordered_map<TruthTable, StoreRecord, TruthTableHash> miss_records_;
-  std::uint64_t next_class_id_ = 0;
-  std::uint64_t compactions_ = 0;
+  std::atomic<std::uint64_t> next_class_id_{0};
+  std::atomic<std::uint64_t> compactions_{0};
   ShardedLruCache<TruthTable, CacheEntry, TruthTableHash> cache_;
 };
 

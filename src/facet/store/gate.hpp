@@ -1,0 +1,106 @@
+/// \file gate.hpp
+/// \brief Per-store concurrency gate: snapshot-epoch reads + a serialized
+///        mutation side.
+///
+/// The storage engine's tiers are immutable once published (segment.hpp), so
+/// the whole concurrency problem of a store reduces to two primitives:
+///
+///   * **pin()** — readers grab the currently-published snapshot as a
+///     `shared_ptr`. The snapshot is an epoch: everything reachable from it
+///     (base segment, delta runs) stays alive and bit-stable for as long as
+///     the reader holds the pin, no matter how many flushes or compaction
+///     swaps land concurrently. A reader mid-lookup never observes a
+///     half-swapped tier list, never waits on a mutator's critical section
+///     (only on another pointer handoff, a few instructions), and no writer
+///     can starve it.
+///
+///   * **acquire() + publish()** — mutators serialize on one small mutex and
+///     replace the snapshot wholesale. Readers that pinned before the
+///     publish keep serving the old epoch; readers that pin after see the
+///     new one. The last pin to drop frees the retired epoch through
+///     shared_ptr reference counting — no epoch bookkeeping, no grace
+///     periods.
+///
+/// The snapshot handoff itself is a mutex-guarded shared_ptr copy/swap
+/// rather than std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic
+/// unlocks its embedded spin bit with a *relaxed* RMW on the load path, so
+/// a load racing a store has no release/acquire pairing — ThreadSanitizer
+/// (correctly, per the memory model) flags it. A plain mutex held for the
+/// two-word copy costs the same two atomic RMWs as that spin bit, with the
+/// synchronization made explicit. The handoff critical section never
+/// contains canonicalization, segment searches, memtable work or I/O —
+/// those all happen outside, against the pinned epoch.
+///
+/// This is the gate the serve/network layers lean on (store/serve.hpp,
+/// net/server.hpp): sessions and the background compactor call plain
+/// ClassStore methods, and every method synchronizes *here*, inside the
+/// store that owns the data — there is no process-wide lock above it.
+///
+/// The template is generic over the snapshot type; ClassStore instantiates
+/// it with TierSnapshot (class_store.hpp).
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace facet {
+
+template <typename Snapshot>
+class StoreGate {
+ public:
+  /// A pinned epoch: the snapshot plus shared ownership of everything it
+  /// references.
+  using Pin = std::shared_ptr<const Snapshot>;
+
+  explicit StoreGate(Pin initial) : snapshot_{std::move(initial)} {}
+
+  StoreGate(const StoreGate&) = delete;
+  StoreGate& operator=(const StoreGate&) = delete;
+
+  /// The currently-published epoch. Safe from any thread, any time; waits
+  /// at most for a concurrent pointer handoff, never for a mutator's
+  /// gate-held section.
+  [[nodiscard]] Pin pin() const
+  {
+    const std::lock_guard<std::mutex> lock{snapshot_mutex_};
+    return snapshot_;
+  }
+
+  /// Enters the mutation side: at most one holder at a time. Everything a
+  /// mutator reads while holding the gate (the published snapshot included)
+  /// is stable until it releases.
+  [[nodiscard]] std::unique_lock<std::mutex> acquire() const
+  {
+    return std::unique_lock<std::mutex>{mutex_};
+  }
+
+  /// Replaces the published epoch. `gate` must be this gate's held lock —
+  /// publication is only legal from inside the mutation side, so two
+  /// mutators can never interleave pin-modify-publish cycles.
+  void publish(const std::unique_lock<std::mutex>& gate, Pin next)
+  {
+    if (gate.mutex() != &mutex_ || !gate.owns_lock()) {
+      throw std::logic_error{"StoreGate::publish: the gate lock is not held"};
+    }
+    // The retired epoch's refcount drop (and possible destruction) happens
+    // after the handoff section, via `retired` — the pointer-swap critical
+    // section stays two words long.
+    Pin retired;
+    {
+      const std::lock_guard<std::mutex> lock{snapshot_mutex_};
+      retired = std::exchange(snapshot_, std::move(next));
+    }
+  }
+
+ private:
+  /// Serializes mutators (acquire/publish ordering).
+  mutable std::mutex mutex_;
+  /// Guards only the snapshot pointer handoff (pin's copy, publish's swap).
+  mutable std::mutex snapshot_mutex_;
+  Pin snapshot_;
+};
+
+}  // namespace facet

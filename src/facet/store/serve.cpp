@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <exception>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -15,19 +14,47 @@
 
 namespace facet {
 
+ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
+{
+  ServeAggregateSnapshot s;
+  s.connections_active = connections_active.load(std::memory_order_relaxed);
+  s.connections_total = connections_total.load(std::memory_order_relaxed);
+  s.requests = requests.load(std::memory_order_relaxed);
+  s.lookups = lookups.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.index_hits = index_hits.load(std::memory_order_relaxed);
+  s.live = live.load(std::memory_order_relaxed);
+  s.errors = errors.load(std::memory_order_relaxed);
+  s.flushed_records = flushed_records.load(std::memory_order_relaxed);
+  s.compactions = compactions.load(std::memory_order_relaxed);
+  s.compacted_runs = compacted_runs.load(std::memory_order_relaxed);
+  s.compacted_records = compacted_records.load(std::memory_order_relaxed);
+  for (std::size_t n = 0; n < s.width.size(); ++n) {
+    s.width[n].lookups = width[n].lookups.load(std::memory_order_relaxed);
+    s.width[n].cache_hits = width[n].cache_hits.load(std::memory_order_relaxed);
+    s.width[n].index_hits = width[n].index_hits.load(std::memory_order_relaxed);
+    s.width[n].live = width[n].live.load(std::memory_order_relaxed);
+    s.width[n].appended = width[n].appended.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
 namespace {
 
-void count_source(ServeStats& stats, LookupSource source)
+/// Bumps the per-source counter of any counter block exposing
+/// cache_hits/index_hits/live atomics (ServeCounters, ServeWidthCounters).
+template <typename Counters>
+void count_source(Counters& stats, LookupSource source)
 {
   switch (source) {
     case LookupSource::kHotCache:
-      ++stats.cache_hits;
+      stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
       break;
     case LookupSource::kIndex:
-      ++stats.index_hits;
+      stats.index_hits.fetch_add(1, std::memory_order_relaxed);
       break;
     case LookupSource::kLive:
-      ++stats.live;
+      stats.live.fetch_add(1, std::memory_order_relaxed);
       break;
   }
 }
@@ -123,6 +150,11 @@ bool normalize_request(const std::string& line, std::string& request)
 /// One protocol session over a single store or a router — the shared
 /// implementation behind serve_loop, serve_router_loop and every network
 /// connection. Exactly one of store/router is non-null.
+///
+/// The session holds no lock, ever: every store access synchronizes inside
+/// ClassStore/StoreRouter (snapshot-epoch reads, a per-store mutation gate
+/// — class_store.hpp). Canonicalization, the expensive step of a cold
+/// query, runs here in the session thread before any store call.
 class Session {
  public:
   Session(ClassStore* store, StoreRouter* router, const ServeOptions& options)
@@ -143,8 +175,8 @@ class Session {
     bool overflow = false;
     while (read_request_line(in, line, overflow)) {
       if (overflow) {
-        ++stats_.requests;
-        ++stats_.errors;
+        stats_.requests.fetch_add(1, std::memory_order_relaxed);
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err request line exceeds " << kMaxRequestLineBytes << " bytes\n" << std::flush;
         sync_aggregate();
         continue;
@@ -153,7 +185,7 @@ class Session {
       if (!normalize_request(line, trimmed)) {
         continue;
       }
-      ++stats_.requests;
+      stats_.requests.fetch_add(1, std::memory_order_relaxed);
       const bool keep_serving = handle(trimmed, out);
       sync_aggregate();
       if (!keep_serving) {
@@ -162,22 +194,10 @@ class Session {
     }
     flush_on_exit();
     sync_aggregate();
-    return stats_;
+    return stats_.snapshot();
   }
 
  private:
-  [[nodiscard]] std::shared_lock<std::shared_mutex> read_lock() const
-  {
-    return options_.store_mutex != nullptr ? std::shared_lock<std::shared_mutex>{*options_.store_mutex}
-                                           : std::shared_lock<std::shared_mutex>{};
-  }
-
-  [[nodiscard]] std::unique_lock<std::shared_mutex> write_lock() const
-  {
-    return options_.store_mutex != nullptr ? std::unique_lock<std::shared_mutex>{*options_.store_mutex}
-                                           : std::unique_lock<std::shared_mutex>{};
-  }
-
   /// Handles one normalized request line; false ends the session (quit).
   bool handle(const std::string& trimmed, std::ostream& out)
   {
@@ -208,7 +228,7 @@ class Session {
         return true;
       }
       if (!operands.empty()) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err stats takes no argument or 'all'\n" << std::flush;
         return true;
       }
@@ -218,7 +238,7 @@ class Session {
     if (command == "lookup") {
       const std::vector<std::string> operands = read_operands(request);
       if (operands.size() != 1) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err lookup takes exactly one hex truth table\n" << std::flush;
         return true;
       }
@@ -228,7 +248,7 @@ class Session {
     if (command == "mlookup") {
       const std::vector<std::string> operands = read_operands(request);
       if (operands.empty()) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err mlookup takes one or more hex truth tables\n" << std::flush;
         return true;
       }
@@ -241,7 +261,7 @@ class Session {
       out << std::flush;
       return true;
     }
-    ++stats_.errors;
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
     out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
         << std::flush;
     return true;
@@ -255,7 +275,7 @@ class Session {
   {
     const std::string_view payload = hex_payload(token);
     if (std::string reason = payload_error(payload); !reason.empty()) {
-      ++stats_.errors;
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
       return operand_err(token, reason);
     }
 
@@ -263,7 +283,7 @@ class Session {
     if (router_ != nullptr) {
       const int width = hex_operand_width(token);
       if (width < 0) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         std::ostringstream reason;
         reason << "digit count " << payload.size()
                << " maps to no function width (must be a power of two, n <= " << kMaxVars << ")";
@@ -271,7 +291,7 @@ class Session {
       }
       store = router_->store_for(width);
       if (store == nullptr) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         std::ostringstream line;
         line << "err no store routes width " << width;
         return line.str();
@@ -280,7 +300,7 @@ class Session {
       const std::size_t expected =
           std::max<std::size_t>(1, (std::size_t{1} << store->num_vars()) / 4);
       if (payload.size() != expected) {
-        ++stats_.errors;
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
         std::ostringstream reason;
         reason << "expected " << expected << " hex digits for " << store->num_vars()
                << " variables, got " << payload.size();
@@ -292,56 +312,44 @@ class Session {
       const TruthTable query = from_hex(store->num_vars(), token);
       return lookup_line(*store, query);
     } catch (const std::exception& e) {
-      ++stats_.errors;
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
       return operand_err(token, e.what());
     }
   }
 
-  /// The tiered lookup of one parsed query, with the locking discipline of
-  /// a shared store: cache probe and index resolution under a shared lock;
-  /// the miss path (live classification, appends) under an exclusive lock.
-  /// Canonicalization — the expensive step — happens exactly once, outside
-  /// every lock, so a cold query never stalls other connections. An
-  /// unshared session (no mutex) takes the direct lookup_or_classify path,
-  /// exactly as the pre-socket loops did.
+  /// The tiered lookup of one parsed query. The store synchronizes itself:
+  /// the cache probe and index search run gate-free against the published
+  /// tier snapshot, and only a genuine miss enters the store's mutation
+  /// gate (which re-probes, so racing sessions agree on one id). The
+  /// canonicalization — the expensive step — happens exactly once, in this
+  /// thread, before any store gate, so a cold query never stalls other
+  /// connections.
   [[nodiscard]] std::string lookup_line(ClassStore& store, const TruthTable& query)
   {
     StoreLookupResult result;
-    bool resolved = false;
-    if (options_.store_mutex == nullptr && !options_.readonly) {
-      result = store.lookup_or_classify(query, options_.append_on_miss);
-      resolved = true;
+    if (const auto hit = store.probe_cache(query)) {
+      result = *hit;
     } else {
-      {
-        const auto lock = read_lock();
-        if (const auto hit = store.probe_cache(query)) {
-          result = *hit;
-          resolved = true;
-        }
-      }
-      if (!resolved) {
-        const CanonResult canon = exact_npn_canonical_with_transform(query);
-        {
-          const auto lock = read_lock();
-          if (const auto hit = store.lookup_canonical(query, canon)) {
-            result = *hit;
-            resolved = true;
-          }
-        }
-        if (!resolved && options_.readonly) {
-          ++stats_.errors;
+      const CanonResult canon = exact_npn_canonical_with_transform(query);
+      if (options_.readonly) {
+        const auto hit = store.lookup_canonical(query, canon);
+        if (!hit.has_value()) {
+          stats_.errors.fetch_add(1, std::memory_order_relaxed);
           return "err unknown function (readonly session)";
         }
-        if (!resolved) {
-          const auto lock = write_lock();
-          result = store.lookup_or_classify_canonical(query, canon, options_.append_on_miss);
-          resolved = true;
-        }
+        result = *hit;
+      } else {
+        // One call resolves both outcomes: known classes through its
+        // gate-free index probe, genuine misses through the gated live
+        // tier — a separate lookup_canonical first would just repeat the
+        // index search on every miss.
+        result = store.lookup_or_classify_canonical(query, canon, options_.append_on_miss);
       }
     }
 
     count_source(stats_, result.source);
-    ++stats_.lookups;
+    stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+    count_width(store.num_vars(), result);
     std::ostringstream line;
     line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
          << " t=" << transform_to_compact(result.to_representative)
@@ -349,9 +357,24 @@ class Session {
     return line.str();
   }
 
+  /// Bumps the aggregate's per-width row for one answered lookup (the
+  /// `stats all` width rows). Direct relaxed increments — no sync step.
+  void count_width(int width, const StoreLookupResult& result)
+  {
+    if (width < 0 || width > kMaxVars) {
+      return;
+    }
+    ServeWidthCounters& row = options_.aggregate->width[static_cast<std::size_t>(width)];
+    row.lookups.fetch_add(1, std::memory_order_relaxed);
+    count_source(row, result.source);
+    // A live answer under append_on_miss is exactly an appended record.
+    if (result.source == LookupSource::kLive && options_.append_on_miss && !options_.readonly) {
+      row.appended.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   void emit_info(std::ostream& out)
   {
-    const auto lock = read_lock();
     if (router_ != nullptr) {
       out << "ok widths=";
       const std::vector<int> widths = router_->widths();
@@ -374,36 +397,47 @@ class Session {
   void emit_stats(std::ostream& out)
   {
     std::size_t appended = 0;
-    {
-      const auto lock = read_lock();
-      if (router_ != nullptr) {
-        for (const int width : router_->widths()) {
-          appended += router_->store_for(width)->num_appended();
-        }
-      } else {
-        appended = store_->num_appended();
+    if (router_ != nullptr) {
+      for (const int width : router_->widths()) {
+        appended += router_->store_for(width)->num_appended();
       }
+    } else {
+      appended = store_->num_appended();
     }
-    out << "ok requests=" << stats_.requests << " lookups=" << stats_.lookups
-        << " cache_hits=" << stats_.cache_hits << " index_hits=" << stats_.index_hits
-        << " live=" << stats_.live << " appended=" << appended << " errors=" << stats_.errors
+    const ServeStats stats = stats_.snapshot();
+    out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
+        << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
+        << " live=" << stats.live << " appended=" << appended << " errors=" << stats.errors
         << "\n"
         << std::flush;
+  }
+
+  /// The widths this session serves, ascending — the `stats all` rows.
+  [[nodiscard]] std::vector<int> served_widths() const
+  {
+    return router_ != nullptr ? router_->widths() : std::vector<int>{store_->num_vars()};
   }
 
   void emit_stats_all(std::ostream& out)
   {
     sync_aggregate();  // make this session's own numbers visible
-    const ServeAggregateStats& agg = *options_.aggregate;
-    out << "ok connections=" << agg.connections_active.load()
-        << " sessions=" << agg.connections_total.load() << " requests=" << agg.requests.load()
-        << " lookups=" << agg.lookups.load() << " cache_hits=" << agg.cache_hits.load()
-        << " index_hits=" << agg.index_hits.load() << " live=" << agg.live.load()
-        << " errors=" << agg.errors.load() << " flushed=" << agg.flushed_records.load()
-        << " compactions=" << agg.compactions.load()
-        << " compacted_runs=" << agg.compacted_runs.load()
-        << " compacted_records=" << agg.compacted_records.load() << "\n"
-        << std::flush;
+    const ServeAggregateSnapshot agg = options_.aggregate->snapshot();
+    const std::vector<int> widths = served_widths();
+    out << "ok connections=" << agg.connections_active << " sessions=" << agg.connections_total
+        << " requests=" << agg.requests << " lookups=" << agg.lookups
+        << " cache_hits=" << agg.cache_hits << " index_hits=" << agg.index_hits
+        << " live=" << agg.live << " errors=" << agg.errors << " flushed=" << agg.flushed_records
+        << " compactions=" << agg.compactions << " compacted_runs=" << agg.compacted_runs
+        << " compacted_records=" << agg.compacted_records << " widths=" << widths.size() << "\n";
+    // One row per served store; `widths=<count>` above tells clients how
+    // many rows to read.
+    for (const int width : widths) {
+      const ServeWidthStats& row = agg.width[static_cast<std::size_t>(width)];
+      out << "ok width=" << width << " lookups=" << row.lookups
+          << " cache_hits=" << row.cache_hits << " index_hits=" << row.index_hits
+          << " live=" << row.live << " appended=" << row.appended << "\n";
+    }
+    out << std::flush;
   }
 
   [[nodiscard]] bool flush_configured() const noexcept
@@ -414,6 +448,8 @@ class Session {
   /// Seals the session's appends into the configured delta log(s) — once;
   /// both the quit path and the end-of-input path land here, so appends
   /// survive a client that drops the connection without a clean quit.
+  /// flush_delta serializes inside each store's own gate, and stores of
+  /// different widths flush independently.
   std::size_t flush_on_exit()
   {
     if (exit_flushed_ || !flush_configured()) {
@@ -422,7 +458,6 @@ class Session {
     }
     exit_flushed_ = true;
     std::size_t flushed = 0;
-    const auto lock = write_lock();
     if (router_ != nullptr) {
       for (const auto& [width, dlog_path] : options_.dlog_paths) {
         if (ClassStore* store = router_->store_for(width)) {
@@ -432,7 +467,7 @@ class Session {
     } else {
       flushed += store_->flush_delta(options_.dlog_path);
     }
-    stats_.flushed += flushed;
+    stats_.flushed.fetch_add(flushed, std::memory_order_relaxed);
     return flushed;
   }
 
@@ -441,21 +476,22 @@ class Session {
   /// every session's traffic.
   void sync_aggregate()
   {
+    const ServeStats stats = stats_.snapshot();
     ServeAggregateStats& agg = *options_.aggregate;
-    agg.requests += stats_.requests - synced_.requests;
-    agg.lookups += stats_.lookups - synced_.lookups;
-    agg.cache_hits += stats_.cache_hits - synced_.cache_hits;
-    agg.index_hits += stats_.index_hits - synced_.index_hits;
-    agg.live += stats_.live - synced_.live;
-    agg.errors += stats_.errors - synced_.errors;
-    agg.flushed_records += stats_.flushed - synced_.flushed;
-    synced_ = stats_;
+    agg.requests += stats.requests - synced_.requests;
+    agg.lookups += stats.lookups - synced_.lookups;
+    agg.cache_hits += stats.cache_hits - synced_.cache_hits;
+    agg.index_hits += stats.index_hits - synced_.index_hits;
+    agg.live += stats.live - synced_.live;
+    agg.errors += stats.errors - synced_.errors;
+    agg.flushed_records += stats.flushed - synced_.flushed;
+    synced_ = stats;
   }
 
   ClassStore* store_;
   StoreRouter* router_;
   ServeOptions options_;
-  ServeStats stats_;
+  ServeCounters stats_;
   ServeStats synced_;
   ServeAggregateStats local_aggregate_;
   bool exit_flushed_ = false;

@@ -24,6 +24,12 @@
 ///                              index_hits=... live=... errors=...
 ///                              flushed=<f> compactions=<c>
 ///                              compacted_runs=<r> compacted_records=<k>
+///                              widths=<w>
+///                           followed by <w> per-width rows, one per served
+///                              store (ascending width), so fleet operators
+///                              see which widths run hot:
+///                           ok width=<n> lookups=<k> cache_hits=<h>
+///                              index_hits=<i> live=<l> appended=<a>
 ///                              (aggregated across every session of the
 ///                               process; equals the session numbers for a
 ///                               stdin session)
@@ -41,6 +47,18 @@
 ///
 ///   info                ->  ok widths=<w1,w2,...> stores=<s> records=<r>
 ///                              classes=<c> cache_entries=<e>
+///
+/// ## Concurrency
+///
+/// Sessions carry no locks: the store layer synchronizes itself
+/// (class_store.hpp — snapshot-epoch reads through the per-store StoreGate,
+/// a gated miss/append path, per-width striping through StoreRouter), so N
+/// concurrent sessions call plain store methods and every read proceeds
+/// without blocking behind appends, flushes or compaction swaps on ANY
+/// width. Canonicalization — the expensive step of a cold query — runs in
+/// the session thread before any store gate is involved. Session counters
+/// and the process-wide aggregate are atomics; `stats all` snapshots them
+/// with relaxed loads.
 ///
 /// Hardening (the same code path serves untrusted network clients):
 ///
@@ -62,11 +80,11 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <shared_mutex>
 #include <string>
 
 #include "facet/store/class_store.hpp"
@@ -78,6 +96,83 @@ namespace facet {
 /// enough for multi-thousand-operand mlookup batches, small enough that a
 /// hostile client cannot balloon the server by never sending a newline.
 inline constexpr std::size_t kMaxRequestLineBytes = 1u << 20;
+
+/// Plain-value session counters — what serve_loop/serve_router_loop return
+/// and what `stats` reports. Also the snapshot type of the atomic counter
+/// blocks below.
+struct ServeStats {
+  std::uint64_t requests = 0;    ///< non-blank, non-comment request lines
+  std::uint64_t lookups = 0;     ///< lookup/mlookup operands answered ok
+  std::uint64_t cache_hits = 0;  ///< answered from the hot cache
+  std::uint64_t index_hits = 0;  ///< answered from the persisted index
+  std::uint64_t live = 0;        ///< fell back to live classification
+  std::uint64_t errors = 0;      ///< `err` responses
+  std::uint64_t flushed = 0;     ///< appended records flushed on session exit
+};
+
+/// One session's counters as atomics: the session thread increments them
+/// mid-request while another thread (a `stats all` on a different
+/// connection, the server's shutdown report) snapshots — without the
+/// process-wide lock that used to serialize these, plain ints would be
+/// torn-read UB.
+struct ServeCounters {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> index_hits{0};
+  std::atomic<std::uint64_t> live{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> flushed{0};
+
+  /// Relaxed-load copy; each counter is individually coherent.
+  [[nodiscard]] ServeStats snapshot() const noexcept
+  {
+    ServeStats s;
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.lookups = lookups.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.index_hits = index_hits.load(std::memory_order_relaxed);
+    s.live = live.load(std::memory_order_relaxed);
+    s.errors = errors.load(std::memory_order_relaxed);
+    s.flushed = flushed.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+/// Per-width traffic counters of the aggregate: which routed stores run hot.
+struct ServeWidthCounters {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> index_hits{0};
+  std::atomic<std::uint64_t> live{0};
+  std::atomic<std::uint64_t> appended{0};
+};
+
+/// Relaxed-load snapshot of one ServeWidthCounters row.
+struct ServeWidthStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t index_hits = 0;
+  std::uint64_t live = 0;
+  std::uint64_t appended = 0;
+};
+
+/// Relaxed-load snapshot of the whole aggregate (ServeAggregateStats).
+struct ServeAggregateSnapshot {
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t index_hits = 0;
+  std::uint64_t live = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t flushed_records = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compacted_runs = 0;
+  std::uint64_t compacted_records = 0;
+  std::array<ServeWidthStats, kMaxVars + 1> width{};
+};
 
 /// Process-wide counters shared by every serve session (and the background
 /// compactor) of one serving process — the numbers behind `stats all`. All
@@ -98,6 +193,10 @@ struct ServeAggregateStats {
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> compacted_runs{0};
   std::atomic<std::uint64_t> compacted_records{0};
+  /// Per-width traffic, indexed by function width (0..kMaxVars).
+  std::array<ServeWidthCounters, kMaxVars + 1> width{};
+
+  [[nodiscard]] ServeAggregateSnapshot snapshot() const noexcept;
 };
 
 struct ServeOptions {
@@ -118,28 +217,11 @@ struct ServeOptions {
   /// Router-loop equivalent: width -> delta-log path.
   std::map<int, std::string> dlog_paths;
 
-  /// When set, every store access locks here: reads take a shared lock,
-  /// mutations (live classification, appends, session-exit flushes) take an
-  /// exclusive lock. This is how N concurrent sessions share one store /
-  /// router (the segments and the hot cache are internally thread-safe for
-  /// readers; mutations require exclusion — class_store.hpp). Null = the
-  /// session owns its store exclusively and no locking happens.
-  std::shared_mutex* store_mutex = nullptr;
-
   /// When set, the session also accumulates into these process-wide
   /// counters, and `stats all` reports them. Null = `stats all` reports the
-  /// session's own numbers.
+  /// session's own numbers. (Sessions sharing a store need nothing else:
+  /// the store gates its own mutations — class_store.hpp.)
   ServeAggregateStats* aggregate = nullptr;
-};
-
-struct ServeStats {
-  std::uint64_t requests = 0;    ///< non-blank, non-comment request lines
-  std::uint64_t lookups = 0;     ///< lookup/mlookup operands answered ok
-  std::uint64_t cache_hits = 0;  ///< answered from the hot cache
-  std::uint64_t index_hits = 0;  ///< answered from the persisted index
-  std::uint64_t live = 0;        ///< fell back to live classification
-  std::uint64_t errors = 0;      ///< `err` responses
-  std::uint64_t flushed = 0;     ///< appended records flushed on session exit
 };
 
 /// Serves `store` until `quit` or end of input; returns the session stats.

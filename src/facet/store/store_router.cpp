@@ -52,7 +52,7 @@ std::vector<int> StoreRouter::widths() const
   return result;
 }
 
-std::size_t StoreRouter::num_records() const noexcept
+std::size_t StoreRouter::num_records() const
 {
   std::size_t total = 0;
   for (const auto& [width, store] : stores_) {

@@ -10,9 +10,14 @@
 /// CLI (`facet_cli serve --route`) talk to one object regardless of how many
 /// widths are indexed.
 ///
-/// Concurrency mirrors ClassStore: lookup() and the const accessors are safe
-/// from many threads at once; attach() and lookup_or_classify() mutate and
-/// require external exclusion.
+/// Concurrency: the routing table is immutable once serving starts —
+/// attach()/open() run single-threaded at setup — and every routed store
+/// synchronizes itself (class_store.hpp: snapshot-epoch reads + a per-store
+/// mutation gate). Synchronization is therefore striped per width: an
+/// append, flush or compaction swap on the n=6 store never blocks readers
+/// *or* writers on n=7, because the only gates in the system are the
+/// per-store ones. lookup(), lookup_or_classify() and the aggregate
+/// accessors are all safe from any mix of threads after setup.
 
 #pragma once
 
@@ -31,7 +36,9 @@ class StoreRouter {
   StoreRouter() = default;
 
   /// Takes ownership of `store`, routing its width to it. Throws
-  /// std::invalid_argument when the width is already routed.
+  /// std::invalid_argument when the width is already routed. Setup-time
+  /// only: must not race any other member (the routing table itself has no
+  /// gate — it is immutable while serving).
   void attach(std::unique_ptr<ClassStore> store);
 
   /// Convenience: opens every path (ClassStore::open — base plus delta log)
@@ -49,7 +56,7 @@ class StoreRouter {
   [[nodiscard]] std::vector<int> widths() const;
 
   /// Aggregates across all routed stores.
-  [[nodiscard]] std::size_t num_records() const noexcept;
+  [[nodiscard]] std::size_t num_records() const;
   [[nodiscard]] std::uint64_t num_classes() const noexcept;
   [[nodiscard]] std::size_t hot_cache_entries() const;
 

@@ -458,6 +458,145 @@ TEST(NetServer, ShutdownDrainsLiveConnectionsWhileOthersExitConcurrently)
   std::remove(path.c_str());
 }
 
+/// The per-width striping contract end to end: a fleet hammers width-4
+/// reads while width-5 traffic appends, flushes (session exits) and
+/// compacts (1-run-threshold background compactor) through the router —
+/// reader answers stay bit-identical to the BatchEngine throughout, and the
+/// SIGTERM-style drain (request_shutdown + wait, the exact path the CLI's
+/// signal handler takes) loses zero width-5 appends.
+TEST(NetServer, MixedWidthReadersStayBitIdenticalWhileAnotherWidthAppendsAndCompacts)
+{
+  if (!net_supported()) {
+    GTEST_SKIP() << "no sockets on this platform";
+  }
+  const auto funcs4 = random_funcs(4, 50, 0x4e60ULL);
+  const ClassificationResult expected4 = classify_batch(funcs4, ClassifierKind::kExhaustive, {});
+  const auto funcs5 = random_funcs(5, 30, 0x4e61ULL);
+
+  const std::string path4 = ::testing::TempDir() + "net_server_mix4.fcs";
+  const std::string path5 = ::testing::TempDir() + "net_server_mix5.fcs";
+  build_class_store(funcs4, {}).save(path4);
+  build_class_store(funcs5, {}).save(path5);
+  std::remove(ClassStore::delta_log_path(path4).c_str());
+  std::remove(ClassStore::delta_log_path(path5).c_str());
+
+  // Novel width-5 classes, found against a throwaway probe store.
+  std::vector<TruthTable> novel5;
+  {
+    ClassStore probe = ClassStore::open(path5);
+    std::mt19937_64 rng{0x4e62ULL};
+    while (novel5.size() < 10) {
+      const TruthTable f = tt_random(5, rng);
+      if (!probe.lookup(f).has_value()) {
+        novel5.push_back(f);
+      }
+    }
+  }
+
+  StoreRouter router = StoreRouter::open({path4, path5});
+  const std::size_t base5_records = router.store_for(5)->num_records();
+  ServeServerOptions options;
+  options.listen = "127.0.0.1:0";
+  options.append_on_miss = true;
+  options.compact_after_runs = 1;
+  options.compact_poll = std::chrono::milliseconds{5};
+  ServeServer server{router, {{4, path4}, {5, path5}}, options};
+  server.start();
+
+  // Width-4 readers: mlookup batches of originals + NPN images, checked
+  // against the engine's exact ids, looping until the appenders finish.
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::size_t> reader_mismatches{0};
+  std::vector<std::thread> readers;
+  std::mt19937_64 image_rng{0x4e63ULL};
+  std::vector<std::pair<std::string, std::uint32_t>> read_queries;
+  for (std::size_t i = 0; i < funcs4.size(); ++i) {
+    read_queries.emplace_back(to_hex(funcs4[i]), expected4.class_of[i]);
+    read_queries.emplace_back(
+        to_hex(apply_transform(funcs4[i], NpnTransform::random(4, image_rng))),
+        expected4.class_of[i]);
+  }
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop_readers.load()) {
+        std::string script = "mlookup";
+        for (const auto& [hex, id] : read_queries) {
+          script += " " + hex;
+        }
+        script += "\nquit\n";
+        const auto lines = exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), script);
+        if (lines.size() != read_queries.size() + 1) {
+          ++reader_mismatches;
+          continue;
+        }
+        for (std::size_t i = 0; i < read_queries.size(); ++i) {
+          if (parse_id(lines[i]) != static_cast<long>(read_queries[i].second)) {
+            ++reader_mismatches;
+          }
+        }
+      }
+    });
+  }
+
+  // Width-5 appenders: short sequential sessions so each exit flush seals a
+  // run and the 1-run compactor folds width 5 under the readers' feet.
+  std::vector<long> appended_ids;
+  for (std::size_t start = 0; start < novel5.size(); start += 2) {
+    std::string script;
+    for (std::size_t k = start; k < std::min(start + 2, novel5.size()); ++k) {
+      script += "lookup " + to_hex(novel5[k]) + "\n";
+    }
+    script += "quit\n";
+    const auto lines = exchange(connect_tcp({"127.0.0.1", server.tcp_port()}), script);
+    ASSERT_GE(lines.size(), 2u);
+    for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+      const long id = parse_id(lines[i]);
+      ASSERT_GE(id, 0) << lines[i];
+      appended_ids.push_back(id);
+    }
+    EXPECT_EQ(lines.back().rfind("ok bye flushed=", 0), 0u) << lines.back();
+  }
+  for (int spin = 0; spin < 400 && server.stats().compactions.load() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  stop_readers.store(true);
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(reader_mismatches.load(), 0u)
+      << "width-4 readers diverged while width 5 mutated";
+  EXPECT_GE(server.stats().compactions.load(), 1u);
+
+  server.request_shutdown();
+  server.wait();
+
+  // Every compaction hit width 5 — width 4 had nothing to fold.
+  for (const auto& event : server.compaction_log()) {
+    EXPECT_EQ(event.width, 5);
+  }
+
+  // Zero lost appends across the drain: a cold reopen answers every novel
+  // width-5 class from the persisted tiers under its served id, and the
+  // width-4 store is untouched.
+  StoreRouter reopened = StoreRouter::open({path4, path5});
+  EXPECT_GE(reopened.store_for(5)->num_records(), base5_records + 1);
+  for (std::size_t i = 0; i < novel5.size(); ++i) {
+    const auto result = reopened.lookup(novel5[i]);
+    ASSERT_TRUE(result.has_value()) << "width-5 append " << i << " was lost in the drain";
+    EXPECT_TRUE(result->known);
+    EXPECT_EQ(static_cast<long>(result->class_id), appended_ids[i]);
+  }
+  for (std::size_t i = 0; i < funcs4.size(); ++i) {
+    const auto result = reopened.lookup(funcs4[i]);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->class_id, expected4.class_of[i]);
+  }
+  for (const auto& path : {path4, path5}) {
+    std::remove(path.c_str());
+    std::remove(ClassStore::delta_log_path(path).c_str());
+  }
+}
+
 TEST(NetServer, CapacityOverflowAnswersErrAndCloses)
 {
   if (!net_supported()) {

@@ -341,11 +341,55 @@ TEST(ServeProtocolEdge, StatsAllAnswersAggregateInStdinSessions)
   ServeStats stats;
   const auto lines =
       run_serve(store, "lookup " + hex + "\nstats all\nstats bogus\nquit\n", &stats);
-  ASSERT_EQ(lines.size(), 4u);
+  // `stats all` = one aggregate line (ending in widths=<count>) plus one
+  // per-width row for each served store — one row for a single-store loop.
+  ASSERT_EQ(lines.size(), 5u);
   EXPECT_EQ(lines[1].rfind("ok connections=1 sessions=1 requests=2 lookups=1", 0), 0u)
       << lines[1];
-  EXPECT_EQ(lines[2], "err stats takes no argument or 'all'");
-  EXPECT_EQ(lines[3], "ok bye");
+  EXPECT_NE(lines[1].find(" widths=1"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].rfind("ok width=3 lookups=1 ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3], "err stats takes no argument or 'all'");
+  EXPECT_EQ(lines[4], "ok bye");
+}
+
+TEST(ServeProtocolEdge, StatsAllReportsPerWidthRows)
+{
+  StoreRouter router = make_router(0xed20ULL);
+  const std::string hex3 = to_hex(router.store_for(3)->records().front().representative);
+  const std::string hex4 = to_hex(router.store_for(4)->records().front().representative);
+
+  // Two width-3 lookups (index then cache) and one width-4 lookup: the rows
+  // must attribute traffic to the store that served it.
+  const auto lines = run_router_serve(
+      router, "lookup " + hex3 + "\nlookup " + hex3 + "\nlookup " + hex4 + "\nstats all\nquit\n");
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_NE(lines[3].find(" lookups=3 "), std::string::npos) << lines[3];
+  EXPECT_NE(lines[3].find(" widths=2"), std::string::npos) << lines[3];
+  EXPECT_EQ(lines[4], "ok width=3 lookups=2 cache_hits=1 index_hits=1 live=0 appended=0")
+      << lines[4];
+  EXPECT_EQ(lines[5], "ok width=4 lookups=1 cache_hits=0 index_hits=1 live=0 appended=0")
+      << lines[5];
+  EXPECT_EQ(lines[6], "ok bye");
+}
+
+TEST(ServeProtocolEdge, StatsAllCountsAppendsPerWidth)
+{
+  StoreRouter router = make_router(0xed21ULL);
+  std::mt19937_64 rng{0xed22ULL};
+  TruthTable novel{4};
+  do {
+    novel = tt_random(4, rng);
+  } while (router.lookup(novel).has_value());
+
+  ServeOptions options;
+  options.append_on_miss = true;
+  const auto lines =
+      run_router_serve(router, "lookup " + to_hex(novel) + "\nstats all\nquit\n", nullptr, options);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[2], "ok width=3 lookups=0 cache_hits=0 index_hits=0 live=0 appended=0")
+      << lines[2];
+  EXPECT_EQ(lines[3], "ok width=4 lookups=1 cache_hits=0 index_hits=0 live=1 appended=1")
+      << lines[3];
 }
 
 TEST(ServeProtocolEdge, StatsLineReportsErrors)

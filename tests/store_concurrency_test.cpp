@@ -1,8 +1,12 @@
-/// Concurrent-reader hammering of the segmented store: many threads driving
+/// Concurrent hammering of the segmented store: many threads driving
 /// lookup() / probe_cache() / find_canonical() against stores with live
-/// delta segments and against lazily-validated mmap bases. Runs under the
-/// ASan/UBSan CI job, so data races on the lazy page flags or the sharded
-/// cache surface as sanitizer failures, and every id mismatch is counted.
+/// delta segments and against lazily-validated mmap bases — and, since the
+/// store gained its internal gate (gate.hpp), mutators running
+/// *concurrently* with those readers: appends, flushes, three-phase
+/// compaction swaps, and racing appenders that must agree on one id per
+/// class. Runs under the ASan/UBSan and TSan CI jobs, so data races on the
+/// lazy page flags, the sharded cache, the memtable or the snapshot swap
+/// surface as sanitizer failures, and every id mismatch is counted.
 
 #include <gtest/gtest.h>
 
@@ -207,6 +211,149 @@ TEST(StoreConcurrency, ReadersAgainstLazyMmapBase)
   // concurrently, exactly once each in effect.
   EXPECT_EQ(segment->pages_validated(), segment->num_pages());
   std::remove(path.c_str());
+}
+
+/// The tentpole contract of the store gate: readers keep resolving known
+/// classes bit-identically while a writer thread appends novel classes,
+/// seals delta runs, and swaps compacted bases through the three-phase API
+/// — with NO external lock anywhere.
+TEST(StoreConcurrency, ReadersStayBitIdenticalWhileAWriterAppendsFlushesAndCompacts)
+{
+  const int n = 5;
+  std::mt19937_64 rng{0xc0d0ULL};
+  std::vector<TruthTable> base_funcs;
+  for (int i = 0; i < 30; ++i) {
+    base_funcs.push_back(tt_random(n, rng));
+  }
+  const std::string path = ::testing::TempDir() + "store_concurrency_gate.fcs";
+  const std::string dlog = ClassStore::delta_log_path(path);
+  std::remove(dlog.c_str());
+  build_class_store(base_funcs, {}).save(path);
+  std::remove(dlog.c_str());
+
+  ClassStoreOptions options;
+  options.hot_cache_capacity = 64;  // churn the cache alongside the tiers
+  StoreOpenOptions open_options;
+  open_options.store = options;
+  ClassStore store = ClassStore::open(path, open_options);
+
+  // Reader workload over the base classes only — their ids must never waver
+  // no matter what the writer publishes.
+  const std::vector<TruthTable> lookup_funcs{base_funcs.begin(), base_funcs.end()};
+  const std::vector<StoreRecord> all_records = store.persisted_records();
+  const Workload w = make_workload(store, lookup_funcs, all_records, 0xc0d1ULL);
+
+  std::atomic<bool> stop_readers{false};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      while (!stop_readers.load()) {
+        for (std::size_t k = 0; k < w.queries.size(); ++k) {
+          const std::size_t i = (k + t * 17) % w.queries.size();
+          const auto result = store.lookup(w.queries[i]);
+          if (!result.has_value() || result->class_id != w.expected_ids[i]) {
+            ++mismatches;
+          }
+        }
+        for (std::size_t k = 0; k < w.canon_keys.size(); ++k) {
+          const std::size_t i = (k + t * 29) % w.canon_keys.size();
+          const auto id = store.find_class_id(w.canon_keys[i]);
+          if (!id.has_value() || *id != w.canon_ids[i]) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+
+  // The writer: rounds of append -> flush -> three-phase compaction, all
+  // while the readers run. Every call is a plain store method.
+  std::mt19937_64 writer_rng{0xc0d2ULL};
+  std::vector<std::pair<TruthTable, std::uint32_t>> appended;
+  for (int round = 0; round < 3; ++round) {
+    for (int a = 0; a < 4; ++a) {
+      TruthTable f{n};
+      do {
+        f = tt_random(n, writer_rng);
+      } while (store.lookup(f).has_value());
+      const StoreLookupResult result = store.lookup_or_classify(f, /*append_on_miss=*/true);
+      appended.emplace_back(f, result.class_id);
+    }
+    ASSERT_GT(store.flush_delta(dlog), 0u);
+    const CompactionSnapshot snapshot = store.compaction_snapshot();
+    std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
+    ClassStore::write_compacted(path + ".cpt", snapshot, merged);
+    store.adopt_compacted(path, path + ".cpt", snapshot, std::move(merged));
+  }
+
+  stop_readers.store(true);
+  for (auto& reader : readers) {
+    reader.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u) << "readers diverged during concurrent mutations";
+  EXPECT_EQ(store.num_compactions(), 3u);
+  EXPECT_EQ(store.num_delta_segments(), 0u);
+
+  // Every append kept its id, live and after a cold reopen of the swapped
+  // files.
+  ClassStore reopened = ClassStore::open(path, open_options);
+  for (const auto& [f, id] : appended) {
+    const auto live = store.lookup(f);
+    const auto durable = reopened.lookup(f);
+    ASSERT_TRUE(live.has_value());
+    ASSERT_TRUE(durable.has_value());
+    EXPECT_EQ(live->class_id, id);
+    EXPECT_EQ(durable->class_id, id);
+  }
+  std::remove(path.c_str());
+  std::remove(dlog.c_str());
+}
+
+/// Racing appenders on the SAME novel classes: the gate's re-probe must
+/// collapse every race to one id and one appended record per class.
+TEST(StoreConcurrency, RacingAppendersAgreeOnOneIdPerClass)
+{
+  const int n = 5;
+  ClassStore store{n};
+  std::mt19937_64 rng{0xc0d3ULL};
+  std::vector<TruthTable> novel;
+  for (int i = 0; i < 24; ++i) {
+    novel.push_back(tt_random(n, rng));
+  }
+
+  const std::size_t num_threads = 8;
+  std::vector<std::vector<std::uint32_t>> seen(num_threads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].assign(novel.size(), 0xffffffffU);
+      for (std::size_t i = 0; i < novel.size(); ++i) {
+        // Offset walks so threads collide on different functions at once.
+        const std::size_t k = (i + t * 7) % novel.size();
+        const auto result = store.lookup_or_classify(novel[k], /*append_on_miss=*/true);
+        seen[t][k] = result.class_id;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  // All threads observed the same id per function...
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    for (std::size_t t = 1; t < num_threads; ++t) {
+      EXPECT_EQ(seen[t][i], seen[0][i]) << "thread " << t << " diverged on function " << i;
+    }
+  }
+  // ...and every class was appended exactly once (distinct functions may
+  // share an NPN class, so count unique canonical forms, not functions).
+  const std::vector<StoreRecord> records = store.persisted_records();
+  EXPECT_EQ(records.size(), store.num_classes());
+  EXPECT_EQ(store.num_appended(), records.size());
+  for (const auto& f : novel) {
+    EXPECT_TRUE(store.lookup(f).has_value());
+  }
 }
 
 }  // namespace

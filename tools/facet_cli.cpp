@@ -276,13 +276,23 @@ void report_serve_stats(const ServeStats& stats)
 
 void report_server_stats(const ServeAggregateStats& stats)
 {
-  std::cerr << "served " << stats.connections_total.load() << " connection(s), "
-            << stats.requests.load() << " request(s): " << stats.lookups.load() << " lookup(s), "
-            << stats.cache_hits.load() << " cache / " << stats.index_hits.load() << " index / "
-            << stats.live.load() << " live, " << stats.errors.load() << " error(s), flushed "
-            << stats.flushed_records.load() << " record(s), " << stats.compactions.load()
-            << " compaction(s) (" << stats.compacted_runs.load() << " run(s), "
-            << stats.compacted_records.load() << " record(s))\n";
+  const ServeAggregateSnapshot agg = stats.snapshot();
+  std::cerr << "served " << agg.connections_total << " connection(s), " << agg.requests
+            << " request(s): " << agg.lookups << " lookup(s), " << agg.cache_hits << " cache / "
+            << agg.index_hits << " index / " << agg.live << " live, " << agg.errors
+            << " error(s), flushed " << agg.flushed_records << " record(s), " << agg.compactions
+            << " compaction(s) (" << agg.compacted_runs << " run(s), " << agg.compacted_records
+            << " record(s))\n";
+  // The `stats all` per-width rows, for operators reading the exit log.
+  for (std::size_t n = 0; n < agg.width.size(); ++n) {
+    const ServeWidthStats& row = agg.width[n];
+    if (row.lookups == 0) {
+      continue;
+    }
+    std::cerr << "  width " << n << ": " << row.lookups << " lookup(s), " << row.cache_hits
+              << " cache / " << row.index_hits << " index / " << row.live << " live, "
+              << row.appended << " appended\n";
+  }
 }
 
 // The SIGINT/SIGTERM bridge into the serve server's graceful shutdown
