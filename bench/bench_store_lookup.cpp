@@ -19,6 +19,13 @@
 /// resident-set growth — with find_canonical bit-identity checked between
 /// the two. Its report lands in BENCH_store_mmap.json (--mmap-out).
 ///
+/// A third phase benchmarks the miss path: an EMPTY store learning the
+/// whole workload through lookup_or_classify(append_on_miss) — once with
+/// the semiclass memo enabled, once disabled — with every id checked
+/// against the BatchEngine reference, plus a branch-and-bound vs orbit-walk
+/// canonicalizer micro-benchmark. Report: BENCH_store_misspath.json
+/// (--misspath-out).
+///
 /// Defaults are laptop-scale; the acceptance-scale run of the store PR is
 ///   bench_store_lookup --n 6 --funcs 120000
 /// The JSON report lands in BENCH_store_lookup.json (override with --out).
@@ -281,6 +288,94 @@ int main(int argc, char** argv)
             << "}\n";
   std::cout << "wrote " << mmap_out_path << "\n";
 
+  // --- miss path: empty store learning the workload ------------------------
+  const std::string misspath_out_path = args.get_string("misspath-out", "BENCH_store_misspath.json");
+  std::cout << "\nmiss path: empty store, " << funcs.size() << " appends, n = " << n << "\n";
+
+  bool misspath_identical = true;
+  double memo_seconds = 0.0;
+  double nomemo_seconds = 0.0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_canonicalizations = 0;
+  {
+    ClassStore learning{n};
+    watch.reset();
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      const auto result = learning.lookup_or_classify(funcs[i], /*append_on_miss=*/true);
+      misspath_identical = misspath_identical && result.class_id == reference.class_of[i];
+    }
+    memo_seconds = watch.seconds();
+    memo_hits = learning.num_memo_hits();
+    memo_canonicalizations = learning.num_canonicalizations();
+    misspath_identical = misspath_identical && learning.num_classes() == reference.num_classes;
+  }
+  {
+    ClassStoreOptions no_memo;
+    no_memo.semiclass_memo_capacity = 0;
+    ClassStore learning{n, no_memo};
+    watch.reset();
+    for (std::size_t i = 0; i < funcs.size(); ++i) {
+      const auto result = learning.lookup_or_classify(funcs[i], /*append_on_miss=*/true);
+      misspath_identical = misspath_identical && result.class_id == reference.class_of[i];
+    }
+    nomemo_seconds = watch.seconds();
+    misspath_identical = misspath_identical && learning.num_classes() == reference.num_classes;
+  }
+  const double memo_rate = per_sec(funcs.size(), memo_seconds);
+  const double nomemo_rate = per_sec(funcs.size(), nomemo_seconds);
+  const double memo_speedup = nomemo_rate > 0 ? memo_rate / nomemo_rate : 0.0;
+
+  // Canonicalizer micro-benchmark: branch-and-bound vs the unpruned orbit
+  // walk on the same sample. The walk is O(2^n * n!) per call, so keep the
+  // sample small past n = 6.
+  const std::size_t canon_sample = std::min<std::size_t>(n <= 6 ? 500 : 20, funcs.size());
+  bool canon_identical = true;
+  std::vector<TruthTable> bnb_results;
+  bnb_results.reserve(canon_sample);
+  watch.reset();
+  for (std::size_t i = 0; i < canon_sample; ++i) {
+    bnb_results.push_back(exact_npn_canonical(funcs[i]));
+  }
+  const double bnb_seconds = watch.seconds();
+  watch.reset();
+  for (std::size_t i = 0; i < canon_sample; ++i) {
+    canon_identical = canon_identical && exact_npn_canonical_walk(funcs[i]) == bnb_results[i];
+  }
+  const double walk_seconds = watch.seconds();
+  const double bnb_rate = per_sec(canon_sample, bnb_seconds);
+  const double walk_rate = per_sec(canon_sample, walk_seconds);
+  const double canon_speedup = walk_rate > 0 ? bnb_rate / walk_rate : 0.0;
+
+  std::cout << "memo on:  " << memo_rate << " appends/s (" << memo_hits << " memo hits, "
+            << memo_canonicalizations << " canonicalizations)\n"
+            << "memo off: " << nomemo_rate << " appends/s\n"
+            << "memo speedup: " << memo_speedup << "x\n"
+            << "canonicalizer (" << canon_sample << " sampled): B&B " << bnb_rate
+            << "/s vs walk " << walk_rate << "/s = " << canon_speedup << "x\n"
+            << "miss-path ids bit-identical to BatchEngine: "
+            << (misspath_identical ? "yes" : "NO") << "\n"
+            << "B&B bit-identical to walk: " << (canon_identical ? "yes" : "NO") << "\n";
+
+  std::ofstream misspath_json{misspath_out_path, std::ios::trunc};
+  misspath_json << "{\n"
+                << "  \"bench\": \"store_misspath\",\n"
+                << "  \"n\": " << n << ",\n"
+                << "  \"functions\": " << funcs.size() << ",\n"
+                << "  \"classes\": " << reference.num_classes << ",\n"
+                << "  \"memo_appends_per_sec\": " << memo_rate << ",\n"
+                << "  \"nomemo_appends_per_sec\": " << nomemo_rate << ",\n"
+                << "  \"memo_speedup\": " << memo_speedup << ",\n"
+                << "  \"memo_hits\": " << memo_hits << ",\n"
+                << "  \"canonicalizations\": " << memo_canonicalizations << ",\n"
+                << "  \"canon_sample\": " << canon_sample << ",\n"
+                << "  \"bnb_per_sec\": " << bnb_rate << ",\n"
+                << "  \"walk_per_sec\": " << walk_rate << ",\n"
+                << "  \"bnb_vs_walk_speedup\": " << canon_speedup << ",\n"
+                << "  \"identical_to_engine\": " << (misspath_identical ? "true" : "false") << ",\n"
+                << "  \"bnb_identical_to_walk\": " << (canon_identical ? "true" : "false") << "\n"
+                << "}\n";
+  std::cout << "wrote " << misspath_out_path << "\n";
+
   // Non-zero exit on a correctness violation so CI fails loudly.
-  return identical && mmap_identical ? 0 : 1;
+  return identical && mmap_identical && misspath_identical && canon_identical ? 0 : 1;
 }

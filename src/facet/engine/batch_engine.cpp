@@ -11,6 +11,7 @@
 #include "facet/npn/exact_canon.hpp"
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semi_canonical.hpp"
+#include "facet/npn/semiclass.hpp"
 #include "facet/store/class_store.hpp"
 #include "facet/store/store_router.hpp"
 #include "facet/util/hash.hpp"
@@ -34,6 +35,19 @@ struct BatchShardState {
   /// kExact: MSV bucket -> representatives, mirrors classify_exact's buckets.
   std::unordered_map<std::vector<std::uint32_t>, std::vector<TruthTable>, U32VectorHash> exact_buckets;
 
+  /// kExhaustive: one entry per class already canonicalized by this shard,
+  /// bucketed by the NPN-invariant semiclass key (semiclass.hpp). A new
+  /// member of a seen class resolves through a signature-pruned matcher
+  /// probe instead of a fresh exact canonicalization — sound, because
+  /// NPN-equivalent functions share one canonical form. The image_cache
+  /// above only helps bit-identical repeats; this tier catches equivalent
+  /// ones.
+  struct CanonEntry {
+    TruthTable canon;
+    NpnMatchKeys keys;  ///< npn_match_keys(canon), computed once
+  };
+  std::unordered_map<SemiclassKey, std::vector<CanonEntry>, SemiclassKeyHash> semiclass_memo;
+
   void clear()
   {
     image_cache.clear();
@@ -41,6 +55,7 @@ struct BatchShardState {
     msv_cache.clear();
     rep_cache.clear();
     exact_buckets.clear();
+    semiclass_memo.clear();
   }
 };
 
@@ -152,6 +167,26 @@ LocalResult group_by_key(const Dedup& d, std::vector<Key> key_of_unique, std::si
   return local;
 }
 
+/// Exact canonical form of `tt` through the shard's semiclass memo: probe
+/// the memoized classes sharing tt's semiclass key with the Boolean matcher
+/// (a hit is sound — an NPN-equivalent function has the same canonical
+/// form), else pay the exact canonicalizer once and memoize the class.
+TruthTable canonical_via_semiclass(BatchShardState& state, const TruthTable& tt)
+{
+  auto& bucket = state.semiclass_memo[semiclass_key(tt)];
+  if (!bucket.empty()) {
+    const NpnMatchKeys tt_keys = npn_match_keys(tt);
+    for (const auto& entry : bucket) {
+      if (npn_match(tt, tt_keys, entry.canon, entry.keys).has_value()) {
+        return entry.canon;
+      }
+    }
+  }
+  TruthTable canon = exact_npn_canonical(tt);
+  bucket.push_back(BatchShardState::CanonEntry{canon, npn_match_keys(canon)});
+  return canon;
+}
+
 /// Looks up `tt` in `cache` or computes-and-stores via `compute`, counting
 /// hits and misses.
 template <typename Value, typename Compute>
@@ -221,7 +256,7 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
           }
           const TruthTable& canon =
               memoized(state.image_cache, u, hits, misses,
-                       [](const TruthTable& tt) { return exact_npn_canonical(tt); });
+                       [&](const TruthTable& tt) { return canonical_via_semiclass(state, tt); });
           const std::optional<std::uint32_t> id =
               width_matches ? resolved->find_class_id(canon) : std::nullopt;
           if (id.has_value()) {
@@ -247,7 +282,7 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
         image_of_unique.push_back(memoized(state.image_cache, u, hits, misses, [&](const TruthTable& tt) {
           switch (kind) {
             case ClassifierKind::kExhaustive:
-              return exact_npn_canonical(tt);
+              return canonical_via_semiclass(state, tt);
             case ClassifierKind::kSemiCanonical:
               return semi_canonical(tt);
             case ClassifierKind::kCodesign:

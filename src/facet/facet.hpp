@@ -33,6 +33,7 @@
 #include "facet/npn/hierarchical.hpp"
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semi_canonical.hpp"
+#include "facet/npn/semiclass.hpp"
 #include "facet/npn/symmetry.hpp"
 #include "facet/npn/transform.hpp"
 #include "facet/sig/cofactor.hpp"

@@ -1,10 +1,12 @@
 #include "facet/npn/exact_canon.hpp"
 
+#include <algorithm>
 #include <array>
 #include <numeric>
 #include <stdexcept>
 
 #include "facet/npn/enumerate.hpp"
+#include "facet/npn/semiclass.hpp"
 #include "facet/tt/tt_transform.hpp"
 
 namespace facet {
@@ -123,10 +125,485 @@ CanonResult walk(const TruthTable& tt)
   return best;
 }
 
+/// Branch-and-bound canonicalizer: assigns target positions most-significant
+/// first (position n-1 at depth 0, position n-1-d at depth d). A node at
+/// depth d is the table with the d assigned source variables moved to the
+/// top positions (phases applied) and the unassigned variables below them in
+/// their relative order; every completion only permutes/flips the unassigned
+/// positions, i.e. rearranges bits WITHIN each of the 2^d top-address blocks
+/// and preserves each block's popcount. Packing every block's ones at its
+/// low end is therefore a sound lower bound on every completion, compared
+/// lexicographically (most significant block first) against the incumbent:
+/// bound >= incumbent cuts the subtree. The incumbent is seeded with the
+/// semiclass image (a real orbit element whose cofactor ordering the search
+/// must then beat), and children are expanded sparsest-top-block first — the
+/// semiclass ordering — so the enumeration only descends into
+/// permutation/phase prefixes consistent with a still-improvable cofactor
+/// ordering instead of the full 2^(n+1) * n! orbit.
+template <bool track>
+class Bnb {
+ public:
+  explicit Bnb(const TruthTable& tt) : n_{tt.num_vars()}
+  {
+    const SemiclassResult seed = semiclass_form(tt);
+    best_.canonical = seed.image;
+    best_.transform = seed.transform;
+    for (int out = 0; out <= 1; ++out) {
+      output_neg_ = out == 1;
+      const TruthTable root = output_neg_ ? ~tt : tt;
+      std::iota(vars_at_.begin(), vars_at_.begin() + n_, 0);
+      if (!bound_prunes(root, 0)) {
+        descend(root, 0, root.count_ones());
+      }
+    }
+    if constexpr (track) {
+      // The store's bit-identity guarantee rides on this witness; fail loudly
+      // rather than return a transform that does not reproduce the canonical.
+      if (apply_transform_fast(tt, best_.transform) != best_.canonical) {
+        throw std::logic_error("exact_npn_canonical: branch-and-bound witness failed verification");
+      }
+    }
+  }
+
+  [[nodiscard]] CanonResult result() && { return std::move(best_); }
+
+ private:
+  struct Candidate {
+    std::uint64_t top_count = 0;
+    int slot = 0;
+    int phase = 0;
+  };
+
+  /// `top_count` is the popcount of r's most significant depth-level block
+  /// (the whole table at the root), passed down so each child's new
+  /// top-block count follows from one masked popcount on the parent.
+  void descend(const TruthTable& r, int depth, std::uint64_t top_count)
+  {
+    if (depth == n_) {
+      if (r < best_.canonical) {
+        best_.canonical = r;
+        if constexpr (track) {
+          NpnTransform t = NpnTransform::identity(n_);
+          t.output_neg = output_neg_;
+          for (int k = 0; k < n_; ++k) {
+            const int v = assigned_var_[static_cast<std::size_t>(k)];
+            t.perm[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(n_ - 1 - k);
+            t.input_neg |= static_cast<std::uint32_t>(assigned_phase_[static_cast<std::size_t>(k)]) << v;
+          }
+          best_.transform = t;
+        }
+      }
+      return;
+    }
+
+    // Child (slot s, phase p) moves the variable at unassigned position s to
+    // target position n-1-depth with optional complement. Its new top block
+    // (depth+1) is the half of r's top block where that variable is 1 for
+    // phase 0 and 0 for phase 1 — counted on r, without materializing the
+    // child. Children whose packed-low top-block bound already exceeds the
+    // incumbent's top block are dropped here.
+    const int target = n_ - 1 - depth;
+    std::array<Candidate, 16> candidates;
+    std::size_t count = 0;
+    for (int s = 0; s <= target; ++s) {
+      const std::uint64_t ones_side = masked_top_count(r, depth, s);
+      const std::uint64_t counts[2] = {ones_side, top_count - ones_side};
+      for (int p = 0; p <= 1; ++p) {
+        if (compare_packed_with_incumbent_top(counts[p], depth + 1) > 0) {
+          continue;
+        }
+        candidates[count++] = Candidate{counts[p], s, p};
+      }
+    }
+    // Sparsest new top block first: best candidates for a smaller table are
+    // explored first, tightening the incumbent so later siblings prune.
+    std::sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(count),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.top_count != b.top_count) {
+                  return a.top_count < b.top_count;
+                }
+                if (a.slot != b.slot) {
+                  return a.slot < b.slot;
+                }
+                return a.phase < b.phase;
+              });
+
+    for (std::size_t k = 0; k < count; ++k) {
+      const Candidate& c = candidates[k];
+      // The incumbent tightens as siblings complete; re-test before paying
+      // for materialization. A strictly smaller top block can never be
+      // pruned by the full bound (the first differing block decides), so the
+      // full scan only runs on ties.
+      const int cmp = compare_packed_with_incumbent_top(c.top_count, depth + 1);
+      if (cmp > 0) {
+        continue;
+      }
+      TruthTable child = r;
+      if (c.slot != target) {
+        swap_vars_in_place(child, c.slot, target);
+      }
+      if (c.phase != 0) {
+        flip_var_in_place(child, target);
+      }
+      if (cmp == 0 && bound_prunes(child, depth + 1)) {
+        continue;
+      }
+      const int v = vars_at_[static_cast<std::size_t>(c.slot)];
+      const int displaced = vars_at_[static_cast<std::size_t>(target)];
+      vars_at_[static_cast<std::size_t>(c.slot)] = displaced;
+      vars_at_[static_cast<std::size_t>(target)] = v;
+      if constexpr (track) {
+        assigned_var_[static_cast<std::size_t>(depth)] = v;
+        assigned_phase_[static_cast<std::size_t>(depth)] = c.phase;
+      }
+      descend(child, depth + 1, c.top_count);
+      vars_at_[static_cast<std::size_t>(c.slot)] = v;
+      vars_at_[static_cast<std::size_t>(target)] = displaced;
+    }
+  }
+
+  /// Ones of r's depth-level top block restricted to minterms where the
+  /// variable at position `s` is 1 (s is below the assigned region).
+  [[nodiscard]] static std::uint64_t masked_top_count(const TruthTable& r, int depth, int s)
+  {
+    const std::uint64_t bits = r.num_bits();
+    const std::uint64_t region = bits >> depth;
+    if (bits <= 64) {
+      const std::uint64_t region_mask =
+          (region >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << region) - 1) << (bits - region));
+      return static_cast<std::uint64_t>(
+          popcount64(r.word(0) & region_mask & kVarMask[static_cast<std::size_t>(s)]));
+    }
+    if (region >= 64) {
+      std::uint64_t count = 0;
+      for (std::size_t w = (bits - region) >> 6; w < (bits >> 6); ++w) {
+        if (s >= kVarsPerWord) {
+          if (((w >> (s - kVarsPerWord)) & 1u) != 0) {
+            count += static_cast<std::uint64_t>(popcount64(r.word(w)));
+          }
+        } else {
+          count += static_cast<std::uint64_t>(
+              popcount64(r.word(w) & kVarMask[static_cast<std::size_t>(s)]));
+        }
+      }
+      return count;
+    }
+    // Sub-word region in the last word; s is in-word (s < log2(region) < 6).
+    const std::uint64_t word = r.word((bits - 1) >> 6);
+    const std::uint64_t region_mask = ((std::uint64_t{1} << region) - 1) << (64 - region);
+    return static_cast<std::uint64_t>(
+        popcount64(word & region_mask & kVarMask[static_cast<std::size_t>(s)]));
+  }
+
+  /// Compares the packed-low value of `c` ones against the incumbent's
+  /// depth-level top block: >0 means the packed bound alone already exceeds
+  /// the incumbent there (prune), 0 a tie, <0 strictly smaller.
+  [[nodiscard]] int compare_packed_with_incumbent_top(std::uint64_t c, int depth) const
+  {
+    const TruthTable& inc = best_.canonical;
+    const std::uint64_t bits = inc.num_bits();
+    const std::uint64_t block = bits >> depth;
+    if (block <= 64) {
+      std::uint64_t iv;
+      if (bits <= 64) {
+        iv = inc.word(0) >> (bits - block);
+      } else {
+        iv = inc.word((bits - 1) >> 6) >> (64 - block);
+      }
+      const std::uint64_t bv = c >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << c) - 1;
+      return bv == iv ? 0 : (bv > iv ? 1 : -1);
+    }
+    const std::size_t words_per_block = static_cast<std::size_t>(block >> 6);
+    const std::uint64_t* iw = inc.words().data() + ((bits - block) >> 6);
+    for (std::size_t w = words_per_block; w-- > 0;) {
+      const std::uint64_t base = static_cast<std::uint64_t>(w) * 64;
+      std::uint64_t bw = 0;
+      if (c >= base + 64) {
+        bw = ~std::uint64_t{0};
+      } else if (c > base) {
+        bw = (std::uint64_t{1} << (c - base)) - 1;
+      }
+      if (bw != iw[w]) {
+        return bw > iw[w] ? 1 : -1;
+      }
+    }
+    return 0;
+  }
+
+  /// True iff no completion of node `r` at `depth` can beat the incumbent:
+  /// compares the packed-low lower bound against best_, most significant
+  /// block first. Equality prunes too (only strict improvements matter).
+  [[nodiscard]] bool bound_prunes(const TruthTable& r, int depth) const
+  {
+    const TruthTable& inc = best_.canonical;
+    const std::uint64_t bits = r.num_bits();
+    const int block_log = n_ - depth;
+
+    if (bits > 64 && block_log >= 6) {
+      // Blocks span whole words.
+      const std::size_t words_per_block = std::size_t{1} << (block_log - 6);
+      for (std::size_t block = std::size_t{1} << depth; block-- > 0;) {
+        const std::uint64_t* rw = r.words().data() + block * words_per_block;
+        const std::uint64_t* iw = inc.words().data() + block * words_per_block;
+        std::uint64_t c = 0;
+        for (std::size_t w = 0; w < words_per_block; ++w) {
+          c += static_cast<std::uint64_t>(popcount64(rw[w]));
+        }
+        for (std::size_t w = words_per_block; w-- > 0;) {
+          const std::uint64_t base = static_cast<std::uint64_t>(w) * 64;
+          std::uint64_t bw = 0;
+          if (c >= base + 64) {
+            bw = ~std::uint64_t{0};
+          } else if (c > base) {
+            bw = (std::uint64_t{1} << (c - base)) - 1;
+          }
+          if (bw != iw[w]) {
+            return bw > iw[w];
+          }
+        }
+      }
+      return true;
+    }
+
+    // Sub-word blocks (they never straddle a word: power-of-two sizes).
+    const std::uint64_t block_bits = bits >> depth;
+    const std::uint64_t mask =
+        block_bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << block_bits) - 1;
+    for (std::uint64_t block = std::uint64_t{1} << depth; block-- > 0;) {
+      const std::uint64_t bit = block * block_bits;
+      const std::uint64_t rv = (r.word(bit >> 6) >> (bit & 63)) & mask;
+      const std::uint64_t iv = (inc.word(bit >> 6) >> (bit & 63)) & mask;
+      const int c = popcount64(rv);
+      const std::uint64_t bv = c >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << c) - 1;
+      if (bv != iv) {
+        return bv > iv;
+      }
+    }
+    return true;
+  }
+
+  int n_;
+  CanonResult best_;
+  bool output_neg_ = false;
+  std::array<int, 8> vars_at_{};
+  std::array<int, 8> assigned_var_{};
+  std::array<int, 8> assigned_phase_{};
+};
+
+/// Single-word specialization of the branch-and-bound for 4 <= n <= 6 — the
+/// store's hot range, where the whole table is one 64-bit word and every
+/// node operation is a handful of register instructions. Same search, same
+/// traversal order, bit-identical results to Bnb (property-tested via the
+/// walk oracle).
+template <bool track>
+class WordBnb {
+ public:
+  explicit WordBnb(const TruthTable& tt) : n_{tt.num_vars()}, bits_{tt.num_bits()}
+  {
+    const SemiclassResult seed = semiclass_form(tt);
+    best_word_ = seed.image.word(0);
+    best_transform_ = seed.transform;
+    const std::uint64_t table_mask = low_bits_mask(n_);
+    for (int out = 0; out <= 1; ++out) {
+      output_neg_ = out == 1;
+      const std::uint64_t root = (out != 0 ? ~tt.word(0) : tt.word(0)) & table_mask;
+      std::iota(vars_at_.begin(), vars_at_.begin() + n_, 0);
+      const std::uint64_t ones = static_cast<std::uint64_t>(popcount64(root));
+      // At depth 0 the top "block" is the whole table, so this packed-low
+      // comparison is the full bound; ties prune (nothing strictly smaller).
+      if (compare_packed_with_incumbent_top(ones, 0) < 0) {
+        descend(root, 0, ones);
+      }
+    }
+  }
+
+  [[nodiscard]] CanonResult result(const TruthTable& tt) &&
+  {
+    CanonResult out;
+    out.canonical = TruthTable::from_word(n_, best_word_);
+    out.transform = best_transform_;
+    if constexpr (track) {
+      if (apply_transform_fast(tt, out.transform) != out.canonical) {
+        throw std::logic_error("exact_npn_canonical: branch-and-bound witness failed verification");
+      }
+    }
+    return out;
+  }
+
+ private:
+  void descend(std::uint64_t r, int depth, std::uint64_t top_count)
+  {
+    if (depth == n_) {
+      if (r < best_word_) {
+        best_word_ = r;
+        if constexpr (track) {
+          NpnTransform t = NpnTransform::identity(n_);
+          t.output_neg = output_neg_;
+          for (int k = 0; k < n_; ++k) {
+            const int v = assigned_var_[static_cast<std::size_t>(k)];
+            t.perm[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(n_ - 1 - k);
+            t.input_neg |= static_cast<std::uint32_t>(assigned_phase_[static_cast<std::size_t>(k)]) << v;
+          }
+          best_transform_ = t;
+        }
+      }
+      return;
+    }
+
+    const int target = n_ - 1 - depth;
+    const std::uint64_t region = bits_ >> depth;
+    const std::uint64_t region_mask =
+        (region >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << region) - 1) << (bits_ - region));
+
+    std::array<Candidate, 12> candidates;
+    std::size_t count = 0;
+    for (int s = 0; s <= target; ++s) {
+      const std::uint64_t ones_side = static_cast<std::uint64_t>(
+          popcount64(r & region_mask & kVarMask[static_cast<std::size_t>(s)]));
+      const std::uint64_t counts[2] = {ones_side, top_count - ones_side};
+      for (int p = 0; p <= 1; ++p) {
+        if (compare_packed_with_incumbent_top(counts[p], depth + 1) > 0) {
+          continue;
+        }
+        candidates[count++] = Candidate{counts[p], s, p};
+      }
+    }
+    std::sort(candidates.begin(), candidates.begin() + static_cast<std::ptrdiff_t>(count),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.top_count != b.top_count) {
+                  return a.top_count < b.top_count;
+                }
+                if (a.slot != b.slot) {
+                  return a.slot < b.slot;
+                }
+                return a.phase < b.phase;
+              });
+
+    for (std::size_t k = 0; k < count; ++k) {
+      const Candidate& c = candidates[k];
+      const int cmp = compare_packed_with_incumbent_top(c.top_count, depth + 1);
+      if (cmp > 0) {
+        continue;
+      }
+      if (cmp == 0) {
+        // First blocks tie; compare the second (the other half of the
+        // parent's top block, whose count we already know) before paying for
+        // materialization. Strictly-greater packed bound there prunes.
+        const std::uint64_t sub = bits_ >> (depth + 1);
+        const std::uint64_t iv2 =
+            (best_word_ >> (bits_ - 2 * sub)) & ((std::uint64_t{1} << sub) - 1);
+        const std::uint64_t c2 = top_count - c.top_count;
+        const std::uint64_t bv2 = c2 >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << c2) - 1;
+        if (bv2 > iv2) {
+          continue;
+        }
+      }
+      std::uint64_t child = r;
+      if (c.slot != target) {
+        child = swap_in_word(child, c.slot, target);
+      }
+      if (c.phase != 0) {
+        child = flip_in_word(child, target) & low_bits_mask(n_);
+      }
+      if (cmp == 0 && bound_prunes(child, depth + 1)) {
+        continue;
+      }
+      const int v = vars_at_[static_cast<std::size_t>(c.slot)];
+      const int displaced = vars_at_[static_cast<std::size_t>(target)];
+      vars_at_[static_cast<std::size_t>(c.slot)] = displaced;
+      vars_at_[static_cast<std::size_t>(target)] = v;
+      if constexpr (track) {
+        assigned_var_[static_cast<std::size_t>(depth)] = v;
+        assigned_phase_[static_cast<std::size_t>(depth)] = c.phase;
+      }
+      descend(child, depth + 1, c.top_count);
+      vars_at_[static_cast<std::size_t>(c.slot)] = v;
+      vars_at_[static_cast<std::size_t>(target)] = displaced;
+    }
+  }
+
+  struct Candidate {
+    std::uint64_t top_count = 0;
+    int slot = 0;
+    int phase = 0;
+  };
+
+  [[nodiscard]] int compare_packed_with_incumbent_top(std::uint64_t c, int depth) const
+  {
+    const std::uint64_t block = bits_ >> depth;
+    const std::uint64_t iv = best_word_ >> (bits_ - block);
+    const std::uint64_t bv = c >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << c) - 1;
+    return bv == iv ? 0 : (bv > iv ? 1 : -1);
+  }
+
+  [[nodiscard]] bool bound_prunes(std::uint64_t r, int depth) const
+  {
+    const std::uint64_t block_bits = bits_ >> depth;
+    const std::uint64_t mask =
+        block_bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << block_bits) - 1;
+    for (std::uint64_t block = std::uint64_t{1} << depth; block-- > 0;) {
+      const std::uint64_t shift = block * block_bits;
+      const std::uint64_t rv = (r >> shift) & mask;
+      const std::uint64_t iv = (best_word_ >> shift) & mask;
+      const int c = popcount64(rv);
+      std::uint64_t bv = c >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << c) - 1;
+      if (c == 2) {
+        // Sharper than packed-low: the remaining transforms permute/flip the
+        // block's variables, which preserves the Hamming distance d between
+        // the two 1-minterms; the smallest reachable two-ones pattern is
+        // {2^(d-1) - 1, 2^(d-1)}, i.e. 3 << (2^(d-1) - 1). Exact for c == 2.
+        const int d = popcount64(static_cast<std::uint64_t>(std::countr_zero(rv)) ^
+                                 static_cast<std::uint64_t>(63 - std::countl_zero(rv)));
+        bv = std::uint64_t{3} << ((std::uint64_t{1} << (d - 1)) - 1);
+      }
+      if (bv != iv) {
+        return bv > iv;
+      }
+    }
+    return true;
+  }
+
+  int n_;
+  std::uint64_t bits_;
+  std::uint64_t best_word_ = 0;
+  NpnTransform best_transform_;
+  bool output_neg_ = false;
+  std::array<int, 8> vars_at_{};
+  std::array<int, 8> assigned_var_{};
+  std::array<int, 8> assigned_phase_{};
+};
+
+template <bool track>
+CanonResult canonical_dispatch(const TruthTable& tt)
+{
+  const int n = tt.num_vars();
+  if (n > 8) {
+    throw std::invalid_argument("exact_npn_canonical: limited to n <= 8");
+  }
+  if (n <= 3) {
+    // Orbits are tiny; the walk's incremental steps beat the bound machinery.
+    return walk<track>(tt);
+  }
+  if (n <= kVarsPerWord) {
+    return WordBnb<track>{tt}.result(tt);
+  }
+  return Bnb<track>{tt}.result();
+}
+
 }  // namespace
 
-TruthTable exact_npn_canonical(const TruthTable& tt) { return walk<false>(tt).canonical; }
+TruthTable exact_npn_canonical(const TruthTable& tt)
+{
+  return canonical_dispatch<false>(tt).canonical;
+}
 
-CanonResult exact_npn_canonical_with_transform(const TruthTable& tt) { return walk<true>(tt); }
+CanonResult exact_npn_canonical_with_transform(const TruthTable& tt)
+{
+  return canonical_dispatch<true>(tt);
+}
+
+TruthTable exact_npn_canonical_walk(const TruthTable& tt) { return walk<false>(tt).canonical; }
+
+CanonResult exact_npn_canonical_walk_with_transform(const TruthTable& tt) { return walk<true>(tt); }
 
 }  // namespace facet

@@ -1,13 +1,33 @@
 /// \file exact_canon.hpp
-/// \brief Exhaustive exact NPN canonical form (the "Kitty" baseline).
+/// \brief Exact NPN canonical form: orbit walk and branch-and-bound.
 ///
 /// The canonical representative of an NPN class is the lexicographically
 /// smallest truth table in the orbit of f under all 2^(n+1) * n! NPN
-/// transformations. This is the algorithm family of
-/// kitty::exact_npn_canonization, which the paper uses as the exact
-/// reference for n <= 6 (Table III); it walks the orbit with O(1)-table-op
-/// incremental steps (see enumerate.hpp) and is exponential in n, which is
-/// why the paper reports it failing beyond 6 variables.
+/// transformations.
+///
+/// Two complete implementations:
+///
+///  * exact_npn_canonical_walk — the algorithm family of
+///    kitty::exact_npn_canonization, which the paper uses as the exact
+///    reference for n <= 6 (Table III): walk the full orbit with
+///    O(1)-table-op incremental steps (see enumerate.hpp). Exponential in n
+///    with no pruning, which is why the paper reports it failing beyond 6
+///    variables.
+///
+///  * exact_npn_canonical — branch-and-bound in the spirit of the paper's
+///    thesis: cheap invariant characteristics prune the transform search.
+///    Target positions are assigned most-significant first; at depth d the
+///    2^d top-block popcounts (d-ary cofactor counts of the partial
+///    assignment) give a sound lower bound on every completion (each block's
+///    ones packed at its low end), so subtrees that cannot beat the current
+///    incumbent are cut. The incumbent is seeded with the one-pass semiclass
+///    form (semiclass.hpp), which constrains the enumeration to
+///    permutations/phases consistent with the semiclass cofactor ordering —
+///    orders of magnitude fewer nodes than the full orbit on typical
+///    functions, while remaining exhaustive (bit-identical results).
+///
+/// Both are limited to n <= 8 and both output polarities are searched, so
+/// the results agree exactly (property-tested).
 
 #pragma once
 
@@ -16,8 +36,8 @@
 
 namespace facet {
 
-/// Lexicographically smallest table in the NPN orbit of `tt`.
-/// Practical for n <= 8 (2^8 * 8! ~ 10^7 incremental steps).
+/// Lexicographically smallest table in the NPN orbit of `tt`
+/// (branch-and-bound; n <= 8).
 [[nodiscard]] TruthTable exact_npn_canonical(const TruthTable& tt);
 
 struct CanonResult {
@@ -26,7 +46,14 @@ struct CanonResult {
   NpnTransform transform;
 };
 
-/// Canonical form plus a witnessing transform.
+/// Canonical form plus a witnessing transform (branch-and-bound; n <= 8).
 [[nodiscard]] CanonResult exact_npn_canonical_with_transform(const TruthTable& tt);
+
+/// Reference implementation: exhaustive orbit walk with no pruning. Kept as
+/// the oracle the branch-and-bound is property-tested against.
+[[nodiscard]] TruthTable exact_npn_canonical_walk(const TruthTable& tt);
+
+/// Walk-based canonical form plus a witnessing transform.
+[[nodiscard]] CanonResult exact_npn_canonical_walk_with_transform(const TruthTable& tt);
 
 }  // namespace facet

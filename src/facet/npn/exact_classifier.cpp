@@ -15,10 +15,15 @@ ClassificationResult classify_exact(std::span<const TruthTable> funcs, const Sig
   ClassificationResult result;
   result.class_of.reserve(funcs.size());
 
+  struct Rep {
+    TruthTable table;
+    NpnMatchKeys keys;  // precomputed once, reused across every probe
+    std::uint32_t class_id;
+  };
   struct Bucket {
     // Representative table and its class id, one per distinct class that
     // shares this MSV.
-    std::vector<std::pair<TruthTable, std::uint32_t>> reps;
+    std::vector<Rep> reps;
   };
   std::unordered_map<std::vector<std::uint32_t>, Bucket, U32VectorHash> buckets;
   // Identical truth tables short-circuit the matcher entirely.
@@ -34,12 +39,13 @@ ClassificationResult classify_exact(std::span<const TruthTable> funcs, const Sig
     auto& bucket = buckets[build_msv(f, bucket_config)];
     std::uint32_t cls = next_class;
     bool matched = false;
-    for (const auto& [rep, rep_class] : bucket.reps) {
+    const NpnMatchKeys f_keys = npn_match_keys(f);
+    for (const auto& rep : bucket.reps) {
       if (stats != nullptr) {
         ++stats->matcher_calls;
       }
-      if (npn_equivalent(rep, f)) {
-        cls = rep_class;
+      if (npn_match(rep.table, rep.keys, f, f_keys).has_value()) {
+        cls = rep.class_id;
         matched = true;
         if (stats != nullptr) {
           ++stats->matcher_hits;
@@ -48,7 +54,7 @@ ClassificationResult classify_exact(std::span<const TruthTable> funcs, const Sig
       }
     }
     if (!matched) {
-      bucket.reps.emplace_back(f, cls);
+      bucket.reps.push_back(Rep{f, f_keys, cls});
       ++next_class;
     }
     seen.emplace(f, cls);

@@ -11,11 +11,29 @@ namespace facet {
 
 namespace {
 
-/// Per-variable invariant keys (phase-insensitive cofactor pair, influence,
-/// conditional sensitivity histogram — see variable_signatures.hpp).
-[[nodiscard]] std::vector<VariableSignature> var_keys(const TruthTable& tt)
+/// Matcher keys of the output-complemented function, derived from the
+/// original's without touching the table: cofactor counts complement to
+/// 2^(n-1) - c (swapping min and max), influence and the sensitivity
+/// histogram are invariant under output negation (the sensitive sets are
+/// identical). Equals npn_match_keys(~f) exactly.
+[[nodiscard]] NpnMatchKeys complement_keys(const NpnMatchKeys& keys, const TruthTable& f)
 {
-  return variable_signatures(tt);
+  const std::uint32_t half = static_cast<std::uint32_t>(f.num_bits() / 2);
+  NpnMatchKeys out;
+  out.ones = f.num_bits() - keys.ones;
+  out.keys = keys.keys;
+  for (auto& k : out.keys) {
+    const std::uint32_t lo = half - k.cofactor_max;
+    const std::uint32_t hi = half - k.cofactor_min;
+    k.cofactor_min = lo;
+    k.cofactor_max = hi;
+  }
+  out.pairs = keys.pairs;
+  for (auto& p : out.pairs) {
+    p.count0 = half - p.count0;
+    p.count1 = half - p.count1;
+  }
+  return out;
 }
 
 /// Lazy cache of 2-ary cofactor count tables: entry (i, j) holds the four
@@ -53,14 +71,17 @@ class JointCounts {
 /// and its phase c, subject to signature consistency.
 class PnSearch {
  public:
-  PnSearch(const TruthTable& f, const TruthTable& g)
+  /// Key state is borrowed, not copied: both NpnMatchKeys must outlive the
+  /// search (the top-level npn_match overloads guarantee this).
+  PnSearch(const TruthTable& f, const NpnMatchKeys& f_keys, const TruthTable& g,
+           const NpnMatchKeys& g_keys)
       : f_{&f},
         g_{&g},
         n_{f.num_vars()},
-        f_keys_{var_keys(f)},
-        g_keys_{var_keys(g)},
-        f_pairs_{cofactor_pairs(f)},
-        g_pairs_{cofactor_pairs(g)},
+        f_keys_{&f_keys.keys},
+        g_keys_{&g_keys.keys},
+        f_pairs_{&f_keys.pairs},
+        g_pairs_{&g_keys.pairs},
         f_joint_{f},
         g_joint_{g}
   {
@@ -82,7 +103,7 @@ class PnSearch {
     std::vector<int> candidate_count(static_cast<std::size_t>(n_), 0);
     for (int j = 0; j < n_; ++j) {
       for (int i = 0; i < n_; ++i) {
-        if (f_keys_[static_cast<std::size_t>(i)] == g_keys_[static_cast<std::size_t>(j)]) {
+        if ((*f_keys_)[static_cast<std::size_t>(i)] == (*g_keys_)[static_cast<std::size_t>(j)]) {
           ++candidate_count[static_cast<std::size_t>(j)];
         }
       }
@@ -117,7 +138,7 @@ class PnSearch {
     const int j = order_[static_cast<std::size_t>(depth)];
     for (int i = 0; i < n_; ++i) {
       if (var_used_[static_cast<std::size_t>(i)] ||
-          !(f_keys_[static_cast<std::size_t>(i)] == g_keys_[static_cast<std::size_t>(j)])) {
+          !((*f_keys_)[static_cast<std::size_t>(i)] == (*g_keys_)[static_cast<std::size_t>(j)])) {
         continue;
       }
       for (int c = 0; c <= 1; ++c) {
@@ -140,8 +161,8 @@ class PnSearch {
   /// 1-ary check: |g_{x_j = v}| must equal |f_{x_i = v XOR c}|.
   [[nodiscard]] bool phase_consistent(int i, int j, int c) const
   {
-    const auto& fp = f_pairs_[static_cast<std::size_t>(i)];
-    const auto& gp = g_pairs_[static_cast<std::size_t>(j)];
+    const auto& fp = (*f_pairs_)[static_cast<std::size_t>(i)];
+    const auto& gp = (*g_pairs_)[static_cast<std::size_t>(j)];
     const std::uint32_t f0 = c ? fp.count1 : fp.count0;
     const std::uint32_t f1 = c ? fp.count0 : fp.count1;
     return gp.count0 == f0 && gp.count1 == f1;
@@ -186,10 +207,10 @@ class PnSearch {
   const TruthTable* f_;
   const TruthTable* g_;
   int n_;
-  std::vector<VariableSignature> f_keys_;
-  std::vector<VariableSignature> g_keys_;
-  std::vector<CofactorPair> f_pairs_;
-  std::vector<CofactorPair> g_pairs_;
+  const std::vector<VariableSignature>* f_keys_;
+  const std::vector<VariableSignature>* g_keys_;
+  const std::vector<CofactorPair>* f_pairs_;
+  const std::vector<CofactorPair>* g_pairs_;
   JointCounts f_joint_;
   JointCounts g_joint_;
   bool output_neg_ = false;
@@ -201,25 +222,30 @@ class PnSearch {
 
 }  // namespace
 
-std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g)
+NpnMatchKeys npn_match_keys(const TruthTable& f)
+{
+  return NpnMatchKeys{f.count_ones(), variable_signatures(f), cofactor_pairs(f)};
+}
+
+std::optional<NpnTransform> npn_match(const TruthTable& f, const NpnMatchKeys& f_keys,
+                                      const TruthTable& g, const NpnMatchKeys& g_keys)
 {
   if (f.num_vars() != g.num_vars()) {
     return std::nullopt;
   }
-  const std::uint64_t fc = f.count_ones();
-  const std::uint64_t gc = g.count_ones();
   const std::uint64_t bits = f.num_bits();
 
   // Try each output polarity whose satisfy count matches.
-  if (fc == gc) {
-    PnSearch search{f, g};
+  if (f_keys.ones == g_keys.ones) {
+    PnSearch search{f, f_keys, g, g_keys};
     if (auto t = search.run(/*output_neg=*/false)) {
       return t;
     }
   }
-  if (bits - fc == gc) {
+  if (bits - f_keys.ones == g_keys.ones) {
     const TruthTable fneg = ~f;
-    PnSearch search{fneg, g};
+    const NpnMatchKeys fneg_keys = complement_keys(f_keys, f);
+    PnSearch search{fneg, fneg_keys, g, g_keys};
     if (auto t = search.run(/*output_neg=*/false)) {
       // t maps ~f to g; fold the complement into the output bit.
       t->output_neg = !t->output_neg;
@@ -227,6 +253,14 @@ std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g)
     }
   }
   return std::nullopt;
+}
+
+std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g)
+{
+  if (f.num_vars() != g.num_vars()) {
+    return std::nullopt;
+  }
+  return npn_match(f, npn_match_keys(f), g, npn_match_keys(g));
 }
 
 bool npn_equivalent(const TruthTable& f, const TruthTable& g) { return npn_match(f, g).has_value(); }

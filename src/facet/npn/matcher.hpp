@@ -16,15 +16,39 @@
 
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "facet/npn/transform.hpp"
+#include "facet/sig/cofactor.hpp"
+#include "facet/sig/variable_signatures.hpp"
 #include "facet/tt/truth_table.hpp"
 
 namespace facet {
 
 /// Finds a transform t with apply_transform(f, t) == g, if one exists.
 [[nodiscard]] std::optional<NpnTransform> npn_match(const TruthTable& f, const TruthTable& g);
+
+/// The per-function signature state the matcher derives before searching:
+/// satisfy count, per-variable signature keys and cofactor pairs. Computing
+/// them is O(n * 2^n / 64) per function — the dominant cost of a failed or
+/// shallow match — so callers that probe one function against many (the
+/// store's semiclass memo, the exact classifier's buckets) precompute them
+/// once and reuse them across probes.
+struct NpnMatchKeys {
+  std::uint64_t ones = 0;
+  std::vector<VariableSignature> keys;
+  std::vector<CofactorPair> pairs;
+};
+
+/// Derives the matcher keys of `f`.
+[[nodiscard]] NpnMatchKeys npn_match_keys(const TruthTable& f);
+
+/// npn_match with both sides' keys precomputed (must be npn_match_keys of
+/// the respective tables); bit-identical to the two-argument overload.
+[[nodiscard]] std::optional<NpnTransform> npn_match(const TruthTable& f, const NpnMatchKeys& f_keys,
+                                                    const TruthTable& g, const NpnMatchKeys& g_keys);
 
 /// True iff f and g are NPN equivalent.
 [[nodiscard]] bool npn_equivalent(const TruthTable& f, const TruthTable& g);

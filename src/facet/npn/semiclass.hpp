@@ -1,0 +1,73 @@
+/// \file semiclass.hpp
+/// \brief Invariant semiclass kernel: the prefilter tier's bucket key.
+///
+/// semi_canonical.hpp is the paper's -6 baseline: a one-pass cofactor-ordered
+/// form whose index tie-breaks deliberately sacrifice invariance for speed.
+/// This module is its NPN-invariant refinement, built for the store's
+/// semiclass memo tier (class_store.hpp):
+///
+///  * semiclass_key(f) is a TRUE NPN invariant — every function in an NPN
+///    orbit produces the same key, so NPN-equivalent functions provably share
+///    a memo bucket. The key digests only invariant quantities: the
+///    polarity-normalized satisfy count and, per variable, the phase-
+///    insensitive cofactor pair and the influence (Theorem 1), as a sorted
+///    multiset. For balanced functions (where output polarity is not
+///    distinguished by the satisfy count) the digest is the min over both
+///    polarities; cofactor counts complement to 2^(n-1) - c under output
+///    negation while influence is unchanged, so the min is itself invariant.
+///
+///  * semiclass_form(f) is the one-pass cofactor-ordered orbit element in the
+///    style of pressmold's npn_semiclass: choose the sparser output polarity,
+///    flip each input so its 1-side cofactor is the smaller one, and sort
+///    variables by 1-side count so the sparsest variable drives the most
+///    significant position. Unlike the key, the image is NOT invariant (ties
+///    are broken by index) — it is a cheap, usually-small member of the orbit,
+///    used to seed the branch-and-bound canonicalizer's incumbent and to
+///    constrain which permutations/phases the exact search must consider.
+///
+/// Keys are 64-bit digests; distinct classes may collide. That is harmless by
+/// construction: every memo probe is verified by the complete matcher
+/// (matcher.hpp), which never reports a false match.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "facet/npn/transform.hpp"
+#include "facet/tt/truth_table.hpp"
+
+namespace facet {
+
+/// NPN-invariant bucket key. Equal for every member of an NPN orbit;
+/// inequality proves two functions are NOT NPN equivalent (up to the 64-bit
+/// digest, whose collisions only cost a verified-and-rejected probe).
+struct SemiclassKey {
+  int num_vars = 0;
+  std::uint64_t digest = 0;
+
+  friend bool operator==(const SemiclassKey&, const SemiclassKey&) = default;
+};
+
+struct SemiclassKeyHash {
+  [[nodiscard]] std::size_t operator()(const SemiclassKey& key) const noexcept
+  {
+    return static_cast<std::size_t>(key.digest ^ static_cast<std::uint64_t>(key.num_vars));
+  }
+};
+
+/// Computes the invariant key of `tt`'s NPN orbit. O(n * 2^n / 64).
+[[nodiscard]] SemiclassKey semiclass_key(const TruthTable& tt);
+
+struct SemiclassResult {
+  TruthTable image;
+  /// Witness: apply_transform(input, transform) == image.
+  NpnTransform transform;
+};
+
+/// One-pass cofactor-ordered semi-canonical form with a witnessing
+/// transform. The image is in the NPN orbit of `tt` but is not itself an
+/// orbit invariant (index tie-breaks); see the file comment.
+[[nodiscard]] SemiclassResult semiclass_form(const TruthTable& tt);
+
+}  // namespace facet

@@ -20,6 +20,8 @@ const char* lookup_source_name(LookupSource source) noexcept
   switch (source) {
     case LookupSource::kHotCache:
       return "cache";
+    case LookupSource::kMemo:
+      return "memo";
     case LookupSource::kIndex:
       return "index";
     case LookupSource::kLive:
@@ -35,6 +37,7 @@ ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
           TierSnapshot{std::make_shared<MaterializedSegment>(num_vars, std::vector<StoreRecord>{}),
                        {}}))},
       memtable_{std::make_unique<Memtable>()},
+      memo_{std::make_unique<SemiclassMemo>()},
       cache_{options.hot_cache_capacity, options.hot_cache_shards}
 {
   if (num_vars < 0 || num_vars > kMaxVars) {
@@ -79,6 +82,9 @@ ClassStore::ClassStore(ClassStore&& other) noexcept
       gate_{std::move(other.gate_)},
       mmap_backed_{other.mmap_backed_},
       memtable_{std::move(other.memtable_)},
+      memo_{std::move(other.memo_)},
+      memo_hits_{other.memo_hits_.load(std::memory_order_relaxed)},
+      canonicalizations_{other.canonicalizations_.load(std::memory_order_relaxed)},
       miss_records_{std::move(other.miss_records_)},
       next_class_id_{other.next_class_id_.load(std::memory_order_relaxed)},
       compactions_{other.compactions_.load(std::memory_order_relaxed)},
@@ -93,6 +99,10 @@ ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
   gate_ = std::move(other.gate_);
   mmap_backed_ = other.mmap_backed_;
   memtable_ = std::move(other.memtable_);
+  memo_ = std::move(other.memo_);
+  memo_hits_.store(other.memo_hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  canonicalizations_.store(other.canonicalizations_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
   miss_records_ = std::move(other.miss_records_);
   next_class_id_.store(other.next_class_id_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
@@ -634,25 +644,106 @@ std::optional<StoreLookupResult> ClassStore::probe_cache(const TruthTable& f) co
   return std::nullopt;
 }
 
+std::size_t ClassStore::memo_entries() const
+{
+  const std::lock_guard<std::mutex> lock{memo_->mutex};
+  return memo_->entries;
+}
+
+std::optional<StoreLookupResult> ClassStore::memo_probe(const TruthTable& f,
+                                                        const SemiclassKey& key) const
+{
+  if (options_.semiclass_memo_capacity == 0) {
+    return std::nullopt;
+  }
+  // Copy the bucket (a handful of shared_ptrs) out under the lock; the
+  // matcher probes below run on the immutable entries with no lock held.
+  std::vector<std::shared_ptr<const MemoEntry>> bucket;
+  {
+    const std::lock_guard<std::mutex> lock{memo_->mutex};
+    if (const auto it = memo_->buckets.find(key); it != memo_->buckets.end()) {
+      bucket = it->second;
+    }
+  }
+  if (bucket.empty()) {
+    return std::nullopt;
+  }
+  const NpnMatchKeys f_keys = npn_match_keys(f);
+  for (const auto& entry : bucket) {
+    if (const auto t = npn_match(f, f_keys, entry->record.canonical, entry->keys)) {
+      // t maps f onto the entry's canonical form — exactly the witness the
+      // exact canonicalizer would have produced a class id for.
+      StoreLookupResult result = make_result(entry->record, *t, LookupSource::kMemo);
+      cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClassStore::memo_insert(const SemiclassKey& key, const StoreRecord& record) const
+{
+  if (options_.semiclass_memo_capacity == 0) {
+    return;
+  }
+  // Derive the matcher keys before taking the lock — they are the expensive
+  // part of the entry.
+  auto entry = std::make_shared<const MemoEntry>(
+      MemoEntry{record, npn_match_keys(record.canonical)});
+  const std::lock_guard<std::mutex> lock{memo_->mutex};
+  if (memo_->entries >= options_.semiclass_memo_capacity) {
+    memo_->buckets.clear();
+    memo_->entries = 0;
+  }
+  auto& bucket = memo_->buckets[key];
+  for (const auto& existing : bucket) {
+    if (existing->record.canonical == record.canonical) {
+      return;  // two racing resolvers of one class: first insert wins
+    }
+  }
+  bucket.push_back(std::move(entry));
+  ++memo_->entries;
+}
+
 std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
 {
   check_width(f, "ClassStore::lookup");
   if (auto cached = probe_cache(f)) {
     return cached;
   }
-  return lookup_canonical(f, exact_npn_canonical_with_transform(f));
+  std::optional<SemiclassKey> key;
+  if (options_.semiclass_memo_capacity > 0) {
+    key = semiclass_key(f);
+    if (auto memoized = memo_probe(f, *key)) {
+      return memoized;
+    }
+  }
+  canonicalizations_.fetch_add(1, std::memory_order_relaxed);
+  return lookup_canonical_impl(f, exact_npn_canonical_with_transform(f),
+                               key ? &*key : nullptr);
 }
 
 std::optional<StoreLookupResult> ClassStore::lookup_canonical(const TruthTable& f,
                                                               const CanonResult& canon) const
 {
   check_width(f, "ClassStore::lookup_canonical");
+  return lookup_canonical_impl(f, canon, nullptr);
+}
+
+std::optional<StoreLookupResult> ClassStore::lookup_canonical_impl(const TruthTable& f,
+                                                                   const CanonResult& canon,
+                                                                   const SemiclassKey* key) const
+{
   const std::optional<StoreRecord> record = find_canonical(canon.canonical);
   if (!record.has_value()) {
     return std::nullopt;
   }
   StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
   cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+  if (key != nullptr) {
+    memo_insert(*key, *record);
+  }
   return result;
 }
 
@@ -662,7 +753,16 @@ StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool appen
   if (auto cached = probe_cache(f)) {
     return *cached;
   }
-  return lookup_or_classify_canonical(f, exact_npn_canonical_with_transform(f), append_on_miss);
+  std::optional<SemiclassKey> key;
+  if (options_.semiclass_memo_capacity > 0) {
+    key = semiclass_key(f);
+    if (auto memoized = memo_probe(f, *key)) {
+      return *memoized;
+    }
+  }
+  canonicalizations_.fetch_add(1, std::memory_order_relaxed);
+  return lookup_or_classify_impl(f, exact_npn_canonical_with_transform(f), append_on_miss,
+                                 key ? &*key : nullptr);
 }
 
 StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
@@ -670,10 +770,21 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
                                                            bool append_on_miss)
 {
   check_width(f, "ClassStore::lookup_or_classify_canonical");
+  return lookup_or_classify_impl(f, canon, append_on_miss, nullptr);
+}
+
+StoreLookupResult ClassStore::lookup_or_classify_impl(const TruthTable& f,
+                                                      const CanonResult& canon,
+                                                      bool append_on_miss,
+                                                      const SemiclassKey* key)
+{
   // Known classes resolve without entering the gate, like lookup_canonical.
   if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
     StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+    if (key != nullptr) {
+      memo_insert(*key, *record);
+    }
     return result;
   }
 
@@ -683,6 +794,9 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
   if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
     StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+    if (key != nullptr) {
+      memo_insert(*key, *record);
+    }
     return result;
   }
 
@@ -715,6 +829,12 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
       memtable_->records.push_back(record);
     }
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+    if (key != nullptr) {
+      // The class is persistent from here on, so the memo may serve it.
+      // Transient misses (the else branch) are never memoized: they must
+      // keep reporting known=false until someone appends them.
+      memo_insert(*key, record);
+    }
   } else if (transient == miss_records_.end()) {
     miss_records_.emplace(record.canonical, record);
   }

@@ -10,17 +10,29 @@
 ///
 ///   1. hot cache   — f itself was looked up recently: one sharded-LRU
 ///                    probe, no canonicalization at all (hot_cache.hpp);
-///   2. memtable    — canonicalize f with a witnessing transform, then probe
+///   2. memo        — semiclass memo: hash f's NPN-invariant semiclass key
+///                    (semiclass.hpp) into a bucket of previously resolved
+///                    classes and confirm membership with the Boolean
+///                    matcher (matcher.hpp) — no exact canonicalization;
+///   3. memtable    — canonicalize f with a witnessing transform, then probe
 ///                    the unflushed appends (hash map);
-///   3. delta runs  — flushed-but-uncompacted append runs, consulted
+///   4. delta runs  — flushed-but-uncompacted append runs, consulted
 ///                    newest-first (each a small sorted MaterializedSegment);
-///   4. base        — the compacted index: a binary search over the sorted
+///   5. base        — the compacted index: a binary search over the sorted
 ///                    records, either materialized in RAM (load) or executed
 ///                    in place over a read-only mmap of the `.fcs` file
 ///                    (open with use_mmap; lazily page-validated);
-///   5. live        — unknown canonical form: fall back to live
+///   6. live        — unknown canonical form: fall back to live
 ///                    classification, allocating the next dense class id,
 ///                    and optionally appending the new class to the store.
+///
+/// The semiclass memo exists because exact canonicalization dominates every
+/// tier below it: a memo hit replaces the canonical-form search with one
+/// invariant-key hash plus a signature-pruned matcher probe. The memo learns
+/// every class the slow path resolves (index hits and appended live misses;
+/// never the transient non-appending misses, which must keep reporting
+/// known=false), and its hits are matcher-verified, so class ids are
+/// bit-identical with the memo enabled, disabled, or mid-eviction.
 ///
 /// Appends accumulate in the memtable until flush_delta() seals them into an
 /// immutable delta run (and, given a path, appends one frame to the
@@ -50,6 +62,12 @@
 ///   * The memtable is guarded by a mutex of its own, held only for the
 ///     hash probe / insert — never across canonicalization, segment
 ///     searches or I/O.
+///   * The semiclass memo follows the memtable pattern: a dedicated mutex
+///     held only to copy a bucket out (probe) or splice an entry in
+///     (insert). Matcher probes and key derivation run outside the lock on
+///     immutable shared entries, so a reader verifying a candidate never
+///     blocks an inserter. The lock order is gate -> memo (append inserts
+///     happen under the gate); no path takes them the other way around.
 ///   * Mutations — lookup_or_classify's live tier, flush_delta, compact,
 ///     the adopt_compacted swap — serialize on one small per-store gate.
 ///     Canonicalization (the expensive step) always happens before the
@@ -97,6 +115,8 @@
 #include <vector>
 
 #include "facet/npn/exact_canon.hpp"
+#include "facet/npn/matcher.hpp"
+#include "facet/npn/semiclass.hpp"
 #include "facet/npn/transform.hpp"
 #include "facet/store/gate.hpp"
 #include "facet/store/hot_cache.hpp"
@@ -109,11 +129,13 @@ namespace facet {
 /// Which tier resolved a lookup.
 enum class LookupSource {
   kHotCache,  ///< sharded-LRU hit; no canonicalization performed
+  kMemo,      ///< semiclass-memo hit: matcher-verified, no canonicalization
   kIndex,     ///< canonicalized, found in memtable / delta runs / base
   kLive,      ///< canonicalized, unknown: classified live (fresh class id)
 };
 
-/// Stable wire/CLI name of a lookup source: "cache", "index" or "live".
+/// Stable wire/CLI name of a lookup source: "cache", "memo", "index" or
+/// "live".
 [[nodiscard]] const char* lookup_source_name(LookupSource source) noexcept;
 
 struct StoreLookupResult {
@@ -132,6 +154,10 @@ struct ClassStoreOptions {
   /// Total hot-cache entries across shards; 0 disables the cache.
   std::size_t hot_cache_capacity = 1u << 16;
   std::size_t hot_cache_shards = 8;
+  /// Total semiclass-memo entries across buckets; 0 disables the memo tier.
+  /// On overflow the memo is cleared wholesale and relearns — correctness
+  /// never depends on what the memo holds.
+  std::size_t semiclass_memo_capacity = 1u << 16;
 };
 
 /// The immutable read tiers of one epoch: the base segment plus the delta
@@ -327,11 +353,12 @@ class ClassStore {
   /// Hot-cache probe by the query function itself; never canonicalizes.
   [[nodiscard]] std::optional<StoreLookupResult> probe_cache(const TruthTable& f) const;
 
-  /// Full read-only lookup: hot cache, else canonicalize + index (warming
-  /// the cache on a hit). nullopt if the class is not in the store.
+  /// Full read-only lookup: hot cache, else semiclass memo, else
+  /// canonicalize + index (warming the cache and memo on a hit). nullopt if
+  /// the class is not in the store.
   [[nodiscard]] std::optional<StoreLookupResult> lookup(const TruthTable& f) const;
 
-  /// lookup() minus the cache probe and canonicalization: resolves f
+  /// lookup() minus the cache/memo probes and canonicalization: resolves f
   /// against the index through a caller-precomputed canonicalization
   /// (`canon` must be exact_npn_canonical_with_transform(f)), warming the
   /// cache on a hit. Canonicalization is the expensive step, so a caller
@@ -347,12 +374,13 @@ class ClassStore {
   /// lifetime, keeping repeated queries consistent. Known classes resolve
   /// without touching the gate; the miss path serializes through it and
   /// re-probes, so concurrent sessions racing on one novel class agree on
-  /// one id.
+  /// one id. Resolves through the full tier stack: hot cache, semiclass
+  /// memo, index, live — a memo hit never canonicalizes.
   [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
                                                      bool append_on_miss = false);
 
   /// lookup_or_classify() through a caller-precomputed canonicalization
-  /// (no cache probe, no canonicalization — see lookup_canonical).
+  /// (no cache/memo probes, no canonicalization — see lookup_canonical).
   [[nodiscard]] StoreLookupResult lookup_or_classify_canonical(const TruthTable& f,
                                                                const CanonResult& canon,
                                                                bool append_on_miss);
@@ -361,6 +389,24 @@ class ClassStore {
 
   [[nodiscard]] HotCacheStats hot_cache_stats() const { return cache_.stats(); }
   void clear_hot_cache() const { cache_.clear(); }
+
+  // -- semiclass memo --------------------------------------------------------
+
+  /// Lookups resolved by the semiclass memo (LookupSource::kMemo).
+  [[nodiscard]] std::uint64_t num_memo_hits() const noexcept
+  {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  /// Exact canonicalizations performed inside lookup() / lookup_or_classify()
+  /// — queries that missed both the hot cache and the memo. Probes through
+  /// the *_canonical entry points canonicalize on the caller's side and are
+  /// not counted.
+  [[nodiscard]] std::uint64_t num_canonicalizations() const noexcept
+  {
+    return canonicalizations_.load(std::memory_order_relaxed);
+  }
+  /// Classes currently held by the semiclass memo.
+  [[nodiscard]] std::size_t memo_entries() const;
 
  private:
   struct CacheEntry {
@@ -379,6 +425,26 @@ class ClassStore {
     std::unordered_map<TruthTable, std::uint32_t, TruthTableHash> index;
   };
 
+  /// One memoized class: the resolved store record plus the precomputed
+  /// matcher keys of its canonical form. Immutable once published; buckets
+  /// hold shared_ptrs so a probe verifies candidates with no lock held.
+  struct MemoEntry {
+    StoreRecord record;
+    NpnMatchKeys keys;
+  };
+
+  /// The semiclass memo (tier 2): resolved classes bucketed by the
+  /// NPN-invariant semiclass key. Guarded by its own mutex, held for map
+  /// operations only — matcher probes and key derivation run outside it
+  /// (lock order: gate before memo, never the reverse).
+  struct SemiclassMemo {
+    mutable std::mutex mutex;
+    std::unordered_map<SemiclassKey, std::vector<std::shared_ptr<const MemoEntry>>,
+                       SemiclassKeyHash>
+        buckets;
+    std::size_t entries = 0;
+  };
+
   /// A store over an already-opened base segment (the mmap open path).
   ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes, bool mmap_backed,
              ClassStoreOptions options);
@@ -391,6 +457,25 @@ class ClassStore {
   void reset_base(std::shared_ptr<const Segment> base);
   /// Memtable probe under its mutex; copies the record out.
   [[nodiscard]] std::optional<StoreRecord> memtable_find(const TruthTable& canonical) const;
+  /// Memo probe: copies f's bucket out under the memo mutex, then confirms
+  /// membership with the Boolean matcher lock-free. nullopt when the memo is
+  /// disabled or holds no equivalent class.
+  [[nodiscard]] std::optional<StoreLookupResult> memo_probe(const TruthTable& f,
+                                                            const SemiclassKey& key) const;
+  /// Memoizes a resolved class under `key` (dedup by canonical form;
+  /// wholesale clear on overflow). No-op when the memo is disabled.
+  void memo_insert(const SemiclassKey& key, const StoreRecord& record) const;
+  /// lookup_canonical plus memo learning: a non-null `key` memoizes the
+  /// record on an index hit.
+  [[nodiscard]] std::optional<StoreLookupResult> lookup_canonical_impl(
+      const TruthTable& f, const CanonResult& canon, const SemiclassKey* key) const;
+  /// lookup_or_classify_canonical plus memo learning: a non-null `key`
+  /// memoizes index hits and appended live misses (never the transient
+  /// non-appending misses, which must keep reporting known=false).
+  [[nodiscard]] StoreLookupResult lookup_or_classify_impl(const TruthTable& f,
+                                                          const CanonResult& canon,
+                                                          bool append_on_miss,
+                                                          const SemiclassKey* key);
   /// Seals the memtable into `os` + a published delta run. Gate held.
   std::size_t flush_delta_locked(const std::unique_lock<std::mutex>& gate, std::ostream& os);
   /// Replays a delta log onto this store (open()); reports the clean
@@ -407,6 +492,11 @@ class ClassStore {
   std::unique_ptr<StoreGate<TierSnapshot>> gate_;
   bool mmap_backed_ = false;
   std::unique_ptr<Memtable> memtable_;
+  /// The semiclass memo (tier 2). unique_ptr so the store stays movable;
+  /// memoization mutates it from const lookups (like the hot cache).
+  std::unique_ptr<SemiclassMemo> memo_;
+  mutable std::atomic<std::uint64_t> memo_hits_{0};
+  mutable std::atomic<std::uint64_t> canonicalizations_{0};
   /// Live-transient classes (non-appending misses), keyed by canonical form.
   /// Never visible to find_canonical() or the hot cache, so the batch
   /// engine's store keys stay consistent. Gate holders only.

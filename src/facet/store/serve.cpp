@@ -9,7 +9,6 @@
 #include <string_view>
 #include <vector>
 
-#include "facet/npn/exact_canon.hpp"
 #include "facet/tt/tt_io.hpp"
 
 namespace facet {
@@ -22,6 +21,7 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
   s.requests = requests.load(std::memory_order_relaxed);
   s.lookups = lookups.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.memo_hits = memo_hits.load(std::memory_order_relaxed);
   s.index_hits = index_hits.load(std::memory_order_relaxed);
   s.live = live.load(std::memory_order_relaxed);
   s.errors = errors.load(std::memory_order_relaxed);
@@ -32,6 +32,7 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
   for (std::size_t n = 0; n < s.width.size(); ++n) {
     s.width[n].lookups = width[n].lookups.load(std::memory_order_relaxed);
     s.width[n].cache_hits = width[n].cache_hits.load(std::memory_order_relaxed);
+    s.width[n].memo_hits = width[n].memo_hits.load(std::memory_order_relaxed);
     s.width[n].index_hits = width[n].index_hits.load(std::memory_order_relaxed);
     s.width[n].live = width[n].live.load(std::memory_order_relaxed);
     s.width[n].appended = width[n].appended.load(std::memory_order_relaxed);
@@ -42,13 +43,17 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
 namespace {
 
 /// Bumps the per-source counter of any counter block exposing
-/// cache_hits/index_hits/live atomics (ServeCounters, ServeWidthCounters).
+/// cache_hits/memo_hits/index_hits/live atomics (ServeCounters,
+/// ServeWidthCounters).
 template <typename Counters>
 void count_source(Counters& stats, LookupSource source)
 {
   switch (source) {
     case LookupSource::kHotCache:
       stats.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case LookupSource::kMemo:
+      stats.memo_hits.fetch_add(1, std::memory_order_relaxed);
       break;
     case LookupSource::kIndex:
       stats.index_hits.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +99,23 @@ void count_source(Counters& stats, LookupSource source)
 [[nodiscard]] std::string operand_err(const std::string& token, const std::string& reason)
 {
   return "err operand '" + token + "': " + reason;
+}
+
+/// Parses the `<n>` of a `lookup@<n>` / `mlookup@<n>` width override:
+/// decimal digits only, 0 <= n <= kMaxVars. Returns -1 on anything else.
+[[nodiscard]] int parse_width_override(std::string_view suffix) noexcept
+{
+  if (suffix.empty() || suffix.size() > 2) {
+    return -1;
+  }
+  int value = 0;
+  for (const char c : suffix) {
+    if (c < '0' || c > '9') {
+      return -1;
+    }
+    value = value * 10 + (c - '0');
+  }
+  return value <= kMaxVars ? value : -1;
 }
 
 /// Reads one request line (up to '\n'); false only at end of input with
@@ -153,8 +175,10 @@ bool normalize_request(const std::string& line, std::string& request)
 ///
 /// The session holds no lock, ever: every store access synchronizes inside
 /// ClassStore/StoreRouter (snapshot-epoch reads, a per-store mutation gate
-/// — class_store.hpp). Canonicalization, the expensive step of a cold
-/// query, runs here in the session thread before any store call.
+/// — class_store.hpp). Queries resolve through the store's own tier stack
+/// (hot cache, semiclass memo, index, live); exact canonicalization — the
+/// expensive step of a genuinely novel query — runs in the session thread
+/// before any store gate.
 class Session {
  public:
   Session(ClassStore* store, StoreRouter* router, const ServeOptions& options)
@@ -235,17 +259,36 @@ class Session {
       emit_stats(out);
       return true;
     }
-    if (command == "lookup") {
+    // `lookup@<n>` / `mlookup@<n>` pin the operand width to n instead of
+    // inferring it from the digit count — the only way to reach a width-0/1
+    // store through a router, since a single nibble infers n = 2.
+    std::string base = command;
+    int width_override = -1;
+    if (const auto at = command.find('@'); at != std::string::npos) {
+      const std::string head = command.substr(0, at);
+      if (head == "lookup" || head == "mlookup") {
+        width_override = parse_width_override(std::string_view{command}.substr(at + 1));
+        if (width_override < 0) {
+          stats_.errors.fetch_add(1, std::memory_order_relaxed);
+          out << "err bad width in '" << command << "' (use " << head << "@<n>, 0 <= n <= "
+              << kMaxVars << ")\n"
+              << std::flush;
+          return true;
+        }
+        base = head;
+      }
+    }
+    if (base == "lookup") {
       const std::vector<std::string> operands = read_operands(request);
       if (operands.size() != 1) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err lookup takes exactly one hex truth table\n" << std::flush;
         return true;
       }
-      out << resolve_operand(operands.front()) << "\n" << std::flush;
+      out << resolve_operand(operands.front(), width_override) << "\n" << std::flush;
       return true;
     }
-    if (command == "mlookup") {
+    if (base == "mlookup") {
       const std::vector<std::string> operands = read_operands(request);
       if (operands.empty()) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -256,7 +299,7 @@ class Session {
       // clients pay the flush latency once instead of per function. An err
       // on one operand answers in place; the batch always completes.
       for (const auto& hex : operands) {
-        out << resolve_operand(hex) << "\n";
+        out << resolve_operand(hex, width_override) << "\n";
       }
       out << std::flush;
       return true;
@@ -268,10 +311,11 @@ class Session {
   }
 
   /// Resolves one hex operand end to end: digit validation, width
-  /// inference/check, store dispatch, tiered lookup. Returns the response
-  /// line without its newline; malformed operands answer the canonical
-  /// `err operand '<token>': <reason>` shape and never throw.
-  [[nodiscard]] std::string resolve_operand(const std::string& token)
+  /// inference/override/check, store dispatch, tiered lookup. Returns the
+  /// response line without its newline; malformed operands answer the
+  /// canonical `err operand '<token>': <reason>` shape and never throw.
+  /// `width_override` >= 0 pins the operand width (lookup@<n>).
+  [[nodiscard]] std::string resolve_operand(const std::string& token, int width_override)
   {
     const std::string_view payload = hex_payload(token);
     if (std::string reason = payload_error(payload); !reason.empty()) {
@@ -280,7 +324,31 @@ class Session {
     }
 
     ClassStore* store = store_;
-    if (router_ != nullptr) {
+    if (width_override >= 0) {
+      const std::size_t expected =
+          std::max<std::size_t>(1, (std::size_t{1} << width_override) / 4);
+      if (payload.size() != expected) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream reason;
+        reason << "expected " << expected << " hex digits for " << width_override
+               << " variables, got " << payload.size();
+        return operand_err(token, reason.str());
+      }
+      if (router_ != nullptr) {
+        store = router_->store_for(width_override);
+        if (store == nullptr) {
+          stats_.errors.fetch_add(1, std::memory_order_relaxed);
+          std::ostringstream line;
+          line << "err no store routes width " << width_override;
+          return line.str();
+        }
+      } else if (store->num_vars() != width_override) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        std::ostringstream line;
+        line << "err store serves width " << store->num_vars() << ", not " << width_override;
+        return line.str();
+      }
+    } else if (router_ != nullptr) {
       const int width = hex_operand_width(token);
       if (width < 0) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -294,6 +362,12 @@ class Session {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         std::ostringstream line;
         line << "err no store routes width " << width;
+        if (payload.size() == 1) {
+          // The inference is genuinely ambiguous here: n = 0, 1 and 2 all
+          // serialize as one nibble, and this session routes none as 2.
+          line << " (a single hex digit infers n=2; widths 0 and 1 also encode"
+                  " as one digit — pin the width with lookup@<n>)";
+        }
         return line.str();
       }
     } else {
@@ -317,34 +391,29 @@ class Session {
     }
   }
 
-  /// The tiered lookup of one parsed query. The store synchronizes itself:
-  /// the cache probe and index search run gate-free against the published
-  /// tier snapshot, and only a genuine miss enters the store's mutation
-  /// gate (which re-probes, so racing sessions agree on one id). The
-  /// canonicalization — the expensive step — happens exactly once, in this
-  /// thread, before any store gate, so a cold query never stalls other
-  /// connections.
+  /// The tiered lookup of one parsed query, delegated wholesale to the
+  /// store (hot cache -> semiclass memo -> index -> live): a cache or memo
+  /// hit never canonicalizes, and a genuine miss canonicalizes exactly once
+  /// — in this thread, inside the store but before its mutation gate — so a
+  /// cold query never stalls other connections. (The session must NOT probe
+  /// the cache and canonicalize on its own: that is precisely the
+  /// double-canonicalization the memo tier removes from the miss path.)
   [[nodiscard]] std::string lookup_line(ClassStore& store, const TruthTable& query)
   {
     StoreLookupResult result;
-    if (const auto hit = store.probe_cache(query)) {
+    if (options_.readonly) {
+      const auto hit = store.lookup(query);
+      if (!hit.has_value()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return "err unknown function (readonly session)";
+      }
       result = *hit;
     } else {
-      const CanonResult canon = exact_npn_canonical_with_transform(query);
-      if (options_.readonly) {
-        const auto hit = store.lookup_canonical(query, canon);
-        if (!hit.has_value()) {
-          stats_.errors.fetch_add(1, std::memory_order_relaxed);
-          return "err unknown function (readonly session)";
-        }
-        result = *hit;
-      } else {
-        // One call resolves both outcomes: known classes through its
-        // gate-free index probe, genuine misses through the gated live
-        // tier — a separate lookup_canonical first would just repeat the
-        // index search on every miss.
-        result = store.lookup_or_classify_canonical(query, canon, options_.append_on_miss);
-      }
+      // One call resolves both outcomes: known classes through the
+      // gate-free tiers, genuine misses through the gated live tier — a
+      // separate lookup first would just repeat the index search on every
+      // miss.
+      result = store.lookup_or_classify(query, options_.append_on_miss);
     }
 
     count_source(stats_, result.source);
@@ -406,9 +475,9 @@ class Session {
     }
     const ServeStats stats = stats_.snapshot();
     out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
-        << " cache_hits=" << stats.cache_hits << " index_hits=" << stats.index_hits
-        << " live=" << stats.live << " appended=" << appended << " errors=" << stats.errors
-        << "\n"
+        << " cache_hits=" << stats.cache_hits << " memo_hits=" << stats.memo_hits
+        << " index_hits=" << stats.index_hits << " live=" << stats.live
+        << " appended=" << appended << " errors=" << stats.errors << "\n"
         << std::flush;
   }
 
@@ -425,17 +494,19 @@ class Session {
     const std::vector<int> widths = served_widths();
     out << "ok connections=" << agg.connections_active << " sessions=" << agg.connections_total
         << " requests=" << agg.requests << " lookups=" << agg.lookups
-        << " cache_hits=" << agg.cache_hits << " index_hits=" << agg.index_hits
-        << " live=" << agg.live << " errors=" << agg.errors << " flushed=" << agg.flushed_records
-        << " compactions=" << agg.compactions << " compacted_runs=" << agg.compacted_runs
+        << " cache_hits=" << agg.cache_hits << " memo_hits=" << agg.memo_hits
+        << " index_hits=" << agg.index_hits << " live=" << agg.live << " errors=" << agg.errors
+        << " flushed=" << agg.flushed_records << " compactions=" << agg.compactions
+        << " compacted_runs=" << agg.compacted_runs
         << " compacted_records=" << agg.compacted_records << " widths=" << widths.size() << "\n";
     // One row per served store; `widths=<count>` above tells clients how
     // many rows to read.
     for (const int width : widths) {
       const ServeWidthStats& row = agg.width[static_cast<std::size_t>(width)];
       out << "ok width=" << width << " lookups=" << row.lookups
-          << " cache_hits=" << row.cache_hits << " index_hits=" << row.index_hits
-          << " live=" << row.live << " appended=" << row.appended << "\n";
+          << " cache_hits=" << row.cache_hits << " memo_hits=" << row.memo_hits
+          << " index_hits=" << row.index_hits << " live=" << row.live
+          << " appended=" << row.appended << "\n";
     }
     out << std::flush;
   }
@@ -481,6 +552,7 @@ class Session {
     agg.requests += stats.requests - synced_.requests;
     agg.lookups += stats.lookups - synced_.lookups;
     agg.cache_hits += stats.cache_hits - synced_.cache_hits;
+    agg.memo_hits += stats.memo_hits - synced_.memo_hits;
     agg.index_hits += stats.index_hits - synced_.index_hits;
     agg.live += stats.live - synced_.live;
     agg.errors += stats.errors - synced_.errors;

@@ -8,28 +8,36 @@
 /// line:
 ///
 ///   lookup <hex>        ->  ok id=<id> rep=<hex> t=<compact-transform>
-///                              src=<cache|index|live> known=<0|1>
+///                              src=<cache|memo|index|live> known=<0|1>
+///   lookup@<n> <hex>    ->  same, with the operand's width pinned to n
+///                              instead of inferred from its digit count —
+///                              the only way to reach a width-0/1 store
+///                              through a router (a single nibble infers
+///                              n = 2), and a guard against digit-count
+///                              typos on any width.
 ///   mlookup <hex>...    ->  one lookup-response line per operand, flushed
 ///                              once at the end of the batch — pipelined
 ///                              clients stop paying per-line flush latency.
 ///                              An err on one operand answers in place and
 ///                              never aborts the rest of the batch.
+///   mlookup@<n> <hex>...->  the batched form of lookup@<n>.
 ///   info                ->  ok n=<n> records=<r> appended=<a> deltas=<d>
 ///                              classes=<c> cache_entries=<e>
 ///   stats               ->  ok requests=<q> lookups=<k> cache_hits=<h>
-///                              index_hits=<i> live=<l> appended=<a>
-///                              errors=<e>            (this session)
+///                              memo_hits=<m> index_hits=<i> live=<l>
+///                              appended=<a> errors=<e>  (this session)
 ///   stats all           ->  ok connections=<active> sessions=<total>
 ///                              requests=... lookups=... cache_hits=...
-///                              index_hits=... live=... errors=...
-///                              flushed=<f> compactions=<c>
+///                              memo_hits=... index_hits=... live=...
+///                              errors=... flushed=<f> compactions=<c>
 ///                              compacted_runs=<r> compacted_records=<k>
 ///                              widths=<w>
 ///                           followed by <w> per-width rows, one per served
 ///                              store (ascending width), so fleet operators
 ///                              see which widths run hot:
 ///                           ok width=<n> lookups=<k> cache_hits=<h>
-///                              index_hits=<i> live=<l> appended=<a>
+///                              memo_hits=<m> index_hits=<i> live=<l>
+///                              appended=<a>
 ///                              (aggregated across every session of the
 ///                               process; equals the session numbers for a
 ///                               stdin session)
@@ -42,8 +50,9 @@
 /// `serve_loop` serves one single-width ClassStore. `serve_router_loop`
 /// serves a StoreRouter — one session answering mixed-width queries, with
 /// each operand's width inferred from its hex digit count (2^n bits = 4 *
-/// digits), so a mapper can stream n=3..8 cut functions down one pipe. Its
-/// `info` line reports the routed widths:
+/// digits) unless the request pins it with `lookup@<n>`, so a mapper can
+/// stream n=3..8 cut functions down one pipe. Its `info` line reports the
+/// routed widths:
 ///
 ///   info                ->  ok widths=<w1,w2,...> stores=<s> records=<r>
 ///                              classes=<c> cache_entries=<e>
@@ -55,10 +64,12 @@
 /// a gated miss/append path, per-width striping through StoreRouter), so N
 /// concurrent sessions call plain store methods and every read proceeds
 /// without blocking behind appends, flushes or compaction swaps on ANY
-/// width. Canonicalization — the expensive step of a cold query — runs in
-/// the session thread before any store gate is involved. Session counters
-/// and the process-wide aggregate are atomics; `stats all` snapshots them
-/// with relaxed loads.
+/// width. A query resolves through the store's own tier stack (hot cache,
+/// semiclass memo, index, live) in the session thread; exact
+/// canonicalization — the expensive step of a genuinely novel query — runs
+/// before any store gate is involved, and memo hits skip it entirely.
+/// Session counters and the process-wide aggregate are atomics; `stats all`
+/// snapshots them with relaxed loads.
 ///
 /// Hardening (the same code path serves untrusted network clients):
 ///
@@ -104,6 +115,7 @@ struct ServeStats {
   std::uint64_t requests = 0;    ///< non-blank, non-comment request lines
   std::uint64_t lookups = 0;     ///< lookup/mlookup operands answered ok
   std::uint64_t cache_hits = 0;  ///< answered from the hot cache
+  std::uint64_t memo_hits = 0;   ///< answered from the semiclass memo
   std::uint64_t index_hits = 0;  ///< answered from the persisted index
   std::uint64_t live = 0;        ///< fell back to live classification
   std::uint64_t errors = 0;      ///< `err` responses
@@ -119,6 +131,7 @@ struct ServeCounters {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> memo_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> errors{0};
@@ -131,6 +144,7 @@ struct ServeCounters {
     s.requests = requests.load(std::memory_order_relaxed);
     s.lookups = lookups.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    s.memo_hits = memo_hits.load(std::memory_order_relaxed);
     s.index_hits = index_hits.load(std::memory_order_relaxed);
     s.live = live.load(std::memory_order_relaxed);
     s.errors = errors.load(std::memory_order_relaxed);
@@ -143,6 +157,7 @@ struct ServeCounters {
 struct ServeWidthCounters {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> memo_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> appended{0};
@@ -152,6 +167,7 @@ struct ServeWidthCounters {
 struct ServeWidthStats {
   std::uint64_t lookups = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t memo_hits = 0;
   std::uint64_t index_hits = 0;
   std::uint64_t live = 0;
   std::uint64_t appended = 0;
@@ -164,6 +180,7 @@ struct ServeAggregateSnapshot {
   std::uint64_t requests = 0;
   std::uint64_t lookups = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t memo_hits = 0;
   std::uint64_t index_hits = 0;
   std::uint64_t live = 0;
   std::uint64_t errors = 0;
@@ -184,6 +201,7 @@ struct ServeAggregateStats {
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> memo_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> errors{0};
@@ -234,10 +252,14 @@ ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream
                              const ServeOptions& options = {});
 
 /// Function width implied by a hex operand of the line protocol: 4 * digits
-/// = 2^n bits (one digit reads as n = 2, the smallest width a single nibble
-/// encodes). Returns -1 for an impossible digit count or any non-hex digit
-/// — a malformed operand is rejected at width inference, not later inside
-/// parsing. The "0x" prefix is tolerated (a bare "0x" is malformed).
+/// = 2^n bits. One digit is genuinely ambiguous — n = 0, 1 and 2 all
+/// serialize as a single nibble — and reads as n = 2, the LARGEST width a
+/// single nibble encodes (the common case in cut streams); sessions that
+/// need a width-0/1 store must pin the width with `lookup@<n>`, and the
+/// router loop's error for an unrouted single nibble says so. Returns -1
+/// for an impossible digit count or any non-hex digit — a malformed operand
+/// is rejected at width inference, not later inside parsing. The "0x"
+/// prefix is tolerated (a bare "0x" is malformed).
 [[nodiscard]] int hex_operand_width(const std::string& hex) noexcept;
 
 }  // namespace facet

@@ -283,9 +283,12 @@ TEST(ClassStore, HotCacheServesRepeatsAndEvicts)
     }
   }
   ASSERT_EQ(pushed.size(), 4u);
+  // Evicted from the hot cache — but the cold kIndex lookup memoized the
+  // class, so the repeat resolves through the semiclass memo, one tier down.
   const auto evicted = store.lookup(funcs[0]);
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->source, LookupSource::kIndex);
+  EXPECT_EQ(evicted->source, LookupSource::kMemo);
+  EXPECT_EQ(evicted->class_id, cold->class_id);
 
   const HotCacheStats stats = store.hot_cache_stats();
   EXPECT_GT(stats.hits, 0u);
@@ -294,6 +297,147 @@ TEST(ClassStore, HotCacheServesRepeatsAndEvicts)
 
   store.clear_hot_cache();
   EXPECT_EQ(store.hot_cache_stats().entries, 0u);
+}
+
+TEST(ClassStore, SemiclassMemoServesEquivalentsWithoutRecanonicalizing)
+{
+  const int n = 4;
+  std::mt19937_64 rng{0x5e111ULL};
+  const auto funcs = make_npn_workload(n, 20, 2, 0x5e11ULL);
+  StoreBuildOptions build_options;
+  // Disable the hot cache so tier attribution and the canonicalization
+  // counter are observable without cache interference.
+  build_options.store.hot_cache_capacity = 0;
+  ClassStore store = build_class_store(funcs, build_options);
+
+  const TruthTable f = funcs[0];
+  const auto first = store.lookup(f);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->source, LookupSource::kIndex);
+  EXPECT_EQ(store.num_canonicalizations(), 1u);
+  EXPECT_EQ(store.num_memo_hits(), 0u);
+
+  // A distinct NPN image of f must resolve through the memo: same id, no
+  // second exact canonicalization.
+  TruthTable g{n};
+  do {
+    g = apply_transform(f, NpnTransform::random(n, rng));
+  } while (g == f);
+  const auto second = store.lookup(g);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->source, LookupSource::kMemo);
+  EXPECT_TRUE(second->known);
+  EXPECT_EQ(second->class_id, first->class_id);
+  EXPECT_EQ(apply_transform(g, second->to_representative), second->representative);
+  EXPECT_EQ(store.num_canonicalizations(), 1u);
+  EXPECT_EQ(store.num_memo_hits(), 1u);
+  EXPECT_GE(store.memo_entries(), 1u);
+}
+
+TEST(ClassStore, MemoDisabledFallsBackToExactCanonicalization)
+{
+  const int n = 4;
+  std::mt19937_64 rng{0x0ffULL};
+  const auto funcs = make_npn_workload(n, 20, 2, 0x5e11ULL);
+  StoreBuildOptions build_options;
+  build_options.store.hot_cache_capacity = 0;
+  build_options.store.semiclass_memo_capacity = 0;
+  ClassStore store = build_class_store(funcs, build_options);
+
+  const TruthTable f = funcs[0];
+  TruthTable g{n};
+  do {
+    g = apply_transform(f, NpnTransform::random(n, rng));
+  } while (g == f);
+
+  const auto first = store.lookup(f);
+  const auto second = store.lookup(g);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->source, LookupSource::kIndex);
+  EXPECT_EQ(second->source, LookupSource::kIndex);
+  EXPECT_EQ(second->class_id, first->class_id);
+  EXPECT_EQ(store.num_canonicalizations(), 2u);
+  EXPECT_EQ(store.num_memo_hits(), 0u);
+  EXPECT_EQ(store.memo_entries(), 0u);
+}
+
+TEST(ClassStore, TransientMissesAreNeverMemoized)
+{
+  // A non-appending miss reports known=false. If the memo learned it, a
+  // later equivalent query would claim known=true for a class the store
+  // never persisted — so transient misses must bypass the memo entirely.
+  const int n = 4;
+  std::mt19937_64 rng{0x404ULL};
+  ClassStore store{n};
+  const TruthTable f = tt_random(n, rng);
+  TruthTable g{n};
+  do {
+    g = apply_transform(f, NpnTransform::random(n, rng));
+  } while (g == f);
+
+  const auto first = store.lookup_or_classify(f, /*append_on_miss=*/false);
+  EXPECT_EQ(first.source, LookupSource::kLive);
+  EXPECT_FALSE(first.known);
+  const auto second = store.lookup_or_classify(g, /*append_on_miss=*/false);
+  EXPECT_EQ(second.source, LookupSource::kLive);
+  EXPECT_FALSE(second.known);
+  EXPECT_EQ(second.class_id, first.class_id);
+  EXPECT_EQ(store.num_memo_hits(), 0u);
+  EXPECT_EQ(store.memo_entries(), 0u);
+}
+
+TEST(ClassStore, AppendedClassesAreServedFromTheMemo)
+{
+  const int n = 4;
+  std::mt19937_64 rng{0xadd5ULL};
+  ClassStoreOptions options;
+  options.hot_cache_capacity = 0;
+  ClassStore store{n, options};
+  const TruthTable f = tt_random(n, rng);
+  TruthTable g{n};
+  do {
+    g = apply_transform(f, NpnTransform::random(n, rng));
+  } while (g == f);
+
+  const auto appended = store.lookup_or_classify(f, /*append_on_miss=*/true);
+  EXPECT_EQ(appended.source, LookupSource::kLive);
+  EXPECT_FALSE(appended.known);
+  // The appended record was memoized, so the equivalent image skips both
+  // the index probe's canonicalization and the live tier.
+  const auto served = store.lookup_or_classify(g, /*append_on_miss=*/true);
+  EXPECT_EQ(served.source, LookupSource::kMemo);
+  EXPECT_TRUE(served.known);
+  EXPECT_EQ(served.class_id, appended.class_id);
+  EXPECT_EQ(apply_transform(g, served.to_representative), served.representative);
+  EXPECT_EQ(store.num_memo_hits(), 1u);
+  EXPECT_EQ(store.num_appended(), 1u);
+}
+
+TEST(ClassStore, MemoAssistedLearningMatchesSequentialClassifier)
+{
+  // An empty store learning a multi-image workload through the append path
+  // must assign exactly the sequential classifier's ids even when most
+  // queries short-circuit through the memo.
+  const int n = 5;
+  const auto funcs = make_npn_workload(n, 25, 5, 0x1eaf7ULL);
+  const ClassificationResult expected = classify_exhaustive(funcs);
+
+  ClassStoreOptions options;
+  options.hot_cache_capacity = 0;
+  ClassStore store{n, options};
+  for (std::size_t i = 0; i < funcs.size(); ++i) {
+    const auto result = store.lookup_or_classify(funcs[i], /*append_on_miss=*/true);
+    EXPECT_EQ(result.class_id, expected.class_of[i]) << "function " << i;
+    EXPECT_EQ(apply_transform(funcs[i], result.to_representative), result.representative);
+  }
+  EXPECT_EQ(store.num_classes(), expected.num_classes);
+  EXPECT_EQ(store.num_appended(), expected.num_classes);
+  // Every image beyond the first of each class can be served by the memo,
+  // so at most one exact canonicalization per class is unavoidable; with
+  // 5 images per base the memo must have absorbed a large share.
+  EXPECT_GT(store.num_memo_hits(), 0u);
+  EXPECT_LT(store.num_canonicalizations(), funcs.size());
 }
 
 TEST(ClassStore, WidthMismatchesAreRejected)

@@ -14,9 +14,11 @@
 #include <string>
 #include <vector>
 
+#include "facet/npn/transform.hpp"
 #include "facet/store/store_builder.hpp"
 #include "facet/tt/tt_generate.hpp"
 #include "facet/tt/tt_io.hpp"
+#include "facet/tt/tt_transform.hpp"
 
 namespace facet {
 namespace {
@@ -365,9 +367,11 @@ TEST(ServeProtocolEdge, StatsAllReportsPerWidthRows)
   ASSERT_EQ(lines.size(), 7u);
   EXPECT_NE(lines[3].find(" lookups=3 "), std::string::npos) << lines[3];
   EXPECT_NE(lines[3].find(" widths=2"), std::string::npos) << lines[3];
-  EXPECT_EQ(lines[4], "ok width=3 lookups=2 cache_hits=1 index_hits=1 live=0 appended=0")
+  EXPECT_EQ(lines[4],
+            "ok width=3 lookups=2 cache_hits=1 memo_hits=0 index_hits=1 live=0 appended=0")
       << lines[4];
-  EXPECT_EQ(lines[5], "ok width=4 lookups=1 cache_hits=0 index_hits=1 live=0 appended=0")
+  EXPECT_EQ(lines[5],
+            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 index_hits=1 live=0 appended=0")
       << lines[5];
   EXPECT_EQ(lines[6], "ok bye");
 }
@@ -386,9 +390,11 @@ TEST(ServeProtocolEdge, StatsAllCountsAppendsPerWidth)
   const auto lines =
       run_router_serve(router, "lookup " + to_hex(novel) + "\nstats all\nquit\n", nullptr, options);
   ASSERT_EQ(lines.size(), 5u);
-  EXPECT_EQ(lines[2], "ok width=3 lookups=0 cache_hits=0 index_hits=0 live=0 appended=0")
+  EXPECT_EQ(lines[2],
+            "ok width=3 lookups=0 cache_hits=0 memo_hits=0 index_hits=0 live=0 appended=0")
       << lines[2];
-  EXPECT_EQ(lines[3], "ok width=4 lookups=1 cache_hits=0 index_hits=0 live=1 appended=1")
+  EXPECT_EQ(lines[3],
+            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 index_hits=0 live=1 appended=1")
       << lines[3];
 }
 
@@ -399,6 +405,87 @@ TEST(ServeProtocolEdge, StatsLineReportsErrors)
   const auto lines = run_serve(store, "frobnicate\nstats\nquit\n", &stats);
   ASSERT_EQ(lines.size(), 3u);
   EXPECT_NE(lines[1].find(" errors=1"), std::string::npos) << lines[1];
+}
+
+TEST(ServeProtocolEdge, LookupAtPinsOperandWidthThroughTheRouter)
+{
+  StoreRouter router = make_router(0xed30ULL);
+  const std::string hex3 = to_hex(router.store_for(3)->records().front().representative);
+  const std::string hex4 = to_hex(router.store_for(4)->records().front().representative);
+  ServeStats stats;
+  const auto lines = run_router_serve(router,
+                                      "lookup@3 " + hex3 +        // pinned, digits match
+                                          "\nlookup@4 " + hex3 +  // pinned, wrong digit count
+                                          "\nlookup@5 " + hex4 + hex4 +  // no width-5 store
+                                          "\nlookup@xy " + hex3 +        // malformed override
+                                          "\nmlookup@4 " + hex4 + " " + hex4 + "\nquit\n",
+                                      &stats);
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "err operand '" + hex3 + "': expected 4 hex digits for 4 variables, got 2");
+  EXPECT_EQ(lines[2], "err no store routes width 5");
+  EXPECT_EQ(lines[3].rfind("err bad width in 'lookup@xy'", 0), 0u) << lines[3];
+  EXPECT_EQ(lines[4].rfind("ok id=", 0), 0u) << lines[4];
+  EXPECT_EQ(lines[5].rfind("ok id=", 0), 0u) << lines[5];
+  EXPECT_EQ(lines[6], "ok bye");
+  EXPECT_EQ(stats.errors, 3u);
+}
+
+TEST(ServeProtocolEdge, LookupAtChecksTheSingleStoreWidth)
+{
+  ClassStore store = make_store(3, 0xed31ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  const auto lines = run_serve(
+      store, "lookup@3 " + hex + "\nlookup@4 " + hex + hex + "\nquit\n");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_EQ(lines[1], "err store serves width 3, not 4");
+}
+
+TEST(ServeProtocolEdge, SingleNibbleWithoutWidth2StoreSuggestsLookupAt)
+{
+  // The router serves widths 3 and 4 only; a single-nibble operand infers
+  // n = 2 (genuinely ambiguous: n = 0, 1, 2 all encode as one digit), so
+  // the err must point at the lookup@<n> escape hatch.
+  StoreRouter router = make_router(0xed32ULL);
+  const auto lines = run_router_serve(router, "lookup a\nquit\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("err no store routes width 2", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("lookup@<n>"), std::string::npos) << lines[0];
+}
+
+TEST(ServeProtocolEdge, MemoHitsAppearInSrcAndStats)
+{
+  // Hot cache off, so an equivalent repeat falls through to the semiclass
+  // memo instead of the exact-table cache.
+  std::mt19937_64 rng{0xed33ULL};
+  std::vector<TruthTable> funcs;
+  for (std::size_t i = 0; i < 20; ++i) {
+    funcs.push_back(tt_random(4, rng));
+  }
+  StoreBuildOptions build_options;
+  build_options.store.hot_cache_capacity = 0;
+  ClassStore store = build_class_store(funcs, build_options);
+
+  const TruthTable rep = store.records().front().representative;
+  TruthTable variant = rep;
+  do {
+    variant = apply_transform(rep, NpnTransform::random(4, rng));
+  } while (variant == rep);
+
+  ServeStats stats;
+  const auto lines = run_serve(
+      store, "lookup " + to_hex(rep) + "\nlookup " + to_hex(variant) + "\nstats\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find(" src=index "), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find(" src=memo "), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find(" known=1"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[2].find(" memo_hits=1 "), std::string::npos) << lines[2];
+  EXPECT_EQ(stats.memo_hits, 1u);
+  // Both answers name the same class.
+  EXPECT_EQ(lines[0].substr(0, lines[0].find(" rep=")),
+            lines[1].substr(0, lines[1].find(" rep=")));
+  EXPECT_EQ(store.num_canonicalizations(), 1u) << "the memo hit must not re-canonicalize";
 }
 
 }  // namespace

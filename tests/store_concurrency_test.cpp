@@ -356,5 +356,98 @@ TEST(StoreConcurrency, RacingAppendersAgreeOnOneIdPerClass)
   }
 }
 
+/// Racing appenders pushing NPN *images* of shared novel classes: most
+/// queries resolve through the semiclass memo while other threads are
+/// appending to the same classes. Every thread must still observe one id
+/// per class, and memoized answers must be bit-identical to the gate's.
+TEST(StoreConcurrency, RacingAppendersThroughTheMemoAgreeOnOneIdPerClass)
+{
+  const int n = 5;
+  ClassStore store{n};
+  std::mt19937_64 rng{0x3e3e0ULL};
+  const std::size_t num_bases = 12;
+  const std::size_t images_per_base = 6;
+  std::vector<TruthTable> bases;
+  for (std::size_t b = 0; b < num_bases; ++b) {
+    bases.push_back(tt_random(n, rng));
+  }
+  // queries[b][j]: image j of base b; image 0 is the base itself.
+  std::vector<std::vector<TruthTable>> queries(num_bases);
+  for (std::size_t b = 0; b < num_bases; ++b) {
+    queries[b].push_back(bases[b]);
+    for (std::size_t j = 1; j < images_per_base; ++j) {
+      queries[b].push_back(apply_transform(bases[b], NpnTransform::random(n, rng)));
+    }
+  }
+
+  const std::size_t num_threads = 8;
+  std::vector<std::vector<std::uint32_t>> seen(num_threads);
+  std::atomic<std::uint64_t> witness_failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].assign(num_bases, 0xffffffffU);
+      for (std::size_t i = 0; i < num_bases; ++i) {
+        // Offset walks so threads collide on different classes at once;
+        // vary the image per thread so the memo (keyed by semiclass, matched
+        // per image) is exercised with distinct tables of the same class.
+        const std::size_t b = (i + t * 5) % num_bases;
+        const std::size_t j = (i + t) % images_per_base;
+        const auto result =
+            store.lookup_or_classify(queries[b][j], /*append_on_miss=*/true);
+        if (apply_transform(queries[b][j], result.to_representative) !=
+            result.representative) {
+          witness_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        // All images of base b share one class: ids must never diverge
+        // within a thread either.
+        if (seen[t][b] != 0xffffffffU && seen[t][b] != result.class_id) {
+          witness_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        seen[t][b] = result.class_id;
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(witness_failures.load(), 0u);
+
+  // Every thread agreed on the id of every class...
+  for (std::size_t b = 0; b < num_bases; ++b) {
+    for (std::size_t t = 1; t < num_threads; ++t) {
+      EXPECT_EQ(seen[t][b], seen[0][b]) << "thread " << t << " diverged on base " << b;
+    }
+  }
+  // ...ids match a fresh single-threaded canonical grouping (distinct bases
+  // may coincidentally share an NPN class, so group by canonical form)...
+  std::vector<TruthTable> canonicals;
+  for (const auto& base : bases) {
+    canonicals.push_back(exact_npn_canonical(base));
+  }
+  for (std::size_t a = 0; a < num_bases; ++a) {
+    for (std::size_t b = a + 1; b < num_bases; ++b) {
+      if (canonicals[a] == canonicals[b]) {
+        EXPECT_EQ(seen[0][a], seen[0][b]);
+      } else {
+        EXPECT_NE(seen[0][a], seen[0][b]);
+      }
+    }
+  }
+  // ...and exactly one record was appended per class.
+  const std::vector<StoreRecord> records = store.persisted_records();
+  EXPECT_EQ(records.size(), store.num_classes());
+  EXPECT_EQ(store.num_appended(), records.size());
+  // Post-hoc lookups of every image resolve to the same ids.
+  for (std::size_t b = 0; b < num_bases; ++b) {
+    for (const auto& q : queries[b]) {
+      const auto result = store.lookup(q);
+      ASSERT_TRUE(result.has_value());
+      EXPECT_TRUE(result->known);
+      EXPECT_EQ(result->class_id, seen[0][b]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace facet

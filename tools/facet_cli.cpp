@@ -266,8 +266,9 @@ int cmd_lookup(const CliArgs& args)
 void report_serve_stats(const ServeStats& stats)
 {
   std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
-            << stats.cache_hits << " cache / " << stats.index_hits << " index / " << stats.live
-            << " live, " << stats.errors << " error(s)";
+            << stats.cache_hits << " cache / " << stats.memo_hits << " memo / "
+            << stats.index_hits << " index / " << stats.live << " live, " << stats.errors
+            << " error(s)";
   if (stats.flushed != 0) {
     std::cerr << ", flushed " << stats.flushed << " record(s)";
   }
@@ -279,7 +280,8 @@ void report_server_stats(const ServeAggregateStats& stats)
   const ServeAggregateSnapshot agg = stats.snapshot();
   std::cerr << "served " << agg.connections_total << " connection(s), " << agg.requests
             << " request(s): " << agg.lookups << " lookup(s), " << agg.cache_hits << " cache / "
-            << agg.index_hits << " index / " << agg.live << " live, " << agg.errors
+            << agg.memo_hits << " memo / " << agg.index_hits << " index / " << agg.live
+            << " live, " << agg.errors
             << " error(s), flushed " << agg.flushed_records << " record(s), " << agg.compactions
             << " compaction(s) (" << agg.compacted_runs << " run(s), " << agg.compacted_records
             << " record(s))\n";
@@ -290,8 +292,8 @@ void report_server_stats(const ServeAggregateStats& stats)
       continue;
     }
     std::cerr << "  width " << n << ": " << row.lookups << " lookup(s), " << row.cache_hits
-              << " cache / " << row.index_hits << " index / " << row.live << " live, "
-              << row.appended << " appended\n";
+              << " cache / " << row.memo_hits << " memo / " << row.index_hits << " index / "
+              << row.live << " live, " << row.appended << " appended\n";
   }
 }
 
