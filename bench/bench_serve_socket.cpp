@@ -51,10 +51,13 @@ using namespace facet;
 
 /// One client pass: streams `hex` in mlookup batches over a fresh
 /// connection; checks ids against `expected` when given, otherwise only
-/// response shape. Returns answered lookups.
+/// response shape. Each batch's round-trip (write through last response
+/// read) records into `latency` — shared lock-free across the fleet's
+/// clients, so the phase can report client-observed p50/p99. Returns
+/// answered lookups.
 std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
                        const std::vector<std::uint32_t>* expected, std::size_t batch,
-                       std::atomic<std::size_t>& mismatches)
+                       std::atomic<std::size_t>& mismatches, obs::LatencyHistogram& latency)
 {
   Socket socket = connect_tcp({"127.0.0.1", port});
   FdStreamBuf buf{socket.fd()};
@@ -65,6 +68,7 @@ std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
   std::string line;
   for (std::size_t start = 0; start < hex.size(); start += batch) {
     const std::size_t end = std::min(start + batch, hex.size());
+    const std::uint64_t t0 = now_ns();
     out << "mlookup";
     for (std::size_t i = start; i < end; ++i) {
       out << ' ' << hex[i];
@@ -81,6 +85,7 @@ std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
       }
       ++answered;
     }
+    latency.record_ns(now_ns() - t0);
   }
   out << "quit\n" << std::flush;
   return answered;
@@ -93,6 +98,8 @@ struct PhaseResult {
   double seconds = 0;
   double rate = 0;
   double scaling = 1.0;
+  double p50_us = 0;  ///< median client-observed batch round-trip
+  double p99_us = 0;  ///< tail client-observed batch round-trip
 };
 
 /// Runs one fleet: `make_workload(c)` yields client c's hex stream (and
@@ -106,13 +113,14 @@ PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t 
   result.phase = phase;
   result.clients = num_clients;
   std::atomic<std::size_t> answered{0};
+  obs::LatencyHistogram latency;
   Stopwatch watch;
   {
     std::vector<std::thread> clients;
     for (std::size_t c = 0; c < num_clients; ++c) {
       clients.emplace_back([&, c] {
         const auto [hex, expected] = make_workload(c);
-        answered += run_client(port, *hex, expected, batch, mismatches);
+        answered += run_client(port, *hex, expected, batch, mismatches, latency);
       });
     }
     for (auto& client : clients) {
@@ -122,6 +130,9 @@ PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t 
   result.seconds = watch.seconds();
   result.lookups = answered.load();
   result.rate = result.seconds > 0 ? static_cast<double>(result.lookups) / result.seconds : 0.0;
+  const obs::HistogramSnapshot snapshot = latency.snapshot();
+  result.p50_us = static_cast<double>(snapshot.quantile_ns(0.5)) / 1000.0;
+  result.p99_us = static_cast<double>(snapshot.quantile_ns(0.99)) / 1000.0;
   return result;
 }
 
@@ -145,7 +156,8 @@ void sweep_phase(const std::string& phase, std::uint16_t port,
     }
     result.scaling = single_rate > 0 ? result.rate / single_rate : 0.0;
     std::cout << phase << " " << c << " client(s): " << result.rate << " lookups/s (scaling "
-              << result.scaling << ")\n";
+              << result.scaling << ", batch p50 " << result.p50_us << " us, p99 " << result.p99_us
+              << " us)\n";
     phases.push_back(result);
   }
 }
@@ -368,7 +380,8 @@ int main(int argc, char** argv)
     const auto& p = phases[i];
     json << "    {\"phase\": \"" << p.phase << "\", \"clients\": " << p.clients
          << ", \"lookups\": " << p.lookups << ", \"seconds\": " << p.seconds
-         << ", \"lookups_per_sec\": " << p.rate << ", \"scaling\": " << p.scaling << "}"
+         << ", \"lookups_per_sec\": " << p.rate << ", \"scaling\": " << p.scaling
+         << ", \"batch_p50_us\": " << p.p50_us << ", \"batch_p99_us\": " << p.p99_us << "}"
          << (i + 1 < phases.size() ? "," : "") << "\n";
   }
   json << "  ],\n"

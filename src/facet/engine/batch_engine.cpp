@@ -12,6 +12,8 @@
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semi_canonical.hpp"
 #include "facet/npn/semiclass.hpp"
+#include "facet/obs/clock.hpp"
+#include "facet/obs/registry.hpp"
 #include "facet/store/class_store.hpp"
 #include "facet/store/store_router.hpp"
 #include "facet/util/hash.hpp"
@@ -394,6 +396,8 @@ BatchEngine::BatchEngine(ClassifierKind kind, BatchEngineOptions options)
   for (std::size_t s = 0; s < num_shards_; ++s) {
     shards_.push_back(std::make_unique<BatchShardState>());
   }
+  shard_latency_ = &obs::MetricRegistry::global().histogram(
+      "facet_batch_shard_classify_latency", obs::label("classifier", classifier_kind_name(kind)));
 }
 
 BatchEngine::~BatchEngine() = default;
@@ -443,8 +447,10 @@ ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, Ba
   std::vector<LocalResult> locals(plan.num_shards);
   pool_->run_indexed(plan.num_shards, [&](std::size_t s) {
     if (!plan.members[s].empty()) {
+      const std::uint64_t t0 = obs::now_ticks();
       locals[s] =
           classify_shard(kind_, options_, store_, router_, *shards_[s], funcs, plan.members[s]);
+      shard_latency_->record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
     }
   });
   if (!options_.memoize) {

@@ -34,6 +34,7 @@
 
 #include "facet/npn/classifier.hpp"
 #include "facet/npn/codesign.hpp"
+#include "facet/obs/histogram.hpp"
 #include "facet/sig/msv.hpp"
 #include "facet/tt/truth_table.hpp"
 
@@ -139,6 +140,9 @@ class BatchEngine {
   std::vector<std::unique_ptr<BatchShardState>> shards_;
   const ClassStore* store_ = nullptr;
   const StoreRouter* router_ = nullptr;
+  /// `facet_batch_shard_classify_latency{classifier=...}` — per-shard
+  /// classify timing, resolved once at construction (obs/registry.hpp).
+  obs::LatencyHistogram* shard_latency_ = nullptr;
 };
 
 /// One-shot convenience wrapper around a temporary BatchEngine.

@@ -36,6 +36,9 @@
 #include "facet/npn/semiclass.hpp"
 #include "facet/npn/symmetry.hpp"
 #include "facet/npn/transform.hpp"
+#include "facet/obs/clock.hpp"
+#include "facet/obs/histogram.hpp"
+#include "facet/obs/registry.hpp"
 #include "facet/sig/cofactor.hpp"
 #include "facet/sig/influence.hpp"
 #include "facet/sig/msv.hpp"

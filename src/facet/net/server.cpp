@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "facet/net/fd_stream.hpp"
+#include "facet/obs/clock.hpp"
+#include "facet/obs/registry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FACET_HAS_SOCKETS 1
@@ -18,6 +20,37 @@
 #endif
 
 namespace facet {
+
+namespace {
+
+/// `facet_serve_active_connections`: connections currently inside
+/// handle_connection, process-wide.
+obs::Gauge& active_connections_gauge()
+{
+  static obs::Gauge& gauge =
+      obs::MetricRegistry::global().gauge("facet_serve_active_connections");
+  return gauge;
+}
+
+/// `facet_serve_connection_lifetime`: accept-to-close duration of every
+/// finished connection.
+obs::LatencyHistogram& connection_lifetime_histogram()
+{
+  static obs::LatencyHistogram& histogram =
+      obs::MetricRegistry::global().histogram("facet_serve_connection_lifetime");
+  return histogram;
+}
+
+/// `facet_compaction_duration{phase=...}` handles. "total" spans flush
+/// through adopt; the phases break the three-phase API down so a dashboard
+/// separates the gate-free heavy merge from the gated swap.
+obs::LatencyHistogram& compaction_histogram(const char* phase)
+{
+  return obs::MetricRegistry::global().histogram("facet_compaction_duration",
+                                                 obs::label("phase", phase));
+}
+
+}  // namespace
 
 ServeServer::ServeServer(ClassStore& store, std::string index_path, ServeServerOptions options)
     : store_{&store}, options_{std::move(options)}
@@ -43,6 +76,7 @@ ServeOptions ServeServer::session_options()
   session.readonly = options_.readonly;
   session.append_on_miss = options_.append_on_miss && !options_.readonly;
   session.aggregate = &stats_;
+  session.slow_request_us = options_.slow_request_us;
   if (session.append_on_miss) {
     if (router_ != nullptr) {
       for (const auto& [width, path] : index_paths_) {
@@ -180,6 +214,8 @@ void ServeServer::accept_loop()
 
 void ServeServer::handle_connection(std::list<Connection>::iterator self)
 {
+  const std::uint64_t accepted_ticks = obs::now_ticks();
+  active_connections_gauge().add(1);
   {
     FdStreamBuf buf{self->socket.fd()};
     std::istream in{&buf};
@@ -212,6 +248,8 @@ void ServeServer::handle_connection(std::list<Connection>::iterator self)
   reap_finished_connections();
   self->done.store(true);
   --stats_.connections_active;
+  active_connections_gauge().sub(1);
+  connection_lifetime_histogram().record_ns(obs::ticks_to_ns(obs::now_ticks() - accepted_ticks));
   compactor_cv_.notify_one();  // the exit flush may have sealed a new run
 }
 
@@ -336,6 +374,7 @@ std::size_t ServeServer::run_due_compactions()
 void ServeServer::compact_one(int width, ClassStore& store, const std::string& path)
 {
   const std::string dlog = ClassStore::delta_log_path(path);
+  const std::uint64_t t_start = obs::now_ticks();
   // Phase 1 (cheap): fold the memtable into a sealed run (serialized inside
   // the store's gate) and pin the immutable tiers (no gate entered).
   const std::size_t flushed = store.flush_delta(dlog);
@@ -343,28 +382,43 @@ void ServeServer::compact_one(int width, ClassStore& store, const std::string& p
   if (snapshot.deltas.empty()) {
     return;
   }
+  const std::uint64_t dlog_bytes = ClassStore::delta_log_size(dlog);
   std::size_t delta_records = 0;
   for (const auto& run : snapshot.deltas) {
     delta_records += run->size();
   }
+  const std::uint64_t t_flushed = obs::now_ticks();
 
   // Phase 2 (no gate held): merge and write the fresh base while readers
   // and appenders keep going.
   std::vector<StoreRecord> merged = ClassStore::merge_compaction_snapshot(snapshot);
+  const std::uint64_t t_merged = obs::now_ticks();
   const std::string tmp = path + ".cpt";
   ClassStore::write_compacted(tmp, snapshot, merged);
+  const std::uint64_t t_written = obs::now_ticks();
 
   // Phase 3 (cheap): swap the new base in through the store's gate. Runs
   // flushed since the snapshot survive; only this compactor thread ever
   // swaps the base, so the snapshot-prefix validation cannot fail.
   store.adopt_compacted(path, tmp, snapshot, std::move(merged));
+  const std::uint64_t t_done = obs::now_ticks();
+
+  compaction_histogram("flush").record_ns(obs::ticks_to_ns(t_flushed - t_start));
+  compaction_histogram("merge").record_ns(obs::ticks_to_ns(t_merged - t_flushed));
+  compaction_histogram("write").record_ns(obs::ticks_to_ns(t_written - t_merged));
+  compaction_histogram("adopt").record_ns(obs::ticks_to_ns(t_done - t_written));
+  const std::uint64_t total_ns = obs::ticks_to_ns(t_done - t_start);
+  compaction_histogram("total").record_ns(total_ns);
 
   ++stats_.compactions;
   stats_.compacted_runs += snapshot.deltas.size();
   stats_.compacted_records += delta_records;
+  stats_.compacted_bytes += dlog_bytes;
+  stats_.last_compaction_ms.store(total_ns / 1'000'000, std::memory_order_relaxed);
   stats_.flushed_records += flushed;
   const std::lock_guard<std::mutex> log_lock{compaction_log_mutex_};
-  compaction_log_.push_back(CompactionEvent{width, snapshot.deltas.size(), delta_records});
+  compaction_log_.push_back(
+      CompactionEvent{width, snapshot.deltas.size(), delta_records, dlog_bytes, total_ns / 1'000'000});
 }
 
 #else  // !FACET_HAS_SOCKETS

@@ -78,6 +78,10 @@ struct ServeServerOptions {
   /// cannot pin connection slots forever. zero() = no timeout.
   std::chrono::milliseconds idle_timeout{0};
 
+  /// Sessions log any request slower than this many microseconds to stderr
+  /// (`--slow-us`; 0 disables — see ServeOptions::slow_request_us).
+  std::uint64_t slow_request_us = 0;
+
   /// Compact a store once it holds >= this many sealed delta runs
   /// (0 disables the run-count trigger).
   std::size_t compact_after_runs = 0;
@@ -91,8 +95,10 @@ struct ServeServerOptions {
 /// One compaction the server performed (surfaced for logs and tests).
 struct CompactionEvent {
   int width = 0;
-  std::size_t runs = 0;     ///< delta runs folded into the new base
-  std::size_t records = 0;  ///< records those runs held
+  std::size_t runs = 0;          ///< delta runs folded into the new base
+  std::size_t records = 0;       ///< records those runs held
+  std::uint64_t bytes = 0;       ///< delta-log bytes folded away
+  std::uint64_t duration_ms = 0; ///< flush-through-adopt wall time
 };
 
 class ServeServer {

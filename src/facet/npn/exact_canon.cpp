@@ -7,11 +7,22 @@
 
 #include "facet/npn/enumerate.hpp"
 #include "facet/npn/semiclass.hpp"
+#include "facet/obs/clock.hpp"
+#include "facet/obs/registry.hpp"
 #include "facet/tt/tt_transform.hpp"
 
 namespace facet {
 
 namespace {
+
+/// `facet_canonicalize_latency{path=...}` handles, resolved once per
+/// process. "bb" is the branch-and-bound dispatch every store/serve miss
+/// pays; "walk" is the exhaustive-orbit oracle.
+obs::LatencyHistogram& canonicalize_histogram(const char* path)
+{
+  return obs::MetricRegistry::global().histogram("facet_canonicalize_latency",
+                                                 obs::label("path", path));
+}
 
 /// Shared walk over all 2^n * n! input transformations (times both output
 /// polarities at every visit).
@@ -594,16 +605,38 @@ CanonResult canonical_dispatch(const TruthTable& tt)
 
 TruthTable exact_npn_canonical(const TruthTable& tt)
 {
-  return canonical_dispatch<false>(tt).canonical;
+  static obs::LatencyHistogram& latency = canonicalize_histogram("bb");
+  const std::uint64_t t0 = obs::now_ticks();
+  TruthTable canonical = canonical_dispatch<false>(tt).canonical;
+  latency.record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+  return canonical;
 }
 
 CanonResult exact_npn_canonical_with_transform(const TruthTable& tt)
 {
-  return canonical_dispatch<true>(tt);
+  static obs::LatencyHistogram& latency = canonicalize_histogram("bb");
+  const std::uint64_t t0 = obs::now_ticks();
+  CanonResult result = canonical_dispatch<true>(tt);
+  latency.record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+  return result;
 }
 
-TruthTable exact_npn_canonical_walk(const TruthTable& tt) { return walk<false>(tt).canonical; }
+TruthTable exact_npn_canonical_walk(const TruthTable& tt)
+{
+  static obs::LatencyHistogram& latency = canonicalize_histogram("walk");
+  const std::uint64_t t0 = obs::now_ticks();
+  TruthTable canonical = walk<false>(tt).canonical;
+  latency.record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+  return canonical;
+}
 
-CanonResult exact_npn_canonical_walk_with_transform(const TruthTable& tt) { return walk<true>(tt); }
+CanonResult exact_npn_canonical_walk_with_transform(const TruthTable& tt)
+{
+  static obs::LatencyHistogram& latency = canonicalize_histogram("walk");
+  const std::uint64_t t0 = obs::now_ticks();
+  CanonResult result = walk<true>(tt);
+  latency.record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+  return result;
+}
 
 }  // namespace facet

@@ -1,0 +1,110 @@
+/// \file clock.hpp
+/// \brief The rdtsc-class clock behind every instrumented hot path.
+///
+/// Latency instrumentation lives on paths where the *measurement* must cost
+/// less than the thing measured: a warm hot-cache lookup resolves in a few
+/// hundred nanoseconds, and two `steady_clock::now()` reads (a vDSO call
+/// each) would eat >10% of it. `now_ticks()` reads the CPU's monotonic cycle
+/// counter directly — `rdtsc` on x86-64, `cntvct_el0` on aarch64 (both
+/// constant-rate and core-synchronized on every machine this serves on) —
+/// and `ticks_to_ns()` converts with one multiply against a ratio calibrated
+/// once per process against util/timer.hpp's steady clock. Platforms without
+/// a known counter fall back to `now_ns()` itself (ticks == nanoseconds).
+///
+/// Usage on an instrumented path:
+///
+///   const std::uint64_t t0 = obs::now_ticks();
+///   ... the measured work ...
+///   histogram.record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+///
+/// The calibration (a ~200us spin on first use) is hidden behind a
+/// thread-safe function-local static; instrumented paths after that pay one
+/// counter read plus one double multiply.
+
+#pragma once
+
+#include <cstdint>
+
+#include "facet/util/timer.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define FACET_OBS_TICK_SOURCE 1
+#elif defined(__aarch64__)
+#define FACET_OBS_TICK_SOURCE 2
+#else
+#define FACET_OBS_TICK_SOURCE 0
+#endif
+
+namespace facet::obs {
+
+/// Raw monotonic tick counter — cheapest clock the platform offers. Units
+/// are platform-defined; convert differences with ticks_to_ns().
+[[nodiscard]] inline std::uint64_t now_ticks() noexcept
+{
+#if FACET_OBS_TICK_SOURCE == 1
+  return __rdtsc();
+#elif FACET_OBS_TICK_SOURCE == 2
+  std::uint64_t ticks = 0;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+  return ticks;
+#else
+  return now_ns();
+#endif
+}
+
+/// Nanoseconds per tick, calibrated once per process against the steady
+/// clock. The spin is long enough (~200us) that steady-clock granularity
+/// contributes well under 0.1% error.
+[[nodiscard]] inline double ns_per_tick() noexcept
+{
+#if FACET_OBS_TICK_SOURCE == 0
+  return 1.0;
+#else
+  static const double ratio = []() noexcept {
+    const std::uint64_t ticks0 = now_ticks();
+    const std::uint64_t ns0 = now_ns();
+    while (now_ns() - ns0 < 200'000) {
+    }
+    const std::uint64_t ticks1 = now_ticks();
+    const std::uint64_t ns1 = now_ns();
+    return ticks1 > ticks0 ? static_cast<double>(ns1 - ns0) / static_cast<double>(ticks1 - ticks0)
+                           : 1.0;
+  }();
+  return ratio;
+#endif
+}
+
+/// Converts a tick *difference* to nanoseconds.
+[[nodiscard]] inline std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept
+{
+#if FACET_OBS_TICK_SOURCE == 0
+  return ticks;
+#else
+  return static_cast<std::uint64_t>(static_cast<double>(ticks) * ns_per_tick());
+#endif
+}
+
+/// Forces the one-time calibration now instead of on the first instrumented
+/// event (e.g. before a benchmark's measured region).
+inline void warm_up_clock() noexcept
+{
+  (void)ns_per_tick();
+}
+
+/// 1-in-K sampling gate for events too cheap to time individually. Even a
+/// raw `rdtsc` stalls a memory-bound pipeline for tens of ns on common
+/// virtualized hosts — two reads around a ~200ns warm cache hit would
+/// double its cost. A thread-local countdown costs a couple of ns and no
+/// coherence traffic; timing 1 in K keeps the histogram statistically
+/// faithful on any path hot enough to need sampling in the first place.
+/// K must be a power of two.
+template <unsigned K>
+[[nodiscard]] inline bool sample_1_in() noexcept
+{
+  static_assert(K != 0 && (K & (K - 1)) == 0, "sample period must be a power of two");
+  static thread_local unsigned counter = 0;
+  return (++counter & (K - 1)) == 0;
+}
+
+}  // namespace facet::obs

@@ -1,0 +1,171 @@
+#include "facet/obs/registry.hpp"
+
+#include <array>
+#include <ostream>
+#include <stdexcept>
+
+namespace facet::obs {
+
+namespace {
+
+/// The quantiles every histogram series exposes.
+constexpr std::array<double, 3> kQuantiles{0.5, 0.9, 0.99};
+constexpr std::array<const char*, 3> kQuantileNames{"0.5", "0.9", "0.99"};
+
+/// `name{labels}` or bare `name`, with `extra` spliced in as an additional
+/// label (the quantile).
+void write_series(std::ostream& os, const std::string& name, const std::string& labels,
+                  const std::string& extra = {})
+{
+  os << name;
+  if (!labels.empty() || !extra.empty()) {
+    os << '{' << labels;
+    if (!labels.empty() && !extra.empty()) {
+      os << ',';
+    }
+    os << extra << '}';
+  }
+}
+
+/// JSON string escaping for names and label bodies (quotes + backslashes;
+/// metric names never carry control characters).
+void write_json_string(std::ostream& os, const std::string& s)
+{
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+MetricRegistry& MetricRegistry::global()
+{
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::resolve(const std::string& name, const std::string& labels)
+{
+  return metrics_[Key{name, labels}];
+}
+
+LatencyHistogram& MetricRegistry::histogram(const std::string& name, const std::string& labels)
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  Entry& entry = resolve(name, labels);
+  if (entry.counter != nullptr || entry.gauge != nullptr) {
+    throw std::logic_error{"metric '" + name + "' already registered with a different kind"};
+  }
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<LatencyHistogram>();
+  }
+  return *entry.histogram;
+}
+
+Counter& MetricRegistry::counter(const std::string& name, const std::string& labels)
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  Entry& entry = resolve(name, labels);
+  if (entry.histogram != nullptr || entry.gauge != nullptr) {
+    throw std::logic_error{"metric '" + name + "' already registered with a different kind"};
+  }
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_unique<Counter>();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name, const std::string& labels)
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  Entry& entry = resolve(name, labels);
+  if (entry.histogram != nullptr || entry.counter != nullptr) {
+    throw std::logic_error{"metric '" + name + "' already registered with a different kind"};
+  }
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_unique<Gauge>();
+  }
+  return *entry.gauge;
+}
+
+std::size_t MetricRegistry::size() const
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return metrics_.size();
+}
+
+void MetricRegistry::render_prometheus(std::ostream& os) const
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (const auto& [key, entry] : metrics_) {
+    const auto& [name, labels] = key;
+    if (entry.histogram != nullptr) {
+      const HistogramSnapshot snap = entry.histogram->snapshot();
+      for (std::size_t q = 0; q < kQuantiles.size(); ++q) {
+        write_series(os, name, labels,
+                     std::string{"quantile=\""} + kQuantileNames[q] + "\"");
+        os << ' ' << static_cast<std::uint64_t>(snap.quantile_ns(kQuantiles[q])) << '\n';
+      }
+      write_series(os, name + "_sum", labels);
+      os << ' ' << snap.sum_ns << '\n';
+      write_series(os, name + "_count", labels);
+      os << ' ' << snap.count() << '\n';
+      write_series(os, name + "_max", labels);
+      os << ' ' << snap.max_ns << '\n';
+    } else if (entry.counter != nullptr) {
+      write_series(os, name, labels);
+      os << ' ' << entry.counter->value() << '\n';
+    } else if (entry.gauge != nullptr) {
+      write_series(os, name, labels);
+      os << ' ' << entry.gauge->value() << '\n';
+    }
+  }
+}
+
+void MetricRegistry::render_json(std::ostream& os) const
+{
+  const std::lock_guard<std::mutex> lock{mutex_};
+  os << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& [key, entry] : metrics_) {
+    const auto& [name, labels] = key;
+    os << (first ? "\n" : ",\n") << "    {\"name\": ";
+    first = false;
+    write_json_string(os, name);
+    os << ", \"labels\": ";
+    write_json_string(os, labels);
+    if (entry.histogram != nullptr) {
+      const HistogramSnapshot snap = entry.histogram->snapshot();
+      os << ", \"type\": \"histogram\", \"count\": " << snap.count()
+         << ", \"sum_ns\": " << snap.sum_ns << ", \"max_ns\": " << snap.max_ns
+         << ", \"p50_ns\": " << static_cast<std::uint64_t>(snap.quantile_ns(0.5))
+         << ", \"p90_ns\": " << static_cast<std::uint64_t>(snap.quantile_ns(0.9))
+         << ", \"p99_ns\": " << static_cast<std::uint64_t>(snap.quantile_ns(0.99));
+    } else if (entry.counter != nullptr) {
+      os << ", \"type\": \"counter\", \"value\": " << entry.counter->value();
+    } else if (entry.gauge != nullptr) {
+      os << ", \"type\": \"gauge\", \"value\": " << entry.gauge->value();
+    } else {
+      os << ", \"type\": \"unset\"";
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+std::string label(const std::string& key, const std::string& value)
+{
+  return key + "=\"" + value + "\"";
+}
+
+std::string label(const std::string& key, std::int64_t value)
+{
+  return key + "=\"" + std::to_string(value) + "\"";
+}
+
+}  // namespace facet::obs

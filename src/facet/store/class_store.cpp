@@ -11,6 +11,8 @@
 #include <utility>
 
 #include "facet/npn/exact_canon.hpp"
+#include "facet/obs/clock.hpp"
+#include "facet/obs/registry.hpp"
 #include "facet/util/hash.hpp"
 
 namespace facet {
@@ -43,6 +45,23 @@ ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
   if (num_vars < 0 || num_vars > kMaxVars) {
     throw std::invalid_argument{"ClassStore: num_vars out of range"};
   }
+  resolve_metrics();
+}
+
+void ClassStore::resolve_metrics()
+{
+  static constexpr std::array<const char*, 5> kTierNames{"cache", "memo", "index", "live", "miss"};
+  auto& registry = obs::MetricRegistry::global();
+  const std::string width = obs::label("width", num_vars_);
+  for (std::size_t tier = 0; tier < lookup_latency_.size(); ++tier) {
+    lookup_latency_[tier] = &registry.histogram(
+        "facet_store_lookup_latency", obs::label("tier", kTierNames[tier]) + "," + width);
+  }
+}
+
+void ClassStore::record_lookup_latency(std::size_t tier, std::uint64_t start_ticks) const noexcept
+{
+  lookup_latency_[tier]->record_ns(obs::ticks_to_ns(obs::now_ticks() - start_ticks));
 }
 
 ClassStore::ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint64_t num_classes,
@@ -90,6 +109,7 @@ ClassStore::ClassStore(ClassStore&& other) noexcept
       compactions_{other.compactions_.load(std::memory_order_relaxed)},
       cache_{std::move(other.cache_)}
 {
+  lookup_latency_ = other.lookup_latency_;
 }
 
 ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
@@ -109,6 +129,7 @@ ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
   compactions_.store(other.compactions_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
   cache_ = std::move(other.cache_);
+  lookup_latency_ = other.lookup_latency_;
   return *this;
 }
 
@@ -709,19 +730,39 @@ void ClassStore::memo_insert(const SemiclassKey& key, const StoreRecord& record)
 std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
 {
   check_width(f, "ClassStore::lookup");
+  // The cache/memo tiers resolve in a few hundred ns — even one clock read
+  // stalls them measurably, so their series sample 1 in kFastTierSample
+  // events (see obs::sample_1_in). The canonicalize-and-search tiers are
+  // microseconds-scale and time every event; an unsampled slow lookup
+  // starts its clock after the fast probes, which under-reports by the
+  // probe cost (~2% of a cold lookup) instead of taxing every warm hit.
+  const bool sampled = obs::sample_1_in<kFastTierSample>();
+  std::uint64_t t0 = sampled ? obs::now_ticks() : 0;
   if (auto cached = probe_cache(f)) {
+    if (sampled) {
+      record_lookup_latency(static_cast<std::size_t>(LookupSource::kHotCache), t0);
+    }
     return cached;
   }
   std::optional<SemiclassKey> key;
   if (options_.semiclass_memo_capacity > 0) {
     key = semiclass_key(f);
     if (auto memoized = memo_probe(f, *key)) {
+      if (sampled) {
+        record_lookup_latency(static_cast<std::size_t>(LookupSource::kMemo), t0);
+      }
       return memoized;
     }
   }
+  if (!sampled) {
+    t0 = obs::now_ticks();
+  }
   canonicalizations_.fetch_add(1, std::memory_order_relaxed);
-  return lookup_canonical_impl(f, exact_npn_canonical_with_transform(f),
-                               key ? &*key : nullptr);
+  auto result = lookup_canonical_impl(f, exact_npn_canonical_with_transform(f),
+                                      key ? &*key : nullptr);
+  record_lookup_latency(
+      result.has_value() ? static_cast<std::size_t>(result->source) : kMissTier, t0);
+  return result;
 }
 
 std::optional<StoreLookupResult> ClassStore::lookup_canonical(const TruthTable& f,
@@ -750,19 +791,33 @@ std::optional<StoreLookupResult> ClassStore::lookup_canonical_impl(const TruthTa
 StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool append_on_miss)
 {
   check_width(f, "ClassStore::lookup_or_classify");
+  // Same sampling split as lookup(): fast tiers 1-in-K, slow tiers always.
+  const bool sampled = obs::sample_1_in<kFastTierSample>();
+  std::uint64_t t0 = sampled ? obs::now_ticks() : 0;
   if (auto cached = probe_cache(f)) {
+    if (sampled) {
+      record_lookup_latency(static_cast<std::size_t>(LookupSource::kHotCache), t0);
+    }
     return *cached;
   }
   std::optional<SemiclassKey> key;
   if (options_.semiclass_memo_capacity > 0) {
     key = semiclass_key(f);
     if (auto memoized = memo_probe(f, *key)) {
+      if (sampled) {
+        record_lookup_latency(static_cast<std::size_t>(LookupSource::kMemo), t0);
+      }
       return *memoized;
     }
   }
+  if (!sampled) {
+    t0 = obs::now_ticks();
+  }
   canonicalizations_.fetch_add(1, std::memory_order_relaxed);
-  return lookup_or_classify_impl(f, exact_npn_canonical_with_transform(f), append_on_miss,
-                                 key ? &*key : nullptr);
+  const StoreLookupResult result = lookup_or_classify_impl(
+      f, exact_npn_canonical_with_transform(f), append_on_miss, key ? &*key : nullptr);
+  record_lookup_latency(static_cast<std::size_t>(result.source), t0);
+  return result;
 }
 
 StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,

@@ -104,6 +104,7 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
@@ -118,6 +119,7 @@
 #include "facet/npn/matcher.hpp"
 #include "facet/npn/semiclass.hpp"
 #include "facet/npn/transform.hpp"
+#include "facet/obs/histogram.hpp"
 #include "facet/store/gate.hpp"
 #include "facet/store/hot_cache.hpp"
 #include "facet/store/segment.hpp"
@@ -485,8 +487,30 @@ class ClassStore {
   /// Gate held (the memtable cannot shrink underneath the pointers).
   [[nodiscard]] std::vector<const StoreRecord*> sorted_memtable() const;
 
+  /// Resolves the per-tier lookup-latency histograms of this store's width
+  /// from the global metric registry into lookup_latency_ (construction
+  /// time only; the hot path touches just the cached pointers).
+  void resolve_metrics();
+  /// Records one lookup's latency (ticks since `start_ticks`) under its
+  /// resolving tier. `tier` indexes lookup_latency_: the LookupSource value,
+  /// or kMissTier for a read-only lookup that resolved nowhere.
+  void record_lookup_latency(std::size_t tier, std::uint64_t start_ticks) const noexcept;
+  /// lookup_latency_ slot of a lookup() miss (nullopt: canonicalized, not
+  /// in any tier) — one past the LookupSource values.
+  static constexpr std::size_t kMissTier = 4;
+  /// Sampling period of the cache/memo latency series: those tiers resolve
+  /// in a few hundred ns, where even one clock read is a measurable stall,
+  /// so only 1 in this many events is timed (obs::sample_1_in). The
+  /// canonicalize-and-search tiers time every event.
+  static constexpr unsigned kFastTierSample = 64;
+
   int num_vars_;
   ClassStoreOptions options_;
+  /// Per-tier `facet_store_lookup_latency{tier=...,width=<n>}` handles,
+  /// indexed by LookupSource (+ kMissTier). Pointers into the process-wide
+  /// registry: stable forever, shared by stores of the same width, copied
+  /// wholesale on move.
+  std::array<obs::LatencyHistogram*, 5> lookup_latency_{};
   /// The store gate: publishes the TierSnapshot epochs (tiers 3 + 4) and
   /// serializes mutators. unique_ptr so the store stays movable.
   std::unique_ptr<StoreGate<TierSnapshot>> gate_;

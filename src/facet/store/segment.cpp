@@ -8,6 +8,8 @@
 #include <sstream>
 #include <utility>
 
+#include "facet/obs/registry.hpp"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define FACET_HAS_MMAP 1
 #include <fcntl.h>
@@ -21,6 +23,15 @@
 namespace facet {
 
 namespace {
+
+/// `facet_store_mapped_segment_bytes`: bytes currently mmapped by store
+/// base segments, process-wide. Maintained by MmapSegment's open/destroy
+/// pair so the gauge tracks remaps across compaction swaps.
+[[maybe_unused]] obs::Gauge& mapped_segment_bytes_gauge()
+{
+  static obs::Gauge& gauge = obs::MetricRegistry::global().gauge("facet_store_mapped_segment_bytes");
+  return gauge;
+}
 
 /// Decodes one record from its raw little-endian bytes — the single source
 /// of truth for the record layout on the zero-copy read side.
@@ -395,6 +406,7 @@ std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
   std::shared_ptr<MmapSegment> segment{new MmapSegment{}};
   segment->data_ = static_cast<const unsigned char*>(map);
   segment->mapped_bytes_ = mapped_bytes;
+  mapped_segment_bytes_gauge().add(static_cast<std::int64_t>(mapped_bytes));
 
   // Parse the header straight from the mapping (same checks as
   // read_store_header, which wants a stream).
@@ -480,6 +492,7 @@ MmapSegment::~MmapSegment()
 {
   if (data_ != nullptr) {
     ::munmap(const_cast<unsigned char*>(data_), mapped_bytes_);
+    mapped_segment_bytes_gauge().sub(static_cast<std::int64_t>(mapped_bytes_));
   }
 }
 

@@ -1,7 +1,9 @@
 #include "facet/store/serve.hpp"
 
 #include <algorithm>
+#include <array>
 #include <exception>
+#include <iostream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -9,6 +11,8 @@
 #include <string_view>
 #include <vector>
 
+#include "facet/obs/clock.hpp"
+#include "facet/obs/registry.hpp"
 #include "facet/tt/tt_io.hpp"
 
 namespace facet {
@@ -29,6 +33,8 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
   s.compactions = compactions.load(std::memory_order_relaxed);
   s.compacted_runs = compacted_runs.load(std::memory_order_relaxed);
   s.compacted_records = compacted_records.load(std::memory_order_relaxed);
+  s.compacted_bytes = compacted_bytes.load(std::memory_order_relaxed);
+  s.last_compaction_ms = last_compaction_ms.load(std::memory_order_relaxed);
   for (std::size_t n = 0; n < s.width.size(); ++n) {
     s.width[n].lookups = width[n].lookups.load(std::memory_order_relaxed);
     s.width[n].cache_hits = width[n].cache_hits.load(std::memory_order_relaxed);
@@ -169,6 +175,24 @@ bool normalize_request(const std::string& line, std::string& request)
   return true;
 }
 
+/// The verbs `facet_serve_request_latency{verb=...}` distinguishes. kOther
+/// absorbs unknown commands (protocol errors still cost time worth seeing).
+enum class Verb : std::size_t { kLookup, kMlookup, kInfo, kStats, kMetrics, kQuit, kOther };
+
+constexpr std::array<const char*, 7> kVerbNames{"lookup", "mlookup", "info",
+                                                "stats",  "metrics", "quit", "other"};
+
+/// Microseconds with one decimal, for the stats-all p50/p99 columns (sub-us
+/// request latencies must not flatten to 0).
+[[nodiscard]] std::string format_us(double ns)
+{
+  std::ostringstream s;
+  s.setf(std::ios::fixed);
+  s.precision(1);
+  s << ns / 1000.0;
+  return s.str();
+}
+
 /// One protocol session over a single store or a router — the shared
 /// implementation behind serve_loop, serve_router_loop and every network
 /// connection. Exactly one of store/router is non-null.
@@ -191,6 +215,15 @@ class Session {
       local_aggregate_.connections_total.store(1);
       options_.aggregate = &local_aggregate_;
     }
+    // Pre-resolve every per-verb latency handle once: the per-request path
+    // then costs two tick reads and one relaxed add, never the registry
+    // mutex.
+    auto& registry = obs::MetricRegistry::global();
+    for (std::size_t v = 0; v < kVerbNames.size(); ++v) {
+      request_latency_[v] =
+          &registry.histogram("facet_serve_request_latency", obs::label("verb", kVerbNames[v]));
+    }
+    batch_size_ = &registry.histogram("facet_serve_batch_size", obs::label("verb", "mlookup"));
   }
 
   ServeStats run(std::istream& in, std::ostream& out)
@@ -210,7 +243,12 @@ class Session {
         continue;
       }
       stats_.requests.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t t0 = obs::now_ticks();
+      verb_ = Verb::kOther;
+      request_width_ = -1;
+      request_src_ = nullptr;
       const bool keep_serving = handle(trimmed, out);
+      finish_request(t0);
       sync_aggregate();
       if (!keep_serving) {
         break;
@@ -230,6 +268,7 @@ class Session {
     request >> command;
 
     if (command == "quit") {
+      verb_ = Verb::kQuit;
       // Flush *before* answering, so a client that reads the response knows
       // its appends are durable in the delta log.
       const bool report_flush = flush_configured();
@@ -242,10 +281,22 @@ class Session {
       return false;
     }
     if (command == "info") {
+      verb_ = Verb::kInfo;
       emit_info(out);
       return true;
     }
+    if (command == "metrics") {
+      verb_ = Verb::kMetrics;
+      if (!read_operands(request).empty()) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        out << "err metrics takes no argument\n" << std::flush;
+        return true;
+      }
+      emit_metrics(out);
+      return true;
+    }
     if (command == "stats") {
+      verb_ = Verb::kStats;
       const std::vector<std::string> operands = read_operands(request);
       if (operands.size() == 1 && operands.front() == "all") {
         emit_stats_all(out);
@@ -279,6 +330,7 @@ class Session {
       }
     }
     if (base == "lookup") {
+      verb_ = Verb::kLookup;
       const std::vector<std::string> operands = read_operands(request);
       if (operands.size() != 1) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -289,12 +341,14 @@ class Session {
       return true;
     }
     if (base == "mlookup") {
+      verb_ = Verb::kMlookup;
       const std::vector<std::string> operands = read_operands(request);
       if (operands.empty()) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         out << "err mlookup takes one or more hex truth tables\n" << std::flush;
         return true;
       }
+      batch_size_->record_ns(operands.size());
       // One response line per operand, one flush per batch: pipelined
       // clients pay the flush latency once instead of per function. An err
       // on one operand answers in place; the batch always completes.
@@ -305,7 +359,7 @@ class Session {
       return true;
     }
     stats_.errors.fetch_add(1, std::memory_order_relaxed);
-    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|quit)\n"
+    out << "err unknown command '" << command << "' (lookup|mlookup|info|stats|metrics|quit)\n"
         << std::flush;
     return true;
   }
@@ -419,6 +473,10 @@ class Session {
     count_source(stats_, result.source);
     stats_.lookups.fetch_add(1, std::memory_order_relaxed);
     count_width(store.num_vars(), result);
+    // Last resolved operand of this request — what a slow-request log line
+    // names as the width/tier that hurt.
+    request_width_ = store.num_vars();
+    request_src_ = lookup_source_name(result.source);
     std::ostringstream line;
     line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
          << " t=" << transform_to_compact(result.to_representative)
@@ -492,13 +550,24 @@ class Session {
     sync_aggregate();  // make this session's own numbers visible
     const ServeAggregateSnapshot agg = options_.aggregate->snapshot();
     const std::vector<int> widths = served_widths();
+    // Process-wide request-latency quantiles over the lookup verbs (the
+    // telemetry histograms the `metrics` verb also exposes). `widths=` must
+    // stay the LAST field: clients key row-count parsing off it.
+    obs::HistogramSnapshot requests =
+        request_latency_[static_cast<std::size_t>(Verb::kLookup)]->snapshot();
+    requests.merge(request_latency_[static_cast<std::size_t>(Verb::kMlookup)]->snapshot());
     out << "ok connections=" << agg.connections_active << " sessions=" << agg.connections_total
         << " requests=" << agg.requests << " lookups=" << agg.lookups
         << " cache_hits=" << agg.cache_hits << " memo_hits=" << agg.memo_hits
         << " index_hits=" << agg.index_hits << " live=" << agg.live << " errors=" << agg.errors
         << " flushed=" << agg.flushed_records << " compactions=" << agg.compactions
         << " compacted_runs=" << agg.compacted_runs
-        << " compacted_records=" << agg.compacted_records << " widths=" << widths.size() << "\n";
+        << " compacted_records=" << agg.compacted_records
+        << " compact_bytes=" << agg.compacted_bytes
+        << " last_compact_ms=" << agg.last_compaction_ms
+        << " p50_us=" << format_us(requests.quantile_ns(0.5))
+        << " p99_us=" << format_us(requests.quantile_ns(0.99)) << " widths=" << widths.size()
+        << "\n";
     // One row per served store; `widths=<count>` above tells clients how
     // many rows to read.
     for (const int width : widths) {
@@ -509,6 +578,60 @@ class Session {
           << " appended=" << row.appended << "\n";
     }
     out << std::flush;
+  }
+
+  /// The `metrics` verb: refresh the state-derived gauges from the served
+  /// stores, then emit the whole registry as Prometheus text, framed with a
+  /// line count so protocol clients know exactly how much to read.
+  void emit_metrics(std::ostream& out)
+  {
+    refresh_store_gauges();
+    std::ostringstream body;
+    obs::MetricRegistry::global().render_prometheus(body);
+    const std::string text = body.str();
+    const auto lines = static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+    out << "ok metrics lines=" << lines << "\n" << text << std::flush;
+  }
+
+  /// Gauges derived from live store state (delta runs, memo/cache entries)
+  /// are refreshed at scrape time instead of on every mutation — the hot
+  /// paths stay untouched and the scrape is always current.
+  void refresh_store_gauges()
+  {
+    auto& registry = obs::MetricRegistry::global();
+    for (const int width : served_widths()) {
+      ClassStore* store = router_ != nullptr ? router_->store_for(width) : store_;
+      if (store == nullptr) {
+        continue;
+      }
+      const std::string width_label = obs::label("width", width);
+      registry.gauge("facet_store_delta_runs", width_label)
+          .set(static_cast<std::int64_t>(store->num_delta_segments()));
+      registry.gauge("facet_store_memo_entries", width_label)
+          .set(static_cast<std::int64_t>(store->memo_entries()));
+      registry.gauge("facet_store_hot_cache_entries", width_label)
+          .set(static_cast<std::int64_t>(store->hot_cache_stats().entries));
+    }
+  }
+
+  /// Records the finished request into its verb's latency series and emits
+  /// the slow-request line when a threshold is configured.
+  void finish_request(std::uint64_t start_ticks)
+  {
+    const std::uint64_t ns = obs::ticks_to_ns(obs::now_ticks() - start_ticks);
+    request_latency_[static_cast<std::size_t>(verb_)]->record_ns(ns);
+    if (options_.slow_request_us == 0 || ns / 1000 < options_.slow_request_us) {
+      return;
+    }
+    std::ostream& log = options_.slow_log != nullptr ? *options_.slow_log : std::cerr;
+    log << "facet-serve: slow verb=" << kVerbNames[static_cast<std::size_t>(verb_)] << " width=";
+    if (request_width_ >= 0) {
+      log << request_width_;
+    } else {
+      log << '-';
+    }
+    log << " src=" << (request_src_ != nullptr ? request_src_ : "-") << " us=" << ns / 1000
+        << "\n";
   }
 
   [[nodiscard]] bool flush_configured() const noexcept
@@ -567,6 +690,17 @@ class Session {
   ServeStats synced_;
   ServeAggregateStats local_aggregate_;
   bool exit_flushed_ = false;
+
+  /// Pre-resolved `facet_serve_request_latency{verb=...}` handles, indexed
+  /// by Verb, plus the mlookup batch-size distribution (operand counts, not
+  /// ns). Stable pointers into the process registry.
+  std::array<obs::LatencyHistogram*, kVerbNames.size()> request_latency_{};
+  obs::LatencyHistogram* batch_size_ = nullptr;
+  /// Per-request scratch for the latency series and the slow-request log:
+  /// the verb being handled and the last resolved operand's width/tier.
+  Verb verb_ = Verb::kOther;
+  int request_width_ = -1;
+  const char* request_src_ = nullptr;
 };
 
 }  // namespace

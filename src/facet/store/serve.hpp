@@ -31,7 +31,14 @@
 ///                              memo_hits=... index_hits=... live=...
 ///                              errors=... flushed=<f> compactions=<c>
 ///                              compacted_runs=<r> compacted_records=<k>
-///                              widths=<w>
+///                              compact_bytes=<b> last_compact_ms=<t>
+///                              p50_us=<p> p99_us=<q> widths=<w>
+///                           (compact_bytes/last_compact_ms describe the
+///                              background compactor: delta-log bytes folded
+///                              away and the last compaction's duration;
+///                              p50/p99 are process-wide lookup+mlookup
+///                              request latencies from the telemetry
+///                              histograms. `widths=` stays LAST.)
 ///                           followed by <w> per-width rows, one per served
 ///                              store (ascending width), so fleet operators
 ///                              see which widths run hot:
@@ -41,6 +48,16 @@
 ///                              (aggregated across every session of the
 ///                               process; equals the session numbers for a
 ///                               stdin session)
+///   metrics             ->  ok metrics lines=<k>
+///                           followed by exactly k lines of Prometheus text
+///                              exposition (obs/registry.hpp): every
+///                              registered series of the process — per-tier
+///                              store lookup latency, per-verb request
+///                              latency, compaction phase durations,
+///                              canonicalizer latency, connection/store
+///                              gauges. Payload lines never start with
+///                              "ok"/"err", so line-protocol clients stay
+///                              parseable.
 ///   quit                ->  ok bye                  (loop returns)
 ///                           ok bye flushed=<k>      (when a delta-log path
 ///                              is configured: appends are flushed to the
@@ -188,6 +205,8 @@ struct ServeAggregateSnapshot {
   std::uint64_t compactions = 0;
   std::uint64_t compacted_runs = 0;
   std::uint64_t compacted_records = 0;
+  std::uint64_t compacted_bytes = 0;
+  std::uint64_t last_compaction_ms = 0;
   std::array<ServeWidthStats, kMaxVars + 1> width{};
 };
 
@@ -211,6 +230,10 @@ struct ServeAggregateStats {
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> compacted_runs{0};
   std::atomic<std::uint64_t> compacted_records{0};
+  /// Delta-log bytes folded away by compactions.
+  std::atomic<std::uint64_t> compacted_bytes{0};
+  /// Duration of the most recent compaction (flush through adopt), ms.
+  std::atomic<std::uint64_t> last_compaction_ms{0};
   /// Per-width traffic, indexed by function width (0..kMaxVars).
   std::array<ServeWidthCounters, kMaxVars + 1> width{};
 
@@ -240,6 +263,16 @@ struct ServeOptions {
   /// session's own numbers. (Sessions sharing a store need nothing else:
   /// the store gates its own mutations — class_store.hpp.)
   ServeAggregateStats* aggregate = nullptr;
+
+  /// When > 0: any request slower than this many microseconds logs one
+  /// structured line — `facet-serve: slow verb=<v> width=<n> src=<tier>
+  /// us=<t>` — to `slow_log` (stderr when null). The width/src fields
+  /// describe the request's last resolved operand ("-" for verbs without
+  /// one), so a slow mlookup names the store and tier that hurt.
+  std::uint64_t slow_request_us = 0;
+  /// Sink for slow-request lines; null = std::cerr. Tests inject a capture
+  /// stream here.
+  std::ostream* slow_log = nullptr;
 };
 
 /// Serves `store` until `quit` or end of input; returns the session stats.

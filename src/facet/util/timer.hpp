@@ -1,30 +1,46 @@
 /// \file timer.hpp
-/// \brief Wall-clock stopwatch used by the benchmark harness.
+/// \brief Monotonic time: `now_ns()` and the wall-clock Stopwatch.
+///
+/// `now_ns()` is the one steady-clock read shared by the Stopwatch, the
+/// telemetry histograms (obs/clock.hpp calibrates its tick counter against
+/// it), and the benches — so every latency number in the system is measured
+/// against the same monotonic epoch.
 
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace facet {
+
+/// Nanoseconds on the steady (monotonic) clock. The epoch is arbitrary but
+/// fixed for the process: only differences are meaningful.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept
+{
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
 
 /// Simple monotonic stopwatch. Started on construction; `seconds()` and
 /// `milliseconds()` report elapsed time since construction or last `reset()`.
 class Stopwatch {
  public:
-  Stopwatch() noexcept : start_{clock::now()} {}
+  Stopwatch() noexcept : start_{now_ns()} {}
 
-  void reset() noexcept { start_ = clock::now(); }
+  void reset() noexcept { start_ = now_ns(); }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const noexcept { return now_ns() - start_; }
 
   [[nodiscard]] double seconds() const noexcept
   {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(elapsed_ns()) * 1e-9;
   }
 
   [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace facet

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "facet/obs/clock.hpp"
+#include "facet/obs/histogram.hpp"
+#include "facet/obs/registry.hpp"
+
+namespace facet::obs {
+namespace {
+
+// --- bucket geometry --------------------------------------------------------
+
+TEST(ObsHistogram, BucketOfPowersOfTwoEdges)
+{
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0u);
+  // Every bucket b >= 1 holds exactly [2^(b-1), 2^b - 1]: check the lower
+  // edge, the upper edge, and one past the upper edge for every bucket that
+  // fits in 64 bits.
+  for (std::size_t b = 1; b < kHistogramBuckets - 1; ++b) {
+    const std::uint64_t lower = std::uint64_t{1} << (b - 1);
+    const std::uint64_t upper = (std::uint64_t{1} << b) - 1;
+    EXPECT_EQ(LatencyHistogram::bucket_of(lower), b) << "lower edge of bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper), b) << "upper edge of bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper + 1), b + 1) << "past bucket " << b;
+  }
+  // The last bucket absorbs everything from 2^62 up.
+  EXPECT_EQ(LatencyHistogram::bucket_of(std::uint64_t{1} << 62), kHistogramBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(ObsHistogram, BucketBoundsRoundTrip)
+{
+  // bucket_of(x) == b  <=>  bucket_lower_ns(b) <= x <= bucket_upper_ns(b).
+  EXPECT_EQ(HistogramSnapshot::bucket_lower_ns(0), 0u);
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(0), 0u);
+  for (std::size_t b = 1; b < kHistogramBuckets; ++b) {
+    const std::uint64_t lower = HistogramSnapshot::bucket_lower_ns(b);
+    const std::uint64_t upper = HistogramSnapshot::bucket_upper_ns(b);
+    EXPECT_LE(lower, upper);
+    EXPECT_EQ(LatencyHistogram::bucket_of(lower), b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(upper), b);
+  }
+  EXPECT_EQ(HistogramSnapshot::bucket_upper_ns(kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+// --- recording and quantiles ------------------------------------------------
+
+TEST(ObsHistogram, CountSumMax)
+{
+  LatencyHistogram h;
+  h.record_ns(0);
+  h.record_ns(100);
+  h.record_ns(1000);
+  h.record_ns(50);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.sum_ns, 1150u);
+  EXPECT_EQ(s.max_ns, 1000u);
+  EXPECT_EQ(s.buckets[0], 1u);  // the exact zero
+}
+
+TEST(ObsHistogram, EmptyQuantilesAreZero)
+{
+  const HistogramSnapshot s = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.quantile_ns(0.5), 0.0);
+  EXPECT_EQ(s.quantile_ns(0.99), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleEveryQuantileHitsIt)
+{
+  LatencyHistogram h;
+  h.record_ns(777);
+  const HistogramSnapshot s = h.snapshot();
+  // One sample in bucket [512, 1023]: every quantile interpolates inside
+  // that bucket and is clamped to the observed max of 777.
+  for (const double q : {0.01, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = s.quantile_ns(q);
+    EXPECT_GE(v, 512.0) << "q=" << q;
+    EXPECT_LE(v, 777.0) << "q=" << q;
+  }
+  EXPECT_EQ(s.quantile_ns(1.0), 777.0);
+}
+
+TEST(ObsHistogram, QuantileEstimatesWithinBucketError)
+{
+  // 1000 uniform samples in [1, 100000]: log2 buckets bound any quantile's
+  // relative error by 2x, so check the estimates bracket the true values
+  // within one bucket width.
+  LatencyHistogram h;
+  std::mt19937_64 rng{42};
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t ns = 1 + rng() % 100000;
+    samples.push_back(ns);
+    h.record_ns(ns);
+  }
+  std::sort(samples.begin(), samples.end());
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 1000u);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const std::uint64_t truth = samples[static_cast<std::size_t>(q * 1000.0) - 1];
+    const double estimate = s.quantile_ns(q);
+    EXPECT_GE(estimate, static_cast<double>(truth) / 2.0) << "q=" << q;
+    EXPECT_LE(estimate, static_cast<double>(truth) * 2.0) << "q=" << q;
+  }
+  // The top quantile never exceeds the observed maximum.
+  EXPECT_LE(s.quantile_ns(1.0), static_cast<double>(s.max_ns));
+}
+
+TEST(ObsHistogram, QuantilesAreMonotoneInQ)
+{
+  LatencyHistogram h;
+  std::mt19937_64 rng{7};
+  for (int i = 0; i < 500; ++i) {
+    h.record_ns(rng() % 1000000);
+  }
+  const HistogramSnapshot s = h.snapshot();
+  double prev = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = s.quantile_ns(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+// --- merge ------------------------------------------------------------------
+
+TEST(ObsHistogram, MergeIsAssociativeAndCommutative)
+{
+  auto fill = [](std::uint64_t seed, int count) {
+    LatencyHistogram h;
+    std::mt19937_64 rng{seed};
+    for (int i = 0; i < count; ++i) {
+      h.record_ns(rng() % 500000);
+    }
+    return h.snapshot();
+  };
+  const HistogramSnapshot a = fill(1, 100);
+  const HistogramSnapshot b = fill(2, 200);
+  const HistogramSnapshot c = fill(3, 300);
+
+  // (a + b) + c
+  HistogramSnapshot left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  HistogramSnapshot bc = b;
+  bc.merge(c);
+  HistogramSnapshot right = a;
+  right.merge(bc);
+  // c + b + a
+  HistogramSnapshot reversed = c;
+  reversed.merge(b);
+  reversed.merge(a);
+
+  for (const HistogramSnapshot* other : {&right, &reversed}) {
+    EXPECT_EQ(left.buckets, other->buckets);
+    EXPECT_EQ(left.sum_ns, other->sum_ns);
+    EXPECT_EQ(left.max_ns, other->max_ns);
+  }
+  EXPECT_EQ(left.count(), 600u);
+  EXPECT_EQ(left.sum_ns, a.sum_ns + b.sum_ns + c.sum_ns);
+}
+
+TEST(ObsHistogram, MergeWithEmptyIsIdentity)
+{
+  LatencyHistogram h;
+  h.record_ns(123);
+  h.record_ns(456);
+  HistogramSnapshot s = h.snapshot();
+  const HistogramSnapshot before = s;
+  s.merge(HistogramSnapshot{});
+  EXPECT_EQ(s.buckets, before.buckets);
+  EXPECT_EQ(s.sum_ns, before.sum_ns);
+  EXPECT_EQ(s.max_ns, before.max_ns);
+}
+
+// --- concurrency (the TSan target: many writers, one scraper) ---------------
+
+TEST(ObsHistogram, ManyWritersOneScraper)
+{
+  LatencyHistogram h;
+  constexpr int kWriters = 8;
+  constexpr int kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+
+  // The scraper snapshots continuously while writers record; every snapshot
+  // must be internally sane (count never exceeds the final total, max is a
+  // value some writer actually recorded into a matching bucket).
+  std::thread scraper{[&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const HistogramSnapshot s = h.snapshot();
+      EXPECT_LE(s.count(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+      if (s.max_ns > 0) {
+        EXPECT_LT(LatencyHistogram::bucket_of(s.max_ns), kHistogramBuckets);
+      }
+    }
+  }};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::mt19937_64 rng{static_cast<std::uint64_t>(w)};
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.record_ns(rng() % 100000);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  EXPECT_LT(s.max_ns, 100000u);
+}
+
+// --- counters and gauges ----------------------------------------------------
+
+TEST(ObsCounterGauge, Basics)
+{
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.value(), 12);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -8);  // gauges go negative; that's a caller bug worth seeing
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, HandlesAreStableAndIdentical)
+{
+  MetricRegistry reg;
+  LatencyHistogram& h1 = reg.histogram("lat", label("tier", "cache"));
+  LatencyHistogram& h2 = reg.histogram("lat", label("tier", "cache"));
+  EXPECT_EQ(&h1, &h2);  // same (name, labels) -> same series
+  LatencyHistogram& h3 = reg.histogram("lat", label("tier", "memo"));
+  EXPECT_NE(&h1, &h3);  // different labels -> different series
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ObsRegistry, KindMismatchThrows)
+{
+  MetricRegistry reg;
+  (void)reg.histogram("series_a");
+  EXPECT_THROW((void)reg.counter("series_a"), std::logic_error);
+  EXPECT_THROW((void)reg.gauge("series_a"), std::logic_error);
+  (void)reg.counter("series_b");
+  EXPECT_THROW((void)reg.histogram("series_b"), std::logic_error);
+}
+
+TEST(ObsRegistry, LabelFormatting)
+{
+  EXPECT_EQ(label("tier", "cache"), "tier=\"cache\"");
+  EXPECT_EQ(label("width", std::int64_t{6}), "width=\"6\"");
+}
+
+TEST(ObsRegistry, RenderPrometheus)
+{
+  MetricRegistry reg;
+  LatencyHistogram& h = reg.histogram("facet_test_latency", label("tier", "cache"));
+  h.record_ns(1000);
+  h.record_ns(2000);
+  reg.counter("facet_test_total").inc(5);
+  reg.gauge("facet_test_level", label("width", std::int64_t{6})).set(42);
+
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("facet_test_latency{tier=\"cache\",quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_latency{tier=\"cache\",quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_latency_sum{tier=\"cache\"} 3000"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_latency_count{tier=\"cache\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_latency_max{tier=\"cache\"} 2000"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_total 5"), std::string::npos);
+  EXPECT_NE(text.find("facet_test_level{width=\"6\"} 42"), std::string::npos);
+  // Line protocol framing depends on no blank lines and a trailing newline.
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.find("\n\n"), std::string::npos);
+}
+
+TEST(ObsRegistry, RenderJson)
+{
+  MetricRegistry reg;
+  reg.histogram("lat").record_ns(500);
+  reg.counter("hits").inc(3);
+  reg.gauge("level").set(-7);
+
+  std::ostringstream os;
+  reg.render_json(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(text.find("\"lat\""), std::string::npos);
+  EXPECT_NE(text.find("\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(text.find("-7"), std::string::npos);
+}
+
+TEST(ObsRegistry, ConcurrentResolution)
+{
+  // Resolution is the only mutex-guarded path; hammer it from many threads
+  // and check every thread got the same handle per series.
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<LatencyHistogram*> handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        handles[t] = &reg.histogram("contended", label("k", std::int64_t{i % 4}));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[t], handles[0]);
+  }
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+// --- clock ------------------------------------------------------------------
+
+TEST(ObsClock, TicksAdvanceAndConvertPlausibly)
+{
+  warm_up_clock();
+  const std::uint64_t t0 = now_ticks();
+  // Busy-wait ~1ms of wall time, then check the tick delta converts to a
+  // duration in the right order of magnitude (0.1ms .. 100ms allows for
+  // scheduling noise and coarse fallback clocks).
+  const std::uint64_t wall0 = now_ns();
+  while (now_ns() - wall0 < 1'000'000) {
+  }
+  const std::uint64_t elapsed_ns = ticks_to_ns(now_ticks() - t0);
+  EXPECT_GE(elapsed_ns, 100'000u);
+  EXPECT_LE(elapsed_ns, 100'000'000u);
+}
+
+}  // namespace
+}  // namespace facet::obs

@@ -454,6 +454,97 @@ TEST(ServeProtocolEdge, SingleNibbleWithoutWidth2StoreSuggestsLookupAt)
   EXPECT_NE(lines[0].find("lookup@<n>"), std::string::npos) << lines[0];
 }
 
+TEST(ServeProtocolEdge, StatsAllCarriesCompactionAndLatencyFields)
+{
+  ClassStore store = make_store(3, 0xed40ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  const auto lines = run_serve(store, "lookup " + hex + "\nstats all\nquit\n");
+  ASSERT_EQ(lines.size(), 4u);
+  const std::string& agg = lines[1];
+  // The compactor surface and the request-latency quantiles ride on the
+  // aggregate line; `widths=` must stay the LAST field (clients key their
+  // row-count parsing off it).
+  EXPECT_NE(agg.find(" compactions="), std::string::npos) << agg;
+  EXPECT_NE(agg.find(" compact_bytes="), std::string::npos) << agg;
+  EXPECT_NE(agg.find(" last_compact_ms="), std::string::npos) << agg;
+  EXPECT_NE(agg.find(" p50_us="), std::string::npos) << agg;
+  EXPECT_NE(agg.find(" p99_us="), std::string::npos) << agg;
+  const std::size_t widths_at = agg.find(" widths=");
+  ASSERT_NE(widths_at, std::string::npos) << agg;
+  EXPECT_EQ(agg.find(' ', widths_at + 1), std::string::npos) << "widths= must be last: " << agg;
+  EXPECT_GT(widths_at, agg.find(" p99_us=")) << agg;
+}
+
+TEST(ServeProtocolEdge, MetricsVerbFramesThePrometheusDump)
+{
+  ClassStore store = make_store(4, 0xed41ULL);
+  const std::string hex = to_hex(store.records().front().representative);
+  const auto lines = run_serve(store, "lookup " + hex + "\nmetrics\nquit\n");
+  // Framing: `ok metrics lines=<k>`, then exactly k payload lines, then the
+  // quit response — a protocol client reads precisely k lines and is back
+  // in sync.
+  ASSERT_GE(lines.size(), 3u);
+  ASSERT_EQ(lines[1].rfind("ok metrics lines=", 0), 0u) << lines[1];
+  const std::size_t payload = std::stoul(lines[1].substr(std::string{"ok metrics lines="}.size()));
+  ASSERT_EQ(lines.size(), 2u + payload + 1u);
+  EXPECT_EQ(lines.back(), "ok bye");
+
+  std::string body;
+  for (std::size_t i = 2; i < 2 + payload; ++i) {
+    // Payload lines are Prometheus series, never protocol responses.
+    EXPECT_NE(lines[i].rfind("ok ", 0), 0u) << lines[i];
+    EXPECT_NE(lines[i].rfind("err ", 0), 0u) << lines[i];
+    body += lines[i] + "\n";
+  }
+  // The serve and store instrumentation must be present: the session's own
+  // request latency and the store's per-tier lookup series (resolved at
+  // store construction, so they exist even before traffic).
+  EXPECT_NE(body.find("facet_serve_request_latency{verb=\"lookup\""), std::string::npos);
+  EXPECT_NE(body.find("facet_serve_request_latency_count{verb=\"lookup\"}"), std::string::npos);
+  EXPECT_NE(body.find("facet_store_lookup_latency{tier=\"cache\""), std::string::npos);
+  EXPECT_NE(body.find("facet_store_hot_cache_entries"), std::string::npos);
+
+  // The lookup preceding the scrape must have landed in its series with a
+  // nonzero count: find the verb="lookup" _count line and check its value.
+  const std::string count_key = "facet_serve_request_latency_count{verb=\"lookup\"} ";
+  const std::size_t at = body.find(count_key);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_GE(std::stoull(body.substr(at + count_key.size())), 1u);
+
+  // `metrics` takes no argument.
+  const auto err_lines = run_serve(store, "metrics now\nquit\n");
+  ASSERT_EQ(err_lines.size(), 2u);
+  EXPECT_EQ(err_lines[0], "err metrics takes no argument");
+}
+
+TEST(ServeProtocolEdge, SlowRequestThresholdLogsStructuredLines)
+{
+  ClassStore store = make_store(4, 0xed42ULL);
+  store.clear_hot_cache();
+  const std::string hex = to_hex(store.records().front().representative);
+
+  // Threshold of 1us: a cold lookup (semiclass + canonicalization) is
+  // microseconds-scale, so it must cross it; the line carries verb, width,
+  // resolving tier and the measured microseconds.
+  ServeOptions options;
+  options.slow_request_us = 1;
+  std::ostringstream slow;
+  options.slow_log = &slow;
+  (void)run_serve(store, "lookup " + hex + "\nquit\n", nullptr, options);
+  const std::string logged = slow.str();
+  ASSERT_NE(logged.find("facet-serve: slow verb=lookup width=4 src="), std::string::npos)
+      << logged;
+  EXPECT_NE(logged.find(" us="), std::string::npos) << logged;
+
+  // Threshold 0 disables the log entirely.
+  ServeOptions quiet_options;
+  quiet_options.slow_request_us = 0;
+  std::ostringstream quiet;
+  quiet_options.slow_log = &quiet;
+  (void)run_serve(store, "lookup " + hex + "\nquit\n", nullptr, quiet_options);
+  EXPECT_TRUE(quiet.str().empty()) << quiet.str();
+}
+
 TEST(ServeProtocolEdge, MemoHitsAppearInSrcAndStats)
 {
   // Hot cache off, so an equivalent repeat falls through to the semiclass

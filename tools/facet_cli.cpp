@@ -308,9 +308,26 @@ extern "C" void handle_shutdown_signal(int)
   }
 }
 
+/// `--metrics-json PATH`: dump the whole telemetry registry (every latency
+/// histogram, counter and gauge — obs/registry.hpp) as JSON. Runs on every
+/// serve exit path, including SIGTERM's graceful drain.
+void dump_metrics_json(const std::string& path)
+{
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "error: cannot write metrics json to " << path << "\n";
+    return;
+  }
+  obs::MetricRegistry::global().render_json(out);
+  std::cerr << "metrics dumped to " << path << "\n";
+}
+
 /// Runs a started server until SIGINT/SIGTERM (or a client-side
 /// request_shutdown), then reports the aggregate session stats.
-int run_serve_server(ServeServer& server)
+int run_serve_server(ServeServer& server, const std::string& metrics_json_path = {})
 {
   // Handlers go in before start(): a signal arriving during bind/spawn
   // (an orchestrator's immediate TERM) must still reach the graceful
@@ -336,6 +353,7 @@ int run_serve_server(ServeServer& server)
   std::signal(SIGTERM, SIG_DFL);
   g_serve_server = nullptr;
   report_server_stats(server.stats());
+  dump_metrics_json(metrics_json_path);
   return 0;
 }
 
@@ -357,6 +375,7 @@ ServeServerOptions server_options_from(const CliArgs& args)
   options.compact_after_runs =
       static_cast<std::size_t>(args.get_uint64("compact-after-runs", 0));
   options.compact_after_bytes = args.get_uint64("compact-after-bytes", 0);
+  options.slow_request_us = args.get_uint64("slow-us", 0);
   return options;
 }
 
@@ -365,6 +384,8 @@ int cmd_serve(const CliArgs& args)
   ServeOptions options;
   options.append_on_miss = args.get_bool("append");
   options.readonly = args.get_bool("readonly");
+  options.slow_request_us = args.get_uint64("slow-us", 0);
+  const std::string metrics_json = args.get_string("metrics-json", "");
   if (options.readonly && options.append_on_miss) {
     std::cerr << "error: --append and --readonly are mutually exclusive\n";
     return 1;
@@ -405,7 +426,7 @@ int cmd_serve(const CliArgs& args)
     if (network) {
       ServeServer server{router, std::map<int, std::string>{paths.begin(), paths.end()},
                          server_options_from(args)};
-      return run_serve_server(server);
+      return run_serve_server(server, metrics_json);
     }
 
     if (options.append_on_miss) {
@@ -416,6 +437,7 @@ int cmd_serve(const CliArgs& args)
       }
     }
     const ServeStats stats = serve_router_loop(router, std::cin, std::cout, options);
+    dump_metrics_json(metrics_json);
 
     if (args.get_bool("flush")) {
       for (const auto& [width, path] : paths) {
@@ -442,7 +464,7 @@ int cmd_serve(const CliArgs& args)
 
   if (network) {
     ServeServer server{store, index, server_options_from(args)};
-    return run_serve_server(server);
+    return run_serve_server(server, metrics_json);
   }
 
   if (options.append_on_miss) {
@@ -450,6 +472,7 @@ int cmd_serve(const CliArgs& args)
     options.dlog_path = ClassStore::delta_log_path(index);
   }
   const ServeStats stats = serve_loop(store, std::cin, std::cout, options);
+  dump_metrics_json(metrics_json);
 
   persist_store_if_requested(args, store, index);
   report_serve_stats(stats);
@@ -613,15 +636,19 @@ void print_usage()
                "              (resolve functions; unknown classes classify live; --mmap\n"
                "               serves the index from a read-only mapping)\n"
                "  serve       --index FILE.fcs [--append] [--mmap] [--flush] [--save[=FILE]]\n"
-               "              [--cache K]\n"
+               "              [--cache K] [--slow-us T] [--metrics-json FILE]\n"
                "              (line protocol on stdin/stdout: lookup <hex> | mlookup <hex>...\n"
-               "               | info | stats [all] | quit; with --append new classes flush\n"
-               "               to the index's delta log when the session ends)\n"
+               "               | info | stats [all] | metrics | quit; with --append new classes\n"
+               "               flush to the index's delta log when the session ends;\n"
+               "               `metrics` returns the Prometheus-style telemetry registry;\n"
+               "               --slow-us T logs any request slower than T microseconds to\n"
+               "               stderr; --metrics-json FILE dumps the registry as JSON on exit)\n"
                "  serve       --route FILE.fcs [FILE.fcs...] [--append] [--mmap] [--flush]\n"
                "              (one store per width; query width inferred from hex length)\n"
                "  serve       ... --listen [HOST:]PORT and/or --unix PATH [--readonly]\n"
                "              [--max-conns N] [--idle-timeout-ms T]\n"
                "              [--compact-after-runs K] [--compact-after-bytes B]\n"
+               "              [--slow-us T] [--metrics-json FILE]\n"
                "              (socket server: N concurrent connections share the store(s);\n"
                "               port 0 binds an ephemeral port, reported on stderr;\n"
                "               --readonly rejects appends and live classification;\n"
