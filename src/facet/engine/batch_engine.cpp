@@ -10,6 +10,7 @@
 #include "facet/engine/work_queue.hpp"
 #include "facet/npn/exact_canon.hpp"
 #include "facet/npn/matcher.hpp"
+#include "facet/npn/npn4_table.hpp"
 #include "facet/npn/semi_canonical.hpp"
 #include "facet/npn/semiclass.hpp"
 #include "facet/obs/clock.hpp"
@@ -70,6 +71,7 @@ struct LocalResult {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t store_cache_hits = 0;
+  std::size_t store_table_hits = 0;
   std::size_t store_index_hits = 0;
 };
 
@@ -175,6 +177,13 @@ LocalResult group_by_key(const Dedup& d, std::vector<Key> key_of_unique, std::si
 /// form), else pay the exact canonicalizer once and memoize the class.
 TruthTable canonical_via_semiclass(BatchShardState& state, const TruthTable& tt)
 {
+  if (tt.num_vars() <= kNpn4MaxVars) {
+    // The exact canonicalizer is a single NPN4 norm-table load at these
+    // widths — cheaper than the memo's hash + matcher probe, so the memo
+    // would only add overhead (and bucket growth) for what the table
+    // already answers in O(1).
+    return exact_npn_canonical(tt);
+  }
   auto& bucket = state.semiclass_memo[semiclass_key(tt)];
   if (!bucket.empty()) {
     const NpnMatchKeys tt_keys = npn_match_keys(tt);
@@ -235,13 +244,15 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
 
     case ClassifierKind::kExhaustive:
       if (store != nullptr || router != nullptr) {
-        // Store-backed fast path: hot-cache hits skip canonicalization
-        // entirely; index hits key by stored class id; unknown functions
-        // fall back to the memoized canonical image. Under a router, each
-        // function resolves through the store of its own width.
+        // Store-backed fast path: NPN4 table-tier and hot-cache hits skip
+        // canonicalization entirely; index hits key by stored class id;
+        // unknown functions fall back to the memoized canonical image.
+        // Under a router, each function resolves through the store of its
+        // own width.
         std::vector<StoreKey> key_of_unique;
         key_of_unique.reserve(d.uniques.size());
         std::size_t store_cache_hits = 0;
+        std::size_t store_table_hits = 0;
         std::size_t store_index_hits = 0;
         for (const auto& u : d.uniques) {
           const ClassStore* resolved =
@@ -251,7 +262,11 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
           const int width = u.num_vars();
           if (width_matches) {
             if (const auto hit = resolved->probe_cache(u)) {
-              ++store_cache_hits;
+              if (hit->source == LookupSource::kTable) {
+                ++store_table_hits;
+              } else {
+                ++store_cache_hits;
+              }
               key_of_unique.push_back(StoreKey{true, width, hit->class_id, TruthTable{}});
               continue;
             }
@@ -271,6 +286,7 @@ LocalResult classify_shard(ClassifierKind kind, const BatchEngineOptions& option
         LocalResult local =
             group_by_key<StoreKey, StoreKeyHash>(d, std::move(key_of_unique), hits, misses);
         local.store_cache_hits = store_cache_hits;
+        local.store_table_hits = store_table_hits;
         local.store_index_hits = store_index_hits;
         return local;
       }
@@ -489,6 +505,7 @@ ClassificationResult BatchEngine::classify(std::span<const TruthTable> funcs, Ba
       stats->cache_hits += locals[s].cache_hits;
       stats->cache_misses += locals[s].cache_misses;
       stats->store_cache_hits += locals[s].store_cache_hits;
+      stats->store_table_hits += locals[s].store_table_hits;
       stats->store_index_hits += locals[s].store_index_hits;
     }
   }

@@ -86,6 +86,7 @@ struct BatchEngineStats {
   std::size_t cache_hits = 0;      ///< canonicalizations skipped (dups + memo)
   std::size_t cache_misses = 0;    ///< canonicalizations actually performed
   std::size_t store_cache_hits = 0;  ///< attached-store hot-cache hits (no canonicalization)
+  std::size_t store_table_hits = 0;  ///< attached-store NPN4 norm-table hits (width <= 4)
   std::size_t store_index_hits = 0;  ///< attached-store index hits (canonical known)
 };
 
@@ -115,7 +116,8 @@ class BatchEngine {
 
   /// Attaches a read-only ClassStore fast path (kExhaustive engines only —
   /// other kinds throw std::invalid_argument). Functions found in the
-  /// store's hot cache skip canonicalization entirely; canonical forms
+  /// store's hot cache — or resolved by its NPN4 norm-table tier on a
+  /// width <= 4 store — skip canonicalization entirely; canonical forms
   /// found in its index key their class by the stored class id. Both key
   /// flavors induce the same partition as the canonical image, so the
   /// merged result stays bit-identical to the sequential classifier.

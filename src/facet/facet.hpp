@@ -32,6 +32,7 @@
 #include "facet/npn/fp_classifier.hpp"
 #include "facet/npn/hierarchical.hpp"
 #include "facet/npn/matcher.hpp"
+#include "facet/npn/npn4_table.hpp"
 #include "facet/npn/semi_canonical.hpp"
 #include "facet/npn/semiclass.hpp"
 #include "facet/npn/symmetry.hpp"

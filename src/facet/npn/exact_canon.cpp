@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "facet/npn/enumerate.hpp"
+#include "facet/npn/npn4_table.hpp"
 #include "facet/npn/semiclass.hpp"
 #include "facet/obs/clock.hpp"
 #include "facet/obs/registry.hpp"
@@ -605,6 +606,26 @@ CanonResult canonical_dispatch(const TruthTable& tt)
 
 TruthTable exact_npn_canonical(const TruthTable& tt)
 {
+  if (tt.num_vars() <= kNpn4MaxVars) {
+    // Tier zero: one array load resolves the whole orbit search. Left out
+    // of the bb/walk histograms — there is no search to time.
+    return TruthTable::from_word(tt.num_vars(), npn4_lookup(tt).canonical_word);
+  }
+  return exact_npn_canonical_search(tt);
+}
+
+CanonResult exact_npn_canonical_with_transform(const TruthTable& tt)
+{
+  if (tt.num_vars() <= kNpn4MaxVars) {
+    const Npn4Result result = npn4_lookup(tt);
+    return CanonResult{TruthTable::from_word(tt.num_vars(), result.canonical_word),
+                       result.transform};
+  }
+  return exact_npn_canonical_search_with_transform(tt);
+}
+
+TruthTable exact_npn_canonical_search(const TruthTable& tt)
+{
   static obs::LatencyHistogram& latency = canonicalize_histogram("bb");
   const std::uint64_t t0 = obs::now_ticks();
   TruthTable canonical = canonical_dispatch<false>(tt).canonical;
@@ -612,7 +633,7 @@ TruthTable exact_npn_canonical(const TruthTable& tt)
   return canonical;
 }
 
-CanonResult exact_npn_canonical_with_transform(const TruthTable& tt)
+CanonResult exact_npn_canonical_search_with_transform(const TruthTable& tt)
 {
   static obs::LatencyHistogram& latency = canonicalize_histogram("bb");
   const std::uint64_t t0 = obs::now_ticks();

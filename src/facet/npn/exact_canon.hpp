@@ -36,8 +36,9 @@
 
 namespace facet {
 
-/// Lexicographically smallest table in the NPN orbit of `tt`
-/// (branch-and-bound; n <= 8).
+/// Lexicographically smallest table in the NPN orbit of `tt` (n <= 8).
+/// Width <= 4 answers in O(1) through the baked NPN4 norm table
+/// (npn4_table.hpp); wider inputs run the branch-and-bound search.
 [[nodiscard]] TruthTable exact_npn_canonical(const TruthTable& tt);
 
 struct CanonResult {
@@ -46,8 +47,16 @@ struct CanonResult {
   NpnTransform transform;
 };
 
-/// Canonical form plus a witnessing transform (branch-and-bound; n <= 8).
+/// Canonical form plus a witnessing transform (table for n <= 4,
+/// branch-and-bound beyond; n <= 8).
 [[nodiscard]] CanonResult exact_npn_canonical_with_transform(const TruthTable& tt);
+
+/// The pre-table dispatch (walk for n <= 3, branch-and-bound beyond):
+/// identical results to exact_npn_canonical at every width, but never
+/// consults the NPN4 table. Kept as the table-off baseline the benchmarks
+/// measure speedups against and the path a table-disabled store runs.
+[[nodiscard]] TruthTable exact_npn_canonical_search(const TruthTable& tt);
+[[nodiscard]] CanonResult exact_npn_canonical_search_with_transform(const TruthTable& tt);
 
 /// Reference implementation: exhaustive orbit walk with no pruning. Kept as
 /// the oracle the branch-and-bound is property-tested against.

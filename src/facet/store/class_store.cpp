@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "facet/npn/exact_canon.hpp"
+#include "facet/npn/npn4_table.hpp"
 #include "facet/obs/clock.hpp"
 #include "facet/obs/registry.hpp"
 #include "facet/util/hash.hpp"
@@ -24,6 +25,8 @@ const char* lookup_source_name(LookupSource source) noexcept
       return "cache";
     case LookupSource::kMemo:
       return "memo";
+    case LookupSource::kTable:
+      return "table";
     case LookupSource::kIndex:
       return "index";
     case LookupSource::kLive:
@@ -45,12 +48,16 @@ ClassStore::ClassStore(int num_vars, ClassStoreOptions options)
   if (num_vars < 0 || num_vars > kMaxVars) {
     throw std::invalid_argument{"ClassStore: num_vars out of range"};
   }
+  if (num_vars <= kNpn4MaxVars && options_.use_npn4_table) {
+    npn4_ = std::make_unique<Npn4Slots>(npn4_num_classes(num_vars));
+  }
   resolve_metrics();
 }
 
 void ClassStore::resolve_metrics()
 {
-  static constexpr std::array<const char*, 5> kTierNames{"cache", "memo", "index", "live", "miss"};
+  static constexpr std::array<const char*, 6> kTierNames{"cache", "memo",  "table",
+                                                         "index", "live", "miss"};
   auto& registry = obs::MetricRegistry::global();
   const std::string width = obs::label("width", num_vars_);
   for (std::size_t tier = 0; tier < lookup_latency_.size(); ++tier) {
@@ -84,6 +91,7 @@ ClassStore::ClassStore(int num_vars, std::vector<StoreRecord> records, std::uint
   }
   reset_base(std::make_shared<MaterializedSegment>(num_vars_, std::move(records)));
   next_class_id_.store(num_classes, std::memory_order_relaxed);
+  npn4_prefill();
 }
 
 ClassStore::ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes,
@@ -93,6 +101,7 @@ ClassStore::ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_cl
   reset_base(std::move(base));
   mmap_backed_ = mmap_backed;
   next_class_id_.store(num_classes, std::memory_order_relaxed);
+  npn4_prefill();
 }
 
 ClassStore::ClassStore(ClassStore&& other) noexcept
@@ -104,6 +113,8 @@ ClassStore::ClassStore(ClassStore&& other) noexcept
       memo_{std::move(other.memo_)},
       memo_hits_{other.memo_hits_.load(std::memory_order_relaxed)},
       canonicalizations_{other.canonicalizations_.load(std::memory_order_relaxed)},
+      npn4_{std::move(other.npn4_)},
+      table_hits_{other.table_hits_.load(std::memory_order_relaxed)},
       miss_records_{std::move(other.miss_records_)},
       next_class_id_{other.next_class_id_.load(std::memory_order_relaxed)},
       compactions_{other.compactions_.load(std::memory_order_relaxed)},
@@ -123,6 +134,8 @@ ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
   memo_hits_.store(other.memo_hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   canonicalizations_.store(other.canonicalizations_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
+  npn4_ = std::move(other.npn4_);
+  table_hits_.store(other.table_hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   miss_records_ = std::move(other.miss_records_);
   next_class_id_.store(other.next_class_id_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
@@ -324,6 +337,8 @@ ClassStore ClassStore::open(const std::string& path, const StoreOpenOptions& opt
       }
     }
   }
+  // Classes replayed from the delta log fill table-tier slots too.
+  store.npn4_prefill();
   return store;
 }
 
@@ -651,8 +666,42 @@ void ClassStore::check_width(const TruthTable& f, const char* who) const
   }
 }
 
+void ClassStore::npn4_publish(std::size_t class_index, const StoreRecord& record) const
+{
+  const std::lock_guard<std::mutex> lock{npn4_->mutex};
+  if (npn4_->slots[class_index].load(std::memory_order_relaxed) != nullptr) {
+    return;  // two racing resolvers of one class: first publish wins
+  }
+  auto owned = std::make_unique<const StoreRecord>(record);
+  npn4_->slots[class_index].store(owned.get(), std::memory_order_release);
+  npn4_->storage.push_back(std::move(owned));
+}
+
+void ClassStore::npn4_prefill()
+{
+  if (npn4_ == nullptr) {
+    return;
+  }
+  for (std::size_t index = 0; index < npn4_->slots.size(); ++index) {
+    if (npn4_->slots[index].load(std::memory_order_relaxed) != nullptr) {
+      continue;
+    }
+    if (const auto record = find_canonical(npn4_class_canonical(num_vars_, index))) {
+      npn4_publish(index, *record);
+    }
+  }
+}
+
 std::optional<StoreLookupResult> ClassStore::probe_cache(const TruthTable& f) const
 {
+  if (npn4_ != nullptr && f.num_vars() == num_vars_) {
+    const Npn4Result entry = npn4_lookup(f);
+    if (const StoreRecord* slot =
+            npn4_->slots[entry.class_index].load(std::memory_order_acquire)) {
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
+      return make_result(*slot, entry.transform, LookupSource::kTable);
+    }
+  }
   if (const auto entry = cache_.get(f)) {
     StoreLookupResult result;
     result.class_id = entry->class_id;
@@ -738,6 +787,36 @@ std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
   // probe cost (~2% of a cold lookup) instead of taxing every warm hit.
   const bool sampled = obs::sample_1_in<kFastTierSample>();
   std::uint64_t t0 = sampled ? obs::now_ticks() : 0;
+  if (npn4_ != nullptr) {
+    // Tier 0: one table load resolves class index + canonical + witness.
+    // No cache, no memo, no canonicalization — the table IS the
+    // canonicalizer here, and a filled slot never pins the gate.
+    const Npn4Result entry = npn4_lookup(f);
+    if (const StoreRecord* slot =
+            npn4_->slots[entry.class_index].load(std::memory_order_acquire)) {
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
+      StoreLookupResult result = make_result(*slot, entry.transform, LookupSource::kTable);
+      if (sampled) {
+        record_lookup_latency(static_cast<std::size_t>(LookupSource::kTable), t0);
+      }
+      return result;
+    }
+    // Slot cold: probe the index with the table-provided canonical form —
+    // still searchless, and a hit fills the slot for every later query.
+    if (!sampled) {
+      t0 = obs::now_ticks();
+    }
+    const TruthTable canonical = TruthTable::from_word(num_vars_, entry.canonical_word);
+    if (const std::optional<StoreRecord> record = find_canonical(canonical)) {
+      npn4_publish(entry.class_index, *record);
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
+      StoreLookupResult result = make_result(*record, entry.transform, LookupSource::kTable);
+      record_lookup_latency(static_cast<std::size_t>(LookupSource::kTable), t0);
+      return result;
+    }
+    record_lookup_latency(kMissTier, t0);
+    return std::nullopt;
+  }
   if (auto cached = probe_cache(f)) {
     if (sampled) {
       record_lookup_latency(static_cast<std::size_t>(LookupSource::kHotCache), t0);
@@ -794,6 +873,30 @@ StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool appen
   // Same sampling split as lookup(): fast tiers 1-in-K, slow tiers always.
   const bool sampled = obs::sample_1_in<kFastTierSample>();
   std::uint64_t t0 = sampled ? obs::now_ticks() : 0;
+  if (npn4_ != nullptr) {
+    // Tier 0, mirroring lookup(): the table replaces cache, memo and the
+    // canonicalizer wholesale for width <= 4.
+    const Npn4Result entry = npn4_lookup(f);
+    if (const StoreRecord* slot =
+            npn4_->slots[entry.class_index].load(std::memory_order_acquire)) {
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
+      StoreLookupResult result = make_result(*slot, entry.transform, LookupSource::kTable);
+      if (sampled) {
+        record_lookup_latency(static_cast<std::size_t>(LookupSource::kTable), t0);
+      }
+      return result;
+    }
+    if (!sampled) {
+      t0 = obs::now_ticks();
+    }
+    const std::size_t class_index = entry.class_index;
+    const CanonResult canon{TruthTable::from_word(num_vars_, entry.canonical_word),
+                            entry.transform};
+    const StoreLookupResult result =
+        lookup_or_classify_impl(f, canon, append_on_miss, nullptr, &class_index);
+    record_lookup_latency(static_cast<std::size_t>(result.source), t0);
+    return result;
+  }
   if (auto cached = probe_cache(f)) {
     if (sampled) {
       record_lookup_latency(static_cast<std::size_t>(LookupSource::kHotCache), t0);
@@ -831,28 +934,37 @@ StoreLookupResult ClassStore::lookup_or_classify_canonical(const TruthTable& f,
 StoreLookupResult ClassStore::lookup_or_classify_impl(const TruthTable& f,
                                                       const CanonResult& canon,
                                                       bool append_on_miss,
-                                                      const SemiclassKey* key)
+                                                      const SemiclassKey* key,
+                                                      const std::size_t* npn4_class)
 {
-  // Known classes resolve without entering the gate, like lookup_canonical.
-  if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
-    StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
+  // On the table-tier path (non-null npn4_class) an index hit is reported
+  // as src=table — the table did the canonicalization — and fills the
+  // class's slot so every later query is one array load; the LRU cache and
+  // the memo stay cold (the slot outperforms both).
+  const auto resolve_hit = [&](const StoreRecord& record) {
+    if (npn4_class != nullptr) {
+      npn4_publish(*npn4_class, record);
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
+      return make_result(record, canon.transform, LookupSource::kTable);
+    }
+    StoreLookupResult result = make_result(record, canon.transform, LookupSource::kIndex);
     cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
     if (key != nullptr) {
-      memo_insert(*key, *record);
+      memo_insert(*key, record);
     }
     return result;
+  };
+
+  // Known classes resolve without entering the gate, like lookup_canonical.
+  if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
+    return resolve_hit(*record);
   }
 
   // Miss: serialize through the gate and re-probe — a concurrent session
   // may have appended this very class between our probe and the gate.
   const auto gate = gate_->acquire();
   if (const std::optional<StoreRecord> record = find_canonical(canon.canonical)) {
-    StoreLookupResult result = make_result(*record, canon.transform, LookupSource::kIndex);
-    cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
-    if (key != nullptr) {
-      memo_insert(*key, *record);
-    }
-    return result;
+    return resolve_hit(*record);
   }
 
   // Live tier: the class is new. Reuse (or allocate) its dense id and keep
@@ -883,12 +995,19 @@ StoreLookupResult ClassStore::lookup_or_classify_impl(const TruthTable& f,
                                static_cast<std::uint32_t>(memtable_->records.size()));
       memtable_->records.push_back(record);
     }
-    cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
-    if (key != nullptr) {
-      // The class is persistent from here on, so the memo may serve it.
-      // Transient misses (the else branch) are never memoized: they must
-      // keep reporting known=false until someone appends them.
-      memo_insert(*key, record);
+    if (npn4_class != nullptr) {
+      // Persistent from here on: the slot may serve it. Transient misses
+      // (the else branch) never fill a slot — they must keep reporting
+      // known=false until someone appends them.
+      npn4_publish(*npn4_class, record);
+    } else {
+      cache_.put(f, CacheEntry{result.class_id, result.representative, result.to_representative});
+      if (key != nullptr) {
+        // The class is persistent from here on, so the memo may serve it.
+        // Transient misses (the else branch) are never memoized: they must
+        // keep reporting known=false until someone appends them.
+        memo_insert(*key, record);
+      }
     }
   } else if (transient == miss_records_.end()) {
     miss_records_.emplace(record.canonical, record);

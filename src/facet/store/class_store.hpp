@@ -8,6 +8,11 @@
 /// representative onto the canonical form. Lookup of a query function f
 /// resolves through a tiered read path:
 ///
+///   0. table       — width <= 4 only: the baked NPN4 norm table
+///                    (npn4_table.hpp) resolves class index, canonical form
+///                    and witness in ONE array load, and a per-class
+///                    write-once slot turns that into the full store answer
+///                    — no canonicalizer, no cache, no gate, no search;
 ///   1. hot cache   — f itself was looked up recently: one sharded-LRU
 ///                    probe, no canonicalization at all (hot_cache.hpp);
 ///   2. memo        — semiclass memo: hash f's NPN-invariant semiclass key
@@ -132,12 +137,13 @@ namespace facet {
 enum class LookupSource {
   kHotCache,  ///< sharded-LRU hit; no canonicalization performed
   kMemo,      ///< semiclass-memo hit: matcher-verified, no canonicalization
+  kTable,     ///< NPN4 norm table (width <= 4): one array load, no search
   kIndex,     ///< canonicalized, found in memtable / delta runs / base
   kLive,      ///< canonicalized, unknown: classified live (fresh class id)
 };
 
-/// Stable wire/CLI name of a lookup source: "cache", "memo", "index" or
-/// "live".
+/// Stable wire/CLI name of a lookup source: "cache", "memo", "table",
+/// "index" or "live".
 [[nodiscard]] const char* lookup_source_name(LookupSource source) noexcept;
 
 struct StoreLookupResult {
@@ -160,6 +166,12 @@ struct ClassStoreOptions {
   /// On overflow the memo is cleared wholesale and relearns — correctness
   /// never depends on what the memo holds.
   std::size_t semiclass_memo_capacity = 1u << 16;
+  /// Resolve width <= 4 queries through the baked NPN4 norm table
+  /// (LookupSource::kTable): one array load replaces the hot cache, the
+  /// semiclass memo AND the canonicalizer. Class ids are bit-identical
+  /// either way — the table changes how a class resolves, never which
+  /// class it is. No effect on stores wider than 4 variables.
+  bool use_npn4_table = true;
 };
 
 /// The immutable read tiers of one epoch: the base segment plus the delta
@@ -352,12 +364,17 @@ class ClassStore {
   /// skips record materialization on every tier.
   [[nodiscard]] std::optional<std::uint32_t> find_class_id(const TruthTable& canonical) const;
 
-  /// Hot-cache probe by the query function itself; never canonicalizes.
+  /// Fast-front probe by the query function itself; never canonicalizes.
+  /// On a width <= 4 store with the table on, a filled norm-table slot
+  /// answers first (src=table); otherwise this is the sharded-LRU probe.
   [[nodiscard]] std::optional<StoreLookupResult> probe_cache(const TruthTable& f) const;
 
-  /// Full read-only lookup: hot cache, else semiclass memo, else
-  /// canonicalize + index (warming the cache and memo on a hit). nullopt if
-  /// the class is not in the store.
+  /// Full read-only lookup. Width <= 4 with the table on: one norm-table
+  /// load resolves class + canonical + witness (src=table) — no cache, no
+  /// memo, no canonicalization, and no gate pin once the class's slot is
+  /// filled. Otherwise: hot cache, else semiclass memo, else canonicalize +
+  /// index (warming the cache and memo on a hit). nullopt if the class is
+  /// not in the store.
   [[nodiscard]] std::optional<StoreLookupResult> lookup(const TruthTable& f) const;
 
   /// lookup() minus the cache/memo probes and canonicalization: resolves f
@@ -376,8 +393,9 @@ class ClassStore {
   /// lifetime, keeping repeated queries consistent. Known classes resolve
   /// without touching the gate; the miss path serializes through it and
   /// re-probes, so concurrent sessions racing on one novel class agree on
-  /// one id. Resolves through the full tier stack: hot cache, semiclass
-  /// memo, index, live — a memo hit never canonicalizes.
+  /// one id. Resolves through the full tier stack: norm table (width <= 4),
+  /// hot cache, semiclass memo, index, live — a table or memo hit never
+  /// canonicalizes.
   [[nodiscard]] StoreLookupResult lookup_or_classify(const TruthTable& f,
                                                      bool append_on_miss = false);
 
@@ -409,6 +427,16 @@ class ClassStore {
   }
   /// Classes currently held by the semiclass memo.
   [[nodiscard]] std::size_t memo_entries() const;
+
+  // -- NPN4 table tier -------------------------------------------------------
+
+  /// Lookups resolved by the NPN4 norm-table tier (LookupSource::kTable).
+  /// Always 0 on stores wider than 4 variables or built with
+  /// use_npn4_table = false.
+  [[nodiscard]] std::uint64_t num_table_hits() const noexcept
+  {
+    return table_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct CacheEntry {
@@ -447,6 +475,23 @@ class ClassStore {
     std::size_t entries = 0;
   };
 
+  /// Tier 0 (width <= 4 with use_npn4_table): one write-once slot per NPN
+  /// class of the store's width, indexed by the norm table's dense class
+  /// index. A filled slot points at an immutable heap-owned record, so a
+  /// reader resolves a query with one npn4_lookup plus one acquire load —
+  /// no gate pin, no cache, no canonicalizer. Slots are published under the
+  /// writer mutex (double-checked) when a class first resolves through the
+  /// index or is appended; transient non-appending misses never fill a slot
+  /// (they must keep reporting known=false). Class ids and canonical forms
+  /// never change across flush/compaction, so a published record stays
+  /// valid for the store's lifetime.
+  struct Npn4Slots {
+    std::mutex mutex;
+    std::vector<std::unique_ptr<const StoreRecord>> storage;
+    std::vector<std::atomic<const StoreRecord*>> slots;
+    explicit Npn4Slots(std::size_t count) : slots(count) {}
+  };
+
   /// A store over an already-opened base segment (the mmap open path).
   ClassStore(std::shared_ptr<const Segment> base, std::uint64_t num_classes, bool mmap_backed,
              ClassStoreOptions options);
@@ -477,7 +522,16 @@ class ClassStore {
   [[nodiscard]] StoreLookupResult lookup_or_classify_impl(const TruthTable& f,
                                                           const CanonResult& canon,
                                                           bool append_on_miss,
-                                                          const SemiclassKey* key);
+                                                          const SemiclassKey* key,
+                                                          const std::size_t* npn4_class = nullptr);
+  /// Publishes `record` into the table-tier slot of `class_index`
+  /// (double-checked under the slot writer mutex; no-op when already
+  /// filled). const because slots warm from const lookups, like the cache.
+  void npn4_publish(std::size_t class_index, const StoreRecord& record) const;
+  /// Fills every slot whose class canonical the index already holds —
+  /// construction/open time, so an exhaustively-built store answers every
+  /// query from the table without ever pinning the gate.
+  void npn4_prefill();
   /// Seals the memtable into `os` + a published delta run. Gate held.
   std::size_t flush_delta_locked(const std::unique_lock<std::mutex>& gate, std::ostream& os);
   /// Replays a delta log onto this store (open()); reports the clean
@@ -497,7 +551,7 @@ class ClassStore {
   void record_lookup_latency(std::size_t tier, std::uint64_t start_ticks) const noexcept;
   /// lookup_latency_ slot of a lookup() miss (nullopt: canonicalized, not
   /// in any tier) — one past the LookupSource values.
-  static constexpr std::size_t kMissTier = 4;
+  static constexpr std::size_t kMissTier = 5;
   /// Sampling period of the cache/memo latency series: those tiers resolve
   /// in a few hundred ns, where even one clock read is a measurable stall,
   /// so only 1 in this many events is timed (obs::sample_1_in). The
@@ -510,7 +564,7 @@ class ClassStore {
   /// indexed by LookupSource (+ kMissTier). Pointers into the process-wide
   /// registry: stable forever, shared by stores of the same width, copied
   /// wholesale on move.
-  std::array<obs::LatencyHistogram*, 5> lookup_latency_{};
+  std::array<obs::LatencyHistogram*, 6> lookup_latency_{};
   /// The store gate: publishes the TierSnapshot epochs (tiers 3 + 4) and
   /// serializes mutators. unique_ptr so the store stays movable.
   std::unique_ptr<StoreGate<TierSnapshot>> gate_;
@@ -521,6 +575,10 @@ class ClassStore {
   std::unique_ptr<SemiclassMemo> memo_;
   mutable std::atomic<std::uint64_t> memo_hits_{0};
   mutable std::atomic<std::uint64_t> canonicalizations_{0};
+  /// Tier 0 slots; non-null iff num_vars_ <= 4 and use_npn4_table. unique_ptr
+  /// so the store stays movable (slot atomics are not).
+  std::unique_ptr<Npn4Slots> npn4_;
+  mutable std::atomic<std::uint64_t> table_hits_{0};
   /// Live-transient classes (non-appending misses), keyed by canonical form.
   /// Never visible to find_canonical() or the hot cache, so the batch
   /// engine's store keys stay consistent. Gate holders only.

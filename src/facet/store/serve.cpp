@@ -26,6 +26,7 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
   s.lookups = lookups.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits.load(std::memory_order_relaxed);
   s.memo_hits = memo_hits.load(std::memory_order_relaxed);
+  s.table_hits = table_hits.load(std::memory_order_relaxed);
   s.index_hits = index_hits.load(std::memory_order_relaxed);
   s.live = live.load(std::memory_order_relaxed);
   s.errors = errors.load(std::memory_order_relaxed);
@@ -39,6 +40,7 @@ ServeAggregateSnapshot ServeAggregateStats::snapshot() const noexcept
     s.width[n].lookups = width[n].lookups.load(std::memory_order_relaxed);
     s.width[n].cache_hits = width[n].cache_hits.load(std::memory_order_relaxed);
     s.width[n].memo_hits = width[n].memo_hits.load(std::memory_order_relaxed);
+    s.width[n].table_hits = width[n].table_hits.load(std::memory_order_relaxed);
     s.width[n].index_hits = width[n].index_hits.load(std::memory_order_relaxed);
     s.width[n].live = width[n].live.load(std::memory_order_relaxed);
     s.width[n].appended = width[n].appended.load(std::memory_order_relaxed);
@@ -60,6 +62,9 @@ void count_source(Counters& stats, LookupSource source)
       break;
     case LookupSource::kMemo:
       stats.memo_hits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case LookupSource::kTable:
+      stats.table_hits.fetch_add(1, std::memory_order_relaxed);
       break;
     case LookupSource::kIndex:
       stats.index_hits.fetch_add(1, std::memory_order_relaxed);
@@ -200,9 +205,9 @@ constexpr std::array<const char*, 7> kVerbNames{"lookup", "mlookup", "info",
 /// The session holds no lock, ever: every store access synchronizes inside
 /// ClassStore/StoreRouter (snapshot-epoch reads, a per-store mutation gate
 /// — class_store.hpp). Queries resolve through the store's own tier stack
-/// (hot cache, semiclass memo, index, live); exact canonicalization — the
-/// expensive step of a genuinely novel query — runs in the session thread
-/// before any store gate.
+/// (NPN4 norm table for width <= 4, hot cache, semiclass memo, index,
+/// live); exact canonicalization — the expensive step of a genuinely novel
+/// wide query — runs in the session thread before any store gate.
 class Session {
  public:
   Session(ClassStore* store, StoreRouter* router, const ServeOptions& options)
@@ -411,17 +416,17 @@ class Session {
                << " maps to no function width (must be a power of two, n <= " << kMaxVars << ")";
         return operand_err(token, reason.str());
       }
+      if (payload.size() == 1) {
+        // A single nibble names up to three widths (n = 0, 1, 2 all
+        // serialize as one digit) — resolve it against every routed
+        // candidate instead of hard-wiring n = 2.
+        return resolve_single_nibble(token, payload);
+      }
       store = router_->store_for(width);
       if (store == nullptr) {
         stats_.errors.fetch_add(1, std::memory_order_relaxed);
         std::ostringstream line;
         line << "err no store routes width " << width;
-        if (payload.size() == 1) {
-          // The inference is genuinely ambiguous here: n = 0, 1 and 2 all
-          // serialize as one nibble, and this session routes none as 2.
-          line << " (a single hex digit infers n=2; widths 0 and 1 also encode"
-                  " as one digit — pin the width with lookup@<n>)";
-        }
         return line.str();
       }
     } else {
@@ -443,6 +448,92 @@ class Session {
       stats_.errors.fetch_add(1, std::memory_order_relaxed);
       return operand_err(token, e.what());
     }
+  }
+
+  /// Hex value of one already-validated nibble.
+  [[nodiscard]] static unsigned nibble_value(char c) noexcept
+  {
+    if (c >= '0' && c <= '9') {
+      return static_cast<unsigned>(c - '0');
+    }
+    return static_cast<unsigned>((c >= 'a' ? c - 'a' : c - 'A') + 10);
+  }
+
+  /// A single-nibble operand with no width override names up to three
+  /// widths: n = 0, 1 and 2 all serialize as one hex digit. Resolve it
+  /// against every routed width that can encode the digit (value <
+  /// 2^(2^n)): one candidate answers directly through the normal tier
+  /// stack; several candidates answer only when every read-only probe
+  /// names the SAME answer — equal class id, representative hex and known
+  /// flag — rendered once, at the smallest width (the transform is
+  /// width-specific, so the line itself cannot be compared). A
+  /// disagreement — or no routed candidate at all — answers err with a
+  /// lookup@<n> hint.
+  [[nodiscard]] std::string resolve_single_nibble(const std::string& token,
+                                                  std::string_view payload)
+  {
+    const unsigned value = nibble_value(payload.front());
+    std::vector<int> candidates;
+    for (int n = 0; n <= 2; ++n) {
+      if (value < (1u << (1u << static_cast<unsigned>(n))) &&
+          router_->store_for(n) != nullptr) {
+        candidates.push_back(n);
+      }
+    }
+    if (candidates.empty()) {
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      return "err no store routes width 2 (a single hex digit infers n=2; widths 0 and 1"
+             " also encode as one digit — pin the width with lookup@<n>)";
+    }
+    if (candidates.size() == 1) {
+      ClassStore& store = *router_->store_for(candidates.front());
+      try {
+        return lookup_line(store, from_hex(store.num_vars(), token));
+      } catch (const std::exception& e) {
+        stats_.errors.fetch_add(1, std::memory_order_relaxed);
+        return operand_err(token, e.what());
+      }
+    }
+    // Several routed widths can encode the digit: probe each read-only —
+    // an ambiguous nibble must never classify live or append — and answer
+    // only a unanimous response.
+    std::optional<StoreLookupResult> first;
+    bool unanimous = true;
+    for (const int n : candidates) {
+      ClassStore& store = *router_->store_for(n);
+      const auto hit = store.lookup(from_hex(n, token));
+      if (!hit.has_value()) {
+        unanimous = false;
+        break;
+      }
+      if (!first.has_value()) {
+        first = *hit;
+        continue;
+      }
+      if (hit->class_id != first->class_id ||
+          to_hex(hit->representative) != to_hex(first->representative) ||
+          hit->known != first->known) {
+        unanimous = false;
+        break;
+      }
+    }
+    if (unanimous) {
+      const int width = candidates.front();
+      count_source(stats_, first->source);
+      stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+      count_width(width, *first);
+      request_width_ = width;
+      request_src_ = lookup_source_name(first->source);
+      return render_result(*first);
+    }
+    stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    std::ostringstream line;
+    line << "err operand '" << token << "': ambiguous single nibble (widths";
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      line << (i == 0 ? " " : ",") << candidates[i];
+    }
+    line << " are routed and answer differently — pin the width with lookup@<n>)";
+    return line.str();
   }
 
   /// The tiered lookup of one parsed query, delegated wholesale to the
@@ -477,6 +568,12 @@ class Session {
     // names as the width/tier that hurt.
     request_width_ = store.num_vars();
     request_src_ = lookup_source_name(result.source);
+    return render_result(result);
+  }
+
+  /// The `ok` response line of one resolved lookup (no newline).
+  [[nodiscard]] static std::string render_result(const StoreLookupResult& result)
+  {
     std::ostringstream line;
     line << "ok id=" << result.class_id << " rep=" << to_hex(result.representative)
          << " t=" << transform_to_compact(result.to_representative)
@@ -534,8 +631,9 @@ class Session {
     const ServeStats stats = stats_.snapshot();
     out << "ok requests=" << stats.requests << " lookups=" << stats.lookups
         << " cache_hits=" << stats.cache_hits << " memo_hits=" << stats.memo_hits
-        << " index_hits=" << stats.index_hits << " live=" << stats.live
-        << " appended=" << appended << " errors=" << stats.errors << "\n"
+        << " table_hits=" << stats.table_hits << " index_hits=" << stats.index_hits
+        << " live=" << stats.live << " appended=" << appended << " errors=" << stats.errors
+        << "\n"
         << std::flush;
   }
 
@@ -559,7 +657,8 @@ class Session {
     out << "ok connections=" << agg.connections_active << " sessions=" << agg.connections_total
         << " requests=" << agg.requests << " lookups=" << agg.lookups
         << " cache_hits=" << agg.cache_hits << " memo_hits=" << agg.memo_hits
-        << " index_hits=" << agg.index_hits << " live=" << agg.live << " errors=" << agg.errors
+        << " table_hits=" << agg.table_hits << " index_hits=" << agg.index_hits
+        << " live=" << agg.live << " errors=" << agg.errors
         << " flushed=" << agg.flushed_records << " compactions=" << agg.compactions
         << " compacted_runs=" << agg.compacted_runs
         << " compacted_records=" << agg.compacted_records
@@ -574,8 +673,8 @@ class Session {
       const ServeWidthStats& row = agg.width[static_cast<std::size_t>(width)];
       out << "ok width=" << width << " lookups=" << row.lookups
           << " cache_hits=" << row.cache_hits << " memo_hits=" << row.memo_hits
-          << " index_hits=" << row.index_hits << " live=" << row.live
-          << " appended=" << row.appended << "\n";
+          << " table_hits=" << row.table_hits << " index_hits=" << row.index_hits
+          << " live=" << row.live << " appended=" << row.appended << "\n";
     }
     out << std::flush;
   }
@@ -676,6 +775,7 @@ class Session {
     agg.lookups += stats.lookups - synced_.lookups;
     agg.cache_hits += stats.cache_hits - synced_.cache_hits;
     agg.memo_hits += stats.memo_hits - synced_.memo_hits;
+    agg.table_hits += stats.table_hits - synced_.table_hits;
     agg.index_hits += stats.index_hits - synced_.index_hits;
     agg.live += stats.live - synced_.live;
     agg.errors += stats.errors - synced_.errors;

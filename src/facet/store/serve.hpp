@@ -8,13 +8,13 @@
 /// line:
 ///
 ///   lookup <hex>        ->  ok id=<id> rep=<hex> t=<compact-transform>
-///                              src=<cache|memo|index|live> known=<0|1>
+///                              src=<cache|memo|table|index|live> known=<0|1>
 ///   lookup@<n> <hex>    ->  same, with the operand's width pinned to n
 ///                              instead of inferred from its digit count —
-///                              the only way to reach a width-0/1 store
-///                              through a router (a single nibble infers
-///                              n = 2), and a guard against digit-count
-///                              typos on any width.
+///                              a guard against digit-count typos on any
+///                              width, and the explicit way to name one
+///                              width of a single-nibble operand (see
+///                              below).
 ///   mlookup <hex>...    ->  one lookup-response line per operand, flushed
 ///                              once at the end of the batch — pipelined
 ///                              clients stop paying per-line flush latency.
@@ -24,12 +24,14 @@
 ///   info                ->  ok n=<n> records=<r> appended=<a> deltas=<d>
 ///                              classes=<c> cache_entries=<e>
 ///   stats               ->  ok requests=<q> lookups=<k> cache_hits=<h>
-///                              memo_hits=<m> index_hits=<i> live=<l>
-///                              appended=<a> errors=<e>  (this session)
+///                              memo_hits=<m> table_hits=<t> index_hits=<i>
+///                              live=<l> appended=<a> errors=<e>
+///                              (this session)
 ///   stats all           ->  ok connections=<active> sessions=<total>
 ///                              requests=... lookups=... cache_hits=...
-///                              memo_hits=... index_hits=... live=...
-///                              errors=... flushed=<f> compactions=<c>
+///                              memo_hits=... table_hits=... index_hits=...
+///                              live=... errors=... flushed=<f>
+///                              compactions=<c>
 ///                              compacted_runs=<r> compacted_records=<k>
 ///                              compact_bytes=<b> last_compact_ms=<t>
 ///                              p50_us=<p> p99_us=<q> widths=<w>
@@ -43,8 +45,8 @@
 ///                              store (ascending width), so fleet operators
 ///                              see which widths run hot:
 ///                           ok width=<n> lookups=<k> cache_hits=<h>
-///                              memo_hits=<m> index_hits=<i> live=<l>
-///                              appended=<a>
+///                              memo_hits=<m> table_hits=<t> index_hits=<i>
+///                              live=<l> appended=<a>
 ///                              (aggregated across every session of the
 ///                               process; equals the session numbers for a
 ///                               stdin session)
@@ -68,7 +70,12 @@
 /// serves a StoreRouter — one session answering mixed-width queries, with
 /// each operand's width inferred from its hex digit count (2^n bits = 4 *
 /// digits) unless the request pins it with `lookup@<n>`, so a mapper can
-/// stream n=3..8 cut functions down one pipe. Its `info` line reports the
+/// stream n=3..8 cut functions down one pipe. A single-nibble operand names
+/// up to three widths (n = 0, 1, 2 all serialize as one digit); the router
+/// resolves it against every routed width that can encode the digit — one
+/// candidate answers directly, several answer only when their responses
+/// agree, and a genuine disagreement (or zero candidates) answers `err`
+/// telling the client to pin with lookup@<n>. Its `info` line reports the
 /// routed widths:
 ///
 ///   info                ->  ok widths=<w1,w2,...> stores=<s> records=<r>
@@ -81,10 +88,11 @@
 /// a gated miss/append path, per-width striping through StoreRouter), so N
 /// concurrent sessions call plain store methods and every read proceeds
 /// without blocking behind appends, flushes or compaction swaps on ANY
-/// width. A query resolves through the store's own tier stack (hot cache,
-/// semiclass memo, index, live) in the session thread; exact
-/// canonicalization — the expensive step of a genuinely novel query — runs
-/// before any store gate is involved, and memo hits skip it entirely.
+/// width. A query resolves through the store's own tier stack (NPN4 norm
+/// table for width <= 4, hot cache, semiclass memo, index, live) in the
+/// session thread; exact canonicalization — the expensive step of a
+/// genuinely novel query — runs before any store gate is involved, and
+/// table/memo hits skip it entirely.
 /// Session counters and the process-wide aggregate are atomics; `stats all`
 /// snapshots them with relaxed loads.
 ///
@@ -133,6 +141,7 @@ struct ServeStats {
   std::uint64_t lookups = 0;     ///< lookup/mlookup operands answered ok
   std::uint64_t cache_hits = 0;  ///< answered from the hot cache
   std::uint64_t memo_hits = 0;   ///< answered from the semiclass memo
+  std::uint64_t table_hits = 0;  ///< answered from the NPN4 norm table
   std::uint64_t index_hits = 0;  ///< answered from the persisted index
   std::uint64_t live = 0;        ///< fell back to live classification
   std::uint64_t errors = 0;      ///< `err` responses
@@ -149,6 +158,7 @@ struct ServeCounters {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> table_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> errors{0};
@@ -162,6 +172,7 @@ struct ServeCounters {
     s.lookups = lookups.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits.load(std::memory_order_relaxed);
     s.memo_hits = memo_hits.load(std::memory_order_relaxed);
+    s.table_hits = table_hits.load(std::memory_order_relaxed);
     s.index_hits = index_hits.load(std::memory_order_relaxed);
     s.live = live.load(std::memory_order_relaxed);
     s.errors = errors.load(std::memory_order_relaxed);
@@ -175,6 +186,7 @@ struct ServeWidthCounters {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> table_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> appended{0};
@@ -185,6 +197,7 @@ struct ServeWidthStats {
   std::uint64_t lookups = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t memo_hits = 0;
+  std::uint64_t table_hits = 0;
   std::uint64_t index_hits = 0;
   std::uint64_t live = 0;
   std::uint64_t appended = 0;
@@ -198,6 +211,7 @@ struct ServeAggregateSnapshot {
   std::uint64_t lookups = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t memo_hits = 0;
+  std::uint64_t table_hits = 0;
   std::uint64_t index_hits = 0;
   std::uint64_t live = 0;
   std::uint64_t errors = 0;
@@ -221,6 +235,7 @@ struct ServeAggregateStats {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> table_hits{0};
   std::atomic<std::uint64_t> index_hits{0};
   std::atomic<std::uint64_t> live{0};
   std::atomic<std::uint64_t> errors{0};
@@ -287,9 +302,11 @@ ServeStats serve_router_loop(StoreRouter& router, std::istream& in, std::ostream
 /// Function width implied by a hex operand of the line protocol: 4 * digits
 /// = 2^n bits. One digit is genuinely ambiguous — n = 0, 1 and 2 all
 /// serialize as a single nibble — and reads as n = 2, the LARGEST width a
-/// single nibble encodes (the common case in cut streams); sessions that
-/// need a width-0/1 store must pin the width with `lookup@<n>`, and the
-/// router loop's error for an unrouted single nibble says so. Returns -1
+/// single nibble encodes (the common case in cut streams). The router loop
+/// refines this: it resolves a single nibble against every routed width
+/// that can encode the digit, answering directly when one candidate exists
+/// (or all candidates agree) and erring with a lookup@<n> hint only on a
+/// genuine disagreement or when no candidate is routed. Returns -1
 /// for an impossible digit count or any non-hex digit — a malformed operand
 /// is rejected at width inference, not later inside parsing. The "0x"
 /// prefix is tolerated (a bare "0x" is malformed).

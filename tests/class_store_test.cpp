@@ -259,6 +259,9 @@ TEST(ClassStore, HotCacheServesRepeatsAndEvicts)
   ClassStoreOptions options;
   options.hot_cache_capacity = 4;
   options.hot_cache_shards = 1;
+  // NPN4 table off: this test pins cache/memo/index tier attribution, which
+  // the O(1) table tier would otherwise answer first at width 4.
+  options.use_npn4_table = false;
   StoreBuildOptions build_options;
   build_options.store = options;
   ClassStore store = build_class_store(funcs, build_options);
@@ -306,8 +309,10 @@ TEST(ClassStore, SemiclassMemoServesEquivalentsWithoutRecanonicalizing)
   const auto funcs = make_npn_workload(n, 20, 2, 0x5e11ULL);
   StoreBuildOptions build_options;
   // Disable the hot cache so tier attribution and the canonicalization
-  // counter are observable without cache interference.
+  // counter are observable without cache interference; NPN4 table off so a
+  // width-4 store reaches the memo and index tiers at all.
   build_options.store.hot_cache_capacity = 0;
+  build_options.store.use_npn4_table = false;
   ClassStore store = build_class_store(funcs, build_options);
 
   const TruthTable f = funcs[0];
@@ -342,6 +347,7 @@ TEST(ClassStore, MemoDisabledFallsBackToExactCanonicalization)
   StoreBuildOptions build_options;
   build_options.store.hot_cache_capacity = 0;
   build_options.store.semiclass_memo_capacity = 0;
+  build_options.store.use_npn4_table = false;
   ClassStore store = build_class_store(funcs, build_options);
 
   const TruthTable f = funcs[0];
@@ -393,6 +399,9 @@ TEST(ClassStore, AppendedClassesAreServedFromTheMemo)
   std::mt19937_64 rng{0xadd5ULL};
   ClassStoreOptions options;
   options.hot_cache_capacity = 0;
+  // NPN4 table off: with it on, the appended class would be served from the
+  // table slot rather than the memo this test observes.
+  options.use_npn4_table = false;
   ClassStore store{n, options};
   const TruthTable f = tt_random(n, rng);
   TruthTable g{n};

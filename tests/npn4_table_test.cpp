@@ -1,0 +1,210 @@
+/// Exhaustive verification of the baked NPN4 norm table: every 16-bit truth
+/// table (and every sub-width table down to the constants) must agree with
+/// the exhaustive orbit-walk oracle on canonical form, carry a valid
+/// witnessing transform, and index exactly the known class counts
+/// {1, 2, 4, 14, 222}; plus the golden-hash drift guard and the ClassStore
+/// table tier's bit-identity with a store built without it.
+
+#include "facet/npn/npn4_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "facet/npn/exact_canon.hpp"
+#include "facet/npn/npn4_table_golden.hpp"
+#include "facet/npn/transform.hpp"
+#include "facet/store/class_store.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/tt/truth_table.hpp"
+#include "facet/tt/tt_generate.hpp"
+
+namespace facet {
+namespace {
+
+constexpr std::size_t kExpectedClasses[5] = {1, 2, 4, 14, 222};
+
+/// Exhaustive sweep at one width: table canonical == walk-oracle canonical,
+/// witness maps the query onto the canonical, and the class index round-trips
+/// through npn4_class_canonical.
+void sweep_width(int n)
+{
+  std::set<std::uint16_t> seen_classes;
+  const std::uint64_t tables = 1ULL << (1u << n);
+  for (std::uint64_t bits = 0; bits < tables; ++bits) {
+    const TruthTable tt = TruthTable::from_word(n, bits);
+    const Npn4Result result = npn4_lookup(tt);
+    const TruthTable canonical = TruthTable::from_word(n, result.canonical_word);
+
+    const CanonResult oracle = exact_npn_canonical_walk_with_transform(tt);
+    ASSERT_EQ(canonical, oracle.canonical)
+        << "n=" << n << " bits=0x" << std::hex << bits << ": table canonical diverges from walk";
+    ASSERT_EQ(apply_transform(tt, result.transform), canonical)
+        << "n=" << n << " bits=0x" << std::hex << bits << ": witness does not map to canonical";
+    ASSERT_EQ(result.transform.num_vars, n);
+    ASSERT_EQ(npn4_class_canonical(n, result.class_index), canonical)
+        << "n=" << n << " bits=0x" << std::hex << bits << ": class index round-trip";
+    seen_classes.insert(result.class_index);
+  }
+  EXPECT_EQ(seen_classes.size(), kExpectedClasses[n]) << "n=" << n;
+  EXPECT_EQ(npn4_num_classes(n), kExpectedClasses[n]) << "n=" << n;
+  // Dense and contiguous from zero.
+  EXPECT_EQ(*seen_classes.begin(), 0u);
+  EXPECT_EQ(*seen_classes.rbegin(), kExpectedClasses[n] - 1);
+}
+
+TEST(Npn4Table, ExhaustiveN4MatchesWalkOracle) { sweep_width(4); }
+
+TEST(Npn4Table, ExhaustiveSubWidthsMatchWalkOracle)
+{
+  for (int n = 0; n <= 3; ++n) {
+    sweep_width(n);
+  }
+}
+
+TEST(Npn4Table, ExactCanonicalDispatchesThroughTheTable)
+{
+  // The public canonicalizer entry points must answer through the table for
+  // every width <= 4 — same canonical, valid witness — and agree with the
+  // pre-table search path kept for benchmarking.
+  std::mt19937_64 rng{0x4417ULL};
+  for (int n = 0; n <= 4; ++n) {
+    for (int i = 0; i < 200; ++i) {
+      const TruthTable tt = tt_random(n, rng);
+      const CanonResult fast = exact_npn_canonical_with_transform(tt);
+      const CanonResult search = exact_npn_canonical_search_with_transform(tt);
+      EXPECT_EQ(fast.canonical, search.canonical);
+      EXPECT_EQ(exact_npn_canonical(tt), fast.canonical);
+      EXPECT_EQ(exact_npn_canonical_search(tt), fast.canonical);
+      EXPECT_EQ(apply_transform(tt, fast.transform), fast.canonical);
+    }
+  }
+}
+
+TEST(Npn4Table, GoldenHashMatchesCheckedInValue)
+{
+  EXPECT_EQ(npn4_table_hash(), kNpn4GoldenTableHash);
+}
+
+TEST(Npn4Table, LookupCounterAdvances)
+{
+  const std::uint64_t before = npn4_table_lookups();
+  (void)npn4_lookup(TruthTable::from_word(4, 0xe8e8ULL));
+  (void)npn4_lookup(TruthTable::from_word(2, 0x6ULL));
+  EXPECT_GE(npn4_table_lookups(), before + 2);
+}
+
+TEST(Npn4Table, RejectsWidthsBeyondFour)
+{
+  EXPECT_THROW((void)npn4_lookup(TruthTable{5}), std::invalid_argument);
+  EXPECT_THROW((void)npn4_num_classes(5), std::invalid_argument);
+  EXPECT_THROW((void)npn4_class_canonical(5, 0), std::invalid_argument);
+  EXPECT_THROW((void)npn4_class_canonical(4, kNpn4NumClasses), std::out_of_range);
+}
+
+std::vector<TruthTable> random_workload(int n, std::uint64_t seed, std::size_t count)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  funcs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    funcs.push_back(tt_random(n, rng));
+  }
+  return funcs;
+}
+
+TEST(Npn4Store, TableTierIdsBitIdenticalToTableOffStore)
+{
+  // The same workload learned by a table-on and a table-off store must
+  // allocate identical class ids — the table changes HOW a class resolves,
+  // never WHICH class it is.
+  for (int n = 2; n <= 4; ++n) {
+    const auto funcs = random_workload(n, 0x5173ULL + static_cast<std::uint64_t>(n), 400);
+    ClassStoreOptions table_off;
+    table_off.use_npn4_table = false;
+    ClassStore with_table{n};
+    ClassStore without_table{n, table_off};
+    for (const TruthTable& f : funcs) {
+      const StoreLookupResult a = with_table.lookup_or_classify(f, true);
+      const StoreLookupResult b = without_table.lookup_or_classify(f, true);
+      ASSERT_EQ(a.class_id, b.class_id) << "n=" << n;
+      ASSERT_EQ(a.representative, b.representative) << "n=" << n;
+      ASSERT_EQ(apply_transform(f, a.to_representative), a.representative) << "n=" << n;
+    }
+    EXPECT_EQ(with_table.num_classes(), without_table.num_classes());
+    EXPECT_GT(with_table.num_table_hits(), 0u);
+    EXPECT_EQ(with_table.num_canonicalizations(), 0u)
+        << "a width <= 4 store must never canonicalize with the table on";
+    EXPECT_EQ(without_table.num_table_hits(), 0u);
+  }
+}
+
+TEST(Npn4Store, ExhaustiveWidth4StoreServesEveryQueryFromTheTable)
+{
+  // A store built over every class resolves any 16-bit query via
+  // LookupSource::kTable — cold, with the hot cache cleared, gate untouched.
+  std::vector<TruthTable> all;
+  all.reserve(1u << 16);
+  for (std::uint64_t bits = 0; bits < (1u << 16); ++bits) {
+    all.push_back(TruthTable::from_word(4, bits));
+  }
+  ClassStore store = build_class_store(all, {});
+  EXPECT_EQ(store.num_classes(), kNpn4NumClasses);
+  store.clear_hot_cache();
+
+  std::mt19937_64 rng{0x4a11ULL};
+  for (int i = 0; i < 1000; ++i) {
+    const TruthTable f = tt_random(4, rng);
+    const auto result = store.lookup(f);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->source, LookupSource::kTable);
+    EXPECT_TRUE(result->known);
+    EXPECT_EQ(apply_transform(f, result->to_representative), result->representative);
+  }
+  EXPECT_EQ(store.num_canonicalizations(), 0u);
+  EXPECT_GT(store.num_table_hits(), 0u);
+}
+
+TEST(Npn4Store, TableOffStoreStillWorksAndNeverCountsTableHits)
+{
+  ClassStoreOptions table_off;
+  table_off.use_npn4_table = false;
+  const auto funcs = random_workload(4, 0x0ffULL, 64);
+  StoreBuildOptions build_options;
+  build_options.store = table_off;
+  ClassStore store = build_class_store(funcs, build_options);
+  for (const TruthTable& f : funcs) {
+    const auto result = store.lookup(f);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_NE(result->source, LookupSource::kTable);
+  }
+  EXPECT_EQ(store.num_table_hits(), 0u);
+}
+
+TEST(Npn4Store, TransientMissesStayUnknownThroughTheTableTier)
+{
+  // A table-resolved query against a store that does not hold the class
+  // reports known=0 without appending, exactly like the pre-table miss path.
+  ClassStore store{4};  // empty
+  const TruthTable f = TruthTable::from_word(4, 0xcafeULL);
+  const StoreLookupResult miss = store.lookup_or_classify(f, /*append_on_miss=*/false);
+  EXPECT_FALSE(miss.known);
+  EXPECT_EQ(store.num_records(), 0u);
+  EXPECT_EQ(store.num_canonicalizations(), 0u) << "the table resolves the canonical";
+
+  // Appending publishes the class (still known=0 — it was not in the store
+  // before this call); the repeat now answers src=table known=1.
+  const StoreLookupResult appended = store.lookup_or_classify(f, /*append_on_miss=*/true);
+  EXPECT_FALSE(appended.known);
+  EXPECT_EQ(appended.source, LookupSource::kLive);
+  EXPECT_EQ(appended.class_id, miss.class_id);
+  store.clear_hot_cache();
+  const auto warm = store.lookup(f);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->source, LookupSource::kTable);
+}
+
+}  // namespace
+}  // namespace facet

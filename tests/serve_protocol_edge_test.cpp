@@ -180,7 +180,9 @@ TEST(ServeProtocolEdge, ZeroOperandMlookupAnswersErr)
 
 TEST(ServeProtocolEdge, MlookupBatchSurvivesErrOperandsAndCountsThem)
 {
-  ClassStore store = make_store(4, 0xed07ULL);
+  // Width 5: above the NPN4 table tier, so the repeated operand exercises
+  // the hot cache (at width <= 4 every hit would resolve src=table).
+  ClassStore store = make_store(5, 0xed07ULL);
   const std::string a = to_hex(store.records().front().representative);
   const std::string b = to_hex(store.records().back().representative);
   ServeStats stats;
@@ -360,18 +362,22 @@ TEST(ServeProtocolEdge, StatsAllReportsPerWidthRows)
   const std::string hex3 = to_hex(router.store_for(3)->records().front().representative);
   const std::string hex4 = to_hex(router.store_for(4)->records().front().representative);
 
-  // Two width-3 lookups (index then cache) and one width-4 lookup: the rows
-  // must attribute traffic to the store that served it.
+  // Two width-3 lookups and one width-4 lookup: the rows must attribute
+  // traffic to the store that served it — at these widths every hit
+  // resolves in the O(1) NPN4 table tier, never the cache or index.
   const auto lines = run_router_serve(
       router, "lookup " + hex3 + "\nlookup " + hex3 + "\nlookup " + hex4 + "\nstats all\nquit\n");
   ASSERT_EQ(lines.size(), 7u);
   EXPECT_NE(lines[3].find(" lookups=3 "), std::string::npos) << lines[3];
+  EXPECT_NE(lines[3].find(" table_hits=3 "), std::string::npos) << lines[3];
   EXPECT_NE(lines[3].find(" widths=2"), std::string::npos) << lines[3];
   EXPECT_EQ(lines[4],
-            "ok width=3 lookups=2 cache_hits=1 memo_hits=0 index_hits=1 live=0 appended=0")
+            "ok width=3 lookups=2 cache_hits=0 memo_hits=0 table_hits=2 index_hits=0 live=0 "
+            "appended=0")
       << lines[4];
   EXPECT_EQ(lines[5],
-            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 index_hits=1 live=0 appended=0")
+            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 table_hits=1 index_hits=0 live=0 "
+            "appended=0")
       << lines[5];
   EXPECT_EQ(lines[6], "ok bye");
 }
@@ -391,10 +397,12 @@ TEST(ServeProtocolEdge, StatsAllCountsAppendsPerWidth)
       run_router_serve(router, "lookup " + to_hex(novel) + "\nstats all\nquit\n", nullptr, options);
   ASSERT_EQ(lines.size(), 5u);
   EXPECT_EQ(lines[2],
-            "ok width=3 lookups=0 cache_hits=0 memo_hits=0 index_hits=0 live=0 appended=0")
+            "ok width=3 lookups=0 cache_hits=0 memo_hits=0 table_hits=0 index_hits=0 live=0 "
+            "appended=0")
       << lines[2];
   EXPECT_EQ(lines[3],
-            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 index_hits=0 live=1 appended=1")
+            "ok width=4 lookups=1 cache_hits=0 memo_hits=0 table_hits=0 index_hits=0 live=1 "
+            "appended=1")
       << lines[3];
 }
 
@@ -454,6 +462,81 @@ TEST(ServeProtocolEdge, SingleNibbleWithoutWidth2StoreSuggestsLookupAt)
   EXPECT_NE(lines[0].find("lookup@<n>"), std::string::npos) << lines[0];
 }
 
+TEST(ServeProtocolEdge, SingleNibbleWithOneCandidateWidthAnswersDirectly)
+{
+  // Only width 2 of the one-digit widths is routed, so a single nibble is
+  // not ambiguous in this session: it resolves through the normal tier
+  // stack — which, at width 2, is the O(1) NPN4 table.
+  std::vector<TruthTable> all2;
+  for (std::uint64_t bits = 0; bits < 16; ++bits) {
+    all2.push_back(TruthTable::from_word(2, bits));
+  }
+  StoreRouter router;
+  router.attach(std::make_unique<ClassStore>(build_class_store(all2, {})));
+  router.attach(std::make_unique<ClassStore>(make_store(4, 0xed34ULL)));
+
+  ServeStats stats;
+  const auto lines = run_router_serve(router, "lookup c\nlookup 6\nstats all\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find(" src=table "), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find(" known=1"), std::string::npos) << lines[0];
+  EXPECT_EQ(lines[1].rfind("ok id=", 0), 0u) << lines[1];
+  // Both lookups land on the width-2 row.
+  EXPECT_EQ(lines[3].rfind("ok width=2 lookups=2 ", 0), 0u) << lines[3];
+  EXPECT_EQ(stats.lookups, 2u);
+  EXPECT_EQ(stats.table_hits, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeProtocolEdge, SingleNibbleWithAgreeingCandidateWidthsAnswersOnce)
+{
+  // Widths 1 and 2 are both routed and both hold exactly the constant-0
+  // class as class 0: every read-only probe of operand '0' names the same
+  // answer (id 0, rep 0, known), so the session answers it — once, at the
+  // smallest candidate width — instead of erring.
+  StoreRouter router;
+  router.attach(std::make_unique<ClassStore>(
+      build_class_store(std::vector<TruthTable>{TruthTable::from_word(1, 0)}, {})));
+  router.attach(std::make_unique<ClassStore>(
+      build_class_store(std::vector<TruthTable>{TruthTable::from_word(2, 0)}, {})));
+
+  ServeStats stats;
+  const auto lines = run_router_serve(router, "lookup 0\nstats all\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("ok id=0 rep=0 ", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find(" known=1"), std::string::npos) << lines[0];
+  // Counted exactly once, attributed to the smallest candidate width.
+  EXPECT_EQ(stats.lookups, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(lines[2].rfind("ok width=1 lookups=1 ", 0), 0u) << lines[2];
+  EXPECT_EQ(lines[3].rfind("ok width=2 lookups=0 ", 0), 0u) << lines[3];
+}
+
+TEST(ServeProtocolEdge, SingleNibbleWithDisagreeingCandidateWidthsErrs)
+{
+  // Width 1 holds constant-0; width 2 does not (it holds only the XOR
+  // class). The probes disagree — one width answers, the other does not —
+  // so the nibble stays an error, with the lookup@<n> escape hatch named.
+  StoreRouter router;
+  router.attach(std::make_unique<ClassStore>(
+      build_class_store(std::vector<TruthTable>{TruthTable::from_word(1, 0)}, {})));
+  router.attach(std::make_unique<ClassStore>(
+      build_class_store(std::vector<TruthTable>{TruthTable::from_word(2, 0x6)}, {})));
+
+  ServeStats stats;
+  const auto lines = run_router_serve(router, "lookup 0\nlookup@1 0\nquit\n", &stats);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "err operand '0': ambiguous single nibble (widths 1,2 are routed and answer "
+            "differently — pin the width with lookup@<n>)")
+      << lines[0];
+  // The hint works: pinning the width answers through that store.
+  EXPECT_EQ(lines[1].rfind("ok id=0 rep=0 ", 0), 0u) << lines[1];
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.lookups, 1u);
+}
+
 TEST(ServeProtocolEdge, StatsAllCarriesCompactionAndLatencyFields)
 {
   ClassStore store = make_store(3, 0xed40ULL);
@@ -502,6 +585,7 @@ TEST(ServeProtocolEdge, MetricsVerbFramesThePrometheusDump)
   EXPECT_NE(body.find("facet_serve_request_latency{verb=\"lookup\""), std::string::npos);
   EXPECT_NE(body.find("facet_serve_request_latency_count{verb=\"lookup\"}"), std::string::npos);
   EXPECT_NE(body.find("facet_store_lookup_latency{tier=\"cache\""), std::string::npos);
+  EXPECT_NE(body.find("facet_store_lookup_latency{tier=\"table\""), std::string::npos);
   EXPECT_NE(body.find("facet_store_hot_cache_entries"), std::string::npos);
 
   // The lookup preceding the scrape must have landed in its series with a
@@ -519,7 +603,9 @@ TEST(ServeProtocolEdge, MetricsVerbFramesThePrometheusDump)
 
 TEST(ServeProtocolEdge, SlowRequestThresholdLogsStructuredLines)
 {
-  ClassStore store = make_store(4, 0xed42ULL);
+  // Width 5: a width <= 4 lookup is one NPN4 table load (~100ns) and may
+  // legitimately stay under any microsecond threshold.
+  ClassStore store = make_store(5, 0xed42ULL);
   store.clear_hot_cache();
   const std::string hex = to_hex(store.records().front().representative);
 
@@ -532,7 +618,7 @@ TEST(ServeProtocolEdge, SlowRequestThresholdLogsStructuredLines)
   options.slow_log = &slow;
   (void)run_serve(store, "lookup " + hex + "\nquit\n", nullptr, options);
   const std::string logged = slow.str();
-  ASSERT_NE(logged.find("facet-serve: slow verb=lookup width=4 src="), std::string::npos)
+  ASSERT_NE(logged.find("facet-serve: slow verb=lookup width=5 src="), std::string::npos)
       << logged;
   EXPECT_NE(logged.find(" us="), std::string::npos) << logged;
 
@@ -548,7 +634,8 @@ TEST(ServeProtocolEdge, SlowRequestThresholdLogsStructuredLines)
 TEST(ServeProtocolEdge, MemoHitsAppearInSrcAndStats)
 {
   // Hot cache off, so an equivalent repeat falls through to the semiclass
-  // memo instead of the exact-table cache.
+  // memo instead of the exact-table cache; NPN4 table off, so a width-4
+  // store still exercises the memo and index tiers at all.
   std::mt19937_64 rng{0xed33ULL};
   std::vector<TruthTable> funcs;
   for (std::size_t i = 0; i < 20; ++i) {
@@ -556,6 +643,7 @@ TEST(ServeProtocolEdge, MemoHitsAppearInSrcAndStats)
   }
   StoreBuildOptions build_options;
   build_options.store.hot_cache_capacity = 0;
+  build_options.store.use_npn4_table = false;
   ClassStore store = build_class_store(funcs, build_options);
 
   const TruthTable rep = store.records().front().representative;

@@ -250,8 +250,10 @@ TEST(StoreRouterServe, MlookupBatchesMixedWidths)
   EXPECT_EQ(lines[5], "ok bye");
   EXPECT_EQ(stats.lookups, 3u);
   EXPECT_EQ(stats.errors, 2u);
-  // The repeat within the batch is a hot-cache hit.
-  EXPECT_EQ(stats.cache_hits, 1u);
+  // Widths 3 and 4 both sit under the NPN4 table tier, so every hit —
+  // including the repeat within the batch — answers src=table.
+  EXPECT_EQ(stats.table_hits, 3u);
+  EXPECT_EQ(stats.cache_hits, 0u);
 }
 
 // -- fcs-merge ---------------------------------------------------------------

@@ -245,10 +245,12 @@ TEST(StoreSegment, FlushDeltaSealsTheMemtableIntoASegment)
 {
   const int n = 4;
   const auto funcs = make_npn_workload(n, 15, 2, 0x5e604ULL);
-  // The semiclass memo would answer the post-flush repeats before the index;
-  // disable it so this test exercises the delta tier directly.
+  // The semiclass memo (and, at width 4, the NPN4 table tier) would answer
+  // the post-flush repeats before the index; disable both so this test
+  // exercises the delta tier directly.
   StoreBuildOptions build_options;
   build_options.store.semiclass_memo_capacity = 0;
+  build_options.store.use_npn4_table = false;
   ClassStore store = build_class_store(funcs, build_options);
   const auto novel = novel_functions(store, 3, 0x5e605ULL);
 

@@ -56,19 +56,21 @@ TEST(StoreServe, LookupInfoStatsQuit)
   const auto lines = run_serve(
       store, "lookup " + hex + "\nlookup " + hex + "\ninfo\nstats\nquit\n", &stats);
   ASSERT_EQ(lines.size(), 5u);
-  // First lookup canonicalizes and hits the index; the repeat is cached.
+  // Width 4: both lookups resolve in the O(1) NPN4 table tier — no
+  // canonicalization, no cache or index involvement.
   EXPECT_EQ(lines[0].rfind("ok id=", 0), 0u) << lines[0];
-  EXPECT_NE(lines[0].find("src=index"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("src=table"), std::string::npos) << lines[0];
   EXPECT_NE(lines[0].find("known=1"), std::string::npos) << lines[0];
-  EXPECT_NE(lines[1].find("src=cache"), std::string::npos) << lines[1];
+  EXPECT_NE(lines[1].find("src=table"), std::string::npos) << lines[1];
   EXPECT_EQ(lines[2].rfind("ok n=4 ", 0), 0u) << lines[2];
   EXPECT_EQ(lines[3].rfind("ok requests=", 0), 0u) << lines[3];
   EXPECT_EQ(lines[4], "ok bye");
 
   EXPECT_EQ(stats.requests, 5u);
   EXPECT_EQ(stats.lookups, 2u);
-  EXPECT_EQ(stats.cache_hits, 1u);
-  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.table_hits, 2u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.index_hits, 0u);
   EXPECT_EQ(stats.live, 0u);
   EXPECT_EQ(stats.errors, 0u);
 }

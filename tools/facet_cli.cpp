@@ -100,6 +100,9 @@ int cmd_classify(const CliArgs& args)
   Stopwatch watch;
   ClassificationResult result;
   BatchEngineStats stats;
+  // Table-tier accounting: every width <= 4 canonicalization resolves
+  // through the baked NPN4 norm table; report how many did.
+  const std::uint64_t table_lookups_before = npn4_table_lookups();
   if (use_engine) {
     BatchEngineOptions options;
     options.num_threads = jobs;
@@ -131,9 +134,13 @@ int cmd_classify(const CliArgs& args)
     }
   }
   const double seconds = watch.seconds();
+  const std::uint64_t table_lookups = npn4_table_lookups() - table_lookups_before;
 
   std::cout << "functions: " << funcs.size() << "\nclasses:   " << result.num_classes
             << "\ntime:      " << seconds << " s\n";
+  if (table_lookups != 0) {
+    std::cout << "npn4:      " << table_lookups << " table lookup(s) (O(1) tier, n <= 4)\n";
+  }
   if (use_engine) {
     std::cout << "engine:    " << stats.threads << " thread(s), " << stats.shards_used
               << " shard(s) used (max " << stats.max_shard_size << " funcs), cache " << stats.cache_hits
@@ -267,8 +274,8 @@ void report_serve_stats(const ServeStats& stats)
 {
   std::cerr << "served " << stats.requests << " request(s): " << stats.lookups << " lookup(s), "
             << stats.cache_hits << " cache / " << stats.memo_hits << " memo / "
-            << stats.index_hits << " index / " << stats.live << " live, " << stats.errors
-            << " error(s)";
+            << stats.table_hits << " table / " << stats.index_hits << " index / " << stats.live
+            << " live, " << stats.errors << " error(s)";
   if (stats.flushed != 0) {
     std::cerr << ", flushed " << stats.flushed << " record(s)";
   }
@@ -280,8 +287,8 @@ void report_server_stats(const ServeAggregateStats& stats)
   const ServeAggregateSnapshot agg = stats.snapshot();
   std::cerr << "served " << agg.connections_total << " connection(s), " << agg.requests
             << " request(s): " << agg.lookups << " lookup(s), " << agg.cache_hits << " cache / "
-            << agg.memo_hits << " memo / " << agg.index_hits << " index / " << agg.live
-            << " live, " << agg.errors
+            << agg.memo_hits << " memo / " << agg.table_hits << " table / " << agg.index_hits
+            << " index / " << agg.live << " live, " << agg.errors
             << " error(s), flushed " << agg.flushed_records << " record(s), " << agg.compactions
             << " compaction(s) (" << agg.compacted_runs << " run(s), " << agg.compacted_records
             << " record(s))\n";
@@ -292,8 +299,9 @@ void report_server_stats(const ServeAggregateStats& stats)
       continue;
     }
     std::cerr << "  width " << n << ": " << row.lookups << " lookup(s), " << row.cache_hits
-              << " cache / " << row.memo_hits << " memo / " << row.index_hits << " index / "
-              << row.live << " live, " << row.appended << " appended\n";
+              << " cache / " << row.memo_hits << " memo / " << row.table_hits << " table / "
+              << row.index_hits << " index / " << row.live << " live, " << row.appended
+              << " appended\n";
   }
 }
 
