@@ -9,6 +9,10 @@
 ///                          over a warm single-width store: the fleet
 ///                          fan-out workload. Ids are checked bit-identical
 ///                          to direct in-process lookups.
+///   * read_mostly_v2     — the identical workload as protocol v2 binary
+///                          lookup frames against the same server; the
+///                          `v2_over_v1` ratio in the JSON is the headline
+///                          framing win (target >= 4x single-client).
 ///   * append_heavy       — an append_on_miss server; every client streams
 ///                          its own run of mostly-novel random functions,
 ///                          driving the live-classify + memtable append
@@ -91,6 +95,75 @@ std::size_t run_client(std::uint16_t port, const std::vector<std::string>& hex,
   return answered;
 }
 
+/// One client pass over protocol v2: the same workload as run_client, but
+/// as binary lookup frames — one frame per batch, one framed record array
+/// back — instead of mlookup text lines. Same round-trip latency bookkeeping,
+/// so the v1 and v2 phases are directly comparable.
+std::size_t run_client_v2(std::uint16_t port, const std::vector<TruthTable>& funcs,
+                          const std::vector<std::uint32_t>* expected, std::size_t batch,
+                          std::atomic<std::size_t>& mismatches, obs::LatencyHistogram& latency)
+{
+  Socket socket = connect_tcp({"127.0.0.1", port});
+  FdStreamBuf buf{socket.fd()};
+  std::ostream out{&buf};
+  std::istream in{&buf};
+  const int width = funcs.empty() ? 0 : funcs.front().num_vars();
+
+  std::size_t answered = 0;
+  std::string request;
+  std::string head(kFrameHeaderBytes, '\0');
+  std::string payload;
+  for (std::size_t start = 0; start < funcs.size(); start += batch) {
+    const std::size_t end = std::min(start + batch, funcs.size());
+    const std::uint64_t t0 = now_ns();
+
+    FrameHeader header;
+    header.magic = kFrameRequestMagic;
+    header.verb = static_cast<std::uint8_t>(FrameVerb::kLookup);
+    header.aux = static_cast<std::uint8_t>(width);
+    header.payload_bytes =
+        static_cast<std::uint32_t>(4 + (end - start) * frame_operand_bytes(width));
+    request.clear();
+    encode_header(request, header);
+    append_u32(request, static_cast<std::uint32_t>(end - start));
+    for (std::size_t i = start; i < end; ++i) {
+      encode_operand(request, funcs[i]);
+    }
+    out.write(request.data(), static_cast<std::streamsize>(request.size()));
+    out.flush();
+
+    if (!in.read(head.data(), static_cast<std::streamsize>(head.size()))) {
+      ++mismatches;
+      return answered;
+    }
+    const FrameHeader response =
+        decode_header(reinterpret_cast<const unsigned char*>(head.data()));
+    payload.resize(response.payload_bytes);
+    if (!in.read(payload.data(), static_cast<std::streamsize>(payload.size())) ||
+        response.aux != static_cast<std::uint8_t>(FrameStatus::kOk)) {
+      ++mismatches;
+      return answered;
+    }
+    const auto records = decode_records(payload);
+    if (!records.has_value() || records->size() != end - start) {
+      ++mismatches;
+      return answered;
+    }
+    for (std::size_t i = start; i < end; ++i) {
+      if ((*records)[i - start].class_id == kFrameMissClassId ||
+          (expected != nullptr && (*records)[i - start].class_id != (*expected)[i])) {
+        ++mismatches;
+      }
+      ++answered;
+    }
+    latency.record_ns(now_ns() - t0);
+  }
+  request = encode_control_request(FrameVerb::kQuit);
+  out.write(request.data(), static_cast<std::streamsize>(request.size()));
+  out.flush();
+  return answered;
+}
+
 struct PhaseResult {
   std::string phase;
   std::size_t clients = 0;
@@ -102,12 +175,10 @@ struct PhaseResult {
   double p99_us = 0;  ///< tail client-observed batch round-trip
 };
 
-/// Runs one fleet: `make_workload(c)` yields client c's hex stream (and
-/// optionally its expected ids). Returns total answered lookups + seconds.
-template <typename WorkloadOf>
-PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t num_clients,
-                      std::size_t batch, std::atomic<std::size_t>& mismatches,
-                      const WorkloadOf& make_workload)
+/// Runs one fleet: `run_one(c, latency)` is client c's whole pass (connect,
+/// stream, disconnect) and returns its answered lookups.
+template <typename ClientOf>
+PhaseResult run_fleet(const std::string& phase, std::size_t num_clients, const ClientOf& run_one)
 {
   PhaseResult result;
   result.phase = phase;
@@ -118,10 +189,7 @@ PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t 
   {
     std::vector<std::thread> clients;
     for (std::size_t c = 0; c < num_clients; ++c) {
-      clients.emplace_back([&, c] {
-        const auto [hex, expected] = make_workload(c);
-        answered += run_client(port, *hex, expected, batch, mismatches, latency);
-      });
+      clients.emplace_back([&, c] { answered += run_one(c, latency); });
     }
     for (auto& client : clients) {
       client.join();
@@ -141,16 +209,14 @@ PhaseResult run_fleet(const std::string& phase, std::uint16_t port, std::size_t 
 /// An unmeasured single-client warm-up run precedes the timed sweep so the
 /// c=1 baseline does not absorb server/connection cold-start — without it
 /// the scaling ratios read inflated (the baseline is the denominator).
-template <typename WorkloadOf>
-void sweep_phase(const std::string& phase, std::uint16_t port,
-                 const std::vector<std::size_t>& fleet_sizes, std::size_t batch,
-                 std::atomic<std::size_t>& mismatches, std::vector<PhaseResult>& phases,
-                 const WorkloadOf& make_workload)
+template <typename ClientOf>
+void sweep_phase(const std::string& phase, const std::vector<std::size_t>& fleet_sizes,
+                 std::vector<PhaseResult>& phases, const ClientOf& run_one)
 {
-  (void)run_fleet(phase, port, 1, batch, mismatches, make_workload);
+  (void)run_fleet(phase, 1, run_one);
   double single_rate = 0;
   for (const std::size_t c : fleet_sizes) {
-    PhaseResult result = run_fleet(phase, port, c, batch, mismatches, make_workload);
+    PhaseResult result = run_fleet(phase, c, run_one);
     if (c == 1) {
       single_rate = result.rate;
     }
@@ -233,8 +299,18 @@ int main(int argc, char** argv)
     server_options.max_connections = max_clients + 8;
     ServeServer server{store, "bench_serve_socket.fcs", server_options};
     server.start();
-    sweep_phase("read_mostly", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
-                [&](std::size_t) { return std::pair{&hex, &expected}; });
+    const std::uint16_t port = server.tcp_port();
+    sweep_phase("read_mostly", fleet_sizes, phases,
+                [&](std::size_t, obs::LatencyHistogram& latency) {
+                  return run_client(port, hex, &expected, batch, mismatches, latency);
+                });
+    // Same server, same warm store, same batches — protocol v2 binary
+    // frames instead of mlookup text. The rate gap is pure wire+parse
+    // overhead; ids are still checked bit-identical.
+    sweep_phase("read_mostly_v2", fleet_sizes, phases,
+                [&](std::size_t, obs::LatencyHistogram& latency) {
+                  return run_client_v2(port, funcs, &expected, batch, mismatches, latency);
+                });
     server.request_shutdown();
     server.wait();
   }
@@ -275,10 +351,11 @@ int main(int argc, char** argv)
       streams.push_back(std::move(stream));
     }
     std::atomic<std::size_t> next_stream{0};
-    sweep_phase("append_heavy", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
-                [&](std::size_t) {
-                  return std::pair{streams[next_stream.fetch_add(1)].get(),
-                                   static_cast<const std::vector<std::uint32_t>*>(nullptr)};
+    const std::uint16_t append_port = server.tcp_port();
+    sweep_phase("append_heavy", fleet_sizes, phases,
+                [&](std::size_t, obs::LatencyHistogram& latency) {
+                  return run_client(append_port, *streams[next_stream.fetch_add(1)], nullptr,
+                                    batch, mismatches, latency);
                 });
     server.request_shutdown();
     server.wait();
@@ -330,8 +407,12 @@ int main(int argc, char** argv)
     server_options.readonly = true;
     ServeServer server{router, std::map<int, std::string>{}, server_options};
     server.start();
-    sweep_phase("mixed_width_router", server.tcp_port(), fleet_sizes, batch, mismatches, phases,
-                [&](std::size_t) { return std::pair{&mixed_hex, &mixed_expected}; });
+    const std::uint16_t router_port = server.tcp_port();
+    sweep_phase("mixed_width_router", fleet_sizes, phases,
+                [&](std::size_t, obs::LatencyHistogram& latency) {
+                  return run_client(router_port, mixed_hex, &mixed_expected, batch, mismatches,
+                                    latency);
+                });
     server.request_shutdown();
     server.wait();
   }
@@ -347,7 +428,18 @@ int main(int argc, char** argv)
   double fleet_rate = 0;
   double fleet_scaling = 0;
   std::size_t fleet_clients = 0;
+  double v2_single_rate = 0;
+  double v2_fleet_rate = 0;
   for (const auto& phase : phases) {
+    if (phase.phase == "read_mostly_v2") {
+      if (phase.clients == 1) {
+        v2_single_rate = phase.rate;
+      }
+      if (phase.clients == 8 || phase.clients == fleet_clients) {
+        v2_fleet_rate = phase.rate;
+      }
+      continue;
+    }
     if (phase.phase != "read_mostly") {
       continue;
     }
@@ -360,6 +452,11 @@ int main(int argc, char** argv)
       fleet_clients = phase.clients;
     }
   }
+  // Headline protocol comparison: the same warm store, same batches, one
+  // client — the only variable is the wire format and its parse cost.
+  const double v2_over_v1 = single_rate > 0 ? v2_single_rate / single_rate : 0.0;
+  std::cout << "protocol v2 single-client: " << v2_single_rate << " lookups/s ("
+            << v2_over_v1 << "x the v1 line protocol)\n";
 
   std::ofstream json{out_path, std::ios::trunc};
   json << "{\n"
@@ -373,6 +470,9 @@ int main(int argc, char** argv)
        << "  \"direct_warm_lookups_per_sec\": " << direct_rate << ",\n"
        << "  \"socket_single_client_lookups_per_sec\": " << single_rate << ",\n"
        << "  \"socket_fleet_lookups_per_sec\": " << fleet_rate << ",\n"
+       << "  \"socket_v2_single_client_lookups_per_sec\": " << v2_single_rate << ",\n"
+       << "  \"socket_v2_fleet_lookups_per_sec\": " << v2_fleet_rate << ",\n"
+       << "  \"v2_over_v1\": " << v2_over_v1 << ",\n"
        << "  \"fleet_clients\": " << fleet_clients << ",\n"
        << "  \"read_mostly_fleet_scaling\": " << fleet_scaling << ",\n"
        << "  \"phases\": [\n";

@@ -22,6 +22,8 @@
 #include "facet/engine/shard.hpp"
 #include "facet/engine/work_queue.hpp"
 #include "facet/net/fd_stream.hpp"
+#include "facet/net/frame.hpp"
+#include "facet/net/reactor.hpp"
 #include "facet/net/server.hpp"
 #include "facet/net/socket.hpp"
 #include "facet/npn/classifier.hpp"

@@ -1,17 +1,21 @@
 #include "facet/net/server.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <iostream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "facet/net/fd_stream.hpp"
+#include "facet/net/frame.hpp"
 #include "facet/obs/clock.hpp"
 #include "facet/obs/registry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FACET_HAS_SOCKETS 1
+#include <cerrno>
 #include <csignal>
 #include <poll.h>
 #include <unistd.h>
@@ -77,7 +81,11 @@ ServeOptions ServeServer::session_options()
   session.append_on_miss = options_.append_on_miss && !options_.readonly;
   session.aggregate = &stats_;
   session.slow_request_us = options_.slow_request_us;
-  if (session.append_on_miss) {
+  // Delta logs are wired on every writable server — not just under
+  // --append — because protocol v2 makes append a per-request policy: a
+  // v2 `append` frame must be durable even when the v1-facing default is
+  // lookup-only. A session that appended nothing flushes nothing.
+  if (!options_.readonly) {
     if (router_ != nullptr) {
       for (const auto& [width, path] : index_paths_) {
         session.dlog_paths.emplace(width, ClassStore::delta_log_path(path));
@@ -88,6 +96,115 @@ ServeOptions ServeServer::session_options()
   }
   return session;
 }
+
+/// One reactor-owned connection: sniffs (or is pinned to) a protocol on its
+/// first bytes, then runs the shared ServeDispatcher through either the v2
+/// FrameSession or a v1 line splitter. Methods run on one worker at a time
+/// (the reactor's dispatch contract); the dispatcher's counters sync into
+/// the server's aggregate.
+class ServeConnection final : public ReactorConnection {
+ public:
+  ServeConnection(ServeServer* server, int forced_proto)
+      : server_{server},
+        dispatcher_{server->store_, server->router_, server->session_options()},
+        frame_{&dispatcher_},
+        proto_{forced_proto},
+        accepted_ticks_{obs::now_ticks()}
+  {
+    line_latency_ = &obs::MetricRegistry::global().histogram(
+        "facet_serve_frame_latency",
+        obs::label("proto", "v1") + "," + obs::label("verb", "line"));
+  }
+
+  bool on_data(std::string& in, std::string& out) override
+  {
+    if (proto_ == 0) {
+      if (in.empty()) {
+        return true;
+      }
+      proto_ = static_cast<unsigned char>(in.front()) == kFrameRequestMagic ? 2 : 1;
+    }
+    if (proto_ == 2) {
+      return frame_.consume(in, out) == FrameStep::kContinue;
+    }
+    return consume_lines(in, out);
+  }
+
+  void on_eof(std::string& in, std::string& out) override
+  {
+    if (proto_ != 1) {
+      return;  // v2 (or never-spoke): an incomplete trailing frame is noise
+    }
+    // The v1 stream loop answers a final request that arrived without its
+    // newline — keep that for parity with the old blocking server.
+    std::ostringstream reply;
+    if (overflowing_) {
+      dispatcher_.handle_oversized_line(reply);
+      overflowing_ = false;
+    } else if (!in.empty()) {
+      dispatcher_.handle_request_line(in, reply);
+    }
+    in.clear();
+    out += reply.str();
+  }
+
+  void on_close() noexcept override
+  {
+    try {
+      dispatcher_.flush_on_exit();
+      dispatcher_.sync_aggregate();
+    } catch (...) {
+      // flush failure must not escape the reactor's close path; the final
+      // server-wide flush retries on shutdown
+    }
+    server_->on_connection_closed(accepted_ticks_);
+  }
+
+ private:
+  bool consume_lines(std::string& in, std::string& out)
+  {
+    std::ostringstream reply;
+    bool keep = true;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = in.find('\n', start);
+      if (nl == std::string::npos) {
+        break;
+      }
+      if (overflowing_) {
+        // the tail of an oversized line just ended; the err is its answer
+        dispatcher_.handle_oversized_line(reply);
+        overflowing_ = false;
+      } else {
+        const std::string line = in.substr(start, nl - start);
+        const std::uint64_t t0 = obs::now_ticks();
+        keep = dispatcher_.handle_request_line(line, reply);
+        line_latency_->record_ns(obs::ticks_to_ns(obs::now_ticks() - t0));
+      }
+      start = nl + 1;
+      if (!keep) {
+        break;
+      }
+    }
+    in.erase(0, start);
+    if (overflowing_ || (keep && in.size() > kMaxRequestLineBytes)) {
+      // an unbounded line without a newline cannot be allowed to balloon
+      // the buffer: discard as it streams in, answer err at its newline
+      overflowing_ = true;
+      in.clear();
+    }
+    out += reply.str();
+    return keep;
+  }
+
+  ServeServer* server_;
+  ServeDispatcher dispatcher_;
+  FrameSession frame_;
+  int proto_;  ///< 0 = sniff first byte, 1 = v1 lines, 2 = v2 frames
+  bool overflowing_ = false;
+  std::uint64_t accepted_ticks_;
+  obs::LatencyHistogram* line_latency_ = nullptr;
+};
 
 #if FACET_HAS_SOCKETS
 
@@ -121,13 +238,23 @@ void ServeServer::start()
   // vanishes mid-response must surface as a write error, never as a
   // process-killing SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
+  // Size the accept backlog to the connection cap: a reactor fleet connects
+  // in bursts far larger than the default 64, and an overflowing accept
+  // queue silently drops handshake ACKs (clients hang in retransmit).
+  const int backlog = static_cast<int>(
+      std::min<std::size_t>(std::max<std::size_t>(options_.max_connections, 64), 4096));
   if (!options_.listen.empty()) {
-    tcp_listener_ = listen_tcp(parse_tcp_endpoint(options_.listen));
+    tcp_listener_ = listen_tcp(parse_tcp_endpoint(options_.listen), backlog);
     tcp_port_ = local_tcp_port(tcp_listener_);
   }
   if (!options_.unix_path.empty()) {
-    unix_listener_ = listen_unix(options_.unix_path);
+    unix_listener_ = listen_unix(options_.unix_path, backlog);
   }
+  ReactorOptions reactor_options;
+  reactor_options.workers = options_.workers;
+  reactor_options.idle_timeout = options_.idle_timeout;
+  reactor_ = std::make_unique<Reactor>(reactor_options);
+  reactor_->start();
   started_ = true;
   accept_thread_ = std::thread{[this] {
     try {
@@ -156,6 +283,7 @@ void ServeServer::request_shutdown() noexcept
 
 void ServeServer::accept_loop()
 {
+  const int forced_proto = options_.proto == "v1" ? 1 : options_.proto == "v2" ? 2 : 0;
   std::vector<pollfd> fds;
   fds.push_back({wake_pipe_[0], POLLIN, 0});
   if (tcp_listener_.valid()) {
@@ -181,14 +309,20 @@ void ServeServer::accept_loop()
       }
       const Socket& listener =
           fds[i].fd == tcp_listener_.fd() ? tcp_listener_ : unix_listener_;
-      Socket connection = accept_connection(listener);
+      int accept_errno = 0;
+      Socket connection = accept_connection(listener, accept_errno);
       if (!connection.valid()) {
-        // Transient accept failure (EINTR, fd pressure): back off briefly
-        // so a still-failing accept does not busy-spin against poll().
-        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+        if (accept_errno == EMFILE || accept_errno == ENFILE ||
+            accept_errno == ENOBUFS || accept_errno == ENOMEM) {
+          // fd / buffer pressure: an instant retry cannot succeed, so back
+          // off — but on the shutdown pipe, never a blind sleep, so a
+          // shutdown request still wakes the loop immediately.
+          pollfd wake{wake_pipe_[0], POLLIN, 0};
+          ::poll(&wake, 1, 10);
+        }
+        // EINTR / ECONNABORTED: retry immediately
         continue;
       }
-      set_receive_timeout(connection, options_.idle_timeout);
       if (stats_.connections_active.load() >= options_.max_connections) {
         FdStreamBuf buf{connection.fd()};
         std::ostream out{&buf};
@@ -196,13 +330,11 @@ void ServeServer::accept_loop()
             << std::flush;
         continue;  // connection closes on scope exit
       }
-      reap_finished_connections();
       ++stats_.connections_active;
       ++stats_.connections_total;
-      const std::lock_guard<std::mutex> lock{connections_mutex_};
-      const auto entry = connections_.emplace(connections_.end());
-      entry->socket = std::move(connection);
-      entry->thread = std::thread{[this, entry] { handle_connection(entry); }};
+      active_connections_gauge().add(1);
+      reactor_->add(std::move(connection),
+                    std::make_unique<ServeConnection>(this, forced_proto));
     }
   }
   tcp_listener_.close();
@@ -212,60 +344,12 @@ void ServeServer::accept_loop()
   }
 }
 
-void ServeServer::handle_connection(std::list<Connection>::iterator self)
+void ServeServer::on_connection_closed(std::uint64_t accepted_ticks) noexcept
 {
-  const std::uint64_t accepted_ticks = obs::now_ticks();
-  active_connections_gauge().add(1);
-  {
-    FdStreamBuf buf{self->socket.fd()};
-    std::istream in{&buf};
-    std::ostream out{&buf};
-    try {
-      if (router_ != nullptr) {
-        serve_router_loop(*router_, in, out, session_options());
-      } else {
-        serve_loop(*store_, in, out, session_options());
-      }
-    } catch (const std::exception& e) {
-      // One poisoned connection (I/O failure, a corrupt-store throw) must
-      // never take the serving process down with it.
-      try {
-        out << "err " << e.what() << "\n" << std::flush;
-      } catch (...) {
-      }
-    }
-  }
-  // Close under the connections lock so the drain path can never race a
-  // shutdown() call against a recycled descriptor.
-  {
-    const std::lock_guard<std::mutex> lock{connections_mutex_};
-    self->socket.close();
-  }
-  // Join siblings that already finished, so an idle server after a burst
-  // holds at most one unreclaimed thread (ours), not max_connections of
-  // them. Our own entry (done set below) is reaped by the next exit,
-  // accept, or shutdown.
-  reap_finished_connections();
-  self->done.store(true);
   --stats_.connections_active;
   active_connections_gauge().sub(1);
   connection_lifetime_histogram().record_ns(obs::ticks_to_ns(obs::now_ticks() - accepted_ticks));
   compactor_cv_.notify_one();  // the exit flush may have sealed a new run
-}
-
-void ServeServer::reap_finished_connections()
-{
-  const std::lock_guard<std::mutex> lock{connections_mutex_};
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if (it->done.load()) {
-      if (it->thread.joinable()) {
-        it->thread.join();
-      }
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
-  }
 }
 
 void ServeServer::wait()
@@ -277,26 +361,12 @@ void ServeServer::wait()
     accept_thread_.join();
   }
 
-  // Drain: wake every in-flight connection (their sessions see EOF, flush
-  // appends to the delta log, and exit), then join them one at a time.
-  // Each entry is spliced out of the shared list BEFORE the unlocked join:
-  // a concurrently-exiting handler's reap_finished_connections() can then
-  // never erase the entry being joined, and no pop after the join can hit
-  // a different, still-running connection. splice() relinks the node, so
-  // the handler's `self` iterator stays valid until the join completes.
-  for (;;) {
-    std::list<Connection> draining;
-    {
-      const std::lock_guard<std::mutex> lock{connections_mutex_};
-      if (connections_.empty()) {
-        break;
-      }
-      draining.splice(draining.begin(), connections_, connections_.begin());
-      draining.front().socket.shutdown_both();
-    }
-    if (draining.front().thread.joinable()) {
-      draining.front().thread.join();
-    }
+  // Drain: the reactor shuts down every connection's read side; each wakes
+  // with EOF, its worker writes any in-flight response, and on_close
+  // flushes appends to the delta log — stop() returns only when the
+  // connection table is empty.
+  if (reactor_) {
+    reactor_->stop();
   }
 
   if (compactor_thread_.joinable()) {
@@ -438,8 +508,7 @@ void ServeServer::wait()
 void ServeServer::request_shutdown() noexcept {}
 
 void ServeServer::accept_loop() {}
-void ServeServer::handle_connection(std::list<Connection>::iterator) {}
-void ServeServer::reap_finished_connections() {}
+void ServeServer::on_connection_closed(std::uint64_t) noexcept {}
 void ServeServer::compactor_loop() {}
 std::size_t ServeServer::run_due_compactions()
 {

@@ -3,10 +3,17 @@
 ///        sharing one ClassStore / StoreRouter, plus background compaction.
 ///
 /// `facet_cli serve --listen HOST:PORT [--unix PATH]` runs a ServeServer:
-/// a TCP and/or Unix-domain listener whose accepted connections each run
-/// the line protocol of store/serve.hpp against ONE shared store. The
-/// server carries NO store lock of its own — synchronization lives inside
-/// the store layer (class_store.hpp, store_router.hpp):
+/// a TCP and/or Unix-domain listener whose accepted connections speak
+/// either the v1 line protocol of store/serve.hpp or the v2 binary frame
+/// protocol of net/frame.hpp (`--proto auto` sniffs the first byte: 0xFB
+/// is a v2 frame, anything else a v1 line) against ONE shared store.
+/// Connections are owned by an epoll/poll Reactor (net/reactor.hpp): an
+/// idle connection costs one poller registration instead of a thread, and
+/// a fixed worker pool (`--workers`, default hardware_concurrency) runs
+/// the protocol sessions — thousands of mostly-idle clients share a pool
+/// sized to the machine. The server carries NO store lock of its own —
+/// synchronization lives inside the store layer (class_store.hpp,
+/// store_router.hpp):
 ///
 ///   * lookups, hot-cache probes and index searches run gate-free against
 ///     the store's atomically-published tier snapshot — reader connections
@@ -50,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "facet/net/reactor.hpp"
 #include "facet/net/socket.hpp"
 #include "facet/store/class_store.hpp"
 #include "facet/store/serve.hpp"
@@ -74,9 +82,17 @@ struct ServeServerOptions {
   std::size_t max_connections = 64;
 
   /// Disconnect a connection that sends nothing for this long (its session
-  /// sees EOF and flushes exactly like a clean exit), so idle clients
-  /// cannot pin connection slots forever. zero() = no timeout.
+  /// flushes exactly like a clean exit — the reactor's timer wheel retires
+  /// it), so idle clients cannot pin connection slots forever. zero() = no
+  /// timeout.
   std::chrono::milliseconds idle_timeout{0};
+
+  /// Protocol selection: "auto" (default) sniffs the first byte per
+  /// connection, "v1" / "v2" pin every connection to one protocol.
+  std::string proto = "auto";
+
+  /// Worker threads running protocol sessions; 0 = hardware_concurrency.
+  std::size_t workers = 0;
 
   /// Sessions log any request slower than this many microseconds to stderr
   /// (`--slow-us`; 0 disables — see ServeOptions::slow_request_us).
@@ -146,18 +162,13 @@ class ServeServer {
   [[nodiscard]] std::vector<CompactionEvent> compaction_log() const;
 
  private:
-  struct Connection {
-    std::thread thread;
-    /// Owned here (not by the handler thread) so the drain path can
-    /// shutdown() it under connections_mutex_ without racing a close.
-    Socket socket;
-    std::atomic<bool> done{false};
-  };
+  friend class ServeConnection;
 
   void accept_loop();
-  void handle_connection(std::list<Connection>::iterator self);
   [[nodiscard]] ServeOptions session_options();
-  void reap_finished_connections();
+  /// ServeConnection::on_close callback: books the finished connection
+  /// into the stats/gauges and nudges the compactor. Worker-thread safe.
+  void on_connection_closed(std::uint64_t accepted_ticks) noexcept;
 
   void compactor_loop();
   /// One trigger sweep over every served store; returns compactions done.
@@ -182,8 +193,9 @@ class ServeServer {
 
   std::thread accept_thread_;
   std::thread compactor_thread_;
-  std::mutex connections_mutex_;
-  std::list<Connection> connections_;
+  /// Owns every accepted connection; created in start() (its worker count
+  /// depends on the resolved options).
+  std::unique_ptr<Reactor> reactor_;
 
   std::mutex compactor_mutex_;
   std::condition_variable compactor_cv_;

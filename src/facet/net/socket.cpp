@@ -146,13 +146,23 @@ Socket listen_unix(const std::string& path, int backlog)
 
 Socket accept_connection(const Socket& listener)
 {
+  int error = 0;
+  return accept_connection(listener, error);
+}
+
+Socket accept_connection(const Socket& listener, int& error)
+{
+  error = 0;
   const int fd = ::accept(listener.fd(), nullptr, nullptr);
   if (fd < 0) {
     // Transient conditions — a retried accept can succeed: interruption,
     // a client that aborted mid-handshake, and resource pressure (fd or
     // buffer exhaustion under a connection burst must never be fatal).
+    // `error` lets the accept loop tell these apart: fd pressure deserves
+    // a backoff, an interrupted accept an immediate retry.
     if (errno == EINTR || errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
         errno == ENOBUFS || errno == ENOMEM) {
+      error = errno;
       return Socket{};
     }
     throw_errno("accept");
@@ -249,6 +259,11 @@ Socket listen_unix(const std::string&, int)
 }
 
 Socket accept_connection(const Socket&)
+{
+  throw_unsupported();
+}
+
+Socket accept_connection(const Socket&, int&)
 {
   throw_unsupported();
 }

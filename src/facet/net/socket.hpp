@@ -76,6 +76,12 @@ struct TcpEndpoint {
 /// else throws NetError.
 [[nodiscard]] Socket accept_connection(const Socket& listener);
 
+/// accept_connection that also reports WHICH transient errno made it return
+/// an invalid Socket (0 on success). The accept loop backs off only on fd /
+/// buffer pressure (EMFILE, ENFILE, ENOBUFS, ENOMEM) and retries
+/// immediately on EINTR / ECONNABORTED.
+[[nodiscard]] Socket accept_connection(const Socket& listener, int& error);
+
 /// Arms SO_RCVTIMEO: a read that sees no bytes for `timeout` fails, which
 /// the serve session treats as end of input (flush + exit). <= 0 is a
 /// no-op.

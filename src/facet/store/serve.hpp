@@ -121,12 +121,19 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "facet/store/class_store.hpp"
 #include "facet/store/store_router.hpp"
 
 namespace facet {
+
+namespace obs {
+class LatencyHistogram;
+}  // namespace obs
 
 /// Longest accepted request line (bytes, excluding the newline). Large
 /// enough for multi-thousand-operand mlookup batches, small enough that a
@@ -288,6 +295,126 @@ struct ServeOptions {
   /// Sink for slow-request lines; null = std::cerr. Tests inject a capture
   /// stream here.
   std::ostream* slow_log = nullptr;
+};
+
+/// The transport-independent core of one serve session: verb semantics
+/// (lookup/append policy, width routing, stats/metrics rendering, exit
+/// flush, counters) shared by every protocol front end — the v1 line loops
+/// below, the network server's reactor connections, and the protocol v2
+/// frame sessions (net/frame.hpp). Exactly one of store/router is non-null.
+///
+/// The dispatcher holds no lock, ever: every store access synchronizes
+/// inside ClassStore/StoreRouter (snapshot-epoch reads, a per-store
+/// mutation gate — class_store.hpp). Queries resolve through the store's
+/// own tier stack (NPN4 norm table for width <= 4, hot cache, semiclass
+/// memo, index, live); exact canonicalization — the expensive step of a
+/// genuinely novel wide query — runs in the calling thread before any
+/// store gate.
+class ServeDispatcher {
+ public:
+  ServeDispatcher(ClassStore* store, StoreRouter* router, const ServeOptions& options);
+
+  // ---- v1 line protocol -------------------------------------------------
+
+  /// The full v1 loop over streams (what serve_loop/serve_router_loop and a
+  /// stdin session run): read lines until `quit` or end of input, flush on
+  /// exit, return the session stats.
+  ServeStats run(std::istream& in, std::ostream& out);
+
+  /// Handles one raw v1 request line (newline stripped): trims, counts,
+  /// dispatches, records latency, syncs the aggregate. Returns false when
+  /// the session ends (`quit`). Blank/comment lines are skipped for free.
+  bool handle_request_line(const std::string& line, std::ostream& out);
+
+  /// The response to a line that exceeded kMaxRequestLineBytes (the caller
+  /// discards the excess and calls this instead of handle_request_line).
+  void handle_oversized_line(std::ostream& out);
+
+  // ---- shared verb semantics (protocol v2 and other front ends) ---------
+
+  /// The store serving `width`, honoring routing: under a router the routed
+  /// store (nullptr when the width is unrouted), standalone the single
+  /// store (nullptr on a width mismatch).
+  [[nodiscard]] ClassStore* store_for_width(int width) noexcept;
+
+  /// Resolves one parsed query with a per-request append policy: `append`
+  /// false is a pure gate-free read (a miss answers nullopt and never
+  /// classifies or appends — protocol v2 `lookup`); `append` true runs the
+  /// store's full miss path and persists novel classes (protocol v2
+  /// `append`; refused by the caller under process readonly). Counters and
+  /// per-width aggregate rows are bumped either way.
+  [[nodiscard]] std::optional<StoreLookupResult> lookup_binary(ClassStore& store,
+                                                               const TruthTable& query,
+                                                               bool append);
+
+  /// Process-level readonly (appends refused regardless of request policy).
+  [[nodiscard]] bool readonly() const noexcept { return options_.readonly; }
+
+  /// The `stats all` text block (aggregate line + per-width rows) — the v2
+  /// `stats` payload and the v1 `stats all` body share this rendering.
+  [[nodiscard]] std::string stats_all_text();
+
+  /// The Prometheus exposition of the whole registry, store gauges
+  /// refreshed — the v2 `metrics` payload (v1 adds the `ok metrics
+  /// lines=<k>` framing on top).
+  [[nodiscard]] std::string metrics_text();
+
+  /// Seals this session's appends into the configured delta log(s) — once;
+  /// quit, EOF and connection-drop paths all land here, so appends survive
+  /// a client that vanishes without a clean quit. Idempotent.
+  std::size_t flush_on_exit();
+
+  /// Whether an exit flush has anywhere to go (a delta-log path is
+  /// configured for at least one served store).
+  [[nodiscard]] bool flush_configured() const noexcept;
+
+  /// Bumps the session request/error counters (frame front ends count one
+  /// request per frame; malformed frames also count one error).
+  void count_request() noexcept;
+  void count_error() noexcept;
+
+  /// Publishes this session's counter deltas into the shared aggregate.
+  void sync_aggregate();
+
+  /// Relaxed snapshot of this session's counters.
+  [[nodiscard]] ServeStats session_stats() const noexcept { return stats_.snapshot(); }
+
+ private:
+  enum class Verb : std::size_t { kLookup, kMlookup, kInfo, kStats, kMetrics, kQuit, kOther };
+  static constexpr std::size_t kNumVerbs = 7;
+
+  bool handle(const std::string& trimmed, std::ostream& out);
+  [[nodiscard]] std::string resolve_operand(const std::string& token, int width_override);
+  [[nodiscard]] std::string resolve_single_nibble(const std::string& token,
+                                                  std::string_view payload);
+  [[nodiscard]] std::string lookup_line(ClassStore& store, const TruthTable& query);
+  void count_width(int width, const StoreLookupResult& result, bool append_policy);
+  void emit_info(std::ostream& out);
+  void emit_stats(std::ostream& out);
+  [[nodiscard]] std::vector<int> served_widths() const;
+  void emit_stats_all(std::ostream& out);
+  void emit_metrics(std::ostream& out);
+  void refresh_store_gauges();
+  void finish_request(std::uint64_t start_ticks);
+
+  ClassStore* store_;
+  StoreRouter* router_;
+  ServeOptions options_;
+  ServeCounters stats_;
+  ServeStats synced_;
+  ServeAggregateStats local_aggregate_;
+  bool exit_flushed_ = false;
+
+  /// Pre-resolved `facet_serve_request_latency{verb=...}` handles, indexed
+  /// by Verb, plus the mlookup batch-size distribution (operand counts, not
+  /// ns). Stable pointers into the process registry.
+  std::array<obs::LatencyHistogram*, kNumVerbs> request_latency_{};
+  obs::LatencyHistogram* batch_size_ = nullptr;
+  /// Per-request scratch for the latency series and the slow-request log:
+  /// the verb being handled and the last resolved operand's width/tier.
+  Verb verb_ = Verb::kOther;
+  int request_width_ = -1;
+  const char* request_src_ = nullptr;
 };
 
 /// Serves `store` until `quit` or end of input; returns the session stats.

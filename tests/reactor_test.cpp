@@ -1,0 +1,247 @@
+/// Direct tests of the epoll/poll reactor: a fleet of mostly-idle
+/// connections served by a worker pool far smaller than the fleet, idle
+/// expiry through the timer wheel, graceful drain on stop(), exactly-once
+/// on_close, and the poll(2) fallback behaving identically to epoll.
+
+#include "facet/net/reactor.hpp"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "facet/net/socket.hpp"
+
+namespace facet {
+namespace {
+
+/// Client half of a socketpair whose server half the reactor owns.
+struct ClientFd {
+  int fd = -1;
+  ~ClientFd()
+  {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  ClientFd() = default;
+  ClientFd(ClientFd&& other) noexcept : fd{other.fd} { other.fd = -1; }
+  ClientFd& operator=(ClientFd&&) = delete;
+};
+
+/// Hands the reactor one end of a fresh socketpair, returns the other.
+ClientFd add_echo_conn(Reactor& reactor, std::atomic<int>& closes)
+{
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ClientFd client;
+  client.fd = fds[0];
+
+  class EchoConnection final : public ReactorConnection {
+   public:
+    explicit EchoConnection(std::atomic<int>* closes) : closes_{closes} {}
+    bool on_data(std::string& in, std::string& out) override
+    {
+      out.append(in);
+      in.clear();
+      return true;
+    }
+    void on_close() noexcept override { closes_->fetch_add(1); }
+
+   private:
+    std::atomic<int>* closes_;
+  };
+
+  reactor.add(Socket{fds[1]}, std::make_unique<EchoConnection>(&closes));
+  return client;
+}
+
+std::string echo_roundtrip(int fd, const std::string& message)
+{
+  EXPECT_EQ(::send(fd, message.data(), message.size(), 0),
+            static_cast<ssize_t>(message.size()));
+  std::string reply;
+  char buf[4096];
+  while (reply.size() < message.size()) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      break;
+    }
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  return reply;
+}
+
+/// Waits (bounded) for a condition the reactor reaches asynchronously.
+template <typename Predicate>
+bool eventually(Predicate pred, std::chrono::milliseconds budget = std::chrono::seconds{5})
+{
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  return true;
+}
+
+class ReactorSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ReactorSweep, IdleFleetOnTwoWorkersEchoesEveryConnection)
+{
+  // 150 connections, 2 workers: the whole point of the reactor — idle
+  // connections cost a poller slot, not a thread.
+  ReactorOptions options;
+  options.workers = 2;
+  options.use_poll = GetParam();
+  Reactor reactor{options};
+  reactor.start();
+  EXPECT_EQ(reactor.num_workers(), 2u);
+
+  std::atomic<int> closes{0};
+  std::vector<ClientFd> clients;
+  for (int i = 0; i < 150; ++i) {
+    clients.push_back(add_echo_conn(reactor, closes));
+  }
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 150; }));
+
+  // Every connection answers, including ones registered before/after
+  // hundreds of siblings; most of the fleet stays idle throughout.
+  for (std::size_t i = 0; i < clients.size(); i += 7) {
+    const std::string message = "ping #" + std::to_string(i) + "\n";
+    EXPECT_EQ(echo_roundtrip(clients[i].fd, message), message) << "conn " << i;
+  }
+  // ... and a second round on the same connections (rearm worked).
+  for (std::size_t i = 0; i < clients.size(); i += 13) {
+    const std::string message = "again #" + std::to_string(i) + "\n";
+    EXPECT_EQ(echo_roundtrip(clients[i].fd, message), message) << "conn " << i;
+  }
+
+  EXPECT_EQ(closes.load(), 0);
+  reactor.stop();
+  // stop() drains: every connection sees exactly one on_close.
+  EXPECT_EQ(closes.load(), 150);
+  EXPECT_EQ(reactor.active_connections(), 0u);
+}
+
+TEST_P(ReactorSweep, ClientEofRetiresTheConnection)
+{
+  ReactorOptions options;
+  options.workers = 1;
+  options.use_poll = GetParam();
+  Reactor reactor{options};
+  reactor.start();
+
+  std::atomic<int> closes{0};
+  {
+    ClientFd client = add_echo_conn(reactor, closes);
+    ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 1; }));
+    EXPECT_EQ(echo_roundtrip(client.fd, "hello\n"), "hello\n");
+  }  // client fd closes here
+  ASSERT_TRUE(eventually([&] { return closes.load() == 1; }));
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 0; }));
+  reactor.stop();
+  EXPECT_EQ(closes.load(), 1);  // exactly once, not again at stop()
+}
+
+TEST_P(ReactorSweep, IdleTimeoutExpiresSilentConnections)
+{
+  ReactorOptions options;
+  options.workers = 2;
+  options.use_poll = GetParam();
+  options.idle_timeout = std::chrono::milliseconds{100};
+  Reactor reactor{options};
+  reactor.start();
+
+  std::atomic<int> closes{0};
+  std::vector<ClientFd> clients;
+  for (int i = 0; i < 20; ++i) {
+    clients.push_back(add_echo_conn(reactor, closes));
+  }
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 20; }));
+
+  // Say nothing: the timer wheel must retire all 20 within a few periods.
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 0; }));
+  EXPECT_EQ(closes.load(), 20);
+
+  // The reactor survives its whole fleet expiring: a fresh connection works.
+  ClientFd late = add_echo_conn(reactor, closes);
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 1; }));
+  EXPECT_EQ(echo_roundtrip(late.fd, "still alive\n"), "still alive\n");
+  reactor.stop();
+  EXPECT_EQ(closes.load(), 21);
+}
+
+TEST_P(ReactorSweep, ActivityResetsTheIdleClock)
+{
+  ReactorOptions options;
+  options.workers = 1;
+  options.use_poll = GetParam();
+  options.idle_timeout = std::chrono::milliseconds{150};
+  Reactor reactor{options};
+  reactor.start();
+
+  std::atomic<int> closes{0};
+  ClientFd client = add_echo_conn(reactor, closes);
+  ASSERT_TRUE(eventually([&] { return reactor.active_connections() == 1; }));
+
+  // Keep talking at half the timeout for several periods: the connection
+  // must survive far past one idle_timeout of wall time.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{60});
+    ASSERT_EQ(echo_roundtrip(client.fd, "tick\n"), "tick\n") << "round " << i;
+  }
+  EXPECT_EQ(closes.load(), 0);
+  reactor.stop();
+  EXPECT_EQ(closes.load(), 1);
+}
+
+TEST_P(ReactorSweep, AddAfterStopClosesTheSessionImmediately)
+{
+  ReactorOptions options;
+  options.workers = 1;
+  options.use_poll = GetParam();
+  Reactor reactor{options};
+  reactor.start();
+  reactor.stop();
+
+  std::atomic<int> closes{0};
+  ClientFd client = add_echo_conn(reactor, closes);
+  (void)client;
+  EXPECT_EQ(closes.load(), 1);
+  EXPECT_EQ(reactor.active_connections(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PollerKinds, ReactorSweep, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "PollFallback" : "DefaultPoller";
+                         });
+
+TEST(Reactor, StopWithoutStartIsANoop)
+{
+  Reactor reactor{{}};
+  reactor.stop();
+  reactor.stop();
+  EXPECT_EQ(reactor.active_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace facet
+
+#else  // !unix
+
+TEST(Reactor, SkippedWithoutSockets)
+{
+  GTEST_SKIP() << "no sockets on this platform";
+}
+
+#endif

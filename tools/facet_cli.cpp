@@ -384,6 +384,11 @@ ServeServerOptions server_options_from(const CliArgs& args)
       static_cast<std::size_t>(args.get_uint64("compact-after-runs", 0));
   options.compact_after_bytes = args.get_uint64("compact-after-bytes", 0);
   options.slow_request_us = args.get_uint64("slow-us", 0);
+  options.workers = static_cast<std::size_t>(args.get_uint64("workers", 0));
+  options.proto = args.get_string("proto", "auto");
+  if (options.proto != "auto" && options.proto != "v1" && options.proto != "v2") {
+    throw std::invalid_argument{"--proto: expected v1, v2 or auto"};
+  }
   return options;
 }
 
@@ -654,11 +659,16 @@ void print_usage()
                "  serve       --route FILE.fcs [FILE.fcs...] [--append] [--mmap] [--flush]\n"
                "              (one store per width; query width inferred from hex length)\n"
                "  serve       ... --listen [HOST:]PORT and/or --unix PATH [--readonly]\n"
-               "              [--max-conns N] [--idle-timeout-ms T]\n"
+               "              [--max-conns N] [--idle-timeout-ms T] [--workers N]\n"
+               "              [--proto auto|v1|v2]\n"
                "              [--compact-after-runs K] [--compact-after-bytes B]\n"
                "              [--slow-us T] [--metrics-json FILE]\n"
-               "              (socket server: N concurrent connections share the store(s);\n"
-               "               port 0 binds an ephemeral port, reported on stderr;\n"
+               "              (socket server: an epoll reactor owns every connection and a\n"
+               "               fixed worker pool (--workers, default = hardware threads)\n"
+               "               runs the sessions; --proto auto sniffs the v2 binary frame\n"
+               "               protocol vs the v1 line protocol per connection (first byte\n"
+               "               0xFB = v2), v1/v2 pin it; port 0 binds an ephemeral port,\n"
+               "               reported on stderr;\n"
                "               --readonly rejects appends and live classification;\n"
                "               --compact-after-* runs background compaction when a store's\n"
                "               delta runs / .dlog bytes cross the threshold;\n"
