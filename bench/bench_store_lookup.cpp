@@ -34,6 +34,14 @@
 /// whose speedup the table PR targets at >= 10x. Sub-widths 0..3 are swept
 /// exhaustively for id identity. Report: BENCH_npn4.json (--npn4-out).
 ///
+/// A fifth phase benchmarks the block-packed v3 base-segment layout against
+/// the dense v2 layout: --cold-records synthetic classes (default 1M at
+/// --cold-n 7) written in BOTH formats, probed cold through fresh mmaps
+/// with a present/absent key mix. Reports pages touched per probe (the
+/// segment's deterministic accounting plus the OS minor-fault counter as a
+/// cross-check) and lookups/s per version, asserts v3 <= 2 pages/probe and
+/// v2/v3 id bit-identity. Fields land in BENCH_store_lookup.json.
+///
 /// Defaults are laptop-scale; the acceptance-scale run of the store PR is
 ///   bench_store_lookup --n 6 --funcs 120000
 /// The JSON report lands in BENCH_store_lookup.json (override with --out).
@@ -42,6 +50,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 #include <unordered_set>
@@ -50,10 +59,26 @@
 #include "facet/facet.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
 #include <unistd.h>
 #endif
 
 namespace {
+
+/// Minor page faults charged to this process so far (0 off-POSIX). Deltas
+/// across a probe loop on a freshly-opened mapping count the data pages the
+/// probes actually pulled into the page table — the OS-level cross-check of
+/// MmapSegment's deterministic probe_stats accounting.
+long long minor_faults()
+{
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage = {};
+  if (::getrusage(RUSAGE_SELF, &usage) == 0) {
+    return usage.ru_minflt;
+  }
+#endif
+  return 0;
+}
 
 /// Resident-set size in KiB (0 when the platform offers no /proc/self/statm).
 long long rss_kib()
@@ -189,6 +214,143 @@ int main(int argc, char** argv)
             << "warm vs live speedup: " << speedup << "x\n"
             << "bit-identical to BatchEngine: " << (identical ? "yes" : "NO") << "\n";
 
+  // --- cold probes: block-packed v3 vs dense v2 page touches ---------------
+  // The same sorted synthetic record set written in both base-segment
+  // layouts, probed through fresh mmaps. The headline is pages touched per
+  // probe: a dense v2 binary search faults O(log N) cold data pages, the v3
+  // block-key search faults ~1 (plus zero for provably-absent keys). Pages
+  // are counted two ways — MmapSegment's deterministic probe accounting,
+  // and the OS's minor-fault counter as a cross-check.
+  const int cold_n = static_cast<int>(args.get_int("cold-n", 7));
+  const std::size_t cold_count = static_cast<std::size_t>(args.get_int("cold-records", 1000000));
+  const std::size_t cold_probe_count =
+      static_cast<std::size_t>(args.get_int("cold-probes", 20000));
+  const std::string cold_v2_path = args.get_string("cold-v2-index", "bench_cold_v2.fcs");
+  const std::string cold_v3_path = args.get_string("cold-v3-index", "bench_cold_v3.fcs");
+
+  std::cout << "\ncold probes: n = " << cold_n << ", " << cold_count
+            << " synthetic classes, v2 vs v3 segment layout\n";
+
+  double cold_pages_v2 = 0.0;
+  double cold_pages_v3 = 0.0;
+  double cold_faults_v2 = 0.0;
+  double cold_faults_v3 = 0.0;
+  double cold_rate_v2 = 0.0;
+  double cold_rate_v3 = 0.0;
+  bool cold_identical = true;
+  bool cold_target_met = true;
+  if (mmap_supported()) {
+    std::vector<StoreRecord> cold_set;
+    {
+      std::mt19937_64 rng{0xc01dULL};
+      std::unordered_set<TruthTable, TruthTableHash> keys;
+      keys.reserve(cold_count);
+      while (keys.size() < cold_count) {
+        keys.insert(tt_random(cold_n, rng));
+      }
+      cold_set.reserve(cold_count);
+      for (const auto& key : keys) {
+        cold_set.push_back(StoreRecord{key, key, NpnTransform::identity(cold_n), 0, 1});
+      }
+      std::sort(cold_set.begin(), cold_set.end(), [](const StoreRecord& a, const StoreRecord& b) {
+        return a.canonical < b.canonical;
+      });
+      for (std::size_t i = 0; i < cold_set.size(); ++i) {
+        cold_set[i].class_id = static_cast<std::uint32_t>(i);
+      }
+    }
+    {
+      std::vector<const StoreRecord*> pointers;
+      pointers.reserve(cold_set.size());
+      for (const auto& record : cold_set) {
+        pointers.push_back(&record);
+      }
+      std::ofstream v2{cold_v2_path, std::ios::binary | std::ios::trunc};
+      write_base_segment_v2(v2, cold_n, cold_set.size(), pointers);
+      std::ofstream v3{cold_v3_path, std::ios::binary | std::ios::trunc};
+      write_base_segment(v3, cold_n, cold_set.size(), pointers);
+    }
+
+    // Probe keys: alternate present records (strided across the index) and
+    // random keys that are overwhelmingly absent — both probe shapes matter
+    // (a miss still walks the full v2 search; v3 answers many misses from
+    // the in-RAM block keys alone).
+    std::vector<TruthTable> probe_keys;
+    probe_keys.reserve(cold_probe_count);
+    {
+      std::mt19937_64 rng{0xabc01dULL};
+      const std::size_t stride = std::max<std::size_t>(1, 2 * cold_set.size() / cold_probe_count);
+      std::size_t next = 0;
+      for (std::size_t i = 0; i < cold_probe_count; ++i) {
+        if (i % 2 == 0) {
+          probe_keys.push_back(cold_set[next % cold_set.size()].canonical);
+          next += stride;
+        } else {
+          probe_keys.push_back(tt_random(cold_n, rng));
+        }
+      }
+    }
+
+    struct ColdRun {
+      double pages_per_probe = 0.0;
+      double faults_per_probe = 0.0;
+      double lookups_per_sec = 0.0;
+      std::vector<std::optional<std::uint32_t>> ids;
+    };
+    const auto run_cold_probes = [&](const std::string& path) {
+      ColdRun run;
+      run.ids.reserve(probe_keys.size());
+      const std::shared_ptr<MmapSegment> segment = MmapSegment::open(path);
+      const auto stats_before = segment->probe_stats();
+      const long long faults_before = minor_faults();
+      Stopwatch probe_watch;
+      for (const auto& key : probe_keys) {
+        run.ids.push_back(segment->find_class_id(key));
+      }
+      const double seconds = probe_watch.seconds();
+      const long long faults_after = minor_faults();
+      const auto stats_after = segment->probe_stats();
+      const double probes =
+          static_cast<double>(stats_after.probes - stats_before.probes);
+      run.pages_per_probe =
+          probes > 0 ? static_cast<double>(stats_after.pages - stats_before.pages) / probes : 0.0;
+      run.faults_per_probe =
+          probe_keys.empty() ? 0.0
+                             : static_cast<double>(faults_after - faults_before) /
+                                   static_cast<double>(probe_keys.size());
+      run.lookups_per_sec = seconds > 0 ? static_cast<double>(probe_keys.size()) / seconds : 0.0;
+      return run;
+    };
+    const ColdRun v2_run = run_cold_probes(cold_v2_path);
+    const ColdRun v3_run = run_cold_probes(cold_v3_path);
+    cold_pages_v2 = v2_run.pages_per_probe;
+    cold_pages_v3 = v3_run.pages_per_probe;
+    cold_faults_v2 = v2_run.faults_per_probe;
+    cold_faults_v3 = v3_run.faults_per_probe;
+    cold_rate_v2 = v2_run.lookups_per_sec;
+    cold_rate_v3 = v3_run.lookups_per_sec;
+    cold_identical = v2_run.ids == v3_run.ids;
+    for (std::size_t i = 0; i < probe_keys.size(); i += 2) {
+      // Even slots are known-present keys: both layouts must resolve them.
+      cold_identical = cold_identical && v2_run.ids[i].has_value();
+    }
+    // The tentpole target: a v3 cold probe touches at most ~1 data page
+    // (misses resolved off the in-RAM block keys touch zero); 2 leaves
+    // headroom without ever passing an O(log N) regression.
+    cold_target_met = cold_pages_v3 <= 2.0;
+    std::remove(cold_v2_path.c_str());
+    std::remove(cold_v3_path.c_str());
+
+    std::cout << "v2 dense:   " << cold_pages_v2 << " pages/probe (" << cold_faults_v2
+              << " minor faults/probe), " << cold_rate_v2 << " lookups/s\n"
+              << "v3 blocked: " << cold_pages_v3 << " pages/probe (" << cold_faults_v3
+              << " minor faults/probe), " << cold_rate_v3 << " lookups/s\n"
+              << "v3 page target (<= 2): " << (cold_target_met ? "met" : "MISSED") << "\n"
+              << "v3 ids bit-identical to v2: " << (cold_identical ? "yes" : "NO") << "\n";
+  } else {
+    std::cout << "mmap unsupported on this platform; cold-probe phase skipped\n";
+  }
+
   std::ofstream json{out_path, std::ios::trunc};
   json << "{\n"
        << "  \"bench\": \"store_lookup\",\n"
@@ -201,7 +363,18 @@ int main(int argc, char** argv)
        << "  \"live_sample\": " << sample << ",\n"
        << "  \"live_single_thread_per_sec\": " << live_rate << ",\n"
        << "  \"warm_vs_live_speedup\": " << speedup << ",\n"
-       << "  \"identical_to_engine\": " << (identical ? "true" : "false") << "\n"
+       << "  \"identical_to_engine\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"cold_probe_n\": " << cold_n << ",\n"
+       << "  \"cold_probe_records\": " << cold_count << ",\n"
+       << "  \"cold_probe_count\": " << cold_probe_count << ",\n"
+       << "  \"cold_probe_pages_v2\": " << cold_pages_v2 << ",\n"
+       << "  \"cold_probe_pages_v3\": " << cold_pages_v3 << ",\n"
+       << "  \"cold_probe_minflt_v2\": " << cold_faults_v2 << ",\n"
+       << "  \"cold_probe_minflt_v3\": " << cold_faults_v3 << ",\n"
+       << "  \"cold_probe_lookups_per_sec_v2\": " << cold_rate_v2 << ",\n"
+       << "  \"cold_probe_lookups_per_sec_v3\": " << cold_rate_v3 << ",\n"
+       << "  \"cold_probe_v3_page_target_met\": " << (cold_target_met ? "true" : "false") << ",\n"
+       << "  \"cold_probe_identical\": " << (cold_identical ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
 
@@ -305,6 +478,7 @@ int main(int argc, char** argv)
   double nomemo_seconds = 0.0;
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_canonicalizations = 0;
+  bool memo_bypassed = false;
   {
     ClassStore learning{n};
     watch.reset();
@@ -315,6 +489,7 @@ int main(int argc, char** argv)
     memo_seconds = watch.seconds();
     memo_hits = learning.num_memo_hits();
     memo_canonicalizations = learning.num_canonicalizations();
+    memo_bypassed = learning.memo_bypassed();
     misspath_identical = misspath_identical && learning.num_classes() == reference.num_classes;
   }
   {
@@ -354,10 +529,18 @@ int main(int argc, char** argv)
   const double walk_rate = per_sec(canon_sample, walk_seconds);
   const double canon_speedup = walk_rate > 0 ? bnb_rate / walk_rate : 0.0;
 
+  // Satellite of the block-packed-segment PR: a memo that is not paying its
+  // way must be BYPASSED (probation heuristic in ClassStore), never a drag.
+  // Either the probe stayed live and beat the no-memo baseline, or the
+  // probation switched it off — a live memo that slows appends fails CI.
+  const bool memo_gate_ok = memo_bypassed || memo_speedup >= 1.0;
+
   std::cout << "memo on:  " << memo_rate << " appends/s (" << memo_hits << " memo hits, "
-            << memo_canonicalizations << " canonicalizations)\n"
+            << memo_canonicalizations << " canonicalizations"
+            << (memo_bypassed ? ", probation bypassed the memo" : "") << ")\n"
             << "memo off: " << nomemo_rate << " appends/s\n"
-            << "memo speedup: " << memo_speedup << "x\n"
+            << "memo speedup: " << memo_speedup << "x"
+            << (memo_gate_ok ? "" : " (REGRESSION: live memo slower than no memo)") << "\n"
             << "canonicalizer (" << canon_sample << " sampled): B&B " << bnb_rate
             << "/s vs walk " << walk_rate << "/s = " << canon_speedup << "x\n"
             << "miss-path ids bit-identical to BatchEngine: "
@@ -373,6 +556,8 @@ int main(int argc, char** argv)
                 << "  \"memo_appends_per_sec\": " << memo_rate << ",\n"
                 << "  \"nomemo_appends_per_sec\": " << nomemo_rate << ",\n"
                 << "  \"memo_speedup\": " << memo_speedup << ",\n"
+                << "  \"memo_bypassed\": " << (memo_bypassed ? "true" : "false") << ",\n"
+                << "  \"memo_gate_ok\": " << (memo_gate_ok ? "true" : "false") << ",\n"
                 << "  \"memo_hits\": " << memo_hits << ",\n"
                 << "  \"canonicalizations\": " << memo_canonicalizations << ",\n"
                 << "  \"canon_sample\": " << canon_sample << ",\n"
@@ -561,7 +746,8 @@ int main(int argc, char** argv)
 
   // Non-zero exit on a correctness violation so CI fails loudly.
   return identical && mmap_identical && misspath_identical && canon_identical &&
-                 npn4_identical && npn4_canon_identical
+                 npn4_identical && npn4_canon_identical && cold_identical && cold_target_met &&
+                 memo_gate_ok
              ? 0
              : 1;
 }

@@ -18,6 +18,7 @@
 #include <cerrno>
 #include <csignal>
 #include <poll.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #else
 #define FACET_HAS_SOCKETS 0
@@ -53,6 +54,32 @@ obs::LatencyHistogram& compaction_histogram(const char* phase)
   return obs::MetricRegistry::global().histogram("facet_compaction_duration",
                                                  obs::label("phase", phase));
 }
+
+#if FACET_HAS_SOCKETS
+
+/// (inode, mtime, size) of one file; zeros when absent. The readonly reload
+/// poll compares these to spot an adopt_compacted rename (new inode) or a
+/// primary dlog append (new size/mtime). Whole-second mtime granularity is
+/// fine: adoption always renames, and appends always grow the log.
+std::array<std::uint64_t, 3> file_stamp(const std::string& path) noexcept
+{
+  struct ::stat st = {};
+  if (::stat(path.c_str(), &st) != 0) {
+    return {0, 0, 0};
+  }
+  return {static_cast<std::uint64_t>(st.st_ino), static_cast<std::uint64_t>(st.st_mtime),
+          static_cast<std::uint64_t>(st.st_size)};
+}
+
+/// Combined stamp of a served index: base segment + its delta log.
+std::array<std::uint64_t, 6> index_stamp(const std::string& index_path) noexcept
+{
+  const auto base = file_stamp(index_path);
+  const auto dlog = file_stamp(ClassStore::delta_log_path(index_path));
+  return {base[0], base[1], base[2], dlog[0], dlog[1], dlog[2]};
+}
+
+#endif
 
 }  // namespace
 
@@ -270,6 +297,14 @@ void ServeServer::start()
   if (compaction_enabled) {
     compactor_thread_ = std::thread{[this] { compactor_loop(); }};
   }
+  if (options_.readonly && options_.reload_poll.count() > 0) {
+    // Stamp before launching so startup never triggers a spurious reload —
+    // the stores already serve exactly what is on disk right now.
+    for (const auto& [width, path] : index_paths_) {
+      reload_stamps_[width] = index_stamp(path);
+    }
+    reload_thread_ = std::thread{[this] { reload_poll_loop(); }};
+  }
 }
 
 void ServeServer::request_shutdown() noexcept
@@ -373,6 +408,10 @@ void ServeServer::wait()
     compactor_cv_.notify_all();
     compactor_thread_.join();
   }
+  if (reload_thread_.joinable()) {
+    reload_cv_.notify_all();
+    reload_thread_.join();
+  }
   final_flush();
   drained_ = true;
 }
@@ -408,6 +447,51 @@ void ServeServer::compactor_loop()
     run_due_compactions();
     lock.lock();
   }
+}
+
+void ServeServer::reload_poll_loop()
+{
+  std::unique_lock<std::mutex> lock{reload_mutex_};
+  while (!stopping_.load()) {
+    reload_cv_.wait_for(lock, options_.reload_poll);
+    if (stopping_.load()) {
+      break;
+    }
+    lock.unlock();
+    run_due_reloads();
+    lock.lock();
+  }
+}
+
+std::size_t ServeServer::run_due_reloads()
+{
+  std::size_t performed = 0;
+  for (const auto& [width, path] : index_paths_) {
+    ClassStore* store = router_ != nullptr ? router_->store_for(width) : store_;
+    if (store == nullptr) {
+      continue;
+    }
+    const std::array<std::uint64_t, 6> stamp = index_stamp(path);
+    auto& last = reload_stamps_[width];
+    if (stamp == last) {
+      continue;
+    }
+    try {
+      store->reload(path);
+      // Stamp what was observed BEFORE the reload: if the primary wrote
+      // again mid-reload, the next poll sees another change and re-reloads
+      // — stale is impossible, double-reload merely cheap.
+      last = stamp;
+      reloads_.fetch_add(1, std::memory_order_relaxed);
+      ++performed;
+    } catch (const std::exception& e) {
+      // A rename caught halfway or a dlog mid-append can fail validation;
+      // the store keeps serving its previous epoch and the next poll
+      // retries against the settled files.
+      std::cerr << "facet-serve: reload of width " << width << " failed: " << e.what() << "\n";
+    }
+  }
+  return performed;
 }
 
 std::size_t ServeServer::run_due_compactions()
@@ -511,6 +595,11 @@ void ServeServer::accept_loop() {}
 void ServeServer::on_connection_closed(std::uint64_t) noexcept {}
 void ServeServer::compactor_loop() {}
 std::size_t ServeServer::run_due_compactions()
+{
+  return 0;
+}
+void ServeServer::reload_poll_loop() {}
+std::size_t ServeServer::run_due_reloads()
 {
   return 0;
 }

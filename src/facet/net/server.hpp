@@ -45,6 +45,7 @@
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -97,6 +98,15 @@ struct ServeServerOptions {
   /// Sessions log any request slower than this many microseconds to stderr
   /// (`--slow-us`; 0 disables — see ServeOptions::slow_request_us).
   std::uint64_t slow_request_us = 0;
+
+  /// Readonly replicas only: re-stat every served index (base + delta log)
+  /// at this interval and ClassStore::reload any store whose files changed
+  /// — the other half of the compaction handshake. adopt_compacted lands
+  /// the new base by rename, so a replica sees a new inode/mtime and swaps
+  /// its tiers to the fresh epoch without dropping in-flight requests.
+  /// zero() (default) disables polling; ignored on writable servers, which
+  /// own their files.
+  std::chrono::milliseconds reload_poll{0};
 
   /// Compact a store once it holds >= this many sealed delta runs
   /// (0 disables the run-count trigger).
@@ -161,6 +171,12 @@ class ServeServer {
   /// Compactions performed so far (copy; internally synchronized).
   [[nodiscard]] std::vector<CompactionEvent> compaction_log() const;
 
+  /// Successful store reloads performed by the readonly reload poll.
+  [[nodiscard]] std::uint64_t reloads() const noexcept
+  {
+    return reloads_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class ServeConnection;
 
@@ -174,6 +190,11 @@ class ServeServer {
   /// One trigger sweep over every served store; returns compactions done.
   std::size_t run_due_compactions();
   void compact_one(int width, ClassStore& store, const std::string& path);
+
+  void reload_poll_loop();
+  /// One stat sweep over every served index; reloads stores whose base or
+  /// delta log changed on disk. Returns reloads performed.
+  std::size_t run_due_reloads();
 
   void final_flush();
 
@@ -193,6 +214,7 @@ class ServeServer {
 
   std::thread accept_thread_;
   std::thread compactor_thread_;
+  std::thread reload_thread_;
   /// Owns every accepted connection; created in start() (its worker count
   /// depends on the resolved options).
   std::unique_ptr<Reactor> reactor_;
@@ -201,6 +223,13 @@ class ServeServer {
   std::condition_variable compactor_cv_;
   mutable std::mutex compaction_log_mutex_;
   std::vector<CompactionEvent> compaction_log_;
+
+  std::mutex reload_mutex_;
+  std::condition_variable reload_cv_;
+  /// width -> (inode, mtime, size) of the base file and its delta log, as
+  /// last reloaded. Touched only by start() and the reload thread.
+  std::map<int, std::array<std::uint64_t, 6>> reload_stamps_;
+  std::atomic<std::uint64_t> reloads_{0};
 
   std::atomic<bool> stopping_{false};
   bool started_ = false;

@@ -112,6 +112,8 @@ ClassStore::ClassStore(ClassStore&& other) noexcept
       memtable_{std::move(other.memtable_)},
       memo_{std::move(other.memo_)},
       memo_hits_{other.memo_hits_.load(std::memory_order_relaxed)},
+      memo_probes_{other.memo_probes_.load(std::memory_order_relaxed)},
+      memo_bypassed_{other.memo_bypassed_.load(std::memory_order_relaxed)},
       canonicalizations_{other.canonicalizations_.load(std::memory_order_relaxed)},
       npn4_{std::move(other.npn4_)},
       table_hits_{other.table_hits_.load(std::memory_order_relaxed)},
@@ -132,6 +134,10 @@ ClassStore& ClassStore::operator=(ClassStore&& other) noexcept
   memtable_ = std::move(other.memtable_);
   memo_ = std::move(other.memo_);
   memo_hits_.store(other.memo_hits_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  memo_probes_.store(other.memo_probes_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  memo_bypassed_.store(other.memo_bypassed_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
   canonicalizations_.store(other.canonicalizations_.load(std::memory_order_relaxed),
                            std::memory_order_relaxed);
   npn4_ = std::move(other.npn4_);
@@ -340,6 +346,73 @@ ClassStore ClassStore::open(const std::string& path, const StoreOpenOptions& opt
   // Classes replayed from the delta log fill table-tier slots too.
   store.npn4_prefill();
   return store;
+}
+
+std::size_t ClassStore::reload(const std::string& path)
+{
+  // Build the replacement tiers fully before taking the gate — the re-open
+  // and replay are the slow part, and readers keep serving the old epoch
+  // until the single publish below.
+  std::shared_ptr<const Segment> base;
+  std::uint64_t next_class_id = 0;
+  if (mmap_backed_) {
+    std::shared_ptr<MmapSegment> segment = MmapSegment::open(path);
+    next_class_id = segment->num_classes();
+    base = std::move(segment);
+  } else {
+    std::ifstream is{path, std::ios::binary};
+    if (!is) {
+      throw StoreFormatError{"cannot open store file: " + path};
+    }
+    LoadedBase loaded = read_base_segment(is);
+    next_class_id = loaded.header.num_classes;
+    base = std::make_shared<MaterializedSegment>(static_cast<int>(loaded.header.num_vars),
+                                                 std::move(loaded.records));
+  }
+  if (base->num_vars() != num_vars_) {
+    throw StoreFormatError{"reloaded store file has a different width: " + path};
+  }
+
+  std::vector<std::shared_ptr<const MaterializedSegment>> deltas;
+  const std::string dlog_path = delta_log_path(path);
+  std::ifstream dlog{dlog_path, std::ios::binary};
+  if (dlog) {
+    // A torn tail is dropped from the replay but deliberately NOT truncated
+    // on disk: the log belongs to the primary, and a replica observing the
+    // primary mid-append must not repair (or race) the primary's file.
+    DeltaLogReplay replay = read_delta_log(dlog, num_vars_);
+    for (auto& run : replay.runs) {
+      for (const auto& record : run.records) {
+        if (record.class_id >= run.num_classes_after) {
+          throw StoreFormatError{"corrupt delta frame: record class id exceeds its class count"};
+        }
+      }
+      next_class_id = std::max(next_class_id, run.num_classes_after);
+      deltas.push_back(std::make_shared<MaterializedSegment>(num_vars_, std::move(run.records)));
+    }
+  }
+
+  std::size_t served = base->size();
+  for (const auto& delta : deltas) {
+    served += delta->size();
+  }
+
+  const auto gate = gate_->acquire();
+  auto next = std::make_shared<TierSnapshot>();
+  next->base = std::move(base);
+  next->deltas = std::move(deltas);
+  // Monotone: ids handed out by this process never regress even if the
+  // on-disk state observed here is older than what we already served.
+  std::uint64_t current = next_class_id_.load(std::memory_order_relaxed);
+  while (current < next_class_id &&
+         !next_class_id_.compare_exchange_weak(current, next_class_id,
+                                               std::memory_order_relaxed)) {
+  }
+  gate_->publish(gate, std::move(next));
+  // Table/cache/memo tiers survive a reload by design: class ids are stable
+  // across compaction, so previously published slots stay correct.
+  npn4_prefill();
+  return served;
 }
 
 DeltaLogReplay ClassStore::load_deltas(std::istream& is)
@@ -726,6 +799,18 @@ std::optional<StoreLookupResult> ClassStore::memo_probe(const TruthTable& f,
   if (options_.semiclass_memo_capacity == 0) {
     return std::nullopt;
   }
+  // Probation accounting: after memo_probation_probes probes (empty-bucket
+  // misses included — the key derivation they wasted is the cost being
+  // measured), a memo that scored fewer than memo_probation_min_hits hits
+  // is bypassed for the life of the store. Workloads with little semiclass
+  // locality (wide widths, uniform-random functions) otherwise pay key
+  // derivation + a mutex hop on every miss for nothing — the regression
+  // BENCH_store_misspath caught at n=6.
+  const std::uint64_t probes = memo_probes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.memo_probation_probes != 0 && probes == options_.memo_probation_probes &&
+      memo_hits_.load(std::memory_order_relaxed) < options_.memo_probation_min_hits) {
+    memo_bypassed_.store(true, std::memory_order_relaxed);
+  }
   // Copy the bucket (a handful of shared_ptrs) out under the lock; the
   // matcher probes below run on the immutable entries with no lock held.
   std::vector<std::shared_ptr<const MemoEntry>> bucket;
@@ -824,7 +909,9 @@ std::optional<StoreLookupResult> ClassStore::lookup(const TruthTable& f) const
     return cached;
   }
   std::optional<SemiclassKey> key;
-  if (options_.semiclass_memo_capacity > 0) {
+  // A bypassed memo skips the key derivation too — the derivation is most
+  // of what the probation measured as waste.
+  if (options_.semiclass_memo_capacity > 0 && !memo_bypassed()) {
     key = semiclass_key(f);
     if (auto memoized = memo_probe(f, *key)) {
       if (sampled) {
@@ -904,7 +991,7 @@ StoreLookupResult ClassStore::lookup_or_classify(const TruthTable& f, bool appen
     return *cached;
   }
   std::optional<SemiclassKey> key;
-  if (options_.semiclass_memo_capacity > 0) {
+  if (options_.semiclass_memo_capacity > 0 && !memo_bypassed()) {
     key = semiclass_key(f);
     if (auto memoized = memo_probe(f, *key)) {
       if (sampled) {

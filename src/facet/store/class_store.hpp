@@ -166,6 +166,17 @@ struct ClassStoreOptions {
   /// On overflow the memo is cleared wholesale and relearns — correctness
   /// never depends on what the memo holds.
   std::size_t semiclass_memo_capacity = 1u << 16;
+  /// Adaptive memo bypass: after this many memo probes, a store whose memo
+  /// scored fewer than `memo_probation_min_hits` hits disables the memo
+  /// tier for the rest of its lifetime (sticky). Append-heavy workloads —
+  /// nearly every query a novel class — pay the semiclass-key derivation
+  /// on every miss and never collect a hit, making the memo a pure tax;
+  /// the probation window detects that shape and routes straight to the
+  /// canonicalizer. 0 disables the bypass (the memo always probes).
+  std::uint64_t memo_probation_probes = 1024;
+  /// Minimum memo hits inside the probation window that keep the memo
+  /// enabled (~1.5% of the default window).
+  std::uint64_t memo_probation_min_hits = 16;
   /// Resolve width <= 4 queries through the baked NPN4 norm table
   /// (LookupSource::kTable): one array load replaces the hot cache, the
   /// semiclass memo AND the canonicalizer. Class ids are bit-identical
@@ -299,6 +310,20 @@ class ClassStore {
     return path + ".dlog";
   }
 
+  /// Re-opens `path` (same flavor as open(): mmap-backed stores remap, the
+  /// rest rematerialize), replays its delta log, and publishes the fresh
+  /// base + runs as a new tier epoch — the readonly-replica adopt path
+  /// after a primary's compaction rename. Readers pinned to the old epoch
+  /// keep serving it until they drop the pin; the hot cache, memo and NPN4
+  /// slots survive untouched (class ids and canonical forms are stable
+  /// across compaction). Unlike open(), a torn trailing delta frame is
+  /// dropped WITHOUT truncating the log — the file belongs to the primary.
+  /// The memtable is untouched (a replica's is empty). Throws
+  /// StoreFormatError if the file is unreadable or its width disagrees;
+  /// the published tiers are unchanged on throw. Returns the number of
+  /// records now served from the reloaded base + runs.
+  std::size_t reload(const std::string& path);
+
   /// Seals the memtable into an immutable delta segment, appending it as
   /// one frame to `os`. Returns the number of records flushed (0 = no-op).
   /// Serialized through the store gate; readers keep serving throughout.
@@ -427,6 +452,18 @@ class ClassStore {
   }
   /// Classes currently held by the semiclass memo.
   [[nodiscard]] std::size_t memo_entries() const;
+  /// Memo probes attempted (hits + misses), the probation-window input.
+  [[nodiscard]] std::uint64_t num_memo_probes() const noexcept
+  {
+    return memo_probes_.load(std::memory_order_relaxed);
+  }
+  /// True once the probation window closed the memo tier (see
+  /// ClassStoreOptions::memo_probation_probes). Sticky for the store's
+  /// lifetime; lookups skip key derivation, probe and insert from then on.
+  [[nodiscard]] bool memo_bypassed() const noexcept
+  {
+    return memo_bypassed_.load(std::memory_order_relaxed);
+  }
 
   // -- NPN4 table tier -------------------------------------------------------
 
@@ -574,6 +611,10 @@ class ClassStore {
   /// memoization mutates it from const lookups (like the hot cache).
   std::unique_ptr<SemiclassMemo> memo_;
   mutable std::atomic<std::uint64_t> memo_hits_{0};
+  mutable std::atomic<std::uint64_t> memo_probes_{0};
+  /// Set once when the probation window ends hit-starved; checked before
+  /// key derivation so a bypassed memo costs one relaxed load per lookup.
+  mutable std::atomic<bool> memo_bypassed_{false};
   mutable std::atomic<std::uint64_t> canonicalizations_{0};
   /// Tier 0 slots; non-null iff num_vars_ <= 4 and use_npn4_table. unique_ptr
   /// so the store stays movable (slot atomics are not).

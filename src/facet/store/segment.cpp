@@ -1,6 +1,7 @@
 #include "facet/store/segment.hpp"
 
 #include <algorithm>
+#include <array>
 #include <istream>
 #include <iterator>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <sstream>
 #include <utility>
 
+#include "facet/obs/clock.hpp"
 #include "facet/obs/registry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -31,6 +33,41 @@ namespace {
 {
   static obs::Gauge& gauge = obs::MetricRegistry::global().gauge("facet_store_mapped_segment_bytes");
   return gauge;
+}
+
+/// Mmap-probe series sample 1 in this many probes — the accounting itself
+/// is atomic-cheap, but the histogram record is kept off most probes like
+/// the store's fast-tier timing.
+constexpr unsigned kProbeSample = 64;
+
+/// `facet_store_probe_pages{width=}`: distinct data pages one mmap probe
+/// examined — ~log2(N) for dense v2 binary search, 0–1 for block-packed v3.
+obs::LatencyHistogram& probe_pages_histogram(int width)
+{
+  static const auto histograms = [] {
+    std::array<obs::LatencyHistogram*, kMaxVars + 1> resolved{};
+    for (int n = 0; n <= kMaxVars; ++n) {
+      resolved[static_cast<std::size_t>(n)] = &obs::MetricRegistry::global().histogram(
+          "facet_store_probe_pages", obs::label("width", n));
+    }
+    return resolved;
+  }();
+  return *histograms[static_cast<std::size_t>(width)];
+}
+
+/// `facet_segment_block_scan_len{width=}`: records scanned linearly inside
+/// the one v3 block a probe lands on (bounded by store_records_per_block).
+obs::LatencyHistogram& block_scan_len_histogram(int width)
+{
+  static const auto histograms = [] {
+    std::array<obs::LatencyHistogram*, kMaxVars + 1> resolved{};
+    for (int n = 0; n <= kMaxVars; ++n) {
+      resolved[static_cast<std::size_t>(n)] = &obs::MetricRegistry::global().histogram(
+          "facet_segment_block_scan_len", obs::label("width", n));
+    }
+    return resolved;
+  }();
+  return *histograms[static_cast<std::size_t>(width)];
 }
 
 /// Decodes one record from its raw little-endian bytes — the single source
@@ -132,10 +169,104 @@ bool mmap_supported() noexcept
   return FACET_HAS_MMAP != 0;
 }
 
-// -- base segment writer -----------------------------------------------------
+// -- base segment writers ----------------------------------------------------
+
+namespace {
+
+/// Fills `block` (kStorePageWords words, zero-padded) with the records of
+/// v3 block `b` and returns how many records landed in it.
+std::size_t pack_block(std::vector<std::uint64_t>& block,
+                       const std::vector<const StoreRecord*>& records, std::size_t b,
+                       std::size_t per_block)
+{
+  std::fill(block.begin(), block.end(), 0);
+  const std::size_t first = b * per_block;
+  const std::size_t count = std::min(per_block, records.size() - first);
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < count; ++r) {
+    for_each_record_word(*records[first + r], [&](std::uint64_t word) { block[w++] = word; });
+  }
+  return count;
+}
+
+}  // namespace
 
 void write_base_segment(std::ostream& os, int num_vars, std::uint64_t num_classes,
                         const std::vector<const StoreRecord*>& records)
+{
+  const std::size_t per_block = store_records_per_block(num_vars);
+  const std::size_t key_words = words_for_vars(num_vars);
+  const std::uint64_t num_blocks = store_num_blocks(records.size(), num_vars);
+  const std::uint64_t total_words =
+      static_cast<std::uint64_t>(store_record_words(num_vars)) * records.size();
+
+  // Pass 1: per-block checksums (over the full zero-padded block, exactly
+  // what the lazy reader validates) and the sparse footer index — each
+  // block's first canonical form, which leads its first record.
+  std::vector<std::uint64_t> block(kStorePageWords);
+  std::vector<std::uint64_t> block_keys;
+  std::vector<std::uint64_t> block_hashes;
+  block_keys.reserve(static_cast<std::size_t>(num_blocks) * key_words);
+  block_hashes.reserve(static_cast<std::size_t>(num_blocks));
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    pack_block(block, records, static_cast<std::size_t>(b), per_block);
+    for (std::size_t k = 0; k < key_words; ++k) {
+      block_keys.push_back(block[k]);
+    }
+    PayloadHasher hasher{kStorePageWords};
+    for (const auto word : block) {
+      hasher.mix(word);
+    }
+    block_hashes.push_back(hasher.value());
+  }
+
+  // The header hash covers the block-key and block-checksum tables in file
+  // order — the same word sequence checksum_le_words sees over the
+  // contiguous table region.
+  PayloadHasher table_hasher{block_keys.size() + block_hashes.size()};
+  for (const auto w : block_keys) {
+    table_hasher.mix(w);
+  }
+  for (const auto h : block_hashes) {
+    table_hasher.mix(h);
+  }
+
+  StoreHeader header;
+  header.version = kStoreVersion;
+  header.num_vars = static_cast<std::uint32_t>(num_vars);
+  header.num_records = records.size();
+  header.num_classes = num_classes;
+  header.payload_hash = table_hasher.value();
+  write_store_header(os, header);
+  // Zero-pad the header page so every block below is page-aligned.
+  for (std::size_t w = kStoreHeaderBytes / 8; w < kStorePageWords; ++w) {
+    write_u64_le(os, 0);
+  }
+
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    pack_block(block, records, static_cast<std::size_t>(b), per_block);
+    for (const auto word : block) {
+      write_u64_le(os, word);
+    }
+  }
+  for (const auto w : block_keys) {
+    write_u64_le(os, w);
+  }
+  for (const auto h : block_hashes) {
+    write_u64_le(os, h);
+  }
+  SegmentFooter footer;
+  footer.page_size = kStorePageBytes;
+  footer.num_pages = num_blocks;
+  footer.record_words = total_words;
+  write_segment_footer(os, footer);
+  if (!os) {
+    throw StoreFormatError{"store write failed"};
+  }
+}
+
+void write_base_segment_v2(std::ostream& os, int num_vars, std::uint64_t num_classes,
+                           const std::vector<const StoreRecord*>& records)
 {
   const std::uint64_t total_words =
       static_cast<std::uint64_t>(store_record_words(num_vars)) * records.size();
@@ -147,7 +278,7 @@ void write_base_segment(std::ostream& os, int num_vars, std::uint64_t num_classe
   }
 
   StoreHeader header;
-  header.version = kStoreVersion;
+  header.version = kStoreVersionV2;
   header.num_vars = static_cast<std::uint32_t>(num_vars);
   header.num_records = records.size();
   header.num_classes = num_classes;
@@ -230,7 +361,7 @@ LoadedBase read_base_segment(std::istream& is)
     if (hasher.value() != out.header.payload_hash) {
       throw StoreFormatError{"store payload checksum mismatch (file corrupt)"};
     }
-  } else {
+  } else if (out.header.version == kStoreVersionV2) {
     // v2: records, page-checksum table, footer. Buffer the record region so
     // page checksums are computed exactly as the lazy mmap path would.
     std::vector<unsigned char> region;
@@ -279,6 +410,94 @@ LoadedBase read_base_segment(std::istream& is)
     const std::size_t stride = store_record_words(num_vars) * 8;
     for (std::uint64_t i = 0; i < out.header.num_records; ++i) {
       out.records.push_back(decode_record(region.data() + i * stride, num_vars));
+    }
+  } else {
+    // v3: padded header page, block-packed records, block-key table,
+    // block-checksum table, footer. The eager loader validates everything
+    // the lazy mmap path would ever check, padding included.
+    const std::size_t per_block = store_records_per_block(num_vars);
+    const std::size_t key_words = words_for_vars(num_vars);
+    const std::uint64_t num_blocks = store_num_blocks(out.header.num_records, num_vars);
+    if (num_blocks > std::numeric_limits<std::uint64_t>::max() / kStorePageBytes) {
+      throw StoreFormatError{"corrupt header: record count overflows the block region size"};
+    }
+    for (std::size_t w = kStoreHeaderBytes / 8; w < kStorePageWords; ++w) {
+      if (read_u64_le(is, "header page padding") != 0) {
+        throw StoreFormatError{"corrupt store: header page padding is not zero"};
+      }
+    }
+
+    std::vector<unsigned char> region;
+    region.reserve(capped(num_blocks * kStorePageWords) * 8);
+    {
+      std::vector<char> chunk(1 << 16);
+      std::uint64_t remaining = num_blocks * kStorePageBytes;
+      while (remaining > 0) {
+        const std::streamsize want =
+            static_cast<std::streamsize>(std::min<std::uint64_t>(remaining, chunk.size()));
+        is.read(chunk.data(), want);
+        if (is.gcount() != want) {
+          throw StoreFormatError{"store file truncated while reading the record region"};
+        }
+        region.insert(region.end(), chunk.data(), chunk.data() + want);
+        remaining -= static_cast<std::uint64_t>(want);
+      }
+    }
+
+    // Both tables ride the header's payload hash; block checksums and the
+    // sparse index are each cross-checked against the blocks themselves.
+    std::vector<std::uint64_t> block_keys(
+        static_cast<std::size_t>(num_blocks) * key_words);
+    PayloadHasher table_hasher{num_blocks * key_words + num_blocks};
+    for (auto& w : block_keys) {
+      w = read_u64_le(is, "block key table");
+      table_hasher.mix(w);
+    }
+    for (std::uint64_t b = 0; b < num_blocks; ++b) {
+      const std::uint64_t expected = read_u64_le(is, "block checksum table");
+      table_hasher.mix(expected);
+      const std::uint64_t actual =
+          checksum_le_words(region.data() + b * kStorePageBytes, kStorePageWords);
+      if (actual != expected) {
+        std::ostringstream msg;
+        msg << "store block " << b << " failed checksum validation (file corrupt)";
+        throw StoreFormatError{msg.str()};
+      }
+      for (std::size_t k = 0; k < key_words; ++k) {
+        if (load_le64(region.data() + b * kStorePageBytes + 8 * k) !=
+            block_keys[static_cast<std::size_t>(b) * key_words + k]) {
+          throw StoreFormatError{"corrupt store: block key disagrees with its block"};
+        }
+      }
+    }
+    if (table_hasher.value() != out.header.payload_hash) {
+      throw StoreFormatError{"store block-table checksum mismatch (file corrupt)"};
+    }
+
+    const SegmentFooter footer = read_segment_footer(is);
+    if (footer.page_size != kStorePageBytes || footer.num_pages != num_blocks ||
+        footer.record_words != total_words) {
+      throw StoreFormatError{"corrupt store: segment footer disagrees with the header"};
+    }
+
+    const std::size_t stride = store_record_words(num_vars) * 8;
+    out.records.reserve(capped(out.header.num_records));
+    for (std::uint64_t i = 0; i < out.header.num_records; ++i) {
+      const std::uint64_t offset =
+          (i / per_block) * kStorePageBytes + (i % per_block) * stride;
+      out.records.push_back(decode_record(region.data() + offset, num_vars));
+    }
+    // Zero padding past the records of each block (the block checksums
+    // already cover it, but a writer bug would otherwise hide there).
+    for (std::uint64_t b = 0; b < num_blocks; ++b) {
+      const std::uint64_t first = b * per_block;
+      const std::uint64_t used =
+          std::min<std::uint64_t>(per_block, out.header.num_records - first) * stride;
+      for (std::uint64_t byte = used; byte < kStorePageBytes; ++byte) {
+        if (region[static_cast<std::size_t>(b * kStorePageBytes + byte)] != 0) {
+          throw StoreFormatError{"corrupt store: block tail padding is not zero"};
+        }
+      }
     }
   }
 
@@ -338,7 +557,9 @@ DeltaLogReplay read_delta_log(std::istream& is, int num_vars)
     const std::uint64_t version_vars = load_le64(bytes + offset + 8);
     const auto version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
     const auto frame_vars = static_cast<std::uint32_t>(version_vars >> 32);
-    if (version != kStoreVersion) {
+    // Frame codec is identical across store versions 2 and 3 — logs written
+    // by either build replay here.
+    if (version != kStoreVersion && version != kStoreVersionV2) {
       std::ostringstream msg;
       msg << "unsupported delta frame version " << version;
       throw StoreFormatError{msg.str()};
@@ -417,10 +638,10 @@ std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
   const std::uint64_t version_vars = load_le64(bytes + 8);
   const auto version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
   const auto num_vars = static_cast<std::uint32_t>(version_vars >> 32);
-  if (version != kStoreVersion && version != kStoreVersionV1) {
+  if (version != kStoreVersion && version != kStoreVersionV2 && version != kStoreVersionV1) {
     std::ostringstream msg;
     msg << "unsupported store version " << version << " (this build reads versions "
-        << kStoreVersionV1 << " and " << kStoreVersion << ")";
+        << kStoreVersionV1 << " through " << kStoreVersion << ")";
     throw StoreFormatError{msg.str()};
   }
   if (num_vars > static_cast<std::uint32_t>(kMaxVars)) {
@@ -433,9 +654,11 @@ std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
   segment->num_vars_ = static_cast<int>(num_vars);
   segment->num_records_ = static_cast<std::size_t>(num_records);
   segment->record_stride_ = store_record_words(segment->num_vars_) * 8;
+  segment->format_version_ = version;
   // Bound the record count by the mapping before any size arithmetic, so a
   // crafted huge count cannot wrap the multiplications below into a
-  // plausible-looking geometry.
+  // plausible-looking geometry. (Holds for every version: v3 padding only
+  // adds bytes on top of the records themselves.)
   if (num_records > mapped_bytes / segment->record_stride_) {
     throw StoreFormatError{"store file truncated (size disagrees with its record count)"};
   }
@@ -443,6 +666,55 @@ std::shared_ptr<MmapSegment> MmapSegment::open(const std::string& path)
   const std::uint64_t total_words = record_bytes / 8;
   segment->record_bytes_ = static_cast<std::size_t>(record_bytes);
   segment->records_begin_ = bytes + kStoreHeaderBytes;
+
+  if (version == kStoreVersion) {
+    // v3 block-packed layout: padded header page, page-aligned blocks,
+    // block-key table, block-checksum table, footer. The sparse index is
+    // lifted into RAM here so a probe's binary search faults zero data
+    // pages; blocks validate lazily on first touch.
+    const std::size_t per_block = store_records_per_block(segment->num_vars_);
+    const std::size_t key_words = words_for_vars(segment->num_vars_);
+    const std::uint64_t num_blocks = store_num_blocks(num_records, segment->num_vars_);
+    const std::uint64_t table_words = num_blocks * key_words + num_blocks;
+    const std::uint64_t expected_bytes =
+        kStorePageBytes + num_blocks * kStorePageBytes + table_words * 8 + kStoreFooterBytes;
+    if (mapped_bytes != expected_bytes) {
+      throw StoreFormatError{mapped_bytes < expected_bytes
+                                 ? "store file truncated (size disagrees with its record count)"
+                                 : "store file has trailing bytes after the last record"};
+    }
+    for (std::size_t w = kStoreHeaderBytes / 8; w < kStorePageWords; ++w) {
+      if (load_le64(bytes + 8 * w) != 0) {
+        throw StoreFormatError{"corrupt store: header page padding is not zero"};
+      }
+    }
+    segment->records_begin_ = bytes + kStorePageBytes;
+    segment->records_per_block_ = per_block;
+    segment->num_pages_ = static_cast<std::size_t>(num_blocks);
+    const unsigned char* key_table = segment->records_begin_ + num_blocks * kStorePageBytes;
+    segment->page_table_ = key_table + num_blocks * key_words * 8;
+
+    if (checksum_le_words(key_table, static_cast<std::size_t>(table_words)) != payload_hash) {
+      throw StoreFormatError{"store block-table checksum mismatch (file corrupt)"};
+    }
+    const SegmentFooter footer =
+        parse_segment_footer(segment->page_table_ + num_blocks * 8);
+    if (footer.page_size != kStorePageBytes || footer.num_pages != num_blocks ||
+        footer.record_words != total_words) {
+      throw StoreFormatError{"corrupt store: segment footer disagrees with the header"};
+    }
+
+    segment->block_keys_.resize(static_cast<std::size_t>(num_blocks) * key_words);
+    for (std::size_t w = 0; w < segment->block_keys_.size(); ++w) {
+      segment->block_keys_[w] = load_le64(key_table + 8 * w);
+    }
+    segment->page_states_ =
+        std::make_unique<std::atomic<std::uint8_t>[]>(segment->num_pages_);
+    for (std::size_t p = 0; p < segment->num_pages_; ++p) {
+      segment->page_states_[p].store(0, std::memory_order_relaxed);
+    }
+    return segment;
+  }
 
   if (version == kStoreVersionV1) {
     // v1 has no page table: validate the whole payload once at open. The
@@ -510,6 +782,10 @@ MmapSegment::~MmapSegment() = default;
 
 const unsigned char* MmapSegment::record_ptr(std::size_t i) const noexcept
 {
+  if (records_per_block_ != 0) {
+    return records_begin_ + (i / records_per_block_) * kStorePageBytes +
+           (i % records_per_block_) * record_stride_;
+  }
   return records_begin_ + i * record_stride_;
 }
 
@@ -519,16 +795,31 @@ void MmapSegment::validate_page(std::size_t page) const
   if (state.load(std::memory_order_acquire) == 1) {
     return;
   }
+  // v3 blocks checksum their full zero-padded page; v2 pages are dense
+  // slices of the record region, the last possibly partial.
   const std::size_t total_words = record_bytes_ / 8;
   const std::size_t words_in_page =
-      std::min(kStorePageWords, total_words - page * kStorePageWords);
+      block_packed() ? kStorePageWords
+                     : std::min(kStorePageWords, total_words - page * kStorePageWords);
   const std::uint64_t actual =
       checksum_le_words(records_begin_ + page * kStorePageBytes, words_in_page);
   const std::uint64_t expected = load_le64(page_table_ + 8 * page);
   if (actual != expected) {
     std::ostringstream msg;
-    msg << "store page " << page << " failed checksum validation (file corrupt)";
+    msg << "store " << (block_packed() ? "block " : "page ") << page
+        << " failed checksum validation (file corrupt)";
     throw StoreFormatError{msg.str()};
+  }
+  if (block_packed()) {
+    // Cross-check the sparse index against the block it samples: the key
+    // must lead the block's first record.
+    const std::size_t key_words = words_for_vars(num_vars_);
+    const unsigned char* first_record = records_begin_ + page * kStorePageBytes;
+    for (std::size_t k = 0; k < key_words; ++k) {
+      if (load_le64(first_record + 8 * k) != block_keys_[page * key_words + k]) {
+        throw StoreFormatError{"corrupt store: block key disagrees with its block"};
+      }
+    }
   }
   // Concurrent validators may race here; both computed the same verdict, so
   // the double store is harmless.
@@ -539,6 +830,10 @@ void MmapSegment::touch_record(std::size_t i) const
 {
   if (page_states_ == nullptr) {
     return;  // v1 mapping, validated eagerly at open
+  }
+  if (records_per_block_ != 0) {
+    validate_page(i / records_per_block_);  // records never straddle blocks
+    return;
   }
   const std::size_t first = (i * record_stride_) / kStorePageBytes;
   const std::size_t last = (i * record_stride_ + record_stride_ - 1) / kStorePageBytes;
@@ -585,20 +880,129 @@ std::optional<std::size_t> MmapSegment::find_index(const TruthTable& key) const
   if (key.num_vars() != num_vars_) {
     return std::nullopt;
   }
+  std::uint64_t pages_examined = 0;
+  const auto result = records_per_block_ != 0 ? find_index_blocked(key, pages_examined)
+                                              : find_index_dense(key, pages_examined);
+  probe_count_.fetch_add(1, std::memory_order_relaxed);
+  probe_pages_.fetch_add(pages_examined, std::memory_order_relaxed);
+  if (obs::sample_1_in<kProbeSample>()) {
+    probe_pages_histogram(num_vars_).record_ns(pages_examined);
+  }
+  return result;
+}
+
+std::optional<std::size_t> MmapSegment::find_index_dense(const TruthTable& key,
+                                                         std::uint64_t& pages_examined) const
+{
+  // Distinct-page accounting for the probe telemetry: a binary search's
+  // mids are distinct records, but neighboring mids can share a page near
+  // convergence, so dedupe against the (at most ~2 log N) pages seen.
+  std::array<std::size_t, 160> seen;  // tracked by seen_count, no init needed
+  std::size_t seen_count = 0;
+  const auto note_pages = [&](std::size_t i) {
+    const std::size_t first = (i * record_stride_) / kStorePageBytes;
+    const std::size_t last = (i * record_stride_ + record_stride_ - 1) / kStorePageBytes;
+    for (std::size_t p = first; p <= last; ++p) {
+      bool duplicate = false;
+      for (std::size_t s = 0; s < seen_count; ++s) {
+        if (seen[s] == p) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        if (seen_count < seen.size()) {
+          seen[seen_count++] = p;
+        }
+        ++pages_examined;
+      }
+    }
+  };
+
   std::size_t lo = 0;
   std::size_t hi = num_records_;
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
+    note_pages(mid);
     if (compare_canonical(mid, key) < 0) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo < num_records_ && compare_canonical(lo, key) == 0) {
-    return lo;
+  if (lo < num_records_) {
+    note_pages(lo);
+    if (compare_canonical(lo, key) == 0) {
+      return lo;
+    }
   }
   return std::nullopt;
+}
+
+std::optional<std::size_t> MmapSegment::find_index_blocked(const TruthTable& key,
+                                                           std::uint64_t& pages_examined) const
+{
+  if (num_records_ == 0) {
+    return std::nullopt;
+  }
+  const std::size_t key_words = words_for_vars(num_vars_);
+  const auto target = key.words();
+  // Binary search the in-RAM sparse index for the one block that could hold
+  // the key: the last block whose first key is <= the target. No data page
+  // is touched yet.
+  std::size_t lo = 0;
+  std::size_t hi = num_pages_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::uint64_t* block_key = block_keys_.data() + mid * key_words;
+    int cmp = 0;
+    for (std::size_t w = key_words; w-- > 0;) {
+      if (block_key[w] != target[w]) {
+        cmp = block_key[w] < target[w] ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    // The target sorts before the first record of the segment: provably
+    // absent without touching a single data page.
+    return std::nullopt;
+  }
+
+  // Exactly one block to validate and scan linearly.
+  const std::size_t block = lo - 1;
+  pages_examined = 1;
+  validate_page(block);
+  const std::size_t first = block * records_per_block_;
+  const std::size_t count = std::min(records_per_block_, num_records_ - first);
+  std::size_t scanned = 0;
+  std::optional<std::size_t> found;
+  for (std::size_t r = 0; r < count; ++r) {
+    ++scanned;
+    const int cmp = compare_canonical(first + r, key);
+    if (cmp == 0) {
+      found = first + r;
+      break;
+    }
+    if (cmp > 0) {
+      break;  // sorted within the block: the key cannot appear further on
+    }
+  }
+  if (obs::sample_1_in<kProbeSample>()) {
+    block_scan_len_histogram(num_vars_).record_ns(scanned);
+  }
+  return found;
+}
+
+MmapSegment::ProbeStats MmapSegment::probe_stats() const noexcept
+{
+  return {probe_count_.load(std::memory_order_relaxed),
+          probe_pages_.load(std::memory_order_relaxed)};
 }
 
 std::optional<StoreRecord> MmapSegment::find(const TruthTable& canonical) const

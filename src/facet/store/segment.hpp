@@ -12,14 +12,19 @@
 ///   * MaterializedSegment — records decoded into a std::vector. What
 ///     ClassStore::load produces; every byte of the file was validated up
 ///     front.
-///   * MmapSegment — the record region of a v2 `.fcs` file mapped read-only
-///     and binary-searched **in place**. Nothing is decoded at open beyond
-///     the header, the page-checksum table and the footer, so opening a
+///   * MmapSegment — the record region of a `.fcs` file mapped read-only
+///     and searched **in place**. Nothing is decoded at open beyond the
+///     header, the checksum table and the footer, so opening a
 ///     million-class index costs microseconds instead of a full decode.
-///     Record pages are checksum-validated lazily on first touch; a
-///     bit-flipped page raises StoreFormatError at the first lookup that
-///     reads it, never silently. Version-1 files (no page table) are
-///     validated eagerly at open — still without materializing records.
+///     v3 files are block-packed: the block-key table is lifted into RAM at
+///     open, a probe binary-searches it without touching a single data
+///     page, and then scans exactly one 4 KiB block linearly — O(log
+///     N_blocks) RAM compares + ~1 cold page per probe, vs the O(log N)
+///     cold pages a dense v2 binary search faults. Blocks/pages are
+///     checksum-validated lazily on first touch; a bit-flipped page raises
+///     StoreFormatError at the first lookup that reads it, never silently.
+///     Version-1 files (no page table) are validated eagerly at open —
+///     still without materializing records.
 ///
 /// All Segment methods are const and safe to call from many threads at once
 /// (lazy validation uses atomic page flags; double validation is idempotent).
@@ -90,11 +95,22 @@ class MaterializedSegment final : public Segment {
 /// Segment over the record region of a `.fcs` file mapped read-only.
 class MmapSegment final : public Segment {
  public:
-  /// Maps `path` and validates header, footer and page-table checksum (v2)
-  /// or the whole payload (v1 — no page table to defer to). Record pages of
-  /// v2 files are validated lazily on first touch. Throws StoreFormatError
-  /// on any structural violation, and std::runtime_error when the platform
-  /// has no mmap (see mmap_supported()).
+  /// Distinct data pages examined by find/find_class_id/find_index calls on
+  /// this mapping — deterministic page-touch accounting for the cold-probe
+  /// bench and the `facet_store_probe_pages` series, independent of what
+  /// the OS page cache happens to hold.
+  struct ProbeStats {
+    std::uint64_t probes = 0;
+    std::uint64_t pages = 0;
+  };
+
+  /// Maps `path` and validates header, footer and the block/page checksum
+  /// table (v3/v2) or the whole payload (v1 — no table to defer to). Data
+  /// blocks/pages are validated lazily on first touch; a v3 block-key table
+  /// is copied into RAM so probes fault zero pages before the final block
+  /// scan. Throws StoreFormatError on any structural violation, and
+  /// std::runtime_error when the platform has no mmap (see
+  /// mmap_supported()).
   [[nodiscard]] static std::shared_ptr<MmapSegment> open(const std::string& path);
 
   ~MmapSegment() override;
@@ -110,11 +126,18 @@ class MmapSegment final : public Segment {
 
   /// Next fresh class id recorded in the mapped header.
   [[nodiscard]] std::uint64_t num_classes() const noexcept { return num_classes_; }
-  /// True when record pages validate lazily (v2); v1 maps validate at open.
+  /// True when record blocks/pages validate lazily (v3/v2); v1 maps
+  /// validate at open.
   [[nodiscard]] bool lazy_validation() const noexcept { return page_states_ != nullptr; }
-  /// Pages already checksum-validated (for telemetry and tests).
+  /// Blocks/pages already checksum-validated (for telemetry and tests).
   [[nodiscard]] std::size_t pages_validated() const noexcept;
   [[nodiscard]] std::size_t num_pages() const noexcept { return num_pages_; }
+  /// True when this mapping is block-packed (a v3 file).
+  [[nodiscard]] bool block_packed() const noexcept { return records_per_block_ != 0; }
+  /// Format version of the mapped file.
+  [[nodiscard]] std::uint32_t format_version() const noexcept { return format_version_; }
+  /// Cumulative probe page-touch counters (see ProbeStats).
+  [[nodiscard]] ProbeStats probe_stats() const noexcept;
 
  private:
   MmapSegment() = default;
@@ -127,28 +150,52 @@ class MmapSegment final : public Segment {
   [[nodiscard]] int compare_canonical(std::size_t i, const TruthTable& key) const;
   /// Index of the record whose canonical equals `key`, if any.
   [[nodiscard]] std::optional<std::size_t> find_index(const TruthTable& key) const;
+  /// find_index over a dense (v1/v2) record region: binary search the
+  /// records themselves, faulting O(log N) cold pages.
+  [[nodiscard]] std::optional<std::size_t> find_index_dense(const TruthTable& key,
+                                                           std::uint64_t& pages_examined) const;
+  /// find_index over a block-packed (v3) region: binary search the in-RAM
+  /// block keys, then scan one block linearly.
+  [[nodiscard]] std::optional<std::size_t> find_index_blocked(const TruthTable& key,
+                                                             std::uint64_t& pages_examined) const;
 
   const unsigned char* data_ = nullptr;  // whole mapping
   std::size_t mapped_bytes_ = 0;
   const unsigned char* records_begin_ = nullptr;
-  const unsigned char* page_table_ = nullptr;  // v2 only
+  const unsigned char* page_table_ = nullptr;  // v3 block / v2 page checksums
   std::size_t record_bytes_ = 0;
   std::size_t record_stride_ = 0;  // bytes per record
   std::size_t num_records_ = 0;
-  std::size_t num_pages_ = 0;
+  std::size_t num_pages_ = 0;      // v3: blocks; v2: 4 KiB slices
+  std::size_t records_per_block_ = 0;  // v3 only; 0 = dense v1/v2 layout
   std::uint64_t num_classes_ = 0;
+  std::uint32_t format_version_ = 0;
   int num_vars_ = 0;
+  /// v3 sparse footer index, lifted off the mapping at open: block b's
+  /// first canonical form at words [b * W, (b + 1) * W). Probing it never
+  /// faults a data page.
+  std::vector<std::uint64_t> block_keys_;
   /// 0 = not yet validated, 1 = validated. Null for eagerly-validated maps.
   mutable std::unique_ptr<std::atomic<std::uint8_t>[]> page_states_;
+  mutable std::atomic<std::uint64_t> probe_count_{0};
+  mutable std::atomic<std::uint64_t> probe_pages_{0};
 };
 
 /// True when this platform supports MmapSegment (POSIX mmap).
 [[nodiscard]] bool mmap_supported() noexcept;
 
-/// Writes one v2 base segment — header, records, page-checksum table,
-/// footer — to `os`. `records` must be sorted by canonical form.
+/// Writes one v3 base segment — header, block-packed records, block-key
+/// table, block-checksum table, footer — to `os`. `records` must be sorted
+/// by canonical form. Every base writer (save, compaction, fcs-merge)
+/// funnels through here.
 void write_base_segment(std::ostream& os, int num_vars, std::uint64_t num_classes,
                         const std::vector<const StoreRecord*>& records);
+
+/// Writes the legacy dense v2 layout — header, records, page-checksum
+/// table, footer. Kept for mixed-version tests and the v2-vs-v3 bench
+/// baseline; production writers emit v3.
+void write_base_segment_v2(std::ostream& os, int num_vars, std::uint64_t num_classes,
+                           const std::vector<const StoreRecord*>& records);
 
 /// Reads a record (shared by the materialized base loader and the delta
 /// replay), mixing every word into `hasher`.

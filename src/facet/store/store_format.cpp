@@ -28,6 +28,17 @@ std::size_t store_record_words(int num_vars) noexcept
   return 2 * words_for_vars(num_vars) + 3;
 }
 
+std::size_t store_records_per_block(int num_vars) noexcept
+{
+  return kStorePageWords / store_record_words(num_vars);
+}
+
+std::uint64_t store_num_blocks(std::uint64_t num_records, int num_vars) noexcept
+{
+  const std::uint64_t per_block = store_records_per_block(num_vars);
+  return (num_records + per_block - 1) / per_block;
+}
+
 std::uint64_t load_le64(const unsigned char* bytes) noexcept
 {
   std::uint64_t value = 0;
@@ -90,10 +101,11 @@ StoreHeader read_store_header(std::istream& is)
   StoreHeader header;
   header.version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
   header.num_vars = static_cast<std::uint32_t>(version_vars >> 32);
-  if (header.version != kStoreVersion && header.version != kStoreVersionV1) {
+  if (header.version != kStoreVersion && header.version != kStoreVersionV2 &&
+      header.version != kStoreVersionV1) {
     std::ostringstream msg;
     msg << "unsupported store version " << header.version << " (this build reads versions "
-        << kStoreVersionV1 << " and " << kStoreVersion << ")";
+        << kStoreVersionV1 << " through " << kStoreVersion << ")";
     throw StoreFormatError{msg.str()};
   }
   if (header.num_vars > static_cast<std::uint32_t>(kMaxVars)) {
@@ -173,7 +185,9 @@ std::optional<DeltaFrameHeader> read_delta_frame_header(std::istream& is)
   DeltaFrameHeader header;
   header.version = static_cast<std::uint32_t>(version_vars & 0xffffffffULL);
   header.num_vars = static_cast<std::uint32_t>(version_vars >> 32);
-  if (header.version != kStoreVersion) {
+  // The frame codec is unchanged between store versions 2 and 3; logs
+  // written by either build replay identically.
+  if (header.version != kStoreVersion && header.version != kStoreVersionV2) {
     std::ostringstream msg;
     msg << "unsupported delta frame version " << header.version;
     throw StoreFormatError{msg.str()};

@@ -6,16 +6,18 @@
 /// by records sorted by canonical form, so a reader answers "which class is
 /// this canonical form?" with one binary search — in RAM after a materialized
 /// load, or directly in the page cache through a read-only mmap
-/// (segment.hpp). Version 2 layout (all integers little-endian):
+/// (segment.hpp). Version 3 layout (all integers little-endian):
 ///
 ///   header (48 bytes)
 ///     u64  magic         "FACETFCS"
-///     u32  version       kStoreVersion (version-1 files remain readable)
+///     u32  version       kStoreVersion (version-1/-2 files remain readable)
 ///     u32  num_vars      function width n (0 <= n <= kMaxVars)
 ///     u64  num_records   record count
 ///     u64  num_classes   next fresh class id (== class count for built
 ///                        stores; appended deltas may leave gaps)
-///     u64  payload_hash  v2: hash_words over the page-checksum table;
+///     u64  payload_hash  v3: hash_words over the block-key table and the
+///                        block-checksum table in file order;
+///                        v2: hash_words over the page-checksum table;
 ///                        v1: hash_words over every record word in file order
 ///     u64  reserved      zero
 ///
@@ -26,13 +28,38 @@
 ///     u64[2]  packed NPN transform with
 ///             apply_transform(representative, t) == canonical
 ///
+///   header padding (v3 only)
+///     The header page is zero-padded to kStorePageBytes so every data
+///     block below starts page-aligned in the mapping — the property that
+///     makes "one block" mean "one page fault".
+///
+///   blocks (v3; num_blocks * kStorePageBytes bytes)
+///     Records are packed into fixed-size kStorePageBytes blocks — one
+///     page each, store_records_per_block(n) records per block, no record
+///     straddling a block boundary. The tail of the last block is
+///     zero-padded. A probe binary-searches the in-RAM block-key table
+///     (below) and then touches exactly one data page, scanned linearly.
+///
+///   block-key table (v3; num_blocks * W * 8 bytes)
+///     u64[W] per block — the canonical form of each block's first record,
+///     the sparse footer index. Readers lift this into RAM at open so the
+///     block search faults zero data pages.
+///
+///   block-checksum table (v3; num_blocks * 8 bytes)
+///     u64[num_blocks]  checksum of each full kStorePageWords-word block
+///                      (zero padding included). The mmap reader validates
+///                      blocks lazily on first touch; the materialized
+///                      loader validates all of them.
+///
 ///   page-checksum table (v2 only; num_pages * 8 bytes)
 ///     u64[num_pages]  checksum of each kStorePageBytes-sized slice of the
-///                     record region (the last page may be partial). The
+///                     densely-packed record region (the last page may be
+///                     partial; records straddle page boundaries). The
 ///                     mmap reader validates pages lazily on first touch;
 ///                     the materialized loader validates all of them.
 ///
-///   segment footer (v2 only; 40 bytes, see SegmentFooter)
+///   segment footer (v2/v3; 40 bytes, see SegmentFooter — num_pages counts
+///   v3 blocks or v2 pages)
 ///
 /// Appends between compactions live outside the base segment in a
 /// log-structured **delta log** (`<index>.dlog`): a sequence of independent
@@ -75,9 +102,12 @@ class StoreFormatError : public std::runtime_error {
 /// "FACETFCS" read as a little-endian u64.
 inline constexpr std::uint64_t kStoreMagic = 0x5343'4654'4543'4146ULL;
 
-/// Current format version (page-checksummed segments); bumped on any layout
-/// change. Version-1 files (whole-payload checksum, no footer) still load.
-inline constexpr std::uint32_t kStoreVersion = 2;
+/// Current format version (block-packed segments with a sparse block-key
+/// footer index); bumped on any layout change. Version-2 files (dense
+/// records + page-checksum table) and version-1 files (whole-payload
+/// checksum, no footer) still load.
+inline constexpr std::uint32_t kStoreVersion = 3;
+inline constexpr std::uint32_t kStoreVersionV2 = 2;
 inline constexpr std::uint32_t kStoreVersionV1 = 1;
 
 /// Serialized header size in bytes.
@@ -108,9 +138,11 @@ struct StoreHeader {
   std::uint64_t payload_hash = 0;
 };
 
-/// Trailer of a v2 base segment, after the page-checksum table. Lets a
+/// Trailer of a v2/v3 base segment, after the checksum table. Lets a
 /// reader cross-check the record/page geometry implied by the header and
-/// reject files whose tail was cut or overwritten.
+/// reject files whose tail was cut or overwritten. For v3 segments
+/// num_pages counts blocks and record_words counts actual record words
+/// (zero padding excluded).
 struct SegmentFooter {
   std::uint64_t page_size = kStorePageBytes;
   std::uint64_t num_pages = 0;
@@ -144,6 +176,14 @@ struct StoreRecord {
 /// Number of u64 words one record occupies for an n-variable store.
 [[nodiscard]] std::size_t store_record_words(int num_vars) noexcept;
 
+/// Records packed into one v3 block (>= 1 for every width the truth-table
+/// kernel supports — a record is at most (2 * 4 + 3) * 8 = 88 bytes at
+/// kMaxVars).
+[[nodiscard]] std::size_t store_records_per_block(int num_vars) noexcept;
+
+/// Number of v3 blocks holding `num_records` records of an n-variable store.
+[[nodiscard]] std::uint64_t store_num_blocks(std::uint64_t num_records, int num_vars) noexcept;
+
 /// Streaming checksum over a u64 word sequence, seeded with the sequence
 /// length so truncations that happen to hash-collide on a prefix are still
 /// rejected. Both the record payload (v1), the page slices and the page
@@ -174,8 +214,8 @@ void write_store_header(std::ostream& os, const StoreHeader& header);
 
 /// Reads and validates magic, version and num_vars; throws StoreFormatError
 /// on a short read, wrong magic, unsupported version or impossible width.
-/// Accepts kStoreVersion and kStoreVersionV1 (callers branch on
-/// header.version for the tail layout).
+/// Accepts kStoreVersion, kStoreVersionV2 and kStoreVersionV1 (callers
+/// branch on header.version for the tail layout).
 [[nodiscard]] StoreHeader read_store_header(std::istream& is);
 
 /// Writes the footer (magic, fields, self-hash) to `os`.

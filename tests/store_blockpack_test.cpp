@@ -1,0 +1,514 @@
+/// Tests of the block-packed v3 base-segment format: geometry and probe
+/// accounting of the sparse block-key index, edge cases at block
+/// boundaries, per-block corruption rejection, mixed-version stores (dense
+/// v2 bases under v3 delta logs, compaction and fcs-merge emitting v3),
+/// router dispatch over mixed versions, and ClassStore::reload — the
+/// replica half of the compaction handshake.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "facet/npn/transform.hpp"
+#include "facet/store/class_store.hpp"
+#include "facet/store/merge.hpp"
+#include "facet/store/segment.hpp"
+#include "facet/store/store_builder.hpp"
+#include "facet/store/store_router.hpp"
+#include "facet/tt/tt_generate.hpp"
+#include "facet/tt/tt_transform.hpp"
+
+namespace facet {
+namespace {
+
+std::string temp_path(const std::string& name)
+{
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path)
+{
+  std::ifstream is{path, std::ios::binary};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes)
+{
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Store version stamped in a file's header (u32 at byte 8).
+std::uint32_t file_version(const std::string& path)
+{
+  const std::string bytes = read_file(path);
+  EXPECT_GE(bytes.size(), 16u);
+  return static_cast<std::uint32_t>(
+      load_le64(reinterpret_cast<const unsigned char*>(bytes.data()) + 8) & 0xffffffffULL);
+}
+
+/// `count` sorted singleton records keyed by distinct random tables —
+/// geometry tests need record volume, not classification work.
+std::vector<StoreRecord> synthetic_records(int n, std::size_t count, std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::unordered_set<TruthTable, TruthTableHash> keys;
+  while (keys.size() < count) {
+    keys.insert(tt_random(n, rng));
+  }
+  std::vector<StoreRecord> records;
+  records.reserve(count);
+  for (const auto& key : keys) {
+    records.push_back(StoreRecord{key, key, NpnTransform::identity(n), 0, 1});
+  }
+  std::sort(records.begin(), records.end(),
+            [](const StoreRecord& a, const StoreRecord& b) { return a.canonical < b.canonical; });
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    records[i].class_id = static_cast<std::uint32_t>(i);
+  }
+  return records;
+}
+
+void write_v3_file(const std::string& path, int n, const std::vector<StoreRecord>& records)
+{
+  std::vector<const StoreRecord*> pointers;
+  pointers.reserve(records.size());
+  for (const auto& record : records) {
+    pointers.push_back(&record);
+  }
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  write_base_segment(os, n, records.size(), pointers);
+}
+
+void write_v2_file(const std::string& path, int n, const std::vector<StoreRecord>& records)
+{
+  std::vector<const StoreRecord*> pointers;
+  pointers.reserve(records.size());
+  for (const auto& record : records) {
+    pointers.push_back(&record);
+  }
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  write_base_segment_v2(os, n, records.size(), pointers);
+}
+
+std::vector<TruthTable> make_npn_workload(int n, std::size_t bases, std::size_t images_per_base,
+                                          std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> funcs;
+  for (std::size_t b = 0; b < bases; ++b) {
+    const TruthTable base = tt_random(n, rng);
+    funcs.push_back(base);
+    for (std::size_t k = 0; k < images_per_base; ++k) {
+      funcs.push_back(apply_transform(base, NpnTransform::random(n, rng)));
+    }
+  }
+  std::shuffle(funcs.begin(), funcs.end(), rng);
+  return funcs;
+}
+
+/// Functions whose classes are genuinely absent from `store`.
+std::vector<TruthTable> novel_functions(const ClassStore& store, std::size_t count,
+                                        std::uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  std::vector<TruthTable> result;
+  while (result.size() < count) {
+    const TruthTable f = tt_random(store.num_vars(), rng);
+    if (!store.lookup(f).has_value()) {
+      result.push_back(f);
+    }
+  }
+  return result;
+}
+
+TEST(StoreBlockPack, V3ProbesTouchOneBlock)
+{
+  if (!mmap_supported()) {
+    GTEST_SKIP() << "no mmap on this platform";
+  }
+  const int n = 6;
+  const std::size_t per_block = store_records_per_block(n);
+  const std::size_t count = 5 * per_block + 7;  // several blocks, ragged tail
+  const auto records = synthetic_records(n, count, 0xb10c0ULL);
+  const std::string path = temp_path("blockpack_probe.fcs");
+  write_v3_file(path, n, records);
+
+  const auto segment = MmapSegment::open(path);
+  EXPECT_TRUE(segment->block_packed());
+  EXPECT_EQ(segment->format_version(), kStoreVersion);
+  EXPECT_EQ(segment->num_pages(), store_num_blocks(count, n));
+  ASSERT_EQ(segment->size(), count);
+
+  // Every present key resolves by touching EXACTLY one data block — the
+  // binary search runs over the in-RAM block keys.
+  for (std::size_t i = 0; i < count; i += 11) {
+    const auto before = segment->probe_stats();
+    const auto id = segment->find_class_id(records[i].canonical);
+    const auto after = segment->probe_stats();
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(*id, records[i].class_id);
+    EXPECT_EQ(after.probes - before.probes, 1u);
+    EXPECT_EQ(after.pages - before.pages, 1u) << "present-key probe must touch one block";
+  }
+
+  // A key below the first block key is provably absent without touching a
+  // single data page.
+  TruthTable below = records.front().canonical;
+  bool have_below = false;
+  for (std::uint64_t bits = 0; bits < 64 && !have_below; ++bits) {
+    const TruthTable candidate = TruthTable::from_word(n, bits);
+    if (candidate < records.front().canonical) {
+      below = candidate;
+      have_below = true;
+    }
+  }
+  if (have_below) {
+    const auto before = segment->probe_stats();
+    EXPECT_FALSE(segment->find_class_id(below).has_value());
+    const auto after = segment->probe_stats();
+    EXPECT_EQ(after.pages - before.pages, 0u)
+        << "below-range miss must resolve from the in-RAM block keys alone";
+  }
+
+  // Any miss touches at most one block.
+  std::mt19937_64 rng{0xab5eULL};
+  for (int i = 0; i < 64; ++i) {
+    const TruthTable probe = tt_random(n, rng);
+    const auto before = segment->probe_stats();
+    (void)segment->find_class_id(probe);
+    const auto after = segment->probe_stats();
+    EXPECT_LE(after.pages - before.pages, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreBlockPack, EmptyOneRecordAndBlockBoundaryCounts)
+{
+  const int n = 6;
+  const std::size_t per_block = store_records_per_block(n);
+  // The exact counts where block geometry changes shape: empty file, a
+  // single record, one record short of a full block, exactly one block,
+  // one spilling into a second block, exactly two blocks.
+  const std::size_t counts[] = {0, 1, per_block - 1, per_block, per_block + 1, 2 * per_block};
+  for (const std::size_t count : counts) {
+    SCOPED_TRACE("count=" + std::to_string(count));
+    const auto records = synthetic_records(n, count, 0xedce + count);
+    const std::string path = temp_path("blockpack_edge_" + std::to_string(count) + ".fcs");
+    write_v3_file(path, n, records);
+
+    // Materialized load: eager full validation.
+    const ClassStore loaded = ClassStore::load(path);
+    ASSERT_EQ(loaded.num_records(), count);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const auto hit = loaded.find_canonical(records[i].canonical);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->class_id, records[i].class_id);
+    }
+
+    // Mmap open: same answers through the blocked search.
+    if (mmap_supported()) {
+      const auto segment = MmapSegment::open(path);
+      ASSERT_EQ(segment->size(), count);
+      EXPECT_EQ(segment->num_pages(), store_num_blocks(count, n));
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto id = segment->find_class_id(records[i].canonical);
+        ASSERT_TRUE(id.has_value());
+        EXPECT_EQ(*id, records[i].class_id);
+      }
+      std::mt19937_64 rng{0x4bULL + count};
+      for (int k = 0; k < 32; ++k) {
+        const TruthTable probe = tt_random(n, rng);
+        const bool in_loaded = loaded.find_canonical(probe).has_value();
+        EXPECT_EQ(segment->find_class_id(probe).has_value(), in_loaded);
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StoreBlockPack, CorruptBlockAndTableAreRejected)
+{
+  const int n = 6;
+  const std::size_t per_block = store_records_per_block(n);
+  const std::size_t count = 3 * per_block;
+  const auto records = synthetic_records(n, count, 0xbadb10cULL);
+  const std::string path = temp_path("blockpack_corrupt.fcs");
+  write_v3_file(path, n, records);
+  const std::string good = read_file(path);
+
+  // A flipped bit in the LAST block: eager load rejects up front; the mmap
+  // flavor opens, serves untouched blocks, and throws at first touch of
+  // the corrupt one.
+  {
+    std::string bad = good;
+    const std::size_t offset =
+        kStorePageBytes + 2 * kStorePageBytes + 5 * store_record_words(n) * 8 + 2;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x40);
+    write_file(path, bad);
+    EXPECT_THROW((void)ClassStore::load(path), StoreFormatError);
+    if (mmap_supported()) {
+      const auto segment = MmapSegment::open(path);
+      EXPECT_TRUE(segment->lazy_validation());
+      EXPECT_TRUE(segment->find_class_id(records.front().canonical).has_value());
+      EXPECT_THROW((void)segment->find_class_id(records.back().canonical), StoreFormatError);
+      EXPECT_THROW((void)segment->record_at(count - 1), StoreFormatError);
+    }
+  }
+  // A flipped bit in the block-key table breaks the header's table
+  // checksum — rejected at open by both flavors.
+  {
+    std::string bad = good;
+    const std::size_t key_table_offset = kStorePageBytes + 3 * kStorePageBytes + 4;
+    bad[key_table_offset] = static_cast<char>(bad[key_table_offset] ^ 0x01);
+    write_file(path, bad);
+    EXPECT_THROW((void)ClassStore::load(path), StoreFormatError);
+    if (mmap_supported()) {
+      EXPECT_THROW((void)MmapSegment::open(path), StoreFormatError);
+    }
+  }
+  // Nonzero bytes in the header padding page are a structural violation.
+  {
+    std::string bad = good;
+    bad[kStoreHeaderBytes + 17] = 0x5a;
+    write_file(path, bad);
+    EXPECT_THROW((void)ClassStore::load(path), StoreFormatError);
+    if (mmap_supported()) {
+      EXPECT_THROW((void)MmapSegment::open(path), StoreFormatError);
+    }
+  }
+  // A truncated tail (lost footer) never passes.
+  {
+    write_file(path, good.substr(0, good.size() - 8));
+    EXPECT_THROW((void)ClassStore::load(path), StoreFormatError);
+    if (mmap_supported()) {
+      EXPECT_THROW((void)MmapSegment::open(path), StoreFormatError);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+class StoreMixedVersion : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StoreMixedVersion, V2BaseServesUnderV3DeltasAndCompactsToV3)
+{
+  const bool use_mmap = GetParam();
+  if (use_mmap && !mmap_supported()) {
+    GTEST_SKIP() << "no mmap on this platform";
+  }
+  const int n = 5;
+  const auto funcs = make_npn_workload(n, 40, 2, 0xa1bULL);
+  const ClassStore built = build_class_store(funcs, {});
+  const std::string path = temp_path(use_mmap ? "mixed_v2_mmap.fcs" : "mixed_v2.fcs");
+  const std::string dlog = ClassStore::delta_log_path(path);
+  std::remove(dlog.c_str());
+  // The pre-upgrade on-disk state: a dense v2 base, no delta log.
+  write_v2_file(path, n, built.records());
+  ASSERT_EQ(file_version(path), kStoreVersionV2);
+
+  // This build opens it, appends, and flushes v3-stamped frames alongside.
+  std::vector<TruthTable> novel;
+  std::vector<std::uint32_t> ids;
+  {
+    ClassStore store = ClassStore::open(path, StoreOpenOptions{.use_mmap = use_mmap});
+    ASSERT_EQ(store.num_records(), built.num_records());
+    novel = novel_functions(store, 5, 0xa1cULL);
+    for (const auto& f : novel) {
+      ids.push_back(store.lookup_or_classify(f, /*append_on_miss=*/true).class_id);
+    }
+    ASSERT_EQ(store.flush_delta(dlog), novel.size());
+  }
+
+  // Replay: v2 base + v3 delta log serve together.
+  {
+    ClassStore store = ClassStore::open(path, StoreOpenOptions{.use_mmap = use_mmap});
+    EXPECT_EQ(store.num_delta_segments(), 1u);
+    store.clear_hot_cache();
+    for (std::size_t i = 0; i < novel.size(); ++i) {
+      const auto hit = store.lookup(novel[i]);
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_EQ(hit->class_id, ids[i]);
+    }
+    for (const auto& f : funcs) {
+      EXPECT_TRUE(store.lookup(f).has_value());
+    }
+    // Compaction folds base + runs into a BLOCK-PACKED v3 file.
+    store.compact(path);
+    EXPECT_EQ(file_version(path), kStoreVersion);
+    EXPECT_FALSE(std::ifstream{dlog}.good());
+  }
+
+  // The compacted v3 file serves every class with unchanged ids.
+  ClassStore compacted = ClassStore::open(path, StoreOpenOptions{.use_mmap = use_mmap});
+  EXPECT_EQ(compacted.num_records(), built.num_records() + novel.size());
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    const auto hit = compacted.lookup(novel[i]);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->class_id, ids[i]);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaterializedAndMmap, StoreMixedVersion, ::testing::Values(false, true));
+
+TEST(StoreBlockPack, MergeReadsV2AndEmitsV3)
+{
+  const int n = 5;
+  const auto funcs_a = make_npn_workload(n, 25, 2, 0x33aULL);
+  const auto funcs_b = make_npn_workload(n, 25, 2, 0x33bULL);
+  const ClassStore built_a = build_class_store(funcs_a, {});
+  const ClassStore built_b = build_class_store(funcs_b, {});
+  const std::string path_a = temp_path("merge_v2_input.fcs");
+  const std::string path_b = temp_path("merge_v3_input.fcs");
+  const std::string path_out = temp_path("merge_v3_output.fcs");
+  write_v2_file(path_a, n, built_a.records());  // legacy input
+  built_b.save(path_b);                         // current (v3) input
+  ASSERT_EQ(file_version(path_a), kStoreVersionV2);
+  ASSERT_EQ(file_version(path_b), kStoreVersion);
+
+  const ClassStore loaded_a = ClassStore::load(path_a);
+  const ClassStore loaded_b = ClassStore::load(path_b);
+  const ClassStore merged = merge_class_stores({&loaded_a, &loaded_b});
+  merged.save(path_out);
+  EXPECT_EQ(file_version(path_out), kStoreVersion);
+
+  const ClassStore reopened = ClassStore::open(path_out);
+  for (const auto& record : loaded_a.records()) {
+    EXPECT_TRUE(reopened.find_canonical(record.canonical).has_value());
+  }
+  for (const auto& record : loaded_b.records()) {
+    EXPECT_TRUE(reopened.find_canonical(record.canonical).has_value());
+  }
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+  std::remove(path_out.c_str());
+}
+
+TEST(StoreBlockPack, RouterDispatchesOverMixedVersions)
+{
+  const int n_v2 = 5;
+  const int n_v3 = 6;
+  const auto funcs_v2 = make_npn_workload(n_v2, 20, 2, 0x70aULL);
+  const auto funcs_v3 = make_npn_workload(n_v3, 20, 2, 0x70bULL);
+  const ClassStore built_v2 = build_class_store(funcs_v2, {});
+  const ClassStore built_v3 = build_class_store(funcs_v3, {});
+  const std::string path_v2 = temp_path("router_width5_v2.fcs");
+  const std::string path_v3 = temp_path("router_width6_v3.fcs");
+  write_v2_file(path_v2, n_v2, built_v2.records());
+  built_v3.save(path_v3);
+
+  StoreRouter router = StoreRouter::open({path_v2, path_v3});
+  ASSERT_EQ(router.num_stores(), 2u);
+  for (const auto& f : funcs_v2) {
+    const auto expected = built_v2.lookup(f);
+    const auto routed = router.lookup(f);
+    ASSERT_TRUE(routed.has_value());
+    EXPECT_EQ(routed->class_id, expected->class_id);
+  }
+  for (const auto& f : funcs_v3) {
+    const auto expected = built_v3.lookup(f);
+    const auto routed = router.lookup(f);
+    ASSERT_TRUE(routed.has_value());
+    EXPECT_EQ(routed->class_id, expected->class_id);
+  }
+  std::remove(path_v2.c_str());
+  std::remove(path_v3.c_str());
+}
+
+class StoreReload : public ::testing::TestWithParam<bool> {};
+
+TEST_P(StoreReload, ReplicaAdoptsAppendsAndCompactionWithoutTouchingTheLog)
+{
+  const bool use_mmap = GetParam();
+  if (use_mmap && !mmap_supported()) {
+    GTEST_SKIP() << "no mmap on this platform";
+  }
+  const int n = 5;
+  const auto funcs = make_npn_workload(n, 30, 2, 0x4e10ULL);
+  const std::string path = temp_path(use_mmap ? "reload_mmap.fcs" : "reload.fcs");
+  const std::string dlog = ClassStore::delta_log_path(path);
+  std::remove(dlog.c_str());
+  build_class_store(funcs, {}).save(path);
+
+  const StoreOpenOptions open_options{.use_mmap = use_mmap};
+  ClassStore primary = ClassStore::open(path, open_options);
+  ClassStore replica = ClassStore::open(path, open_options);
+
+  // Primary appends and flushes; the replica reloads and serves the new
+  // classes with the primary's ids.
+  const auto novel = novel_functions(primary, 4, 0x4e11ULL);
+  std::vector<std::uint32_t> ids;
+  for (const auto& f : novel) {
+    ids.push_back(primary.lookup_or_classify(f, /*append_on_miss=*/true).class_id);
+  }
+  ASSERT_EQ(primary.flush_delta(dlog), novel.size());
+  EXPECT_FALSE(replica.lookup(novel.front()).has_value());
+  const std::size_t served = replica.reload(path);
+  EXPECT_EQ(served, replica.num_records());
+  EXPECT_EQ(replica.num_delta_segments(), 1u);
+  replica.clear_hot_cache();
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    const auto hit = replica.lookup(novel[i]);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->class_id, ids[i]);
+  }
+
+  // Primary compacts (rename + dlog removal); the replica reload adopts
+  // the fresh v3 base and keeps every id.
+  primary.compact(path);
+  ASSERT_EQ(file_version(path), kStoreVersion);
+  (void)replica.reload(path);
+  EXPECT_EQ(replica.num_delta_segments(), 0u);
+  replica.clear_hot_cache();
+  for (std::size_t i = 0; i < novel.size(); ++i) {
+    const auto hit = replica.lookup(novel[i]);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->class_id, ids[i]);
+  }
+
+  // A torn trailing frame — the primary caught mid-append — is dropped
+  // from the replay but the FILE is untouched: the log belongs to the
+  // primary, and only the primary repairs it.
+  const auto more = novel_functions(primary, 2, 0x4e12ULL);
+  for (const auto& f : more) {
+    (void)primary.lookup_or_classify(f, /*append_on_miss=*/true);
+  }
+  ASSERT_EQ(primary.flush_delta(dlog), more.size());
+  const std::string good_log = read_file(dlog);
+  const std::string torn = good_log + good_log.substr(0, good_log.size() - 5);
+  write_file(dlog, torn);
+  (void)replica.reload(path);
+  EXPECT_EQ(replica.num_delta_segments(), 1u);
+  EXPECT_EQ(read_file(dlog).size(), torn.size()) << "a replica must never truncate the log";
+  replica.clear_hot_cache();
+  for (const auto& f : more) {
+    EXPECT_TRUE(replica.lookup(f).has_value());
+  }
+
+  // A reload that fails (corrupt complete frame) leaves the replica
+  // serving its previous epoch.
+  std::string bad_log = good_log;
+  bad_log[kDeltaFrameHeaderBytes + 2] =
+      static_cast<char>(bad_log[kDeltaFrameHeaderBytes + 2] ^ 0x01);
+  write_file(dlog, bad_log);
+  EXPECT_THROW((void)replica.reload(path), StoreFormatError);
+  replica.clear_hot_cache();
+  for (const auto& f : more) {
+    EXPECT_TRUE(replica.lookup(f).has_value());
+  }
+  std::remove(dlog.c_str());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaterializedAndMmap, StoreReload, ::testing::Values(false, true));
+
+}  // namespace
+}  // namespace facet

@@ -145,11 +145,14 @@ TEST(StoreSegment, MmapCorruptionIsDetectedOnFirstTouchNotAtOpen)
   const std::string path = temp_path("segment_mmap_corrupt.fcs");
   built.save(path);
 
-  // Flip one bit inside the LAST record — far from the pages a search for
-  // the smallest canonical touches.
+  // Flip one bit inside the LAST record — far from the blocks a search for
+  // the smallest canonical touches. v3 geometry: a full header page, then
+  // block-packed records (no record straddles a block).
   const std::size_t last = built.records().size() - 1;
+  const std::size_t per_block = store_records_per_block(n);
   std::string bytes = read_file(path);
-  const std::size_t offset = kStoreHeaderBytes + last * store_record_words(n) * 8 + 3;
+  const std::size_t offset = kStorePageBytes + (last / per_block) * kStorePageBytes +
+                             (last % per_block) * store_record_words(n) * 8 + 3;
   bytes[offset] = static_cast<char>(bytes[offset] ^ 0x10);
   write_file(path, bytes);
 

@@ -9,6 +9,9 @@
 ///                by inferred width); --listen/--unix serve the same
 ///                protocol over TCP / Unix sockets to concurrent clients,
 ///                with background compaction and graceful shutdown
+///   fleet        one writable primary + N read-only replica processes on
+///                one store directory; replicas re-open the base on every
+///                compaction the primary adopts (--reload-poll-ms)
 ///   fcs-merge    union `.fcs` indexes of one width (dedup by canonical
 ///                form, renumber by first occurrence)
 ///   compact      merge a store's delta log back into its base segment
@@ -38,6 +41,11 @@
 
 #include <csignal>
 #include <fstream>
+
+#if defined(__linux__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -380,6 +388,11 @@ ServeServerOptions server_options_from(const CliArgs& args)
     throw std::invalid_argument{"--idle-timeout-ms: value too large"};
   }
   options.idle_timeout = std::chrono::milliseconds{static_cast<IdleRep>(idle_ms)};
+  const std::uint64_t reload_ms = args.get_uint64("reload-poll-ms", 0);
+  if (reload_ms > static_cast<std::uint64_t>(std::numeric_limits<IdleRep>::max())) {
+    throw std::invalid_argument{"--reload-poll-ms: value too large"};
+  }
+  options.reload_poll = std::chrono::milliseconds{static_cast<IdleRep>(reload_ms)};
   options.compact_after_runs =
       static_cast<std::size_t>(args.get_uint64("compact-after-runs", 0));
   options.compact_after_bytes = args.get_uint64("compact-after-bytes", 0);
@@ -490,6 +503,87 @@ int cmd_serve(const CliArgs& args)
   persist_store_if_requested(args, store, index);
   report_serve_stats(stats);
   return 0;
+}
+
+/// `facet_cli fleet`: one writable primary plus N read-only replica
+/// processes, all serving the SAME store directory. The primary runs
+/// in-process (background compaction enabled via --compact-after-*); each
+/// replica is this same binary re-exec'ed as
+/// `serve --readonly --reload-poll-ms T`, so it adopts every compacted base
+/// the primary renames into place. Replica k listens on base port + k + 1.
+int cmd_fleet(const CliArgs& args)
+{
+#if !defined(__linux__)
+  std::cerr << "error: fleet needs /proc/self/exe to respawn replicas (Linux only)\n";
+  return 1;
+#else
+  const std::string index = args.get_string("index", "");
+  const std::string listen = args.get_string("listen", "");
+  if (index.empty() || listen.empty()) {
+    std::cerr << "usage: facet_cli fleet --index FILE.fcs --listen HOST:PORT [--replicas N]\n"
+                 "       [--reload-poll-ms T] [--mmap] [--append]\n"
+                 "       [--compact-after-runs K] [--compact-after-bytes B]\n";
+    return 1;
+  }
+  const std::size_t replicas = static_cast<std::size_t>(args.get_uint64("replicas", 2));
+  const std::uint64_t reload_ms = args.get_uint64("reload-poll-ms", 200);
+  const auto colon = listen.rfind(':');
+  const std::string host = colon == std::string::npos ? "127.0.0.1" : listen.substr(0, colon);
+  const int base_port =
+      std::stoi(colon == std::string::npos ? listen : listen.substr(colon + 1));
+  if (base_port == 0) {
+    // Replica ports are derived as base + k + 1; an ephemeral primary port
+    // would leave them nowhere deterministic to land.
+    std::cerr << "error: fleet needs a fixed base port (port 0 is ephemeral)\n";
+    return 1;
+  }
+
+  std::vector<pid_t> children;
+  for (std::size_t k = 0; k < replicas; ++k) {
+    std::vector<std::string> argv_strings{
+        "facet_cli",  "serve",  "--index",          index,
+        "--readonly", "--mmap", "--reload-poll-ms", std::to_string(reload_ms),
+        "--listen",   host + ":" + std::to_string(base_port + static_cast<int>(k) + 1)};
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::cerr << "error: fork failed for replica " << k << "\n";
+      break;
+    }
+    if (pid == 0) {
+      std::vector<char*> argv_ptrs;
+      argv_ptrs.reserve(argv_strings.size() + 1);
+      for (auto& s : argv_strings) {
+        argv_ptrs.push_back(s.data());
+      }
+      argv_ptrs.push_back(nullptr);
+      ::execv("/proc/self/exe", argv_ptrs.data());
+      std::cerr << "error: exec failed for replica " << k << "\n";
+      ::_exit(127);
+    }
+    children.push_back(pid);
+    std::cerr << "replica " << k << " (pid " << pid << ") on " << host << ":"
+              << base_port + static_cast<int>(k) + 1 << "\n";
+  }
+
+  // The primary serves in-process on the base port; SIGINT/SIGTERM drain it
+  // through the usual graceful path, then the replicas are reaped below.
+  int rc = 1;
+  try {
+    ClassStore store = ClassStore::open(index, open_options_from(args));
+    ServeServer server{store, index, server_options_from(args)};
+    rc = run_serve_server(server, args.get_string("metrics-json", ""));
+  } catch (const std::exception& e) {
+    std::cerr << "error: fleet primary failed: " << e.what() << "\n";
+  }
+  for (const pid_t pid : children) {
+    ::kill(pid, SIGTERM);
+  }
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return rc;
+#endif
 }
 
 int cmd_fcs_merge(const CliArgs& args)
@@ -672,7 +766,14 @@ void print_usage()
                "               --readonly rejects appends and live classification;\n"
                "               --compact-after-* runs background compaction when a store's\n"
                "               delta runs / .dlog bytes cross the threshold;\n"
+               "               --readonly --reload-poll-ms T re-stats the index every T ms\n"
+               "               and re-opens it when the primary compacts (replica mode);\n"
                "               SIGINT/SIGTERM drain connections and flush before exit)\n"
+               "  fleet       --index FILE.fcs --listen HOST:PORT [--replicas N]\n"
+               "              [--reload-poll-ms T] [--mmap] [--append] [--compact-after-runs K]\n"
+               "              (writable primary on PORT + N forked --readonly replicas on\n"
+               "               PORT+1..PORT+N, all over one store directory; replicas adopt\n"
+               "               each compacted base the primary renames into place)\n"
                "  fcs-merge   --out MERGED.fcs FILE.fcs [FILE.fcs...]\n"
                "              (union same-width indexes: dedup by canonical form,\n"
                "               renumber by first occurrence)\n"
@@ -713,6 +814,9 @@ int main(int argc, char** argv)
     }
     if (command == "serve") {
       return cmd_serve(args);
+    }
+    if (command == "fleet") {
+      return cmd_fleet(args);
     }
     if (command == "fcs-merge") {
       return cmd_fcs_merge(args);
